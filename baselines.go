@@ -1,0 +1,87 @@
+package highorder
+
+import (
+	"highorder/internal/drift"
+	"highorder/internal/dwm"
+	"highorder/internal/hmm"
+	"highorder/internal/repro"
+	"highorder/internal/tree"
+	"highorder/internal/vfdt"
+	"highorder/internal/wce"
+)
+
+// This file re-exports the competitor algorithms, drift detectors and HMM
+// utilities so downstream users can run the same comparisons as the
+// experiments without reaching into internal packages.
+
+// Baseline configuration types.
+type (
+	// ReProOptions configure the RePro baseline (Yang/Wu/Zhu, KDD'05).
+	ReProOptions = repro.Options
+	// WCEOptions configure the Weighted Classifier Ensemble baseline
+	// (Wang/Fan/Yu/Han, KDD'03).
+	WCEOptions = wce.Options
+	// DWMOptions configure the Dynamic Weighted Majority baseline
+	// (Kolter/Maloof, ICDM'03).
+	DWMOptions = dwm.Options
+)
+
+// NewRePro returns the RePro baseline; Options.Learner defaults to the
+// tree learner when nil.
+func NewRePro(opts ReProOptions) Online {
+	if opts.Learner == nil {
+		opts.Learner = tree.NewLearner()
+	}
+	return repro.New(opts)
+}
+
+// NewWCE returns the Weighted Classifier Ensemble baseline;
+// Options.Learner defaults to the tree learner when nil.
+func NewWCE(opts WCEOptions) Online {
+	if opts.Learner == nil {
+		opts.Learner = tree.NewLearner()
+	}
+	return wce.New(opts)
+}
+
+// NewDWM returns the Dynamic Weighted Majority baseline.
+func NewDWM(opts DWMOptions) Online { return dwm.New(opts) }
+
+// Drift detectors.
+type (
+	// DriftDetector consumes per-record outcomes and signals changes.
+	DriftDetector = drift.Detector
+)
+
+// NewWindowDetector returns RePro's windowed error-threshold trigger.
+func NewWindowDetector(size int, threshold float64) DriftDetector {
+	return drift.NewWindow(size, threshold)
+}
+
+// NewDDMDetector returns the DDM drift detector (Gama et al., 2004).
+func NewDDMDetector() DriftDetector { return drift.NewDDM() }
+
+// NewPageHinkleyDetector returns a Page–Hinkley change detector.
+func NewPageHinkleyDetector() DriftDetector { return drift.NewPageHinkley() }
+
+// HMM utilities (the paper's §III-A analogy, implemented).
+
+// DecodeConcepts returns the Viterbi-decoded most likely concept id for
+// each labeled record under the model's transition structure.
+func DecodeConcepts(m *Model, records []Record) []int {
+	return hmm.DecodeConcepts(m, records)
+}
+
+// SmoothConcepts returns forward–backward smoothed concept posteriors
+// p(concept at t | all labels) — the offline counterpart of the
+// predictor's filtered active probabilities.
+func SmoothConcepts(m *Model, records []Record) [][]float64 {
+	return hmm.SmoothConcepts(m, records)
+}
+
+// VFDTOptions configure the Hoeffding-tree baseline (Domingos/Hulten
+// KDD'00; windowed mode follows the spirit of the paper's reference [1]).
+type VFDTOptions = vfdt.Options
+
+// NewVFDT returns an online Hoeffding tree.
+func NewVFDT(opts VFDTOptions) Online { return vfdt.New(opts) }

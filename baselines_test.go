@@ -1,0 +1,89 @@
+package highorder
+
+import (
+	"testing"
+)
+
+func TestBaselinesThroughFacade(t *testing.T) {
+	gen := NewStagger(StaggerConfig{Seed: 31})
+	schema := gen.Schema()
+	hist := TakeDataset(gen, 3000)
+	test := TakeDataset(gen, 3000)
+
+	algos := []Online{
+		NewRePro(ReProOptions{Schema: schema}),
+		NewWCE(WCEOptions{Schema: schema}),
+		NewDWM(DWMOptions{Schema: schema}),
+	}
+	for _, a := range algos {
+		for _, r := range hist.Records {
+			a.Learn(r)
+		}
+		res := Evaluate(a, test)
+		if res.ErrorRate() > 0.30 {
+			t.Errorf("%s error = %v on Stagger, implausibly high", a.Name(), res.ErrorRate())
+		}
+	}
+}
+
+func TestDetectorsThroughFacade(t *testing.T) {
+	for _, d := range []DriftDetector{
+		NewWindowDetector(20, 0.2),
+		NewDDMDetector(),
+		NewPageHinkleyDetector(),
+	} {
+		// Clean run, then a burst of errors: every detector must fire.
+		for i := 0; i < 500; i++ {
+			if d.Observe(true) {
+				t.Fatalf("%s fired on a perfect stream", d.Name())
+			}
+		}
+		fired := false
+		for i := 0; i < 500 && !fired; i++ {
+			fired = d.Observe(false)
+		}
+		if !fired {
+			t.Errorf("%s never fired on an all-error burst", d.Name())
+		}
+	}
+}
+
+func TestHMMUtilitiesThroughFacade(t *testing.T) {
+	gen := NewStagger(StaggerConfig{Seed: 33})
+	hist := TakeDataset(gen, 6000)
+	opts := DefaultBuildOptions()
+	opts.Seed = 33
+	model, err := Build(hist, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := TakeDataset(gen, 1000)
+	path := DecodeConcepts(model, test.Records)
+	if len(path) != 1000 {
+		t.Fatalf("decoded path length %d", len(path))
+	}
+	for _, c := range path {
+		if c < 0 || c >= model.NumConcepts() {
+			t.Fatalf("decoded concept %d out of range", c)
+		}
+	}
+	gamma := SmoothConcepts(model, test.Records)
+	if len(gamma) != 1000 || len(gamma[0]) != model.NumConcepts() {
+		t.Fatalf("smoothed posterior shape %dx%d", len(gamma), len(gamma[0]))
+	}
+}
+
+func TestCustomDetectorInReProFacade(t *testing.T) {
+	gen := NewStagger(StaggerConfig{Seed: 35})
+	r := NewRePro(ReProOptions{Schema: gen.Schema(), Detector: NewDDMDetector()})
+	hist := TakeDataset(gen, 2000)
+	for _, rec := range hist.Records {
+		r.Learn(rec)
+	}
+	// Just exercising the wiring: it must classify without panicking.
+	test := TakeDataset(gen, 200)
+	res := Evaluate(r, test)
+	if res.Records != 200 {
+		t.Fatal("evaluation incomplete")
+	}
+}

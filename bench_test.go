@@ -1,0 +1,381 @@
+package highorder
+
+// Benchmark harness: one testing.B benchmark per paper table and figure
+// (see the experiment index in DESIGN.md), plus ablation benches for the
+// design choices the paper calls out. The table/figure benches run the
+// corresponding experiment driver at a small scale; run
+//
+//	go run ./cmd/experiments -scale 0.05
+//
+// for paper-shaped output at a meaningful scale.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"highorder/internal/core"
+	"highorder/internal/data"
+	"highorder/internal/eval"
+	"highorder/internal/experiments"
+	"highorder/internal/synth"
+	"highorder/internal/tree"
+	"highorder/internal/wce"
+)
+
+// benchConfig is a deliberately tiny configuration so the full bench suite
+// completes in minutes.
+func benchConfig(seed int64) experiments.Config {
+	return experiments.Config{Scale: 0.005, Runs: 1, Seed: seed, Out: io.Discard}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runner(benchConfig(int64(i + 1))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Generators regenerates Table I (stream summaries).
+func BenchmarkTable1Generators(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2ErrorRates regenerates Table II (error-rate comparison).
+func BenchmarkTable2ErrorRates(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3TestTime regenerates Table III (test-time comparison).
+func BenchmarkTable3TestTime(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4Build regenerates Table IV (build phase).
+func BenchmarkTable4Build(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig3ChangingRate regenerates Figure 3 (impact of changing rate).
+func BenchmarkFig3ChangingRate(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4HistoryScale regenerates Figure 4 (impact of history size).
+func BenchmarkFig4HistoryScale(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5ChangeCurves regenerates Figure 5 (error during change).
+func BenchmarkFig5ChangeCurves(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6ProbTraces regenerates Figure 6 (concept probabilities).
+func BenchmarkFig6ProbTraces(b *testing.B) { runExperiment(b, "fig6") }
+
+// --- Micro benchmarks on the core pipeline ---
+
+func staggerHistory(n int, seed int64) *Dataset {
+	return TakeDataset(NewStagger(StaggerConfig{Seed: seed}), n)
+}
+
+// BenchmarkBuildStagger10k measures the offline build on a 10k Stagger
+// history.
+func BenchmarkBuildStagger10k(b *testing.B) {
+	hist := staggerHistory(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := DefaultBuildOptions()
+		opts.Seed = 1
+		if _, err := Build(hist, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictorObserve measures one active-probability update.
+func BenchmarkPredictorObserve(b *testing.B) {
+	hist := staggerHistory(10000, 2)
+	opts := DefaultBuildOptions()
+	opts.Seed = 2
+	m, err := Build(hist, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := m.NewPredictor()
+	test := staggerHistory(1000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(test.Records[i%test.Len()])
+	}
+}
+
+// BenchmarkPredictorPredict measures one pruned ensemble prediction.
+func BenchmarkPredictorPredict(b *testing.B) {
+	hist := staggerHistory(10000, 4)
+	opts := DefaultBuildOptions()
+	opts.Seed = 4
+	m, err := Build(hist, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := m.NewPredictor()
+	test := staggerHistory(1000, 5)
+	for _, r := range test.Records[:200] {
+		p.Observe(r)
+	}
+	x := data.Record{Values: test.Records[0].Values}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Predict(x)
+	}
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// ablationStream builds a fixed evaluation setup for the ablations.
+func ablationStream(seed int64) (hist, test *Dataset) {
+	g := NewStagger(StaggerConfig{Seed: seed})
+	return TakeDataset(g, 8000), TakeDataset(g, 16000)
+}
+
+func reportErr(b *testing.B, errRate float64) {
+	b.Helper()
+	b.ReportMetric(errRate, "err/op")
+}
+
+// BenchmarkAblationStep2Distance compares step 2 ordered by model
+// similarity (Eq. 3, the paper's choice) against ΔQ (Eq. 2), which needs a
+// trained classifier per candidate pair.
+func BenchmarkAblationStep2Distance(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		deltaQ bool
+	}{{"similarity", false}, {"deltaQ", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			hist, test := ablationStream(11)
+			var lastErr float64
+			for i := 0; i < b.N; i++ {
+				opts := DefaultBuildOptions()
+				opts.Seed = 11
+				opts.Step2DeltaQ = mode.deltaQ
+				m, err := core.Build(hist, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastErr = eval.Run(m.NewPredictor(), test).ErrorRate()
+			}
+			reportErr(b, lastErr)
+		})
+	}
+}
+
+// BenchmarkAblationMAPvsEnsemble compares the weighted ensemble (Eq. 10)
+// against predicting with only the most probable concept.
+func BenchmarkAblationMAPvsEnsemble(b *testing.B) {
+	hist, test := ablationStream(12)
+	opts := DefaultBuildOptions()
+	opts.Seed = 12
+	m, err := core.Build(hist, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts core.PredictorOptions
+	}{
+		{"ensemble", core.PredictorOptions{}},
+		{"map-only", core.PredictorOptions{MAPOnly: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var lastErr float64
+			for i := 0; i < b.N; i++ {
+				p := m.NewPredictorWithOptions(mode.opts)
+				lastErr = eval.Run(p, test).ErrorRate()
+			}
+			reportErr(b, lastErr)
+		})
+	}
+}
+
+// BenchmarkAblationPruning compares prediction with and without the
+// active-probability pruning of §III-C. Error must be identical; time
+// differs.
+func BenchmarkAblationPruning(b *testing.B) {
+	hist, test := ablationStream(13)
+	opts := DefaultBuildOptions()
+	opts.Seed = 13
+	m, err := core.Build(hist, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		opts core.PredictorOptions
+	}{
+		{"pruned", core.PredictorOptions{}},
+		{"full", core.PredictorOptions{DisablePruning: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var lastErr float64
+			for i := 0; i < b.N; i++ {
+				p := m.NewPredictorWithOptions(mode.opts)
+				lastErr = eval.Run(p, test).ErrorRate()
+			}
+			reportErr(b, lastErr)
+		})
+	}
+}
+
+// BenchmarkAblationBaseLearner compares the C4.5-style tree against Naive
+// Bayes as the base learner.
+func BenchmarkAblationBaseLearner(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		learner Learner
+	}{
+		{"tree", NewTreeLearner()},
+		{"bayes", NewBayesLearner()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			hist, test := ablationStream(14)
+			var lastErr float64
+			for i := 0; i < b.N; i++ {
+				opts := DefaultBuildOptions()
+				opts.Seed = 14
+				opts.Learner = mode.learner
+				m, err := core.Build(hist, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastErr = eval.Run(m.NewPredictor(), test).ErrorRate()
+			}
+			reportErr(b, lastErr)
+		})
+	}
+}
+
+// BenchmarkAblationBlockSize sweeps the concept-clustering block size over
+// the paper's recommended range (2–20, §II-A).
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for _, size := range []int{2, 5, 10, 20} {
+		b.Run(fmt.Sprintf("block%d", size), func(b *testing.B) {
+			hist, test := ablationStream(15)
+			var lastErr float64
+			for i := 0; i < b.N; i++ {
+				opts := DefaultBuildOptions()
+				opts.Seed = 15
+				opts.BlockSize = size
+				m, err := core.Build(hist, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastErr = eval.Run(m.NewPredictor(), test).ErrorRate()
+			}
+			reportErr(b, lastErr)
+		})
+	}
+}
+
+// BenchmarkAblationEmpiricalTransitions compares Eq. 6's frequency-based χ
+// against the smoothed empirical transition matrix.
+func BenchmarkAblationEmpiricalTransitions(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		empirical bool
+	}{{"eq6", false}, {"empirical", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			hist, test := ablationStream(16)
+			var lastErr float64
+			for i := 0; i < b.N; i++ {
+				opts := DefaultBuildOptions()
+				opts.Seed = 16
+				opts.EmpiricalTransitions = mode.empirical
+				m, err := core.Build(hist, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastErr = eval.Run(m.NewPredictor(), test).ErrorRate()
+			}
+			reportErr(b, lastErr)
+		})
+	}
+}
+
+// BenchmarkWCEInstancePruning quantifies WCE's instance-based pruning,
+// which the paper credits for WCE's falling test time at high change
+// rates (§IV-C.2).
+func BenchmarkWCEInstancePruning(b *testing.B) {
+	benchWCE := func(b *testing.B, disable bool) {
+		g := synth.NewStagger(synth.StaggerConfig{Lambda: 0.005, Seed: 17})
+		hist := synth.TakeDataset(g, 5000)
+		test := synth.TakeDataset(g, 10000)
+		for i := 0; i < b.N; i++ {
+			w := wce.New(wce.Options{
+				Learner:        tree.NewLearner(),
+				Schema:         g.Schema(),
+				DisablePruning: disable,
+			})
+			eval.Warm(w, hist)
+			eval.Run(w, test)
+		}
+	}
+	b.Run("pruned", func(b *testing.B) { benchWCE(b, false) })
+	b.Run("full", func(b *testing.B) { benchWCE(b, true) })
+}
+
+// BenchmarkTreeTrainIntrusion4k measures base-classifier training on the
+// widest schema (41 attributes).
+func BenchmarkTreeTrainIntrusion4k(b *testing.B) {
+	g := synth.NewIntrusion(synth.IntrusionConfig{Lambda: 1e-12, Seed: 18})
+	d := synth.TakeDataset(g, 4000)
+	learner := tree.NewLearner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := learner.Train(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Baseline throughput benches (records through predict+learn) ---
+
+func benchOnline(b *testing.B, mk func() Online) {
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 0.002, Seed: 31})
+	hist := synth.TakeDataset(g, 5000)
+	test := synth.TakeDataset(g, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := mk()
+		eval.Warm(a, hist)
+		eval.Run(a, test)
+	}
+	b.ReportMetric(float64(10000*b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkOnlineRePro(b *testing.B) {
+	benchOnline(b, func() Online { return NewRePro(ReProOptions{Schema: synth.StaggerSchema()}) })
+}
+
+func BenchmarkOnlineWCE(b *testing.B) {
+	benchOnline(b, func() Online { return NewWCE(WCEOptions{Schema: synth.StaggerSchema()}) })
+}
+
+func BenchmarkOnlineDWM(b *testing.B) {
+	benchOnline(b, func() Online { return NewDWM(DWMOptions{Schema: synth.StaggerSchema()}) })
+}
+
+func BenchmarkOnlineVFDT(b *testing.B) {
+	benchOnline(b, func() Online { return NewVFDT(VFDTOptions{Schema: synth.StaggerSchema()}) })
+}
+
+func BenchmarkOnlineHighOrder(b *testing.B) {
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 0.002, Seed: 31})
+	hist := synth.TakeDataset(g, 5000)
+	test := synth.TakeDataset(g, 5000)
+	opts := DefaultBuildOptions()
+	opts.Seed = 31
+	m, err := Build(hist, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.Run(m.NewPredictor(), test)
+	}
+	b.ReportMetric(float64(5000*b.N)/b.Elapsed().Seconds(), "records/s")
+}

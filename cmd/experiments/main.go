@@ -1,0 +1,48 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run id] [-scale f] [-runs n] [-seed s]
+//
+// With no -run flag every registered experiment runs in order. -scale
+// multiplies the paper's stream sizes (1.0 = the paper's 200k/400k and
+// 1M/3.9M streams); the default 0.05 finishes the full suite in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"highorder/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run (default: all); one of "+strings.Join(experiments.IDs(), ", "))
+	scale := flag.Float64("scale", 0.05, "fraction of the paper's stream sizes")
+	runs := flag.Int("runs", 3, "independent runs to average (paper: 20)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Runs: *runs, Seed: *seed, Out: os.Stdout}
+
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		runner, ok := experiments.Lookup(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have %s)\n", id, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := runner(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

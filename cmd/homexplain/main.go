@@ -1,0 +1,124 @@
+// Command homexplain renders a persisted high-order model for humans:
+// per-concept statistics, the concept transition matrix χ, and — when the
+// historical stream is supplied — a C4.5rules-style rule list per concept,
+// extracted from the concept's tree and the concept's own historical
+// records.
+//
+// Usage:
+//
+//	homexplain -model model.gob [-in history.csv] [-rules]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"highorder/internal/data"
+	"highorder/internal/dataio"
+	"highorder/internal/hmm"
+	"highorder/internal/tree"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.gob", "persisted high-order model")
+	in := flag.String("in", "", "historical stream CSV (enables per-concept rule extraction)")
+	rules := flag.Bool("rules", true, "extract rules when -in is given")
+	flag.Parse()
+
+	m, err := dataio.LoadModel(*modelPath)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("high-order model: %d concepts over schema %s\n\n", m.NumConcepts(), m.Schema)
+
+	fmt.Println("concepts:")
+	for i, c := range m.Concepts {
+		occs := 0
+		for _, occ := range m.Occurrences {
+			if occ.Concept == i {
+				occs++
+			}
+		}
+		fmt.Printf("  %d: %6d records in %2d occurrences, validation error %.4f, avg run %6.0f, frequency %.3f\n",
+			i, c.Size, occs, c.Err, c.Len, c.Freq)
+	}
+
+	fmt.Println("\ntransition matrix χ (per record):")
+	fmt.Printf("%8s", "")
+	for j := range m.Concepts {
+		fmt.Printf(" %10s", fmt.Sprintf("→%d", j))
+	}
+	fmt.Println()
+	for i, row := range m.Chi {
+		fmt.Printf("%8s", fmt.Sprintf("from %d", i))
+		for _, v := range row {
+			fmt.Printf(" %10.6f", v)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\noccurrence timeline:")
+	for i, occ := range m.Occurrences {
+		fmt.Printf("  %3d: [%7d, %7d) → concept %d\n", i, occ.Start, occ.End, occ.Concept)
+	}
+
+	if *in == "" || !*rules {
+		return
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	hist, err := dataio.ReadCSV(f, m.Schema)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	// Cross-check: decode the history's most likely concept sequence with
+	// the HMM view (§III-A) and report its agreement with the clustering's
+	// occurrence assignment.
+	decoded := hmm.DecodeConcepts(m, hist.Records)
+	if decoded != nil {
+		agree := 0
+		for _, occ := range m.Occurrences {
+			for t := occ.Start; t < occ.End && t < len(decoded); t++ {
+				if decoded[t] == occ.Concept {
+					agree++
+				}
+			}
+		}
+		fmt.Printf("\nViterbi cross-check: HMM decoding agrees with the clustering on %.1f%% of historical records\n",
+			100*float64(agree)/float64(len(decoded)))
+	}
+
+	fmt.Println("\nper-concept rules:")
+	for ci := range m.Concepts {
+		tr, ok := m.Concepts[ci].Model.(*tree.Tree)
+		if !ok {
+			fmt.Printf("  concept %d: base model is not a tree; rules unavailable\n", ci)
+			continue
+		}
+		// Reassemble the concept's historical records from its occurrences.
+		conceptData := data.NewDataset(m.Schema)
+		for _, occ := range m.Occurrences {
+			if occ.Concept == ci && occ.End <= hist.Len() {
+				conceptData = conceptData.Concat(hist.Slice(occ.Start, occ.End))
+			}
+		}
+		if conceptData.Len() == 0 {
+			fmt.Printf("  concept %d: no historical records found\n", ci)
+			continue
+		}
+		rs := tr.ExtractRules(conceptData, 0.25)
+		fmt.Printf("  concept %d (%d rules):\n", ci, rs.Len())
+		for i := range rs.Rules {
+			fmt.Printf("    %s\n", rs.Rules[i].String(m.Schema))
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "homexplain: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+package highorder_test
+
+import (
+	"fmt"
+
+	"highorder"
+)
+
+// Example shows the three-call workflow: build a high-order model from a
+// historical labeled stream, then classify the continuing stream while
+// feeding it the labeled cues.
+func Example() {
+	// Historical labeled stream (archived, time-ordered data).
+	gen := highorder.NewStagger(highorder.StaggerConfig{Seed: 42})
+	history := highorder.TakeDataset(gen, 8000)
+
+	opts := highorder.DefaultBuildOptions()
+	opts.Seed = 42
+	model, err := highorder.Build(history, opts)
+	if err != nil {
+		panic(err)
+	}
+
+	// Online: predict each unlabeled record, then reveal its label.
+	p := model.NewPredictor()
+	test := highorder.TakeDataset(gen, 8000)
+	errors := 0
+	for _, r := range test.Records {
+		if p.Predict(highorder.Record{Values: r.Values}) != r.Class {
+			errors++
+		}
+		p.Observe(r)
+	}
+	errRate := float64(errors) / float64(test.Len())
+
+	fmt.Println("multiple stable concepts discovered:", model.NumConcepts() >= 2)
+	fmt.Println("online error below 2%:", errRate < 0.02)
+	// Output:
+	// multiple stable concepts discovered: true
+	// online error below 2%: true
+}

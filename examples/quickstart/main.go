@@ -1,0 +1,58 @@
+// Quickstart: build a high-order model from a historical stream and use it
+// to classify an evolving test stream.
+//
+// The stream is the classic Stagger benchmark: three nominal attributes,
+// three concepts the stream shifts among at random. The high-order model
+// discovers the concepts offline, then tracks which one is active online.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"highorder"
+)
+
+func main() {
+	// 1. Generate a historical labeled stream (in a real application this
+	//    is your archived, labeled data, ordered by time).
+	gen := highorder.NewStagger(highorder.StaggerConfig{Seed: 42})
+	history := highorder.TakeDataset(gen, 20000)
+
+	// 2. Build the high-order model offline. This runs concept clustering,
+	//    trains one classifier per discovered concept, and learns the
+	//    concept transition statistics.
+	model, err := highorder.Build(history, highorder.DefaultBuildOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered %d stable concepts in %d historical records (build took %v)\n",
+		model.NumConcepts(), history.Len(), model.Stats.Elapsed.Round(1000000))
+	for i, c := range model.Concepts {
+		fmt.Printf("  concept %d: %5d records, validation error %.4f, avg run %4.0f records\n",
+			i, c.Size, c.Err, c.Len)
+	}
+
+	// 3. Classify the continuing stream. At each timestamp we predict the
+	//    unlabeled record first, then reveal its label to the predictor —
+	//    the labeled trickle is what lets it track concept changes.
+	p := model.NewPredictor()
+	test := highorder.TakeDataset(gen, 40000)
+	errors := 0
+	for _, r := range test.Records {
+		if p.Predict(highorder.Record{Values: r.Values}) != r.Class {
+			errors++
+		}
+		p.Observe(r)
+	}
+	fmt.Printf("online error rate over %d records: %.5f\n",
+		test.Len(), float64(errors)/float64(test.Len()))
+
+	// 4. The predictor always knows which concept it believes is active.
+	probs := p.ActiveProbabilities()
+	for i, pr := range probs {
+		fmt.Printf("  P(concept %d is active) = %.3f\n", i, pr)
+	}
+}

@@ -1,0 +1,124 @@
+// Road-traffic prediction: the paper's second motivating example (§I).
+// "Under normal conditions, traffic behaves in one way, and under other
+// conditions, e.g., after an accident, traffic behaves in another way" —
+// and transitions happen at any time, not periodically.
+//
+// This example defines its own schema and data-generating process with the
+// public API (rather than a bundled benchmark): sensors report occupancy,
+// speed and flow for a road segment, and the task is to predict whether
+// the segment will be congested in the next interval. The relationship
+// between the sensor readings and imminent congestion depends on the
+// hidden road state (free flow / accident / event crowd), which switches
+// at random.
+//
+// Run with: go run ./examples/traffic
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"highorder"
+)
+
+// roadState is the hidden concept: how readings map to imminent congestion.
+type roadState int
+
+const (
+	freeFlow roadState = iota // congestion only at very high occupancy
+	accident                  // even light traffic jams: lanes are blocked
+	event                     // stadium crowd: speed drops predict jams early
+	numStates
+)
+
+// schema returns the sensor schema.
+func schema() *highorder.Schema {
+	return &highorder.Schema{
+		Attributes: []highorder.Attribute{
+			{Name: "occupancy", Kind: highorder.Numeric}, // fraction of road occupied
+			{Name: "speed", Kind: highorder.Numeric},     // mean speed, km/h
+			{Name: "flow", Kind: highorder.Numeric},      // vehicles/min
+			{Name: "rain", Kind: highorder.Nominal, Values: []string{"dry", "wet"}},
+		},
+		Classes: []string{"clear", "congested"},
+	}
+}
+
+// generate produces n labeled readings, switching the hidden road state
+// with probability 0.002 per reading. It returns the dataset and the true
+// state per reading (used only for reporting).
+func generate(rng *rand.Rand, n int) (*highorder.Dataset, []roadState) {
+	d := highorder.NewDataset(schema())
+	states := make([]roadState, n)
+	state := freeFlow
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.002 {
+			state = roadState(rng.Intn(int(numStates)))
+		}
+		occ := rng.Float64()
+		speed := 20 + 90*rng.Float64()
+		flow := 60 * rng.Float64()
+		rain := 0.0
+		if rng.Float64() < 0.25 {
+			rain = 1
+		}
+		congested := false
+		switch state {
+		case freeFlow:
+			congested = occ > 0.8 || (rain == 1 && occ > 0.65)
+		case accident:
+			congested = occ > 0.3
+		case event:
+			congested = speed < 55 || occ > 0.7
+		}
+		class := 0
+		if congested {
+			class = 1
+		}
+		d.Add(highorder.Record{Values: []float64{occ, speed, flow, rain}, Class: class})
+		states[i] = state
+	}
+	return d, states
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	history, _ := generate(rng, 30000)
+
+	model, err := highorder.Build(history, highorder.DefaultBuildOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("discovered %d road states from %d historical readings\n",
+		model.NumConcepts(), history.Len())
+
+	test, states := generate(rng, 20000)
+	p := model.NewPredictor()
+	errors := 0
+	// Error per true hidden state, to show each regime is handled.
+	perState := map[roadState][2]int{}
+	for i, r := range test.Records {
+		pred := p.Predict(highorder.Record{Values: r.Values})
+		if pred != r.Class {
+			errors++
+		}
+		v := perState[states[i]]
+		v[1]++
+		if pred != r.Class {
+			v[0]++
+		}
+		perState[states[i]] = v
+		p.Observe(r)
+	}
+	fmt.Printf("congestion prediction error: %.5f\n", float64(errors)/float64(test.Len()))
+	names := map[roadState]string{freeFlow: "free-flow", accident: "accident", event: "event"}
+	for s := freeFlow; s < numStates; s++ {
+		v := perState[s]
+		if v[1] == 0 {
+			continue
+		}
+		fmt.Printf("  during %-9s: error %.5f over %d readings\n",
+			names[s], float64(v[0])/float64(v[1]), v[1])
+	}
+}

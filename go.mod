@@ -1,0 +1,3 @@
+module highorder
+
+go 1.22

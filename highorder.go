@@ -1,0 +1,158 @@
+// Package highorder is the public API of the high-order-model library, a
+// reproduction of "Stop Chasing Trends: Discovering High Order Models in
+// Evolving Data" (Chen, Wang, Zhou, Yu — ICDE 2008).
+//
+// Most applications use three calls:
+//
+//	model, err := highorder.Build(history, highorder.DefaultBuildOptions())
+//	p := model.NewPredictor()
+//	for each timestamp t {
+//	    class := p.Predict(unlabeledRecord)   // classify the live stream
+//	    p.Observe(labeledRecord)              // feed the labeled cue stream
+//	}
+//
+// Build mines the historical labeled stream offline for its stable
+// concepts (concept clustering, §II of the paper), trains one base
+// classifier per concept, and learns the concept transition statistics.
+// The Predictor tracks each concept's active probability online from the
+// labeled cues and classifies unlabeled records with the probability-
+// weighted ensemble of concept classifiers (§III).
+//
+// The subpackages under internal/ provide the substrates — the C4.5-style
+// decision tree and Naive Bayes base learners, the benchmark stream
+// generators, the RePro and WCE baselines, and the evaluation harness —
+// and this package re-exports the pieces applications need.
+package highorder
+
+import (
+	"highorder/internal/bayes"
+	"highorder/internal/classifier"
+	"highorder/internal/core"
+	"highorder/internal/data"
+	"highorder/internal/dataio"
+	"highorder/internal/eval"
+	"highorder/internal/synth"
+	"highorder/internal/tree"
+)
+
+// Data substrate.
+type (
+	// Schema describes a stream: its input attributes and class labels.
+	Schema = data.Schema
+	// Attribute is a single input attribute (nominal or numeric).
+	Attribute = data.Attribute
+	// AttrKind distinguishes nominal from numeric attributes.
+	AttrKind = data.AttrKind
+	// Record is one labeled example.
+	Record = data.Record
+	// Dataset is a time-ordered collection of records.
+	Dataset = data.Dataset
+)
+
+// Attribute kinds.
+const (
+	Nominal = data.Nominal
+	Numeric = data.Numeric
+)
+
+// NewDataset returns an empty dataset over schema.
+func NewDataset(schema *Schema) *Dataset { return data.NewDataset(schema) }
+
+// Core model.
+type (
+	// Model is a trained high-order model.
+	Model = core.Model
+	// Concept is one stable concept of a model.
+	Concept = core.Concept
+	// Predictor applies a model to an online stream.
+	Predictor = core.Predictor
+	// BuildOptions configure Build.
+	BuildOptions = core.Options
+	// PredictorOptions configure online prediction.
+	PredictorOptions = core.PredictorOptions
+	// BuildStats reports offline build work.
+	BuildStats = core.BuildStats
+)
+
+// Build mines the historical labeled stream for stable concepts and
+// returns the high-order model.
+func Build(history *Dataset, opts BuildOptions) (*Model, error) {
+	return core.Build(history, opts)
+}
+
+// DefaultBuildOptions returns the configuration used in the paper's
+// experiments: C4.5-style base learner, block size 10, the early-
+// termination and classifier-reuse optimizations, and concept models
+// retrained on all concept data.
+func DefaultBuildOptions() BuildOptions { return core.DefaultOptions() }
+
+// Classifiers.
+type (
+	// Classifier is a trained stationary model.
+	Classifier = classifier.Classifier
+	// Learner trains classifiers from datasets.
+	Learner = classifier.Learner
+	// Online is a stream classifier under the test-then-train protocol.
+	Online = classifier.Online
+)
+
+// NewTreeLearner returns the C4.5-style decision tree learner, the paper's
+// common base classifier.
+func NewTreeLearner() Learner { return tree.NewLearner() }
+
+// NewBayesLearner returns the Naive Bayes base learner.
+func NewBayesLearner() Learner { return bayes.NewLearner() }
+
+// Stream generators (the paper's benchmarks, Table I).
+type (
+	// Stream is an endless annotated record generator.
+	Stream = synth.Stream
+	// Emission is one generated record plus ground-truth annotation.
+	Emission = synth.Emission
+	// StaggerConfig configures the concept-shift benchmark.
+	StaggerConfig = synth.StaggerConfig
+	// HyperplaneConfig configures the concept-drift benchmark.
+	HyperplaneConfig = synth.HyperplaneConfig
+	// IntrusionConfig configures the sampling-change benchmark.
+	IntrusionConfig = synth.IntrusionConfig
+)
+
+// NewStagger returns the Stagger concept-shift generator.
+func NewStagger(cfg StaggerConfig) Stream { return synth.NewStagger(cfg) }
+
+// NewHyperplane returns the Hyperplane concept-drift generator.
+func NewHyperplane(cfg HyperplaneConfig) Stream { return synth.NewHyperplane(cfg) }
+
+// NewIntrusion returns the synthetic network-intrusion generator.
+func NewIntrusion(cfg IntrusionConfig) Stream { return synth.NewIntrusion(cfg) }
+
+// Take drains n records from s into a dataset, with annotations.
+func Take(s Stream, n int) (*Dataset, []Emission) { return synth.Take(s, n) }
+
+// TakeDataset drains n records, discarding annotations.
+func TakeDataset(s Stream, n int) *Dataset { return synth.TakeDataset(s, n) }
+
+// Evaluation.
+type (
+	// EvalResult summarizes one test-then-train evaluation run.
+	EvalResult = eval.Result
+)
+
+// Evaluate runs c over test with the test-then-train protocol, reporting
+// the error rate and the online test time.
+func Evaluate(c Online, test *Dataset) EvalResult { return eval.Run(c, test) }
+
+// Persistence.
+
+// SaveModel persists a trained model to path.
+func SaveModel(path string, m *Model) error { return dataio.SaveModel(path, m) }
+
+// LoadModel reads a model persisted by SaveModel.
+func LoadModel(path string) (*Model, error) { return dataio.LoadModel(path) }
+
+// SEAConfig configures the SEA-concepts benchmark generator (Street and
+// Kim, KDD'01), an additional shift-style stream beyond the paper's three.
+type SEAConfig = synth.SEAConfig
+
+// NewSEA returns the SEA-concepts generator.
+func NewSEA(cfg SEAConfig) Stream { return synth.NewSEA(cfg) }

@@ -1,0 +1,162 @@
+package highorder
+
+import (
+	"math"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd exercises the documented three-call workflow.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	gen := NewStagger(StaggerConfig{Seed: 42})
+	history := TakeDataset(gen, 8000)
+
+	opts := DefaultBuildOptions()
+	opts.Seed = 42
+	model, err := Build(history, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumConcepts() < 2 {
+		t.Fatalf("NumConcepts = %d, want >= 2", model.NumConcepts())
+	}
+
+	p := model.NewPredictor()
+	test := TakeDataset(gen, 8000)
+	res := Evaluate(p, test)
+	if res.ErrorRate() > 0.03 {
+		t.Fatalf("public-API error rate = %v, want <= 0.03", res.ErrorRate())
+	}
+	if res.TestTime <= 0 {
+		t.Fatal("test time not measured")
+	}
+}
+
+// TestPublicAPICustomSchema builds a model over a user-defined stream.
+func TestPublicAPICustomSchema(t *testing.T) {
+	schema := &Schema{
+		Attributes: []Attribute{
+			{Name: "load", Kind: Numeric},
+			{Name: "mode", Kind: Nominal, Values: []string{"day", "night"}},
+		},
+		Classes: []string{"ok", "alert"},
+	}
+	if err := schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDataset(schema)
+	// Two regimes: in the first, alerts fire at load > 0.8; in the second,
+	// at load > 0.3.
+	mk := func(start, n int, thr float64) {
+		for i := 0; i < n; i++ {
+			load := float64((start+i)%100) / 100
+			class := 0
+			if load > thr {
+				class = 1
+			}
+			d.Add(Record{Values: []float64{load, float64(i % 2)}, Class: class})
+		}
+	}
+	mk(0, 2000, 0.8)
+	mk(0, 2000, 0.3)
+	mk(0, 2000, 0.8)
+
+	opts := DefaultBuildOptions()
+	opts.Seed = 9
+	model, err := Build(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumConcepts() < 2 {
+		t.Fatalf("NumConcepts = %d, want >= 2", model.NumConcepts())
+	}
+	// The two regimes dominate; any extra concepts are boundary fragments.
+	sizes := make([]int, 0, model.NumConcepts())
+	for _, c := range model.Concepts {
+		sizes = append(sizes, c.Size)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	if sizes[0]+sizes[1] < d.Len()*8/10 {
+		t.Fatalf("two largest concepts cover only %d of %d records (sizes %v)",
+			sizes[0]+sizes[1], d.Len(), sizes)
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	gen := NewStagger(StaggerConfig{Seed: 5})
+	history := TakeDataset(gen, 4000)
+	opts := DefaultBuildOptions()
+	opts.Seed = 5
+	model, err := Build(history, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := SaveModel(path, model); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumConcepts() != model.NumConcepts() {
+		t.Fatal("persistence changed the model")
+	}
+}
+
+func TestLearnersAvailable(t *testing.T) {
+	if NewTreeLearner().Name() != "c4.5" {
+		t.Fatal("tree learner name")
+	}
+	if NewBayesLearner().Name() != "naive-bayes" {
+		t.Fatal("bayes learner name")
+	}
+}
+
+func TestGeneratorsImplementStream(t *testing.T) {
+	for _, g := range []Stream{
+		NewStagger(StaggerConfig{Seed: 1}),
+		NewHyperplane(HyperplaneConfig{Seed: 1}),
+		NewIntrusion(IntrusionConfig{Seed: 1}),
+	} {
+		if g.NumConcepts() < 2 {
+			t.Fatalf("%T reports %d concepts", g, g.NumConcepts())
+		}
+		ds, ems := Take(g, 10)
+		if ds.Len() != 10 || len(ems) != 10 {
+			t.Fatalf("%T Take returned %d/%d", g, ds.Len(), len(ems))
+		}
+		if err := g.Schema().Validate(); err != nil {
+			t.Fatalf("%T schema invalid: %v", g, err)
+		}
+	}
+}
+
+// TestPredictorProbabilitiesAreDistribution checks the exported predictor
+// invariant through the facade.
+func TestPredictorProbabilitiesAreDistribution(t *testing.T) {
+	gen := NewStagger(StaggerConfig{Seed: 6})
+	history := TakeDataset(gen, 4000)
+	opts := DefaultBuildOptions()
+	opts.Seed = 6
+	model, err := Build(history, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.NewPredictor()
+	test := TakeDataset(gen, 500)
+	for _, r := range test.Records {
+		p.Observe(r)
+		sum := 0.0
+		for _, v := range p.ActiveProbabilities() {
+			if v < 0 {
+				t.Fatal("negative active probability")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("active probabilities sum to %v", sum)
+		}
+	}
+}

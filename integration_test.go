@@ -1,0 +1,140 @@
+package highorder
+
+// Integration tests: each benchmark stream through the full pipeline —
+// generate, build offline, classify online — asserting the paper's
+// qualitative claims end-to-end at small scale.
+
+import (
+	"testing"
+)
+
+// pipelines configures one miniature end-to-end run per stream.
+func pipelines() []struct {
+	name     string
+	stream   func(seed int64) Stream
+	hist     int
+	test     int
+	maxError float64
+} {
+	return []struct {
+		name     string
+		stream   func(seed int64) Stream
+		hist     int
+		test     int
+		maxError float64
+	}{
+		{
+			name:     "stagger",
+			stream:   func(seed int64) Stream { return NewStagger(StaggerConfig{Seed: seed}) },
+			hist:     20000,
+			test:     10000,
+			maxError: 0.02,
+		},
+		{
+			name:     "hyperplane",
+			stream:   func(seed int64) Stream { return NewHyperplane(HyperplaneConfig{Seed: seed}) },
+			hist:     20000,
+			test:     10000,
+			maxError: 0.12,
+		},
+		{
+			name:     "sea",
+			stream:   func(seed int64) Stream { return NewSEA(SEAConfig{Seed: seed}) },
+			hist:     20000,
+			test:     10000,
+			maxError: 0.06,
+		},
+	}
+}
+
+func TestEndToEndPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end pipelines in -short mode")
+	}
+	for _, pl := range pipelines() {
+		pl := pl
+		t.Run(pl.name, func(t *testing.T) {
+			g := pl.stream(23)
+			hist := TakeDataset(g, pl.hist)
+			opts := DefaultBuildOptions()
+			opts.Seed = 17
+			model, err := Build(hist, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if model.NumConcepts() < 2 {
+				t.Fatalf("%s: found %d concepts", pl.name, model.NumConcepts())
+			}
+			test := TakeDataset(g, pl.test)
+			res := Evaluate(model.NewPredictor(), test)
+			if res.ErrorRate() > pl.maxError {
+				t.Fatalf("%s: error %.5f exceeds %.5f", pl.name, res.ErrorRate(), pl.maxError)
+			}
+		})
+	}
+}
+
+// TestHighOrderBeatsChasersEndToEnd asserts the headline comparison: on a
+// shift-style stream the high-order model's error is a fraction of the
+// chasing baselines'.
+func TestHighOrderBeatsChasersEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparison in -short mode")
+	}
+	g := NewStagger(StaggerConfig{Seed: 23})
+	schema := g.Schema()
+	hist := TakeDataset(g, 12000)
+	test := TakeDataset(g, 24000)
+
+	opts := DefaultBuildOptions()
+	opts.Seed = 23
+	model, err := Build(hist, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hom := Evaluate(model.NewPredictor(), test).ErrorRate()
+
+	warmAndRun := func(a Online) float64 {
+		for _, r := range hist.Records {
+			a.Learn(r)
+		}
+		return Evaluate(a, test).ErrorRate()
+	}
+	rep := warmAndRun(NewRePro(ReProOptions{Schema: schema}))
+	wceErr := warmAndRun(NewWCE(WCEOptions{Schema: schema}))
+
+	if hom*3 > rep {
+		t.Errorf("high-order error %.5f not clearly below RePro's %.5f", hom, rep)
+	}
+	if hom*3 > wceErr {
+		t.Errorf("high-order error %.5f not clearly below WCE's %.5f", hom, wceErr)
+	}
+}
+
+// TestLabeledLagEndToEnd exercises the paper's labeling model: labels only
+// for a subset, with AdvanceTime bridging the gaps.
+func TestLabeledLagEndToEnd(t *testing.T) {
+	g := NewStagger(StaggerConfig{Seed: 23})
+	hist := TakeDataset(g, 10000)
+	opts := DefaultBuildOptions()
+	opts.Seed = 23
+	model, err := Build(hist, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := model.NewPredictor()
+	test := TakeDataset(g, 10000)
+	wrong := 0
+	for i, r := range test.Records {
+		if p.Predict(Record{Values: r.Values}) != r.Class {
+			wrong++
+		}
+		if i%5 == 0 { // only 20% of records ever labeled
+			p.AdvanceTime(4)
+			p.Observe(r)
+		}
+	}
+	if got := float64(wrong) / float64(test.Len()); got > 0.05 {
+		t.Fatalf("error with 1-in-5 labels = %v, want <= 0.05", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package bayes implements a Naive Bayes classifier with Laplace-smoothed
+// frequency estimates for nominal attributes and Gaussian class-conditional
+// densities for numeric attributes. The paper notes that base models may be
+// learned by "decision tree, Naïve Bayes, or SVM" (§II-B); this package is
+// the alternative base learner used by the base-learner ablation bench.
+package bayes
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+)
+
+// Learner trains Naive Bayes models.
+type Learner struct {
+	// Smoothing is the Laplace pseudo-count for nominal frequencies and the
+	// class prior. Values <= 0 select the default of 1.
+	Smoothing float64
+	// MinStdDev floors the per-class standard deviation of numeric
+	// attributes, preventing degenerate zero-variance densities. Values
+	// <= 0 select the default of 1e-3.
+	MinStdDev float64
+}
+
+// NewLearner returns a Learner with default smoothing.
+func NewLearner() *Learner { return &Learner{} }
+
+// Name returns "naive-bayes".
+func (l *Learner) Name() string { return "naive-bayes" }
+
+// Train estimates the model parameters from d.
+func (l *Learner) Train(d *data.Dataset) (classifier.Classifier, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("bayes: cannot train on empty dataset")
+	}
+	smooth := l.Smoothing
+	if smooth <= 0 {
+		smooth = 1
+	}
+	minSD := l.MinStdDev
+	if minSD <= 0 {
+		minSD = 1e-3
+	}
+	schema := d.Schema
+	k := schema.NumClasses()
+	m := &Model{
+		schema:  schema,
+		logPrio: make([]float64, k),
+		nominal: make([][][]float64, len(schema.Attributes)),
+		mean:    make([][]float64, len(schema.Attributes)),
+		stddev:  make([][]float64, len(schema.Attributes)),
+		buf:     make([]float64, k),
+	}
+
+	counts := d.ClassCounts()
+	total := float64(d.Len()) + smooth*float64(k)
+	for c := 0; c < k; c++ {
+		m.logPrio[c] = math.Log((float64(counts[c]) + smooth) / total)
+	}
+
+	for a, attr := range schema.Attributes {
+		if attr.Kind == data.Nominal {
+			card := attr.Cardinality()
+			freq := make([][]float64, k)
+			for c := range freq {
+				freq[c] = make([]float64, card)
+			}
+			for _, r := range d.Records {
+				freq[r.Class][int(r.Values[a])]++
+			}
+			for c := 0; c < k; c++ {
+				denom := float64(counts[c]) + smooth*float64(card)
+				for v := 0; v < card; v++ {
+					freq[c][v] = math.Log((freq[c][v] + smooth) / denom)
+				}
+			}
+			m.nominal[a] = freq
+			continue
+		}
+		// Numeric: per-class mean and variance (population estimate, with a
+		// stddev floor so single-record classes stay usable).
+		sum := make([]float64, k)
+		sumSq := make([]float64, k)
+		for _, r := range d.Records {
+			v := r.Values[a]
+			sum[r.Class] += v
+			sumSq[r.Class] += v * v
+		}
+		mean := make([]float64, k)
+		sd := make([]float64, k)
+		for c := 0; c < k; c++ {
+			n := float64(counts[c])
+			if n == 0 {
+				mean[c], sd[c] = 0, 1 // uninformative density for unseen class
+				continue
+			}
+			mean[c] = sum[c] / n
+			variance := sumSq[c]/n - mean[c]*mean[c]
+			if variance < minSD*minSD {
+				variance = minSD * minSD
+			}
+			sd[c] = math.Sqrt(variance)
+		}
+		m.mean[a] = mean
+		m.stddev[a] = sd
+	}
+	return m, nil
+}
+
+// Model is a trained Naive Bayes classifier.
+type Model struct {
+	schema  *data.Schema
+	logPrio []float64
+	// nominal[a][c][v] = log P(attr a = v | class c); nil for numeric a.
+	nominal [][][]float64
+	// mean[a][c], stddev[a][c] for numeric a; nil for nominal a.
+	mean   [][]float64
+	stddev [][]float64
+	buf    []float64
+}
+
+// modelWire mirrors Model with exported fields for gob persistence.
+type modelWire struct {
+	Schema  *data.Schema
+	LogPrio []float64
+	Nominal [][][]float64
+	Mean    [][]float64
+	Stddev  [][]float64
+}
+
+// GobEncode implements gob.GobEncoder so trained models can be persisted.
+func (m *Model) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(modelWire{
+		Schema:  m.schema,
+		LogPrio: m.logPrio,
+		Nominal: m.nominal,
+		Mean:    m.mean,
+		Stddev:  m.stddev,
+	})
+	return buf.Bytes(), err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (m *Model) GobDecode(b []byte) error {
+	var w modelWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return err
+	}
+	m.schema = w.Schema
+	m.logPrio = w.LogPrio
+	m.nominal = w.Nominal
+	m.mean = w.Mean
+	m.stddev = w.Stddev
+	m.buf = make([]float64, len(w.LogPrio))
+	return nil
+}
+
+// Predict returns the maximum-posterior class for r.
+func (m *Model) Predict(r data.Record) int {
+	return classifier.ArgMax(m.PredictProba(r))
+}
+
+// PredictProba returns normalized class posteriors. The returned slice is
+// reused across calls.
+func (m *Model) PredictProba(r data.Record) []float64 {
+	k := len(m.logPrio)
+	logp := m.buf
+	copy(logp, m.logPrio)
+	for a, attr := range m.schema.Attributes {
+		if attr.Kind == data.Nominal {
+			v := int(r.Values[a])
+			if v < 0 || v >= attr.Cardinality() {
+				continue // unseen value: skip the factor
+			}
+			for c := 0; c < k; c++ {
+				logp[c] += m.nominal[a][c][v]
+			}
+			continue
+		}
+		x := r.Values[a]
+		for c := 0; c < k; c++ {
+			sd := m.stddev[a][c]
+			z := (x - m.mean[a][c]) / sd
+			logp[c] += -0.5*z*z - math.Log(sd) - 0.5*math.Log(2*math.Pi)
+		}
+	}
+	// Log-sum-exp normalization.
+	maxLog := logp[0]
+	for _, v := range logp[1:] {
+		if v > maxLog {
+			maxLog = v
+		}
+	}
+	if math.IsInf(maxLog, -1) || math.IsNaN(maxLog) {
+		// Every class has zero density (extreme inputs): fall back to a
+		// uniform posterior rather than propagating NaN.
+		for c := 0; c < k; c++ {
+			logp[c] = 1 / float64(k)
+		}
+		return logp
+	}
+	sum := 0.0
+	for c := 0; c < k; c++ {
+		logp[c] = math.Exp(logp[c] - maxLog)
+		sum += logp[c]
+	}
+	for c := 0; c < k; c++ {
+		logp[c] /= sum
+	}
+	return logp
+}

@@ -1,0 +1,222 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+	"highorder/internal/rng"
+)
+
+func mixedSchema() *data.Schema {
+	return &data.Schema{
+		Attributes: []data.Attribute{
+			{Name: "flag", Kind: data.Nominal, Values: []string{"off", "on"}},
+			{Name: "x", Kind: data.Numeric},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+}
+
+func TestTrainEmptyFails(t *testing.T) {
+	if _, err := NewLearner().Train(data.NewDataset(mixedSchema())); err == nil {
+		t.Fatal("training on empty dataset succeeded")
+	}
+}
+
+func TestSeparatedGaussians(t *testing.T) {
+	src := rng.New(1)
+	d := data.NewDataset(mixedSchema())
+	for i := 0; i < 1000; i++ {
+		class := i % 2
+		mean := 0.0
+		if class == 1 {
+			mean = 5
+		}
+		d.Add(data.Record{Values: []float64{0, src.Gaussian(mean, 1)}, Class: class})
+	}
+	c := classifier.MustTrain(NewLearner(), d)
+	test := data.NewDataset(mixedSchema())
+	src2 := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		class := i % 2
+		mean := 0.0
+		if class == 1 {
+			mean = 5
+		}
+		test.Add(data.Record{Values: []float64{0, src2.Gaussian(mean, 1)}, Class: class})
+	}
+	if err := classifier.ErrorRate(c, test); err > 0.02 {
+		t.Fatalf("error on well-separated Gaussians = %v, want <= 0.02", err)
+	}
+}
+
+func TestNominalSignal(t *testing.T) {
+	d := data.NewDataset(mixedSchema())
+	// flag=on → pos with prob 0.95, flag=off → neg with prob 0.95.
+	src := rng.New(3)
+	for i := 0; i < 2000; i++ {
+		flag := i % 2
+		class := flag
+		if src.Bool(0.05) {
+			class = 1 - class
+		}
+		d.Add(data.Record{Values: []float64{float64(flag), 0}, Class: class})
+	}
+	c := classifier.MustTrain(NewLearner(), d)
+	on := data.Record{Values: []float64{1, 0}}
+	off := data.Record{Values: []float64{0, 0}}
+	if c.Predict(on) != 1 || c.Predict(off) != 0 {
+		t.Fatalf("Predict(on)=%d Predict(off)=%d, want 1,0", c.Predict(on), c.Predict(off))
+	}
+}
+
+func TestPriorDominatesWithoutEvidence(t *testing.T) {
+	// Heavily skewed classes, attributes carry no signal → posterior ≈ prior.
+	d := data.NewDataset(mixedSchema())
+	src := rng.New(4)
+	for i := 0; i < 1000; i++ {
+		class := 0
+		if i%10 == 0 {
+			class = 1
+		}
+		d.Add(data.Record{Values: []float64{float64(src.Intn(2)), src.Float64()}, Class: class})
+	}
+	c := classifier.MustTrain(NewLearner(), d)
+	errs := 0
+	for i := 0; i < 100; i++ {
+		r := data.Record{Values: []float64{float64(src.Intn(2)), src.Float64()}}
+		if c.Predict(r) != 0 {
+			errs++
+		}
+	}
+	if errs > 5 {
+		t.Fatalf("prior-dominated prediction wrong %d/100 times", errs)
+	}
+}
+
+func TestProbaNormalized(t *testing.T) {
+	src := rng.New(5)
+	d := data.NewDataset(mixedSchema())
+	for i := 0; i < 200; i++ {
+		d.Add(data.Record{Values: []float64{float64(src.Intn(2)), src.Float64()}, Class: src.Intn(2)})
+	}
+	c := classifier.MustTrain(NewLearner(), d)
+	f := func(flagRaw uint8, x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		r := data.Record{Values: []float64{float64(flagRaw % 2), x}}
+		p := c.PredictProba(r)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnseenNominalValueIgnored(t *testing.T) {
+	// The schema admits 2 flag values, but prediction with a corrupted
+	// value must not crash and must return a valid distribution.
+	src := rng.New(6)
+	d := data.NewDataset(mixedSchema())
+	for i := 0; i < 100; i++ {
+		d.Add(data.Record{Values: []float64{float64(i % 2), src.Float64()}, Class: i % 2})
+	}
+	c := classifier.MustTrain(NewLearner(), d)
+	r := data.Record{Values: []float64{9, 0.5}}
+	p := c.PredictProba(r)
+	if math.Abs(p[0]+p[1]-1) > 1e-9 {
+		t.Fatalf("unseen-value distribution not normalized: %v", p)
+	}
+}
+
+func TestZeroVarianceFloored(t *testing.T) {
+	// All numeric values identical for one class: training must not
+	// produce NaN posteriors.
+	d := data.NewDataset(mixedSchema())
+	for i := 0; i < 50; i++ {
+		d.Add(data.Record{Values: []float64{0, 1.0}, Class: 0})
+		d.Add(data.Record{Values: []float64{1, 2.0}, Class: 1})
+	}
+	c := classifier.MustTrain(NewLearner(), d)
+	p := c.PredictProba(data.Record{Values: []float64{0, 1.0}})
+	if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+		t.Fatalf("NaN posterior on zero-variance data: %v", p)
+	}
+	if c.Predict(data.Record{Values: []float64{0, 1.0}}) != 0 {
+		t.Fatal("failed to classify a memorized record")
+	}
+}
+
+func TestLearnerName(t *testing.T) {
+	if NewLearner().Name() != "naive-bayes" {
+		t.Fatal("unexpected learner name")
+	}
+}
+
+func BenchmarkTrain1k(b *testing.B) {
+	src := rng.New(7)
+	d := data.NewDataset(mixedSchema())
+	for i := 0; i < 1000; i++ {
+		d.Add(data.Record{Values: []float64{float64(src.Intn(2)), src.Float64()}, Class: src.Intn(2)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewLearner().Train(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestModelGobRoundTrip(t *testing.T) {
+	src := rng.New(20)
+	d := data.NewDataset(mixedSchema())
+	for i := 0; i < 300; i++ {
+		d.Add(data.Record{Values: []float64{float64(i % 2), src.Gaussian(float64(i%2)*3, 1)}, Class: i % 2})
+	}
+	m := classifier.MustTrain(NewLearner(), d).(*Model)
+	raw, err := m.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Model
+	if err := got.GobDecode(raw); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		r := data.Record{Values: []float64{float64(i % 2), src.Gaussian(float64(i%2)*3, 1)}}
+		if got.Predict(r) != m.Predict(r) {
+			t.Fatal("decoded bayes model predicts differently")
+		}
+	}
+}
+
+func TestModelGobDecodeGarbage(t *testing.T) {
+	var m Model
+	if err := m.GobDecode([]byte("junk")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}
+
+func TestCustomSmoothingAndFloor(t *testing.T) {
+	d := data.NewDataset(mixedSchema())
+	for i := 0; i < 100; i++ {
+		d.Add(data.Record{Values: []float64{float64(i % 2), 1.0}, Class: i % 2})
+	}
+	l := &Learner{Smoothing: 5, MinStdDev: 0.5}
+	c := classifier.MustTrain(l, d)
+	p := c.PredictProba(data.Record{Values: []float64{0, 1.0}})
+	if math.IsNaN(p[0]) {
+		t.Fatal("custom options produced NaN")
+	}
+}

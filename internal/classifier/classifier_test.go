@@ -1,0 +1,137 @@
+package classifier
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"highorder/internal/data"
+)
+
+func schema() *data.Schema {
+	return &data.Schema{
+		Attributes: []data.Attribute{{Name: "x", Kind: data.Numeric}},
+		Classes:    []string{"a", "b", "c"},
+	}
+}
+
+func ds(classes ...int) *data.Dataset {
+	d := data.NewDataset(schema())
+	for i, c := range classes {
+		d.Add(data.Record{Values: []float64{float64(i)}, Class: c})
+	}
+	return d
+}
+
+func TestMajorityLearner(t *testing.T) {
+	d := ds(0, 1, 1, 2)
+	c := MustTrain(MajorityLearner{}, d)
+	if got := c.Predict(d.Records[0]); got != 1 {
+		t.Fatalf("majority predicted %d, want 1", got)
+	}
+	p := c.PredictProba(d.Records[0])
+	want := []float64{0.25, 0.5, 0.25}
+	for i := range want {
+		if math.Abs(p[i]-want[i]) > 1e-12 {
+			t.Fatalf("proba = %v, want %v", p, want)
+		}
+	}
+}
+
+func TestMajorityLearnerEmptyFails(t *testing.T) {
+	if _, err := (MajorityLearner{}).Train(data.NewDataset(schema())); err == nil {
+		t.Fatal("training on empty dataset succeeded")
+	}
+}
+
+func TestMajorityLearnerName(t *testing.T) {
+	if (MajorityLearner{}).Name() != "majority" {
+		t.Fatal("unexpected learner name")
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	d := ds(1, 1, 0, 2)
+	c := NewMajority(1, []float64{0, 1, 0})
+	if got := ErrorRate(c, d); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("ErrorRate = %v, want 0.5", got)
+	}
+	if got := ErrorRate(c, data.NewDataset(schema())); got != 0 {
+		t.Fatalf("empty ErrorRate = %v, want 0", got)
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	d := ds(0, 0, 0, 0)
+	always1 := NewMajority(1, nil)
+	always2 := NewMajority(2, nil)
+	if got := Agreement(always1, always1, d.Records); got != 1 {
+		t.Fatalf("self agreement = %v, want 1", got)
+	}
+	if got := Agreement(always1, always2, d.Records); got != 0 {
+		t.Fatalf("disjoint agreement = %v, want 0", got)
+	}
+	if got := Agreement(always1, always2, nil); got != 1 {
+		t.Fatalf("vacuous agreement = %v, want 1", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax([]float64{0.2, 0.5, 0.3}); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1", got)
+	}
+	if got := ArgMax([]float64{0.5, 0.5}); got != 0 {
+		t.Fatalf("tie ArgMax = %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArgMax(nil) did not panic")
+		}
+	}()
+	ArgMax(nil)
+}
+
+func TestNewMajorityCopiesDist(t *testing.T) {
+	dist := []float64{0.9, 0.1, 0}
+	m := NewMajority(0, dist)
+	dist[0] = 0
+	if m.PredictProba(data.Record{})[0] != 0.9 {
+		t.Fatal("NewMajority retained the caller's slice")
+	}
+}
+
+func TestMustTrainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTrain on empty data did not panic")
+		}
+	}()
+	MustTrain(MajorityLearner{}, data.NewDataset(schema()))
+}
+
+func TestMajorityGobRoundTrip(t *testing.T) {
+	m := NewMajority(2, []float64{0.1, 0.2, 0.7})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		t.Fatal(err)
+	}
+	var got Majority
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Predict(data.Record{}) != 2 {
+		t.Fatalf("decoded class = %d, want 2", got.Predict(data.Record{}))
+	}
+	p := got.PredictProba(data.Record{})
+	if math.Abs(p[2]-0.7) > 1e-12 {
+		t.Fatalf("decoded dist = %v", p)
+	}
+}
+
+func TestMajorityGobDecodeGarbage(t *testing.T) {
+	var m Majority
+	if err := m.GobDecode([]byte("not gob")); err == nil {
+		t.Fatal("garbage decoded without error")
+	}
+}

@@ -1,0 +1,17 @@
+package classifier
+
+import "highorder/internal/data"
+
+// Online is a stream classifier evaluated with the test-then-train
+// protocol: at each timestamp the harness first asks for a prediction of
+// the unlabeled record, then reveals the label via Learn. The high-order
+// model, RePro and WCE all implement it.
+type Online interface {
+	// Predict classifies an unlabeled record using everything learned so
+	// far.
+	Predict(x data.Record) int
+	// Learn consumes one labeled record from the online training stream.
+	Learn(y data.Record)
+	// Name identifies the algorithm in experiment output.
+	Name() string
+}

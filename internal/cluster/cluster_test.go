@@ -1,0 +1,530 @@
+package cluster
+
+import (
+	"testing"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+	"highorder/internal/rng"
+	"highorder/internal/tree"
+)
+
+func staggerSchema() *data.Schema {
+	return &data.Schema{
+		Attributes: []data.Attribute{
+			{Name: "color", Kind: data.Nominal, Values: []string{"green", "blue", "red"}},
+			{Name: "shape", Kind: data.Nominal, Values: []string{"triangle", "circle", "rectangle"}},
+			{Name: "size", Kind: data.Nominal, Values: []string{"small", "medium", "large"}},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+}
+
+// The three Stagger concepts (§IV-A).
+var staggerConcepts = []func(c, s, z int) int{
+	func(c, s, z int) int { // A: red and small
+		if c == 2 && z == 0 {
+			return 1
+		}
+		return 0
+	},
+	func(c, s, z int) int { // B: green or circle
+		if c == 0 || s == 1 {
+			return 1
+		}
+		return 0
+	},
+	func(c, s, z int) int { // C: medium or large
+		if z == 1 || z == 2 {
+			return 1
+		}
+		return 0
+	},
+}
+
+// segments generates a stream that visits the given concept ids for the
+// given lengths, returning the dataset and the true boundaries.
+func segments(seed int64, spec ...[2]int) (*data.Dataset, []Occurrence) {
+	src := rng.New(seed)
+	d := data.NewDataset(staggerSchema())
+	var truth []Occurrence
+	pos := 0
+	for _, sg := range spec {
+		concept, length := sg[0], sg[1]
+		for i := 0; i < length; i++ {
+			c, s, z := src.Intn(3), src.Intn(3), src.Intn(3)
+			d.Add(data.Record{
+				Values: []float64{float64(c), float64(s), float64(z)},
+				Class:  staggerConcepts[concept](c, s, z),
+			})
+		}
+		truth = append(truth, Occurrence{Start: pos, End: pos + length, Concept: concept})
+		pos += length
+	}
+	return d, truth
+}
+
+func defaultOpts() Options {
+	return Options{Learner: tree.NewLearner(), BlockSize: 10, Seed: 1}
+}
+
+func TestRequiresLearner(t *testing.T) {
+	d, _ := segments(1, [2]int{0, 100})
+	if _, err := ClusterConcepts(d, Options{}); err == nil {
+		t.Fatal("missing learner accepted")
+	}
+}
+
+func TestRequiresTwoBlocks(t *testing.T) {
+	d, _ := segments(1, [2]int{0, 15})
+	if _, err := ClusterConcepts(d, defaultOpts()); err == nil {
+		t.Fatal("tiny dataset accepted")
+	}
+}
+
+func TestSingleConceptYieldsOneCluster(t *testing.T) {
+	d, _ := segments(2, [2]int{0, 600})
+	cl, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Concepts) != 1 {
+		t.Fatalf("found %d concepts in a single-concept stream, want 1", len(cl.Concepts))
+	}
+	if cl.Concepts[0].Size != 600 {
+		t.Fatalf("concept size = %d, want 600", cl.Concepts[0].Size)
+	}
+}
+
+func TestRecoversThreeStaggerConcepts(t *testing.T) {
+	d, _ := segments(3,
+		[2]int{0, 400}, [2]int{1, 400}, [2]int{2, 400},
+		[2]int{0, 400}, [2]int{1, 400}, [2]int{2, 400})
+	cl, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Concepts) != 3 {
+		t.Fatalf("found %d concepts, want 3 (occurrences: %d)", len(cl.Concepts), len(cl.Occurrences))
+	}
+	// Each discovered concept's model should classify its own concept's
+	// data essentially perfectly.
+	for ci, concept := range cl.Concepts {
+		if concept.Err > 0.05 {
+			t.Errorf("concept %d validation error = %v, want near 0", ci, concept.Err)
+		}
+	}
+}
+
+func TestOccurrencesCoverStreamInOrder(t *testing.T) {
+	d, _ := segments(4, [2]int{0, 300}, [2]int{1, 300}, [2]int{0, 300})
+	cl, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for i, occ := range cl.Occurrences {
+		if occ.Start != pos {
+			t.Fatalf("occurrence %d starts at %d, want %d (gap or overlap)", i, occ.Start, pos)
+		}
+		if occ.End <= occ.Start {
+			t.Fatalf("occurrence %d empty: [%d,%d)", i, occ.Start, occ.End)
+		}
+		if occ.Concept < 0 || occ.Concept >= len(cl.Concepts) {
+			t.Fatalf("occurrence %d has unassigned concept %d", i, occ.Concept)
+		}
+		pos = occ.End
+	}
+	if pos != d.Len() {
+		t.Fatalf("occurrences cover %d records, want %d", pos, d.Len())
+	}
+}
+
+func TestReappearingConceptGroupsTogether(t *testing.T) {
+	d, truth := segments(5,
+		[2]int{0, 500}, [2]int{1, 500}, [2]int{0, 500}, [2]int{1, 500})
+	cl, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Concepts) != 2 {
+		t.Fatalf("found %d concepts, want 2", len(cl.Concepts))
+	}
+	// Map each true segment to the discovered concept owning most of it.
+	owner := func(seg Occurrence) int {
+		votes := map[int]int{}
+		for _, occ := range cl.Occurrences {
+			lo, hi := max(occ.Start, seg.Start), minInt(occ.End, seg.End)
+			if hi > lo {
+				votes[occ.Concept] += hi - lo
+			}
+		}
+		best, bestV := -1, 0
+		for c, v := range votes {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		return best
+	}
+	if owner(truth[0]) != owner(truth[2]) {
+		t.Error("two occurrences of concept A assigned to different clusters")
+	}
+	if owner(truth[1]) != owner(truth[3]) {
+		t.Error("two occurrences of concept B assigned to different clusters")
+	}
+	if owner(truth[0]) == owner(truth[1]) {
+		t.Error("concepts A and B merged into one cluster")
+	}
+}
+
+func TestBoundariesNearTruth(t *testing.T) {
+	d, truth := segments(6, [2]int{0, 500}, [2]int{2, 500})
+	cl, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some discovered boundary should fall within 3 blocks of the true
+	// change point at 500.
+	want := truth[0].End
+	ok := false
+	for _, occ := range cl.Occurrences[:len(cl.Occurrences)-1] {
+		if abs(occ.End-want) <= 30 {
+			ok = true
+		}
+	}
+	if !ok {
+		var ends []int
+		for _, occ := range cl.Occurrences {
+			ends = append(ends, occ.End)
+		}
+		t.Fatalf("no boundary near %d; occurrence ends: %v", want, ends)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d, _ := segments(7, [2]int{0, 300}, [2]int{1, 300})
+	cl, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stats.Blocks != 60 {
+		t.Errorf("Stats.Blocks = %d, want 60", cl.Stats.Blocks)
+	}
+	if cl.Stats.Chunks < 1 || cl.Stats.Chunks > 60 {
+		t.Errorf("Stats.Chunks = %d out of range", cl.Stats.Chunks)
+	}
+	if cl.Stats.ModelsTrained == 0 || cl.Stats.Mergers == 0 {
+		t.Error("stats not counted")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	d, _ := segments(8, [2]int{0, 300}, [2]int{1, 300}, [2]int{0, 300})
+	a, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Concepts) != len(b.Concepts) || len(a.Occurrences) != len(b.Occurrences) {
+		t.Fatal("clustering is not deterministic for a fixed seed")
+	}
+	for i := range a.Occurrences {
+		if a.Occurrences[i] != b.Occurrences[i] {
+			t.Fatalf("occurrence %d differs across runs: %+v vs %+v", i, a.Occurrences[i], b.Occurrences[i])
+		}
+	}
+}
+
+func TestEarlyStopStillFindsConcepts(t *testing.T) {
+	// The paper's threshold (2000 records on a 200k stream) only freezes
+	// clusters near the dendrogram root; scale it the same way here.
+	d, _ := segments(9, [2]int{0, 400}, [2]int{1, 400}, [2]int{0, 400})
+	opts := defaultOpts()
+	opts.EarlyStopMinSize = 1000
+	opts.EarlyStopFactor = 1.2
+	cl, err := ClusterConcepts(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Concepts) != 2 {
+		t.Fatalf("with early stop found %d concepts, want 2", len(cl.Concepts))
+	}
+}
+
+func TestClassifierReuseOptimization(t *testing.T) {
+	d, _ := segments(10, [2]int{0, 600}, [2]int{1, 600})
+	opts := defaultOpts()
+	opts.ReuseRatio = 0.05
+	withReuse, err := ClusterConcepts(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ReuseRatio = 0
+	without, err := ClusterConcepts(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withReuse.Stats.ModelsTrained > without.Stats.ModelsTrained {
+		t.Fatalf("reuse trained more models (%d) than no-reuse (%d)",
+			withReuse.Stats.ModelsTrained, without.Stats.ModelsTrained)
+	}
+	if len(withReuse.Concepts) != len(without.Concepts) {
+		t.Logf("note: reuse changed concept count %d → %d", len(without.Concepts), len(withReuse.Concepts))
+	}
+}
+
+func TestConceptModelsAreUsable(t *testing.T) {
+	d, _ := segments(11, [2]int{0, 500}, [2]int{1, 500})
+	cl, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(99)
+	for ci := range cl.Concepts {
+		model := cl.Concepts[ci].Model
+		r := data.Record{Values: []float64{float64(src.Intn(3)), float64(src.Intn(3)), float64(src.Intn(3))}}
+		got := model.Predict(r)
+		if got != 0 && got != 1 {
+			t.Fatalf("concept %d model predicted class %d", ci, got)
+		}
+	}
+}
+
+func TestShortTailBlockAbsorbed(t *testing.T) {
+	d, _ := segments(12, [2]int{0, 605}) // 60 blocks of 10 + tail of 5
+	cl, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := cl.Occurrences[len(cl.Occurrences)-1]
+	if last.End != 605 {
+		t.Fatalf("last occurrence ends at %d, want 605", last.End)
+	}
+}
+
+func TestCutPrefersChildrenWhenBetter(t *testing.T) {
+	// Synthetic dendrogram: root has high err but its children partition
+	// is better, so the cut must return the children.
+	leaf := func(id int, n int, err float64) *node {
+		recs := make([]data.Record, n)
+		ds := &data.Dataset{Schema: staggerSchema(), Records: recs}
+		return &node{id: id, all: ds, err: err, errStar: err, members: []int{id}}
+	}
+	u := leaf(0, 10, 0.1)
+	v := leaf(1, 10, 0.1)
+	rootDS := u.all.Concat(v.all)
+	root := &node{id: 2, all: rootDS, err: 0.5, errStar: 0.1, left: u, right: v, members: []int{0, 1}}
+	got := cut([]*node{root}, 0)
+	if len(got) != 2 {
+		t.Fatalf("cut returned %d clusters, want 2", len(got))
+	}
+}
+
+func TestCutKeepsRootWhenOptimal(t *testing.T) {
+	leaf := func(id int) *node {
+		return &node{id: id, all: data.NewDataset(staggerSchema()), err: 0.3, errStar: 0.3, members: []int{id}}
+	}
+	u, v := leaf(0), leaf(1)
+	root := &node{id: 2, all: data.NewDataset(staggerSchema()), err: 0.1, errStar: 0.1, left: u, right: v, members: []int{0, 1}}
+	got := cut([]*node{root}, 0)
+	if len(got) != 1 || got[0] != root {
+		t.Fatalf("cut split an optimal root")
+	}
+}
+
+func TestMajorityLearnerAlsoWorks(t *testing.T) {
+	// The clustering is learner-agnostic; with a majority learner it still
+	// terminates and produces a valid partition (if coarser).
+	d, _ := segments(13, [2]int{0, 200}, [2]int{1, 200})
+	opts := Options{Learner: classifier.MajorityLearner{}, BlockSize: 10, Seed: 1}
+	cl, err := ClusterConcepts(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cl.Concepts) == 0 {
+		t.Fatal("no concepts found")
+	}
+}
+
+func TestEdgeHeapOrdering(t *testing.T) {
+	a := &node{id: 0, all: data.NewDataset(staggerSchema())}
+	b := &node{id: 1, all: data.NewDataset(staggerSchema())}
+	c := &node{id: 2, all: data.NewDataset(staggerSchema())}
+	h := &edgeHeap{}
+	h.push(&edge{u: a, v: b, dist: 5})
+	h.push(&edge{u: b, v: c, dist: 1})
+	h.push(&edge{u: a, v: c, dist: 3})
+	if e := h.popBest(); e.dist != 1 {
+		t.Fatalf("popBest dist = %v, want 1", e.dist)
+	}
+	b.dead = true // the remaining edges touching b are now stale
+	e := h.popBest()
+	if e == nil || e.u != a || e.v != c {
+		t.Fatal("popBest did not skip stale edges")
+	}
+	if h.popBest() != nil {
+		t.Fatal("heap should be exhausted")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestStep2DeltaQAblation(t *testing.T) {
+	// The ΔQ strategy in step 2 must still find the right concepts — it is
+	// just far more expensive (a training per candidate pair).
+	d, _ := segments(20, [2]int{0, 400}, [2]int{1, 400}, [2]int{0, 400}, [2]int{1, 400})
+	opts := defaultOpts()
+	opts.Step2DeltaQ = true
+	withDQ, err := ClusterConcepts(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Step2DeltaQ = false
+	withSim, err := ClusterConcepts(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withDQ.Concepts) != 2 || len(withSim.Concepts) != 2 {
+		t.Fatalf("concepts: deltaQ=%d similarity=%d, want 2 and 2",
+			len(withDQ.Concepts), len(withSim.Concepts))
+	}
+	if withDQ.Stats.ModelsTrained <= withSim.Stats.ModelsTrained {
+		t.Fatalf("ΔQ step 2 trained %d models, similarity %d; ΔQ should cost more",
+			withDQ.Stats.ModelsTrained, withSim.Stats.ModelsTrained)
+	}
+}
+
+func TestCutSlackZeroIsExact(t *testing.T) {
+	// Negative CutSlack selects the paper's exact comparison; it must not
+	// crash and may only produce at least as many clusters as the default.
+	d, _ := segments(21, [2]int{0, 400}, [2]int{2, 400})
+	exact := defaultOpts()
+	exact.CutSlack = -1
+	a, err := ClusterConcepts(d, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Concepts) < len(b.Concepts) {
+		t.Fatalf("exact cut found fewer concepts (%d) than slacked cut (%d)",
+			len(a.Concepts), len(b.Concepts))
+	}
+}
+
+func TestConceptSizesConsistent(t *testing.T) {
+	d, _ := segments(22, [2]int{0, 500}, [2]int{1, 500}, [2]int{2, 500})
+	cl, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for ci, c := range cl.Concepts {
+		sum := 0
+		for _, oi := range c.Occurrences {
+			if cl.Occurrences[oi].Concept != ci {
+				t.Fatalf("occurrence %d listed under concept %d but assigned to %d",
+					oi, ci, cl.Occurrences[oi].Concept)
+			}
+			sum += cl.Occurrences[oi].Len()
+		}
+		if sum != c.Size {
+			t.Fatalf("concept %d size %d but occurrences sum to %d", ci, c.Size, sum)
+		}
+		total += sum
+	}
+	if total != d.Len() {
+		t.Fatalf("concept sizes cover %d records, want %d", total, d.Len())
+	}
+}
+
+func BenchmarkClusterStagger5k(b *testing.B) {
+	d, _ := segments(100, [2]int{0, 1700}, [2]int{1, 1700}, [2]int{2, 1600})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ClusterConcepts(d, defaultOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDendrogramExport(t *testing.T) {
+	d, _ := segments(23, [2]int{0, 400}, [2]int{1, 400}, [2]int{0, 400})
+	opts := defaultOpts()
+	opts.KeepDendrogram = true
+	cl, err := ClusterConcepts(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Dendrogram == nil {
+		t.Fatal("dendrogram not retained")
+	}
+	// Count final-marked nodes across the forest; must equal the concept
+	// count, and every node's size must equal its children's sum.
+	finals := 0
+	var walk func(n *DendrogramNode)
+	walk = func(n *DendrogramNode) {
+		if n == nil {
+			return
+		}
+		if n.Final {
+			finals++
+		}
+		if n.Left != nil || n.Right != nil {
+			sum := 0
+			if n.Left != nil {
+				sum += n.Left.Size
+			}
+			if n.Right != nil {
+				sum += n.Right.Size
+			}
+			if sum != n.Size {
+				t.Fatalf("node size %d != children sum %d", n.Size, sum)
+			}
+			if n.ErrStar > n.Err+1e-9 {
+				t.Fatalf("ErrStar %v exceeds Err %v", n.ErrStar, n.Err)
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	for _, r := range cl.Dendrogram {
+		walk(r)
+	}
+	if finals != len(cl.Concepts) {
+		t.Fatalf("final nodes = %d, concepts = %d", finals, len(cl.Concepts))
+	}
+	// Default options must not retain the dendrogram.
+	plain, err := ClusterConcepts(d, defaultOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Dendrogram != nil {
+		t.Fatal("dendrogram retained without KeepDendrogram")
+	}
+}

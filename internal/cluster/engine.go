@@ -1,0 +1,339 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+	"highorder/internal/rng"
+)
+
+// engine runs one agglomerative pass. The same engine instance is used for
+// both steps so training counts aggregate.
+type engine struct {
+	opts    Options
+	learner classifier.Learner
+	src     *rng.Source
+	stats   Stats
+	nextID  int
+	// modelsTrained is atomic because leaf and initial-edge trainings run
+	// in parallel.
+	modelsTrained atomic.Int64
+
+	// sample is the shared shuffled list L of holdout records used by the
+	// step-2 similarity measure (§II-C.1). It is assembled once from all
+	// step-2 input nodes' test halves.
+	sample []data.Record
+}
+
+// workers returns the configured training parallelism.
+func (e *engine) workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// makeLeaves builds all input nodes, training their models in parallel.
+// Each block's holdout split draws from its own source, pre-assigned
+// sequentially, so the result is independent of the worker count
+// (Algorithm 1, lines 2–7).
+func (e *engine) makeLeaves(blocks []*data.Dataset) ([]*node, error) {
+	nodes := make([]*node, len(blocks))
+	sources := make([]*rng.Source, len(blocks))
+	for i := range blocks {
+		sources[i] = e.src.Split()
+	}
+	errs := make([]error, len(blocks))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < e.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				train, test := blocks[i].SplitHoldout(sources[i])
+				model, err := e.train(train)
+				if err != nil {
+					errs[i] = fmt.Errorf("cluster: step 1 leaf %d: %w", i, err)
+					continue
+				}
+				errRate := classifier.ErrorRate(model, test)
+				nodes[i] = &node{
+					id:      i,
+					all:     blocks[i],
+					train:   train,
+					test:    test,
+					model:   model,
+					err:     errRate,
+					errStar: errRate,
+					members: []int{i},
+				}
+			}
+		}()
+	}
+	for i := range blocks {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return nodes, nil
+}
+
+func (e *engine) train(d *data.Dataset) (classifier.Classifier, error) {
+	e.modelsTrained.Add(1)
+	return e.learner.Train(d)
+}
+
+// prepareSamples builds the shared sample list L from the nodes' test
+// halves, shuffles it, and caches each node's predictions on its prefix
+// (§II-C.1: Au[1..k], k = |Du_test|).
+func (e *engine) prepareSamples(nodes []*node) {
+	var all []data.Record
+	for _, n := range nodes {
+		all = append(all, n.test.Records...)
+	}
+	e.src.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	e.sample = all
+	for _, n := range nodes {
+		e.cachePreds(n)
+	}
+}
+
+// cachePreds stores n's model predictions on L[0:|Dn_test|].
+func (e *engine) cachePreds(n *node) {
+	k := n.test.Len()
+	if k > len(e.sample) {
+		k = len(e.sample)
+	}
+	preds := make([]int, k)
+	for i := 0; i < k; i++ {
+		preds[i] = n.model.Predict(e.sample[i])
+	}
+	n.preds = preds
+}
+
+// agglomerate repeatedly merges the closest pair until no candidate
+// remains, returning the roots of the dendrogram forest. complete selects
+// the step-2 behavior: complete merge graph and similarity distance;
+// otherwise the chain graph and ΔQ distance of step 1.
+func (e *engine) agglomerate(nodes []*node, complete bool) []*node {
+	if len(nodes) == 1 {
+		return nodes
+	}
+	h := &edgeHeap{}
+	step2Edge := e.similarityEdge
+	if e.opts.Step2DeltaQ {
+		step2Edge = e.deltaQEdge
+	}
+	if complete {
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				h.push(step2Edge(nodes[i], nodes[j]))
+			}
+		}
+	} else {
+		// The initial chain edges are independent classifier trainings;
+		// evaluate them in parallel, then push in order.
+		edges := make([]*edge, len(nodes)-1)
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < e.workers(); w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					edges[i] = e.deltaQEdge(nodes[i], nodes[i+1])
+				}
+			}()
+		}
+		for i := range edges {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		for _, ed := range edges {
+			h.push(ed)
+		}
+	}
+
+	// left/right chain neighbors for step 1, maintained across mergers.
+	leftOf := map[*node]*node{}
+	rightOf := map[*node]*node{}
+	if !complete {
+		for i := range nodes {
+			if i > 0 {
+				leftOf[nodes[i]] = nodes[i-1]
+			}
+			if i+1 < len(nodes) {
+				rightOf[nodes[i]] = nodes[i+1]
+			}
+		}
+	}
+
+	live := make(map[*node]bool, len(nodes))
+	for _, n := range nodes {
+		live[n] = true
+	}
+
+	for {
+		best := h.popBest()
+		if best == nil {
+			break
+		}
+		w := e.merge(best)
+		delete(live, best.u)
+		delete(live, best.v)
+		live[w] = true
+		if e.shouldFreeze(w) {
+			w.frozen = true
+		}
+		if complete {
+			if !w.frozen {
+				for n := range live {
+					if n != w && n.live() {
+						h.push(step2Edge(w, n))
+					}
+				}
+			}
+			continue
+		}
+		// Relink the chain: w inherits u's left neighbor and v's right
+		// neighbor (u precedes v in stream order by construction).
+		l := leftOf[best.u]
+		r := rightOf[best.v]
+		delete(leftOf, best.u)
+		delete(leftOf, best.v)
+		delete(rightOf, best.u)
+		delete(rightOf, best.v)
+		if l != nil {
+			leftOf[w] = l
+			rightOf[l] = w
+			if l.live() && !w.frozen {
+				h.push(e.deltaQEdge(l, w))
+			}
+		}
+		if r != nil {
+			rightOf[w] = r
+			leftOf[r] = w
+			if r.live() && !w.frozen {
+				h.push(e.deltaQEdge(w, r))
+			}
+		}
+	}
+
+	var roots []*node
+	for n := range live {
+		roots = append(roots, n)
+	}
+	// Deterministic order.
+	orderByFirstMember(roots)
+	return roots
+}
+
+// shouldFreeze implements the early-termination test (§II-D).
+func (e *engine) shouldFreeze(n *node) bool {
+	if e.opts.EarlyStopMinSize <= 0 {
+		return false
+	}
+	return n.size() >= e.opts.EarlyStopMinSize && n.err >= e.opts.EarlyStopFactor*n.errStar
+}
+
+// deltaQEdge evaluates the step-1 merge candidate (u, v): train a model on
+// the union and key the edge by ΔQ (Eq. 2). The trained model is kept on
+// the edge so the winning merger does not retrain.
+func (e *engine) deltaQEdge(u, v *node) *edge {
+	me := e.evalMerged(u, v)
+	dq := float64(u.size()+v.size())*me.err - u.weightedErr() - v.weightedErr()
+	return &edge{u: u, v: v, dist: dq, merged: me}
+}
+
+// similarityEdge evaluates the step-2 candidate (u, v) by the distance of
+// Eq. 3: (|Du|+|Dv|)·(1 − sim(Mu, Mv)), where sim is the agreement of the
+// two models on the shared sample prefix (Eq. 4).
+func (e *engine) similarityEdge(u, v *node) *edge {
+	k := len(u.preds)
+	if len(v.preds) < k {
+		k = len(v.preds)
+	}
+	sim := 1.0
+	if k > 0 {
+		same := 0
+		for i := 0; i < k; i++ {
+			if u.preds[i] == v.preds[i] {
+				same++
+			}
+		}
+		sim = float64(same) / float64(k)
+	}
+	d := float64(u.size()+v.size()) * (1 - sim)
+	return &edge{u: u, v: v, dist: d}
+}
+
+// evalMerged trains and validates a model for Du ∪ Dv, honoring the
+// classifier-reuse optimization for very unbalanced mergers.
+func (e *engine) evalMerged(u, v *node) *mergedEval {
+	big, small := u, v
+	if small.size() > big.size() {
+		big, small = small, big
+	}
+	test := big.test.Concat(small.test)
+	if e.opts.ReuseRatio > 0 && float64(small.size()) <= e.opts.ReuseRatio*float64(big.size()) {
+		return &mergedEval{model: big.model, err: classifier.ErrorRate(big.model, test)}
+	}
+	train := big.train.Concat(small.train)
+	model, err := e.train(train)
+	if err != nil {
+		// Training on a merged non-empty dataset cannot fail for the
+		// learners in this repository; treat it as a programming error.
+		panic(fmt.Sprintf("cluster: training merged cluster: %v", err))
+	}
+	return &mergedEval{model: model, err: classifier.ErrorRate(model, test)}
+}
+
+// merge executes the winning candidate and returns the parent node with its
+// Err* computed per Algorithm 1, line 19.
+func (e *engine) merge(ed *edge) *node {
+	u, v := ed.u, ed.v
+	u.dead, v.dead = true, true
+	e.stats.Mergers++
+
+	me := ed.merged
+	if me == nil { // step 2: evaluate now
+		me = e.evalMerged(u, v)
+	}
+	w := &node{
+		id:    e.allocID(),
+		all:   u.all.Concat(v.all),
+		train: u.train.Concat(v.train),
+		test:  u.test.Concat(v.test),
+		model: me.model,
+		err:   me.err,
+		left:  u,
+		right: v,
+	}
+	w.members = append(append([]int{}, u.members...), v.members...)
+	childStar := (float64(u.size())*u.errStar + float64(v.size())*v.errStar) / float64(w.size())
+	w.errStar = w.err
+	if childStar < w.errStar {
+		w.errStar = childStar
+	}
+	if e.sample != nil {
+		e.cachePreds(w)
+	}
+	return w
+}
+
+func (e *engine) allocID() int {
+	id := e.nextID
+	e.nextID++
+	return id
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"container/heap"
+	"math"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+)
+
+// node is a cluster in the agglomerative process and, simultaneously, a
+// dendrogram node. Leaves are the input blocks (step 1) or chunks (step 2);
+// internal nodes record the merge order.
+type node struct {
+	id int
+
+	// all is Du — every record of the cluster. In step 1 the records are
+	// contiguous in stream order; in step 2 they are the concatenation of
+	// the member chunks.
+	all *data.Dataset
+	// train and test are the holdout halves (§II-B): the model is trained
+	// on train and Err is measured on test.
+	train *data.Dataset
+	test  *data.Dataset
+
+	model classifier.Classifier
+	// err is Err_u, the holdout validation error of model.
+	err float64
+	// errStar is Err*_u, the error of the locally optimal partition of Du
+	// (§II-C.2).
+	errStar float64
+
+	// left and right are the dendrogram children; nil for input nodes.
+	left, right *node
+
+	// dead marks nodes that have been merged into a parent.
+	dead bool
+	// frozen marks nodes excluded from further merging by the early-
+	// termination optimization (§II-D).
+	frozen bool
+
+	// preds caches the model's predictions on the shared sample list
+	// prefix L[0:len(preds)] used by the step-2 similarity measure.
+	preds []int
+
+	// members lists the input-node ids contained in this cluster, used to
+	// recover which chunks form each concept.
+	members []int
+}
+
+// size returns |Du|.
+func (n *node) size() int { return n.all.Len() }
+
+// weightedErr returns |Du|·Err_u, the node's contribution to Q (Eq. 1).
+func (n *node) weightedErr() float64 { return float64(n.size()) * n.err }
+
+// live reports whether the node can still participate in mergers.
+func (n *node) live() bool { return !n.dead && !n.frozen }
+
+// errStdErr estimates the standard error of the node's holdout error rate
+// (binomial, with a half-record continuity floor so a zero-error estimate
+// on a tiny test half is not treated as exact).
+func (n *node) errStdErr() float64 {
+	if n.test == nil || n.test.Len() == 0 {
+		return 1
+	}
+	nt := n.test.Len()
+	return math.Sqrt(n.err*(1-n.err)/float64(nt)) + 0.5/float64(nt)
+}
+
+// edge is a candidate merger between two live clusters, with the
+// merge-order key dist. Step 1 precomputes the merged model (Eq. 2 needs
+// Err_w); step 2 computes dist from model similarity alone (Eq. 3) and
+// leaves merged nil until the merger happens.
+type edge struct {
+	u, v *node
+	dist float64
+	// merged carries the classifier and validation error already computed
+	// for Du ∪ Dv during step-1 distance evaluation, so the winning merger
+	// does not retrain.
+	merged *mergedEval
+	index  int // heap bookkeeping
+}
+
+// mergedEval is the precomputed evaluation of a prospective merger.
+type mergedEval struct {
+	model classifier.Classifier
+	err   float64
+}
+
+// stale reports whether either endpoint has been consumed or frozen since
+// the edge was pushed.
+func (e *edge) stale() bool { return !e.u.live() || !e.v.live() }
+
+// edgeHeap is a min-heap of candidate mergers ordered by dist, with
+// deterministic tie-breaking on endpoint ids so runs are reproducible.
+type edgeHeap []*edge
+
+func (h edgeHeap) Len() int { return len(h) }
+
+func (h edgeHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	if h[i].u.id != h[j].u.id {
+		return h[i].u.id < h[j].u.id
+	}
+	return h[i].v.id < h[j].v.id
+}
+
+func (h edgeHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *edgeHeap) Push(x any) {
+	e := x.(*edge)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *edgeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// push adds a candidate merger.
+func (h *edgeHeap) push(e *edge) { heap.Push(h, e) }
+
+// popBest removes and returns the non-stale candidate with the smallest
+// distance, or nil when none remain.
+func (h *edgeHeap) popBest() *edge {
+	for h.Len() > 0 {
+		e := heap.Pop(h).(*edge)
+		if !e.stale() {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package cluster
+
+import (
+	"testing"
+
+	"highorder/internal/synth"
+	"highorder/internal/tree"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 77})
+	d := synth.TakeDataset(g, 4000)
+	mk := func(workers int) *Clustering {
+		opts := Options{Learner: tree.NewLearner(), BlockSize: 10, Seed: 7, Workers: workers}
+		cl, err := ClusterConcepts(d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	seq := mk(1)
+	par := mk(8)
+	if len(seq.Concepts) != len(par.Concepts) || len(seq.Occurrences) != len(par.Occurrences) {
+		t.Fatalf("worker count changed the result: %d/%d concepts, %d/%d occurrences",
+			len(seq.Concepts), len(par.Concepts), len(seq.Occurrences), len(par.Occurrences))
+	}
+	for i := range seq.Occurrences {
+		if seq.Occurrences[i] != par.Occurrences[i] {
+			t.Fatalf("occurrence %d differs between 1 and 8 workers", i)
+		}
+	}
+}

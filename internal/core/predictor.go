@@ -1,0 +1,307 @@
+package core
+
+import (
+	"sort"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+)
+
+// PredictorOptions configure online prediction.
+type PredictorOptions struct {
+	// DisablePruning turns off the active-probability pruning of §III-C,
+	// forcing Predict to consult every concept's classifier (ablation).
+	DisablePruning bool
+	// MAPOnly makes Predict use only the single most probable concept's
+	// classifier instead of the weighted ensemble of Eq. 10 (ablation of
+	// the "simplest way" the paper rejects in §III-C).
+	MAPOnly bool
+}
+
+// Predictor applies a high-order model to an online stream. It maintains
+// the posterior active probability P_t(c) of every concept, updated from
+// the labeled cue stream via Observe, and classifies unlabeled records via
+// Predict/PredictProba using the prior P_t⁻(c) (Eq. 10), since labels lag
+// the data being classified (§III-A).
+//
+// A Predictor is not safe for concurrent use.
+type Predictor struct {
+	m    *Model
+	opts PredictorOptions
+
+	// post is P_{t-1}(c), the posterior after the last observed label.
+	post []float64
+	// prior is P_t⁻(c), derived lazily from post through χ (Eq. 5).
+	prior      []float64
+	priorValid bool
+
+	// order caches concept indices sorted by decreasing prior for the
+	// pruned prediction loop.
+	order []int
+	// acc accumulates the weighted class distribution.
+	acc []float64
+
+	// observed counts labeled records seen, for diagnostics.
+	observed int
+
+	// explained is a ring buffer over the last explainWindow labeled
+	// records: whether the then-most-probable concept classified the
+	// record correctly. A persistently low rate means no historical
+	// concept explains the current stream — a concept the history never
+	// contained (the one failure mode the paper's offline model cannot
+	// recover from by itself).
+	explained     []bool
+	explainedNext int
+	explainedN    int
+}
+
+// explainWindow is the ring size behind RecentExplainedRate.
+const explainWindow = 50
+
+// NewPredictor returns a predictor with every concept equally probable
+// (P_1(c) = 1/N, §III-B).
+func (m *Model) NewPredictor() *Predictor {
+	return m.NewPredictorWithOptions(PredictorOptions{})
+}
+
+// NewPredictorWithOptions returns a predictor with explicit options.
+func (m *Model) NewPredictorWithOptions(opts PredictorOptions) *Predictor {
+	n := len(m.Concepts)
+	p := &Predictor{
+		m:         m,
+		opts:      opts,
+		post:      make([]float64, n),
+		prior:     make([]float64, n),
+		order:     make([]int, n),
+		acc:       make([]float64, m.Schema.NumClasses()),
+		explained: make([]bool, explainWindow),
+	}
+	for c := range p.post {
+		p.post[c] = 1 / float64(n)
+	}
+	return p
+}
+
+// ActiveProbabilities returns the current posterior active probabilities
+// P_t(c). The returned slice is a copy.
+func (p *Predictor) ActiveProbabilities() []float64 {
+	out := make([]float64, len(p.post))
+	copy(out, p.post)
+	return out
+}
+
+// PriorProbabilities returns P_t⁻(c), the prior used to classify the next
+// unlabeled record. The returned slice is a copy.
+func (p *Predictor) PriorProbabilities() []float64 {
+	p.ensurePrior()
+	out := make([]float64, len(p.prior))
+	copy(out, p.prior)
+	return out
+}
+
+// Observed returns the number of labeled records consumed.
+func (p *Predictor) Observed() int { return p.observed }
+
+// CurrentConcept returns the most probable concept under the posterior
+// active probabilities, with its probability.
+func (p *Predictor) CurrentConcept() (concept int, probability float64) {
+	best := 0
+	for c := 1; c < len(p.post); c++ {
+		if p.post[c] > p.post[best] {
+			best = c
+		}
+	}
+	return best, p.post[best]
+}
+
+// RecentExplainedRate returns the fraction of the last 50 labeled records
+// that the then-most-probable concept classified correctly, and whether
+// the window is full. A persistently low rate (well below 1 − Err of the
+// known concepts) signals that the stream is in a concept the historical
+// dataset never contained; the application should collect the period's
+// records and rebuild (the paper's offline model cannot learn new concepts
+// online — this signal is the library's extension point for that gap).
+func (p *Predictor) RecentExplainedRate() (rate float64, full bool) {
+	if p.explainedN == 0 {
+		return 1, false
+	}
+	correct := 0
+	for i := 0; i < p.explainedN; i++ {
+		if p.explained[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(p.explainedN), p.explainedN == explainWindow
+}
+
+// Learn implements classifier.Online as an alias for Observe, so the
+// predictor plugs into the shared test-then-train evaluation harness.
+func (p *Predictor) Learn(y data.Record) { p.Observe(y) }
+
+// Name implements classifier.Online.
+func (p *Predictor) Name() string { return "high-order" }
+
+// ensurePrior computes P_t⁻ = P_{t-1}·χ (Eq. 5) if stale.
+func (p *Predictor) ensurePrior() {
+	if p.priorValid {
+		return
+	}
+	chi := p.m.Chi
+	n := len(p.post)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += p.post[i] * chi[i][j]
+		}
+		p.prior[j] = s
+	}
+	p.priorValid = true
+}
+
+// AdvanceTime advances the prior through steps additional record intervals
+// without observing labels, supporting variable-rate streams (§III-B notes
+// the equations adapt directly). The posterior becomes the advanced prior.
+func (p *Predictor) AdvanceTime(steps int) {
+	for s := 0; s < steps; s++ {
+		p.ensurePrior()
+		copy(p.post, p.prior)
+		p.priorValid = false
+	}
+}
+
+// Observe folds one labeled record into the active probabilities:
+// P_t(c) ∝ P_t⁻(c)·ψ(c, y_t) (Eqs. 7–9), where ψ is 1−Err_c when the
+// concept's classifier labels y correctly and Err_c otherwise (Eq. 8).
+func (p *Predictor) Observe(y data.Record) {
+	p.ensurePrior()
+	n := len(p.post)
+	// Track whether the currently most probable concept explains the
+	// label, feeding RecentExplainedRate.
+	mapConcept := 0
+	for c := 1; c < n; c++ {
+		if p.prior[c] > p.prior[mapConcept] {
+			mapConcept = c
+		}
+	}
+	p.explained[p.explainedNext] = p.m.Concepts[mapConcept].Model.Predict(y) == y.Class
+	p.explainedNext = (p.explainedNext + 1) % explainWindow
+	if p.explainedN < explainWindow {
+		p.explainedN++
+	}
+	sum := 0.0
+	for c := 0; c < n; c++ {
+		concept := &p.m.Concepts[c]
+		psi := concept.Err
+		if concept.Model.Predict(y) == y.Class {
+			psi = 1 - concept.Err
+		}
+		// Floor ψ so a zero-validation-error concept cannot be ruled out
+		// forever by a single noisy label.
+		if psi < 1e-6 {
+			psi = 1e-6
+		}
+		p.post[c] = p.prior[c] * psi
+		sum += p.post[c]
+	}
+	if sum <= 0 {
+		for c := range p.post {
+			p.post[c] = 1 / float64(n)
+		}
+	} else {
+		for c := range p.post {
+			p.post[c] /= sum
+		}
+	}
+	p.priorValid = false
+	p.observed++
+}
+
+// PredictProba returns Highorder(l|x) = Σ_c P_t⁻(c)·M_c(l|x) (Eq. 10).
+// The returned slice is reused across calls.
+func (p *Predictor) PredictProba(x data.Record) []float64 {
+	p.ensurePrior()
+	for l := range p.acc {
+		p.acc[l] = 0
+	}
+	for c := range p.m.Concepts {
+		w := p.prior[c]
+		if w == 0 {
+			continue
+		}
+		dist := p.m.Concepts[c].Model.PredictProba(x)
+		for l, v := range dist {
+			p.acc[l] += w * v
+		}
+	}
+	return p.acc
+}
+
+// Predict returns arg max_l Highorder(l|x) (Eq. 11). When pruning is
+// enabled it enumerates concepts in decreasing prior probability and stops
+// as soon as the remaining probability mass cannot change the winning class
+// (§III-C); with a clear current concept this consults a single classifier.
+func (p *Predictor) Predict(x data.Record) int {
+	p.ensurePrior()
+	if p.opts.MAPOnly {
+		best := 0
+		for c := 1; c < len(p.prior); c++ {
+			if p.prior[c] > p.prior[best] {
+				best = c
+			}
+		}
+		return p.m.Concepts[best].Model.Predict(x)
+	}
+	if p.opts.DisablePruning {
+		return classifier.ArgMax(p.PredictProba(x))
+	}
+
+	n := len(p.prior)
+	for i := range p.order {
+		p.order[i] = i
+	}
+	sort.Slice(p.order, func(i, j int) bool {
+		return p.prior[p.order[i]] > p.prior[p.order[j]]
+	})
+	for l := range p.acc {
+		p.acc[l] = 0
+	}
+	remaining := 1.0
+	for rank := 0; rank < n; rank++ {
+		c := p.order[rank]
+		w := p.prior[c]
+		remaining -= w
+		if w > 0 {
+			dist := p.m.Concepts[c].Model.PredictProba(x)
+			for l, v := range dist {
+				p.acc[l] += w * v
+			}
+		}
+		if remaining < 1e-12 {
+			break
+		}
+		// The unseen concepts contribute at most `remaining` to any class.
+		best, second := topTwo(p.acc)
+		if p.acc[best]-p.acc[second] > remaining {
+			break
+		}
+	}
+	return classifier.ArgMax(p.acc)
+}
+
+// topTwo returns the indices of the largest and second-largest values.
+func topTwo(v []float64) (best, second int) {
+	best = 0
+	second = -1
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			second = best
+			best = i
+		} else if second == -1 || v[i] > v[second] {
+			second = i
+		}
+	}
+	if second == -1 {
+		second = best
+	}
+	return best, second
+}

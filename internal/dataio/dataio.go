@@ -1,0 +1,162 @@
+// Package dataio persists streams and models: CSV serialization of labeled
+// record streams (with nominal values written as their string names), JSON
+// schemas, and gob persistence of trained high-order models so the offline
+// build is reusable across processes.
+package dataio
+
+import (
+	"encoding/csv"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"highorder/internal/bayes"
+	"highorder/internal/classifier"
+	"highorder/internal/core"
+	"highorder/internal/data"
+	"highorder/internal/tree"
+)
+
+func init() {
+	// Register every concrete classifier that can appear behind the
+	// classifier.Classifier interface inside a persisted model.
+	gob.Register(&tree.Tree{})
+	gob.Register(&bayes.Model{})
+	gob.Register(&classifier.Majority{})
+}
+
+// WriteCSV writes the dataset as CSV: a header of attribute names plus
+// "class", then one row per record. Nominal attribute values and class
+// labels are written as their string names.
+func WriteCSV(w io.Writer, d *data.Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.Schema.NumAttributes()+1)
+	for _, a := range d.Schema.Attributes {
+		header = append(header, a.Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for ri, r := range d.Records {
+		for i, a := range d.Schema.Attributes {
+			if a.Kind == data.Nominal {
+				v := int(r.Values[i])
+				if v < 0 || v >= len(a.Values) {
+					return fmt.Errorf("dataio: record %d: nominal value %v out of range for %q", ri, r.Values[i], a.Name)
+				}
+				row[i] = a.Values[v]
+			} else {
+				row[i] = strconv.FormatFloat(r.Values[i], 'g', -1, 64)
+			}
+		}
+		if r.Class < 0 || r.Class >= d.Schema.NumClasses() {
+			return fmt.Errorf("dataio: record %d: class %d out of range", ri, r.Class)
+		}
+		row[len(row)-1] = d.Schema.Classes[r.Class]
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV stream written by WriteCSV back into a dataset over
+// the given schema.
+func ReadCSV(r io.Reader, schema *data.Schema) (*data.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.NumAttributes() + 1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: reading header: %w", err)
+	}
+	for i, a := range schema.Attributes {
+		if header[i] != a.Name {
+			return nil, fmt.Errorf("dataio: header column %d is %q, schema expects %q", i, header[i], a.Name)
+		}
+	}
+	d := data.NewDataset(schema)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataio: line %d: %w", line, err)
+		}
+		rec := data.Record{Values: make([]float64, schema.NumAttributes())}
+		for i, a := range schema.Attributes {
+			if a.Kind == data.Nominal {
+				v := a.ValueIndex(row[i])
+				if v < 0 {
+					return nil, fmt.Errorf("dataio: line %d: unknown value %q for attribute %q", line, row[i], a.Name)
+				}
+				rec.Values[i] = float64(v)
+				continue
+			}
+			f, err := strconv.ParseFloat(row[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: line %d: attribute %q: %w", line, a.Name, err)
+			}
+			rec.Values[i] = f
+		}
+		cls := schema.ClassIndex(row[len(row)-1])
+		if cls < 0 {
+			return nil, fmt.Errorf("dataio: line %d: unknown class %q", line, row[len(row)-1])
+		}
+		rec.Class = cls
+		d.Add(rec)
+	}
+	return d, nil
+}
+
+// WriteSchema serializes the schema as indented JSON.
+func WriteSchema(w io.Writer, s *data.Schema) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSchema parses a JSON schema and validates it.
+func ReadSchema(r io.Reader) (*data.Schema, error) {
+	var s data.Schema
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("dataio: parsing schema: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// SaveModel persists a trained high-order model to path with gob.
+func SaveModel(path string, m *core.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(m); err != nil {
+		return fmt.Errorf("dataio: encoding model: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model persisted by SaveModel.
+func LoadModel(path string) (*core.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m core.Model
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("dataio: decoding model: %w", err)
+	}
+	return &m, nil
+}

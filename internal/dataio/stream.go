@@ -1,0 +1,73 @@
+package dataio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"highorder/internal/data"
+)
+
+// StreamReader reads a CSV stream written by WriteCSV one record at a
+// time, so arbitrarily long streams can be processed in constant memory —
+// the natural mode for the online tools.
+type StreamReader struct {
+	schema *data.Schema
+	cr     *csv.Reader
+	line   int
+}
+
+// NewStreamReader wraps r and validates the header against schema.
+func NewStreamReader(r io.Reader, schema *data.Schema) (*StreamReader, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.NumAttributes() + 1
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: reading header: %w", err)
+	}
+	for i, a := range schema.Attributes {
+		if header[i] != a.Name {
+			return nil, fmt.Errorf("dataio: header column %d is %q, schema expects %q", i, header[i], a.Name)
+		}
+	}
+	return &StreamReader{schema: schema, cr: cr, line: 1}, nil
+}
+
+// Next returns the next record, or io.EOF when the stream ends.
+func (s *StreamReader) Next() (data.Record, error) {
+	row, err := s.cr.Read()
+	if err == io.EOF {
+		return data.Record{}, io.EOF
+	}
+	s.line++
+	if err != nil {
+		return data.Record{}, fmt.Errorf("dataio: line %d: %w", s.line, err)
+	}
+	rec := data.Record{Values: make([]float64, s.schema.NumAttributes())}
+	for i, a := range s.schema.Attributes {
+		if a.Kind == data.Nominal {
+			v := a.ValueIndex(row[i])
+			if v < 0 {
+				return data.Record{}, fmt.Errorf("dataio: line %d: unknown value %q for attribute %q", s.line, row[i], a.Name)
+			}
+			rec.Values[i] = float64(v)
+			continue
+		}
+		f, err := strconv.ParseFloat(row[i], 64)
+		if err != nil {
+			return data.Record{}, fmt.Errorf("dataio: line %d: attribute %q: %w", s.line, a.Name, err)
+		}
+		rec.Values[i] = f
+	}
+	cls := s.schema.ClassIndex(row[len(row)-1])
+	if cls < 0 {
+		return data.Record{}, fmt.Errorf("dataio: line %d: unknown class %q", s.line, row[len(row)-1])
+	}
+	rec.Class = cls
+	return rec, nil
+}
+
+// Line returns the number of data lines consumed so far.
+func (s *StreamReader) Line() int { return s.line - 1 }

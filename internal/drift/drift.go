@@ -1,0 +1,217 @@
+// Package drift implements online concept-change detectors over a stream
+// of per-record prediction outcomes. The paper's RePro baseline detects
+// changes with a windowed error threshold; this package provides that
+// detector plus two classical alternatives — DDM (Gama et al., "Learning
+// with Drift Detection", 2004) and the Page–Hinkley test — behind one
+// interface, so the trigger mechanism is a swappable component of any
+// reactive stream classifier.
+package drift
+
+import "math"
+
+// Detector consumes one prediction outcome at a time and reports when the
+// error behavior indicates a concept change.
+type Detector interface {
+	// Observe folds in one outcome (true = the classifier was correct)
+	// and reports whether a change is signaled at this record.
+	Observe(correct bool) bool
+	// Reset clears all state, e.g. after the classifier is replaced.
+	Reset()
+	// Name identifies the detector in experiment output.
+	Name() string
+}
+
+// Window signals a change when the error rate over the last Size outcomes
+// reaches Threshold — RePro's trigger (§IV-B: window 20, threshold 0.2).
+type Window struct {
+	// Size is the window length; <= 0 is treated as 20.
+	Size int
+	// Threshold is the windowed error rate that signals a change; <= 0 is
+	// treated as 0.2.
+	Threshold float64
+
+	buf   []bool
+	next  int
+	count int
+	wrong int
+}
+
+// NewWindow returns a windowed-threshold detector.
+func NewWindow(size int, threshold float64) *Window {
+	if size <= 0 {
+		size = 20
+	}
+	if threshold <= 0 {
+		threshold = 0.2
+	}
+	return &Window{Size: size, Threshold: threshold, buf: make([]bool, size)}
+}
+
+// Name implements Detector.
+func (w *Window) Name() string { return "window" }
+
+// Reset implements Detector.
+func (w *Window) Reset() {
+	w.next, w.count, w.wrong = 0, 0, 0
+}
+
+// Observe implements Detector.
+func (w *Window) Observe(correct bool) bool {
+	if w.count == w.Size {
+		if !w.buf[w.next] {
+			w.wrong--
+		}
+	} else {
+		w.count++
+	}
+	w.buf[w.next] = correct
+	if !correct {
+		w.wrong++
+	}
+	w.next = (w.next + 1) % w.Size
+	if w.count < w.Size {
+		return false
+	}
+	return float64(w.wrong)/float64(w.Size) >= w.Threshold
+}
+
+// DDM is the drift detection method of Gama et al. (2004): it tracks the
+// running error rate p and its binomial standard deviation s, remembers
+// the minimum of p+s, and signals drift when p+s exceeds that minimum by
+// DriftSigma standard deviations.
+type DDM struct {
+	// WarmUp is the minimum number of outcomes before drift can fire;
+	// <= 0 is treated as 30.
+	WarmUp int
+	// DriftSigma is the drift threshold in standard deviations; <= 0 is
+	// treated as 3 (the published value).
+	DriftSigma float64
+	// MinErrors is the minimum number of observed errors before drift can
+	// fire, guarding against spurious alarms on near-perfect streams
+	// where the first few errors dominate the statistics; <= 0 is treated
+	// as 5.
+	MinErrors int
+
+	n     int
+	wrong int
+	pMin  float64
+	sMin  float64
+}
+
+// NewDDM returns a DDM detector with the published defaults.
+func NewDDM() *DDM {
+	d := &DDM{WarmUp: 30, DriftSigma: 3, MinErrors: 5}
+	d.Reset()
+	return d
+}
+
+// Name implements Detector.
+func (d *DDM) Name() string { return "ddm" }
+
+// Reset implements Detector.
+func (d *DDM) Reset() {
+	d.n, d.wrong = 0, 0
+	d.pMin, d.sMin = math.Inf(1), math.Inf(1)
+}
+
+// Observe implements Detector.
+func (d *DDM) Observe(correct bool) bool {
+	d.n++
+	if !correct {
+		d.wrong++
+	}
+	warm := d.WarmUp
+	if warm <= 0 {
+		warm = 30
+	}
+	if d.n < warm {
+		return false
+	}
+	p := float64(d.wrong) / float64(d.n)
+	// Laplace-smoothed rate for the deviation so a zero-error prefix does
+	// not collapse s (and hence the drift threshold) to zero.
+	ps := (float64(d.wrong) + 1) / (float64(d.n) + 2)
+	s := math.Sqrt(ps * (1 - ps) / float64(d.n))
+	if p+s < d.pMin+d.sMin {
+		d.pMin, d.sMin = p, s
+	}
+	minErr := d.MinErrors
+	if minErr <= 0 {
+		minErr = 5
+	}
+	if d.wrong < minErr {
+		return false
+	}
+	sigma := d.DriftSigma
+	if sigma <= 0 {
+		sigma = 3
+	}
+	return p+s > d.pMin+sigma*d.sMin
+}
+
+// PageHinkley is the Page–Hinkley sequential change test on the error
+// indicator: it accumulates deviations of the error from its running mean
+// (minus a tolerance Delta) and signals when the accumulation exceeds its
+// running minimum by Lambda.
+type PageHinkley struct {
+	// Delta is the tolerated deviation; <= 0 is treated as 0.005.
+	Delta float64
+	// Lambda is the detection threshold; <= 0 is treated as 50 (the value
+	// commonly used for 0/1 error indicators, where the random walk's
+	// excursions are large).
+	Lambda float64
+	// WarmUp is the minimum number of outcomes before drift can fire;
+	// <= 0 is treated as 30.
+	WarmUp int
+
+	n    int
+	mean float64
+	cum  float64
+	min  float64
+}
+
+// NewPageHinkley returns a Page–Hinkley detector with common defaults.
+func NewPageHinkley() *PageHinkley {
+	p := &PageHinkley{Delta: 0.005, Lambda: 50, WarmUp: 30}
+	p.Reset()
+	return p
+}
+
+// Name implements Detector.
+func (p *PageHinkley) Name() string { return "page-hinkley" }
+
+// Reset implements Detector.
+func (p *PageHinkley) Reset() {
+	p.n, p.mean, p.cum = 0, 0, 0
+	p.min = math.Inf(1)
+}
+
+// Observe implements Detector.
+func (p *PageHinkley) Observe(correct bool) bool {
+	x := 0.0
+	if !correct {
+		x = 1
+	}
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+	delta := p.Delta
+	if delta <= 0 {
+		delta = 0.005
+	}
+	p.cum += x - p.mean - delta
+	if p.cum < p.min {
+		p.min = p.cum
+	}
+	warm := p.WarmUp
+	if warm <= 0 {
+		warm = 30
+	}
+	if p.n < warm {
+		return false
+	}
+	lambda := p.Lambda
+	if lambda <= 0 {
+		lambda = 50
+	}
+	return p.cum-p.min > lambda
+}

@@ -1,0 +1,150 @@
+package drift
+
+import (
+	"testing"
+
+	"highorder/internal/rng"
+)
+
+// feed sends n outcomes with the given error probability and returns the
+// index of the first signaled change, or -1.
+func feed(d Detector, src *rng.Source, n int, errRate float64) int {
+	for i := 0; i < n; i++ {
+		if d.Observe(!src.Bool(errRate)) {
+			return i
+		}
+	}
+	return -1
+}
+
+func detectors() []Detector {
+	return []Detector{NewWindow(20, 0.2), NewDDM(), NewPageHinkley()}
+}
+
+func TestNoFalseAlarmOnCleanStream(t *testing.T) {
+	for _, d := range detectors() {
+		src := rng.New(1)
+		if at := feed(d, src, 5000, 0.01); at != -1 {
+			t.Errorf("%s fired at %d on a 1%% error stream", d.Name(), at)
+		}
+	}
+}
+
+func TestDetectsAbruptDegradation(t *testing.T) {
+	for _, d := range detectors() {
+		src := rng.New(2)
+		if at := feed(d, src, 2000, 0.02); at != -1 {
+			t.Fatalf("%s fired during the stable phase (at %d)", d.Name(), at)
+		}
+		at := feed(d, src, 2000, 0.6)
+		if at == -1 {
+			t.Errorf("%s missed a 2%%→60%% error jump", d.Name())
+		} else if at > 500 {
+			t.Errorf("%s took %d records to notice a 2%%→60%% jump", d.Name(), at)
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	// Drive each detector into a persistent alarm, Reset, and check no
+	// stale state makes it fire within its warm-up period on a perfect
+	// stream (a detector retaining its alarm state would fire instantly).
+	for _, d := range detectors() {
+		src := rng.New(3)
+		feed(d, src, 1000, 0.02)
+		feed(d, src, 1000, 0.6) // drive it into alarm
+		d.Reset()
+		for i := 0; i < 25; i++ {
+			if d.Observe(true) {
+				t.Errorf("%s fired %d records after Reset on a perfect stream", d.Name(), i)
+				break
+			}
+		}
+	}
+}
+
+func TestWindowExactThreshold(t *testing.T) {
+	w := NewWindow(10, 0.3)
+	// 7 correct then 3 wrong: error rate reaches exactly 0.3 on the last.
+	for i := 0; i < 7; i++ {
+		if w.Observe(true) {
+			t.Fatal("fired early")
+		}
+	}
+	fired := false
+	for i := 0; i < 3; i++ {
+		if w.Observe(false) {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("window did not fire at exactly the threshold")
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(4, 0.5)
+	// Two wrong then many correct: the wrong outcomes slide out and the
+	// detector stops firing.
+	w.Observe(false)
+	w.Observe(false)
+	w.Observe(true)
+	w.Observe(true) // window full: 2/4 = 0.5 → fire
+	last := false
+	for i := 0; i < 4; i++ {
+		last = w.Observe(true)
+	}
+	if last {
+		t.Fatal("window kept firing after wrong outcomes slid out")
+	}
+}
+
+func TestWindowIncompleteNeverFires(t *testing.T) {
+	w := NewWindow(50, 0.01)
+	for i := 0; i < 49; i++ {
+		if w.Observe(false) {
+			t.Fatal("fired before the window filled")
+		}
+	}
+}
+
+func TestDDMGradualDrift(t *testing.T) {
+	d := NewDDM()
+	src := rng.New(4)
+	// Slowly increasing error: DDM should eventually fire.
+	fired := false
+	for i := 0; i < 8000 && !fired; i++ {
+		errRate := 0.02 + 0.18*float64(i)/8000
+		fired = d.Observe(!src.Bool(errRate))
+	}
+	if !fired {
+		t.Fatal("DDM missed a gradual 2%→20% drift")
+	}
+}
+
+func TestPageHinkleyTolleratesSmallFluctuation(t *testing.T) {
+	p := NewPageHinkley()
+	src := rng.New(5)
+	for i := 0; i < 3000; i++ {
+		errRate := 0.05
+		if i%100 < 10 {
+			errRate = 0.08 // brief small bumps
+		}
+		if p.Observe(!src.Bool(errRate)) {
+			t.Fatalf("Page-Hinkley fired at %d on small fluctuations", i)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	if w := NewWindow(0, 0); w.Size != 20 || w.Threshold != 0.2 {
+		t.Errorf("window defaults = %d/%v", w.Size, w.Threshold)
+	}
+	names := map[string]bool{}
+	for _, d := range detectors() {
+		names[d.Name()] = true
+	}
+	if len(names) != 3 {
+		t.Errorf("detector names collide: %v", names)
+	}
+}

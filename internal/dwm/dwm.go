@@ -1,0 +1,246 @@
+// Package dwm implements Dynamic Weighted Majority (Kolter and Maloof,
+// "Dynamic Weighted Majority: A New Ensemble Method for Tracking Concept
+// Drift", ICDM 2003) — reference [15] of the paper, an additional
+// trend-chasing baseline beyond RePro and WCE. DWM maintains a set of
+// incremental experts with weights: every Period records, experts that
+// erred are discounted by Beta, experts below Theta are dropped, and a new
+// expert is created whenever the weighted ensemble itself erred. Experts
+// here are incremental Naive Bayes models, the learner the original paper
+// uses.
+package dwm
+
+import (
+	"math"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+)
+
+// Options configure DWM. The published defaults are Beta 0.5 and
+// Theta 0.01; Period 50 keeps expert churn moderate at stream rates.
+type Options struct {
+	// Schema is the stream schema; nil is invalid.
+	Schema *data.Schema
+	// Period is the number of records between weight updates and expert
+	// creation/removal; <= 0 selects 50.
+	Period int
+	// Beta is the multiplicative penalty for an expert's mistake at an
+	// update point; out of (0,1) selects 0.5.
+	Beta float64
+	// Theta is the weight below which an expert is removed; <= 0 selects
+	// 0.01.
+	Theta float64
+	// MaxExperts bounds the ensemble; <= 0 selects 25.
+	MaxExperts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Period <= 0 {
+		o.Period = 50
+	}
+	if o.Beta <= 0 || o.Beta >= 1 {
+		o.Beta = 0.5
+	}
+	if o.Theta <= 0 {
+		o.Theta = 0.01
+	}
+	if o.MaxExperts <= 0 {
+		o.MaxExperts = 25
+	}
+	return o
+}
+
+// expert is one weighted incremental model.
+type expert struct {
+	model  *incrementalNB
+	weight float64
+	// erred records whether the expert misclassified any record since the
+	// last update point.
+	erred bool
+}
+
+// DWM is the online classifier.
+type DWM struct {
+	opts    Options
+	experts []expert
+	step    int
+	// globalErred records whether the ensemble misclassified any record
+	// since the last update point.
+	globalErred bool
+}
+
+// New returns a DWM instance with one fresh expert. It panics when Schema
+// is nil.
+func New(opts Options) *DWM {
+	o := opts.withDefaults()
+	if o.Schema == nil {
+		panic("dwm: Options.Schema is required")
+	}
+	d := &DWM{opts: o}
+	d.experts = append(d.experts, expert{model: newIncrementalNB(o.Schema), weight: 1})
+	return d
+}
+
+// Name implements classifier.Online.
+func (d *DWM) Name() string { return "dwm" }
+
+// NumExperts returns the current ensemble size.
+func (d *DWM) NumExperts() int { return len(d.experts) }
+
+// Predict implements classifier.Online: weighted vote of the experts.
+func (d *DWM) Predict(x data.Record) int {
+	votes := make([]float64, d.opts.Schema.NumClasses())
+	for i := range d.experts {
+		e := &d.experts[i]
+		votes[e.model.Predict(x)] += e.weight
+	}
+	return classifier.ArgMax(votes)
+}
+
+// Learn implements classifier.Online.
+func (d *DWM) Learn(y data.Record) {
+	// Score experts and the ensemble on the record before training on it.
+	votes := make([]float64, d.opts.Schema.NumClasses())
+	for i := range d.experts {
+		e := &d.experts[i]
+		pred := e.model.Predict(y)
+		votes[pred] += e.weight
+		if pred != y.Class {
+			e.erred = true
+		}
+	}
+	if classifier.ArgMax(votes) != y.Class {
+		d.globalErred = true
+	}
+	for i := range d.experts {
+		d.experts[i].model.Learn(y)
+	}
+	d.step++
+	if d.step%d.opts.Period != 0 {
+		return
+	}
+
+	// Update point: discount, normalize, prune, and possibly create.
+	maxW := 0.0
+	for i := range d.experts {
+		e := &d.experts[i]
+		if e.erred {
+			e.weight *= d.opts.Beta
+		}
+		e.erred = false
+		if e.weight > maxW {
+			maxW = e.weight
+		}
+	}
+	if maxW > 0 {
+		for i := range d.experts {
+			d.experts[i].weight /= maxW
+		}
+	}
+	kept := d.experts[:0]
+	for _, e := range d.experts {
+		if e.weight >= d.opts.Theta {
+			kept = append(kept, e)
+		}
+	}
+	d.experts = kept
+	if d.globalErred && len(d.experts) < d.opts.MaxExperts {
+		d.experts = append(d.experts, expert{model: newIncrementalNB(d.opts.Schema), weight: 1})
+	}
+	if len(d.experts) == 0 {
+		d.experts = append(d.experts, expert{model: newIncrementalNB(d.opts.Schema), weight: 1})
+	}
+	d.globalErred = false
+}
+
+// incrementalNB is a count-based Naive Bayes that learns one record at a
+// time: Laplace-smoothed frequencies for nominal attributes and running
+// Gaussian moments for numeric attributes.
+type incrementalNB struct {
+	schema *data.Schema
+	// classCount[c] counts records of class c.
+	classCount []float64
+	// nomCount[a][c][v] counts nominal value v of attribute a under c.
+	nomCount [][][]float64
+	// sum[a][c], sumSq[a][c] accumulate numeric attribute a under c.
+	sum   [][]float64
+	sumSq [][]float64
+	total float64
+}
+
+func newIncrementalNB(schema *data.Schema) *incrementalNB {
+	k := schema.NumClasses()
+	nb := &incrementalNB{
+		schema:     schema,
+		classCount: make([]float64, k),
+		nomCount:   make([][][]float64, len(schema.Attributes)),
+		sum:        make([][]float64, len(schema.Attributes)),
+		sumSq:      make([][]float64, len(schema.Attributes)),
+	}
+	for a, attr := range schema.Attributes {
+		if attr.Kind == data.Nominal {
+			nb.nomCount[a] = make([][]float64, k)
+			for c := range nb.nomCount[a] {
+				nb.nomCount[a][c] = make([]float64, attr.Cardinality())
+			}
+		} else {
+			nb.sum[a] = make([]float64, k)
+			nb.sumSq[a] = make([]float64, k)
+		}
+	}
+	return nb
+}
+
+// Learn folds in one labeled record.
+func (nb *incrementalNB) Learn(r data.Record) {
+	c := r.Class
+	nb.classCount[c]++
+	nb.total++
+	for a, attr := range nb.schema.Attributes {
+		if attr.Kind == data.Nominal {
+			v := int(r.Values[a])
+			if v >= 0 && v < len(nb.nomCount[a][c]) {
+				nb.nomCount[a][c][v]++
+			}
+			continue
+		}
+		nb.sum[a][c] += r.Values[a]
+		nb.sumSq[a][c] += r.Values[a] * r.Values[a]
+	}
+}
+
+// Predict returns the maximum-posterior class; with no data it returns 0.
+func (nb *incrementalNB) Predict(r data.Record) int {
+	k := len(nb.classCount)
+	best, bestLog := 0, math.Inf(-1)
+	for c := 0; c < k; c++ {
+		logp := math.Log((nb.classCount[c] + 1) / (nb.total + float64(k)))
+		n := nb.classCount[c]
+		for a, attr := range nb.schema.Attributes {
+			if attr.Kind == data.Nominal {
+				card := float64(attr.Cardinality())
+				v := int(r.Values[a])
+				cnt := 0.0
+				if v >= 0 && v < len(nb.nomCount[a][c]) {
+					cnt = nb.nomCount[a][c][v]
+				}
+				logp += math.Log((cnt + 1) / (n + card))
+				continue
+			}
+			if n < 2 {
+				continue // not enough data for a density estimate
+			}
+			mean := nb.sum[a][c] / n
+			variance := nb.sumSq[a][c]/n - mean*mean
+			if variance < 1e-6 {
+				variance = 1e-6
+			}
+			x := r.Values[a]
+			logp += -0.5*(x-mean)*(x-mean)/variance - 0.5*math.Log(2*math.Pi*variance)
+		}
+		if logp > bestLog {
+			best, bestLog = c, logp
+		}
+	}
+	return best
+}

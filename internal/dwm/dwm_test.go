@@ -1,0 +1,131 @@
+package dwm
+
+import (
+	"testing"
+
+	"highorder/internal/data"
+	"highorder/internal/synth"
+)
+
+func newDWM(opts Options) *DWM {
+	if opts.Schema == nil {
+		opts.Schema = synth.StaggerSchema()
+	}
+	return New(opts)
+}
+
+func TestPanicsWithoutSchema(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without schema did not panic")
+		}
+	}()
+	New(Options{})
+}
+
+func TestLearnsStationaryStagger(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 1})
+	d := newDWM(Options{})
+	for i := 0; i < 2000; i++ {
+		d.Learn(g.Next().Record)
+	}
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		e := g.Next()
+		if d.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+		d.Learn(e.Record)
+	}
+	if got := float64(wrong) / 1000; got > 0.06 {
+		t.Fatalf("stationary error = %v, want <= 0.06", got)
+	}
+}
+
+func TestAdaptsToShift(t *testing.T) {
+	d := newDWM(Options{})
+	relabel := func(g synth.Stream, concept int) data.Record {
+		e := g.Next()
+		c, s, z := int(e.Record.Values[0]), int(e.Record.Values[1]), int(e.Record.Values[2])
+		e.Record.Class = synth.StaggerLabel(concept, c, s, z)
+		return e.Record
+	}
+	a := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 2})
+	for i := 0; i < 2000; i++ {
+		d.Learn(relabel(a, 0))
+	}
+	b := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 3})
+	for i := 0; i < 2500; i++ {
+		d.Learn(relabel(b, 2))
+	}
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		r := relabel(b, 2)
+		if d.Predict(r) != r.Class {
+			wrong++
+		}
+		d.Learn(r)
+	}
+	if got := float64(wrong) / 1000; got > 0.08 {
+		t.Fatalf("post-shift error = %v, want <= 0.08", got)
+	}
+}
+
+func TestExpertsBounded(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 0.01, Seed: 4})
+	d := newDWM(Options{MaxExperts: 6})
+	for i := 0; i < 20000; i++ {
+		d.Learn(g.Next().Record)
+	}
+	if d.NumExperts() > 6 {
+		t.Fatalf("NumExperts = %d, bound 6", d.NumExperts())
+	}
+	if d.NumExperts() == 0 {
+		t.Fatal("ensemble emptied out")
+	}
+}
+
+func TestExpertChurnOnChangingStream(t *testing.T) {
+	// A changing stream must create new experts over time.
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 0.005, Seed: 5})
+	d := newDWM(Options{})
+	for i := 0; i < 5000; i++ {
+		d.Learn(g.Next().Record)
+	}
+	if d.NumExperts() < 2 {
+		t.Fatalf("NumExperts = %d on a changing stream, want >= 2", d.NumExperts())
+	}
+}
+
+func TestName(t *testing.T) {
+	if newDWM(Options{}).Name() != "dwm" {
+		t.Fatal("unexpected name")
+	}
+}
+
+func TestIncrementalNBOnNumeric(t *testing.T) {
+	g := synth.NewHyperplane(synth.HyperplaneConfig{Lambda: 1e-12, Seed: 6})
+	nb := newIncrementalNB(g.Schema())
+	for i := 0; i < 3000; i++ {
+		nb.Learn(g.Next().Record)
+	}
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		e := g.Next()
+		if nb.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+	}
+	// NB on an oblique plane is crude but must clearly beat chance.
+	if got := float64(wrong) / 1000; got > 0.35 {
+		t.Fatalf("incremental NB error on a stable hyperplane = %v", got)
+	}
+}
+
+func TestPredictWithNoData(t *testing.T) {
+	nb := newIncrementalNB(synth.StaggerSchema())
+	r := data.Record{Values: []float64{0, 0, 0}}
+	if got := nb.Predict(r); got < 0 || got > 1 {
+		t.Fatalf("prediction with no data = %d", got)
+	}
+}

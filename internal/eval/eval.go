@@ -1,0 +1,148 @@
+// Package eval provides the stream-evaluation harness shared by every
+// experiment: the test-then-train protocol (predict the unlabeled record,
+// then reveal its label), wall-clock test-time accounting (Table III), and
+// error curves aligned on concept-change points (Figure 5).
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+	"highorder/internal/synth"
+)
+
+// Result summarizes one evaluation run.
+type Result struct {
+	// Name is the algorithm name.
+	Name string
+	// Records is the number of test records processed.
+	Records int
+	// Errors is the number of misclassified records.
+	Errors int
+	// TestTime is the wall-clock time spent in Predict and Learn — the
+	// paper's "test time": classification plus additional online training
+	// (§IV-C.1).
+	TestTime time.Duration
+}
+
+// ErrorRate returns the fraction of misclassified records.
+func (r Result) ErrorRate() float64 {
+	if r.Records == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Records)
+}
+
+// String renders the result as a table row fragment.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: err=%.7f time=%.4fs n=%d", r.Name, r.ErrorRate(), r.TestTime.Seconds(), r.Records)
+}
+
+// Run evaluates c on the test dataset with the test-then-train protocol:
+// for each record, Predict on the unlabeled attributes, count the error,
+// then Learn the labeled record. Generation time is excluded because the
+// dataset is materialized up front.
+func Run(c classifier.Online, test *data.Dataset) Result {
+	res := Result{Name: c.Name(), Records: test.Len()}
+	start := time.Now()
+	for _, r := range test.Records {
+		if c.Predict(data.Record{Values: r.Values}) != r.Class {
+			res.Errors++
+		}
+		c.Learn(r)
+	}
+	res.TestTime = time.Since(start)
+	return res
+}
+
+// Warm feeds every record of hist to c's Learn without scoring — the
+// paper's protocol has every algorithm "first process the historical
+// dataset" (§IV-B). The high-order model builds offline instead and skips
+// this.
+func Warm(c classifier.Online, hist *data.Dataset) {
+	for _, r := range hist.Records {
+		c.Learn(r)
+	}
+}
+
+// Correctness evaluates c over an annotated stream and returns, per
+// record, whether the prediction was correct, for curve building.
+func Correctness(c classifier.Online, test *data.Dataset) []bool {
+	out := make([]bool, test.Len())
+	for i, r := range test.Records {
+		out[i] = c.Predict(data.Record{Values: r.Values}) == r.Class
+		c.Learn(r)
+	}
+	return out
+}
+
+// AlignedErrorCurve averages the per-record error of correctness at every
+// offset in [-before, after) relative to each concept-change start in ems,
+// reproducing Figure 5's error-during-change curves. Change points closer
+// than before/after to the stream edges are skipped. The returned curve
+// has before+after entries; counts reports how many changes contributed at
+// each offset.
+func AlignedErrorCurve(correct []bool, ems []synth.Emission, before, after int) (curve []float64, changes int) {
+	if len(correct) != len(ems) {
+		panic("eval: correctness and emissions length mismatch")
+	}
+	sums := make([]float64, before+after)
+	n := 0
+	for t := range ems {
+		if !ems[t].ChangeStart || t-before < 0 || t+after > len(ems) {
+			continue
+		}
+		// Skip changes whose window overlaps another change, so each curve
+		// reflects a single transition (as in the paper's aligned plots).
+		clean := true
+		for u := t - before; u < t+after; u++ {
+			if u != t && ems[u].ChangeStart {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		n++
+		for off := -before; off < after; off++ {
+			if !correct[t+off] {
+				sums[off+before]++
+			}
+		}
+	}
+	if n == 0 {
+		return sums, 0
+	}
+	for i := range sums {
+		sums[i] /= float64(n)
+	}
+	return sums, n
+}
+
+// SmoothCurve applies a centered moving average of the given window to a
+// curve, matching how the paper's per-timestamp plots are readable.
+func SmoothCurve(curve []float64, window int) []float64 {
+	if window <= 1 {
+		return append([]float64{}, curve...)
+	}
+	out := make([]float64, len(curve))
+	half := window / 2
+	for i := range curve {
+		lo, hi := i-half, i+half+1
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(curve) {
+			hi = len(curve)
+		}
+		sum := 0.0
+		for j := lo; j < hi; j++ {
+			sum += curve[j]
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"highorder/internal/data"
+	"highorder/internal/synth"
+)
+
+// fixedOnline predicts a constant class and counts Learn calls.
+type fixedOnline struct {
+	class   int
+	learned int
+}
+
+func (f *fixedOnline) Predict(data.Record) int { return f.class }
+func (f *fixedOnline) Learn(data.Record)       { f.learned++ }
+func (f *fixedOnline) Name() string            { return "fixed" }
+
+func dataset(classes ...int) *data.Dataset {
+	d := data.NewDataset(synth.StaggerSchema())
+	for _, c := range classes {
+		d.Add(data.Record{Values: []float64{0, 0, 0}, Class: c})
+	}
+	return d
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	c := &fixedOnline{class: 1}
+	res := Run(c, dataset(1, 1, 0, 0, 1))
+	if res.Errors != 2 || res.Records != 5 {
+		t.Fatalf("Result = %+v, want 2 errors of 5", res)
+	}
+	if math.Abs(res.ErrorRate()-0.4) > 1e-12 {
+		t.Fatalf("ErrorRate = %v, want 0.4", res.ErrorRate())
+	}
+	if c.learned != 5 {
+		t.Fatalf("Learn called %d times, want 5", c.learned)
+	}
+	if res.TestTime <= 0 {
+		t.Fatal("TestTime not measured")
+	}
+	if res.Name != "fixed" {
+		t.Fatalf("Name = %q", res.Name)
+	}
+}
+
+func TestEmptyRunErrorRate(t *testing.T) {
+	res := Run(&fixedOnline{}, dataset())
+	if res.ErrorRate() != 0 {
+		t.Fatal("empty run error rate nonzero")
+	}
+}
+
+func TestWarmFeedsAll(t *testing.T) {
+	c := &fixedOnline{}
+	Warm(c, dataset(0, 1, 0))
+	if c.learned != 3 {
+		t.Fatalf("Warm fed %d records, want 3", c.learned)
+	}
+}
+
+func TestCorrectness(t *testing.T) {
+	c := &fixedOnline{class: 1}
+	got := Correctness(c, dataset(1, 0, 1))
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Correctness = %v, want %v", got, want)
+		}
+	}
+}
+
+func emissionsWithChange(n, at int) []synth.Emission {
+	ems := make([]synth.Emission, n)
+	for i := range ems {
+		ems[i].ChangeStart = i == at
+	}
+	return ems
+}
+
+func TestAlignedErrorCurve(t *testing.T) {
+	// 10 records, change at t=5; classifier wrong exactly at t=5 and t=6.
+	correct := []bool{true, true, true, true, true, false, false, true, true, true}
+	ems := emissionsWithChange(10, 5)
+	curve, n := AlignedErrorCurve(correct, ems, 2, 4)
+	if n != 1 {
+		t.Fatalf("changes counted = %d, want 1", n)
+	}
+	want := []float64{0, 0, 1, 1, 0, 0} // offsets -2,-1,0,1,2,3
+	if len(curve) != len(want) {
+		t.Fatalf("curve length %d, want %d", len(curve), len(want))
+	}
+	for i := range want {
+		if curve[i] != want[i] {
+			t.Fatalf("curve = %v, want %v", curve, want)
+		}
+	}
+}
+
+func TestAlignedErrorCurveSkipsEdges(t *testing.T) {
+	correct := []bool{true, false, true}
+	ems := emissionsWithChange(3, 1)
+	_, n := AlignedErrorCurve(correct, ems, 2, 2)
+	if n != 0 {
+		t.Fatalf("edge change contributed %d times, want 0", n)
+	}
+}
+
+func TestAlignedErrorCurveSkipsOverlapping(t *testing.T) {
+	correct := make([]bool, 20)
+	ems := make([]synth.Emission, 20)
+	ems[8].ChangeStart = true
+	ems[10].ChangeStart = true // inside the window of the first
+	_, n := AlignedErrorCurve(correct, ems, 4, 4)
+	if n != 0 {
+		t.Fatalf("overlapping changes contributed %d, want 0", n)
+	}
+}
+
+func TestAlignedErrorCurveAverages(t *testing.T) {
+	// Two clean changes; wrong at the first change point only → average
+	// error 0.5 at offset 0.
+	correct := make([]bool, 40)
+	for i := range correct {
+		correct[i] = true
+	}
+	correct[10] = false
+	ems := make([]synth.Emission, 40)
+	ems[10].ChangeStart = true
+	ems[30].ChangeStart = true
+	curve, n := AlignedErrorCurve(correct, ems, 2, 2)
+	if n != 2 {
+		t.Fatalf("changes = %d, want 2", n)
+	}
+	if curve[2] != 0.5 {
+		t.Fatalf("offset-0 error = %v, want 0.5", curve[2])
+	}
+}
+
+func TestAlignedErrorCurvePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	AlignedErrorCurve([]bool{true}, make([]synth.Emission, 2), 1, 1)
+}
+
+func TestSmoothCurve(t *testing.T) {
+	in := []float64{0, 0, 3, 0, 0}
+	out := SmoothCurve(in, 3)
+	if out[2] != 1 {
+		t.Fatalf("smoothed center = %v, want 1", out[2])
+	}
+	if out[0] != 0 || out[4] != 0 {
+		t.Fatalf("smoothed edges = %v", out)
+	}
+	// window <= 1 returns a copy.
+	same := SmoothCurve(in, 1)
+	same[0] = 99
+	if in[0] == 99 {
+		t.Fatal("SmoothCurve(1) aliased its input")
+	}
+}

@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+)
+
+// ConfusionMatrix accumulates actual-vs-predicted counts.
+type ConfusionMatrix struct {
+	// Classes are the label names, for rendering.
+	Classes []string
+	// Counts[actual][predicted] is the number of records.
+	Counts [][]int
+}
+
+// NewConfusionMatrix returns a zero matrix over the schema's classes.
+func NewConfusionMatrix(schema *data.Schema) *ConfusionMatrix {
+	k := schema.NumClasses()
+	counts := make([][]int, k)
+	for i := range counts {
+		counts[i] = make([]int, k)
+	}
+	return &ConfusionMatrix{Classes: schema.Classes, Counts: counts}
+}
+
+// Add records one outcome.
+func (c *ConfusionMatrix) Add(actual, predicted int) {
+	c.Counts[actual][predicted]++
+}
+
+// Total returns the number of recorded outcomes.
+func (c *ConfusionMatrix) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the fraction of correct outcomes; 0 for an empty
+// matrix.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(n)
+}
+
+// Kappa returns Cohen's kappa — chance-corrected agreement, the statistic
+// commonly preferred over raw accuracy on skewed streams. It returns 0
+// when agreement by chance is total (degenerate distributions).
+func (c *ConfusionMatrix) Kappa() float64 {
+	n := float64(c.Total())
+	if n == 0 {
+		return 0
+	}
+	k := len(c.Counts)
+	po := c.Accuracy()
+	pe := 0.0
+	for i := 0; i < k; i++ {
+		rowSum, colSum := 0, 0
+		for j := 0; j < k; j++ {
+			rowSum += c.Counts[i][j]
+			colSum += c.Counts[j][i]
+		}
+		pe += float64(rowSum) / n * float64(colSum) / n
+	}
+	if pe >= 1 {
+		return 0
+	}
+	return (po - pe) / (1 - pe)
+}
+
+// Recall returns the per-class recall (diagonal over row sum); classes
+// with no actual records report recall 0.
+func (c *ConfusionMatrix) Recall(class int) float64 {
+	rowSum := 0
+	for _, v := range c.Counts[class] {
+		rowSum += v
+	}
+	if rowSum == 0 {
+		return 0
+	}
+	return float64(c.Counts[class][class]) / float64(rowSum)
+}
+
+// Precision returns the per-class precision (diagonal over column sum);
+// classes never predicted report precision 0.
+func (c *ConfusionMatrix) Precision(class int) float64 {
+	colSum := 0
+	for i := range c.Counts {
+		colSum += c.Counts[i][class]
+	}
+	if colSum == 0 {
+		return 0
+	}
+	return float64(c.Counts[class][class]) / float64(colSum)
+}
+
+// String renders the matrix with class labels.
+func (c *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "actual\\pred")
+	for _, name := range c.Classes {
+		fmt.Fprintf(&b, " %10s", name)
+	}
+	b.WriteByte('\n')
+	for i, row := range c.Counts {
+		fmt.Fprintf(&b, "%-12s", c.Classes[i])
+		for _, v := range row {
+			fmt.Fprintf(&b, " %10d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RunDetailed evaluates c like Run but also accumulates a confusion
+// matrix.
+func RunDetailed(c classifier.Online, test *data.Dataset) (Result, *ConfusionMatrix) {
+	cm := NewConfusionMatrix(test.Schema)
+	res := Result{Name: c.Name(), Records: test.Len()}
+	for _, r := range test.Records {
+		pred := c.Predict(data.Record{Values: r.Values})
+		cm.Add(r.Class, pred)
+		if pred != r.Class {
+			res.Errors++
+		}
+		c.Learn(r)
+	}
+	return res, cm
+}
+
+// Prequential tracks a fading (exponentially weighted) error estimate —
+// the standard prequential-with-forgetting metric for streams, where old
+// mistakes matter less as the concept evolves.
+type Prequential struct {
+	// Alpha is the fading factor in (0, 1]; 1 means no fading. Values
+	// outside the range are treated as 0.999.
+	Alpha float64
+
+	weightedErr float64
+	weightedN   float64
+}
+
+// Add records one outcome.
+func (p *Prequential) Add(correct bool) {
+	alpha := p.Alpha
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.999
+	}
+	p.weightedErr *= alpha
+	p.weightedN *= alpha
+	if !correct {
+		p.weightedErr++
+	}
+	p.weightedN++
+}
+
+// ErrorRate returns the faded error estimate; 0 before any outcome.
+func (p *Prequential) ErrorRate() float64 {
+	if p.weightedN == 0 {
+		return 0
+	}
+	return p.weightedErr / p.weightedN
+}

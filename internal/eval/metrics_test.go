@@ -1,0 +1,166 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"highorder/internal/synth"
+)
+
+func cm2(t *testing.T) *ConfusionMatrix {
+	t.Helper()
+	return NewConfusionMatrix(synth.StaggerSchema())
+}
+
+func TestConfusionAccuracy(t *testing.T) {
+	cm := cm2(t)
+	cm.Add(0, 0)
+	cm.Add(0, 0)
+	cm.Add(1, 0)
+	cm.Add(1, 1)
+	if got := cm.Accuracy(); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 0.75", got)
+	}
+	if cm.Total() != 4 {
+		t.Fatalf("Total = %d", cm.Total())
+	}
+}
+
+func TestConfusionEmptyIsZero(t *testing.T) {
+	cm := cm2(t)
+	if cm.Accuracy() != 0 || cm.Kappa() != 0 {
+		t.Fatal("empty matrix metrics nonzero")
+	}
+}
+
+func TestKappaPerfectAgreement(t *testing.T) {
+	cm := cm2(t)
+	for i := 0; i < 10; i++ {
+		cm.Add(i%2, i%2)
+	}
+	if got := cm.Kappa(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Kappa of perfect agreement = %v, want 1", got)
+	}
+}
+
+func TestKappaChanceAgreement(t *testing.T) {
+	// A classifier that ignores the input: predicted is independent of
+	// actual, so kappa ≈ 0 even though accuracy is 0.5.
+	cm := cm2(t)
+	for a := 0; a < 2; a++ {
+		for p := 0; p < 2; p++ {
+			for i := 0; i < 25; i++ {
+				cm.Add(a, p)
+			}
+		}
+	}
+	if got := cm.Kappa(); math.Abs(got) > 1e-12 {
+		t.Fatalf("Kappa of chance agreement = %v, want 0", got)
+	}
+	if got := cm.Accuracy(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Accuracy = %v, want 0.5", got)
+	}
+}
+
+func TestKappaDegenerateDistribution(t *testing.T) {
+	cm := cm2(t)
+	for i := 0; i < 10; i++ {
+		cm.Add(0, 0) // one class only: chance agreement is total
+	}
+	if got := cm.Kappa(); got != 0 {
+		t.Fatalf("degenerate Kappa = %v, want 0", got)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	cm := cm2(t)
+	cm.Add(1, 1)
+	cm.Add(1, 1)
+	cm.Add(1, 0) // missed positive
+	cm.Add(0, 1) // false positive
+	cm.Add(0, 0)
+	if got := cm.Recall(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Recall(1) = %v, want 2/3", got)
+	}
+	if got := cm.Precision(1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Precision(1) = %v, want 2/3", got)
+	}
+	if cm.Recall(0) != 0.5 {
+		t.Fatalf("Recall(0) = %v", cm.Recall(0))
+	}
+}
+
+func TestPrecisionRecallEmptyClass(t *testing.T) {
+	cm := cm2(t)
+	cm.Add(0, 0)
+	if cm.Recall(1) != 0 || cm.Precision(1) != 0 {
+		t.Fatal("unseen class should report 0 precision/recall")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	cm := cm2(t)
+	cm.Add(0, 1)
+	s := cm.String()
+	if !strings.Contains(s, "negative") || !strings.Contains(s, "positive") {
+		t.Fatalf("rendering missing class names:\n%s", s)
+	}
+}
+
+func TestRunDetailed(t *testing.T) {
+	c := &fixedOnline{class: 1}
+	res, cm := RunDetailed(c, dataset(1, 0, 1))
+	if res.Errors != 1 {
+		t.Fatalf("Errors = %d", res.Errors)
+	}
+	if cm.Counts[1][1] != 2 || cm.Counts[0][1] != 1 {
+		t.Fatalf("Counts = %v", cm.Counts)
+	}
+}
+
+func TestPrequentialNoFading(t *testing.T) {
+	p := Prequential{Alpha: 1}
+	p.Add(false)
+	p.Add(true)
+	p.Add(true)
+	p.Add(true)
+	if got := p.ErrorRate(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("unfaded error = %v, want 0.25", got)
+	}
+}
+
+func TestPrequentialFadesOldMistakes(t *testing.T) {
+	p := Prequential{Alpha: 0.9}
+	for i := 0; i < 20; i++ {
+		p.Add(false) // terrible start
+	}
+	for i := 0; i < 100; i++ {
+		p.Add(true) // long clean run
+	}
+	if got := p.ErrorRate(); got > 0.01 {
+		t.Fatalf("faded error = %v after a long clean run, want ≈0", got)
+	}
+	// Without fading the same history would report ≈0.17.
+	q := Prequential{Alpha: 1}
+	for i := 0; i < 20; i++ {
+		q.Add(false)
+	}
+	for i := 0; i < 100; i++ {
+		q.Add(true)
+	}
+	if q.ErrorRate() < 0.15 {
+		t.Fatalf("unfaded control = %v, want ≈0.167", q.ErrorRate())
+	}
+}
+
+func TestPrequentialEmptyAndDefaults(t *testing.T) {
+	var p Prequential // Alpha unset → default
+	if p.ErrorRate() != 0 {
+		t.Fatal("empty prequential error nonzero")
+	}
+	p.Add(false)
+	if p.ErrorRate() != 1 {
+		t.Fatalf("single-mistake error = %v", p.ErrorRate())
+	}
+}

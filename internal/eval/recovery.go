@@ -1,0 +1,64 @@
+package eval
+
+import "highorder/internal/synth"
+
+// RecoveryDelay summarizes Figure 5 as one number per algorithm: for each
+// clean concept change it measures how many records pass before the
+// classifier's error, over a sliding window of windowSize records, first
+// falls to at most threshold, and returns the mean delay over all changes
+// measured. Changes where the classifier never recovers within horizon
+// records count as the full horizon (a pessimistic floor), and recovered
+// reports the fraction that did recover.
+func RecoveryDelay(correct []bool, ems []synth.Emission, windowSize, horizon int, threshold float64) (mean float64, recovered float64, changes int) {
+	if len(correct) != len(ems) {
+		panic("eval: correctness and emissions length mismatch")
+	}
+	if windowSize <= 0 {
+		windowSize = 20
+	}
+	totalDelay := 0.0
+	recoveredN := 0
+	for t := range ems {
+		if !ems[t].ChangeStart || t+horizon > len(ems) {
+			continue
+		}
+		// Skip changes whose horizon overlaps another change.
+		clean := true
+		for u := t + 1; u < t+horizon; u++ {
+			if ems[u].ChangeStart {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		changes++
+		delay := horizon
+		wrong := 0
+		for off := 0; off < horizon; off++ {
+			if !correct[t+off] {
+				wrong++
+			}
+			if off >= windowSize {
+				if !correct[t+off-windowSize] {
+					wrong--
+				}
+			}
+			if off >= windowSize-1 {
+				if float64(wrong)/float64(windowSize) <= threshold {
+					delay = off - windowSize + 1
+					break
+				}
+			}
+		}
+		if delay < horizon {
+			recoveredN++
+		}
+		totalDelay += float64(delay)
+	}
+	if changes == 0 {
+		return 0, 0, 0
+	}
+	return totalDelay / float64(changes), float64(recoveredN) / float64(changes), changes
+}

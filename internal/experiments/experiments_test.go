@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps runner smoke tests fast.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{Scale: 0.005, Runs: 1, Seed: 3, Out: buf}
+}
+
+func TestIDsCoverEveryPaperArtifact(t *testing.T) {
+	want := []string{"fig3", "fig4", "fig5", "fig5x", "fig6", "table1", "table2", "table23", "table2x", "table3", "table4"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("table9"); ok {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestSpecsScale(t *testing.T) {
+	cfg := Config{Scale: 0.1}.withDefaults()
+	sps := specs(cfg)
+	if len(sps) != 3 {
+		t.Fatalf("%d specs, want 3", len(sps))
+	}
+	if sps[0].histSize != 20000 || sps[0].testSize != 40000 {
+		t.Fatalf("stagger sizes = %d/%d, want 20000/40000", sps[0].histSize, sps[0].testSize)
+	}
+	if sps[2].histSize != 100000 {
+		t.Fatalf("intrusion history = %d, want 100000", sps[2].histSize)
+	}
+	// Tiny scales clamp at 1000 records.
+	cfg = Config{Scale: 1e-9}.withDefaults()
+	if specs(cfg)[0].histSize != 1000 {
+		t.Fatal("minimum size clamp missing")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"stagger", "hyperplane", "intrusion", "Table I"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2And3ShareRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream comparison in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Table2(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "high-order") {
+		t.Fatalf("Table2 output missing algorithms:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Table3(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Test Times") {
+		t.Fatalf("Table3 output wrong:\n%s", buf.String())
+	}
+}
+
+func TestTable4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("build phase in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Table4(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# concepts") {
+		t.Fatalf("Table4 output wrong:\n%s", buf.String())
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("curve experiment in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Fig5(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 5 (stagger)") || !strings.Contains(out, "Figure 5 (hyperplane)") {
+		t.Fatalf("Fig5 output wrong:\n%s", out)
+	}
+}
+
+func TestFig6Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probability traces in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Fig6(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P(prev)") {
+		t.Fatalf("Fig6 output wrong:\n%s", buf.String())
+	}
+}
+
+func TestNewOnlineUnknownAlgorithm(t *testing.T) {
+	if _, err := newOnline("nope", nil, nil, 0); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestFig3Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rate sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Fig3(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1/rate") {
+		t.Fatalf("Fig3 output wrong:\n%s", buf.String())
+	}
+}
+
+func TestFig4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("history sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Fig4(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "build (s)") {
+		t.Fatalf("Fig4 output wrong:\n%s", buf.String())
+	}
+}
+
+func TestFig5xRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery experiment in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Fig5x(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recovered") {
+		t.Fatalf("Fig5x output wrong:\n%s", buf.String())
+	}
+}
+
+func TestTable2xRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended comparison in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := Table2x(tinyConfig(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dwm", "static", "vfdt-window"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table2x output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+
+	"highorder/internal/classifier"
+	"highorder/internal/core"
+	"highorder/internal/data"
+	"highorder/internal/eval"
+	"highorder/internal/synth"
+)
+
+// fig3Rates are the 1/λ values swept in Figure 3 (average concept length).
+var fig3Rates = []int{200, 600, 1000, 1400, 1800, 2200}
+
+// Fig3 prints the impact of the changing rate on error and test time for
+// Stagger and Hyperplane (Figure 3): every algorithm's error rises with
+// faster changes except the high-order model's; RePro's time grows with
+// the changing rate while WCE's falls and the high-order model's is flat.
+func Fig3(cfg Config) error {
+	c := cfg.withDefaults()
+	for _, sp := range specs(c)[:2] { // Stagger and Hyperplane only
+		fmt.Fprintf(c.Out, "Figure 3 (%s): error and test time vs 1/changing-rate (scale=%.3g, runs=%d)\n",
+			sp.name, c.Scale, c.Runs)
+		fmt.Fprintf(c.Out, "%8s", "1/rate")
+		for _, name := range algorithms {
+			fmt.Fprintf(c.Out, " %12s", name+"-err")
+		}
+		for _, name := range algorithms {
+			fmt.Fprintf(c.Out, " %12s", name+"-sec")
+		}
+		fmt.Fprintln(c.Out)
+		for _, invRate := range fig3Rates {
+			lambda := 1 / float64(invRate)
+			errs := map[string]float64{}
+			times := map[string]float64{}
+			for run := 0; run < c.Runs; run++ {
+				seed := c.Seed + int64(run)
+				g := sp.newStream(seed, lambda)
+				hist := synth.TakeDataset(g, sp.histSize)
+				test := synth.TakeDataset(g, sp.testSize)
+				for _, name := range algorithms {
+					alg, err := newOnline(name, g.Schema(), hist, seed)
+					if err != nil {
+						return err
+					}
+					res := eval.Run(alg, test)
+					errs[name] += res.ErrorRate() / float64(c.Runs)
+					times[name] += res.TestTime.Seconds() / float64(c.Runs)
+				}
+			}
+			fmt.Fprintf(c.Out, "%8d", invRate)
+			for _, name := range algorithms {
+				fmt.Fprintf(c.Out, " %12.5f", errs[name])
+			}
+			for _, name := range algorithms {
+				fmt.Fprintf(c.Out, " %12.4f", times[name])
+			}
+			fmt.Fprintln(c.Out)
+		}
+	}
+	return nil
+}
+
+// Fig4 prints the impact of the historical dataset's scale on the
+// high-order model (Figure 4): error rate, build time, and test time as
+// the history grows. Build time is near-linear in history size and error
+// falls as larger concepts train better base classifiers.
+func Fig4(cfg Config) error {
+	c := cfg.withDefaults()
+	fractions := []float64{0.05, 0.1, 0.25, 0.5, 0.75, 1.0}
+	for _, sp := range specs(c)[:2] {
+		fmt.Fprintf(c.Out, "Figure 4 (%s): high-order model vs historical size (scale=%.3g, runs=%d)\n",
+			sp.name, c.Scale, c.Runs)
+		fmt.Fprintf(c.Out, "%10s %12s %14s %12s %12s\n",
+			"history", "error", "build (s)", "test (s)", "# concepts")
+		for _, f := range fractions {
+			histSize := int(float64(sp.histSize) * f)
+			if histSize < 1000 {
+				histSize = 1000
+			}
+			var errRate, buildS, testS, concepts float64
+			for run := 0; run < c.Runs; run++ {
+				seed := c.Seed + int64(run)
+				g := sp.newStream(seed, 0)
+				hist := synth.TakeDataset(g, histSize)
+				test := synth.TakeDataset(g, sp.testSize)
+				p, m, err := buildHighOrder(hist, seed)
+				if err != nil {
+					return err
+				}
+				res := eval.Run(p, test)
+				errRate += res.ErrorRate() / float64(c.Runs)
+				buildS += m.Stats.Elapsed.Seconds() / float64(c.Runs)
+				testS += res.TestTime.Seconds() / float64(c.Runs)
+				concepts += float64(m.NumConcepts()) / float64(c.Runs)
+			}
+			fmt.Fprintf(c.Out, "%10d %12.5f %14.4f %12.4f %12.1f\n",
+				histSize, errRate, buildS, testS, concepts)
+		}
+	}
+	return nil
+}
+
+// fig5Before and fig5After bound the plotted window around each concept
+// change (the paper plots timestamps 950–1150 around a change at 1000).
+const (
+	fig5Before = 50
+	fig5After  = 150
+)
+
+// Fig5 prints the error rate during concept change for every algorithm on
+// Stagger and Hyperplane (Figure 5): curves aligned at change points and
+// averaged across all clean changes in all runs.
+func Fig5(cfg Config) error {
+	c := cfg.withDefaults()
+	for _, sp := range specs(c)[:2] {
+		curves := map[string][]float64{}
+		changes := map[string]int{}
+		for run := 0; run < c.Runs; run++ {
+			seed := c.Seed + int64(run)
+			g := sp.newStream(seed, 0)
+			hist := synth.TakeDataset(g, sp.histSize)
+			test, ems := synth.Take(g, sp.testSize)
+			for _, name := range algorithms {
+				alg, err := newOnline(name, g.Schema(), hist, seed)
+				if err != nil {
+					return err
+				}
+				correct := eval.Correctness(alg, test)
+				curve, n := eval.AlignedErrorCurve(correct, ems, fig5Before, fig5After)
+				if curves[name] == nil {
+					curves[name] = make([]float64, len(curve))
+				}
+				for i, v := range curve {
+					curves[name][i] += v * float64(n)
+				}
+				changes[name] += n
+			}
+		}
+		fmt.Fprintf(c.Out, "Figure 5 (%s): error rate around concept changes (averaged over %d changes)\n",
+			sp.name, changes[algorithms[0]])
+		fmt.Fprintf(c.Out, "%8s", "offset")
+		for _, name := range algorithms {
+			fmt.Fprintf(c.Out, " %12s", name)
+		}
+		fmt.Fprintln(c.Out)
+		for i := 0; i < fig5Before+fig5After; i += 5 {
+			fmt.Fprintf(c.Out, "%8d", i-fig5Before)
+			for _, name := range algorithms {
+				v := 0.0
+				if changes[name] > 0 {
+					v = curves[name][i] / float64(changes[name])
+				}
+				fmt.Fprintf(c.Out, " %12.5f", v)
+			}
+			fmt.Fprintln(c.Out)
+		}
+	}
+	return nil
+}
+
+// Fig5x is an extension beyond the paper: it quantifies Figure 5 as a
+// recovery delay — the mean number of records after a concept change until
+// each algorithm's windowed error returns to at most 10%, with the
+// fraction of changes recovered within the horizon.
+func Fig5x(cfg Config) error {
+	c := cfg.withDefaults()
+	const (
+		window    = 20
+		horizon   = 300
+		threshold = 0.10
+	)
+	for _, sp := range specs(c)[:2] {
+		fmt.Fprintf(c.Out, "Figure 5x (%s, extension): recovery after concept change (window %d, threshold %.0f%%, horizon %d)\n",
+			sp.name, window, threshold*100, horizon)
+		fmt.Fprintf(c.Out, "%-12s %16s %12s %10s\n", "algorithm", "mean delay (rec)", "recovered", "changes")
+		for _, name := range algorithms {
+			var meanSum, recSum float64
+			changes := 0
+			for run := 0; run < c.Runs; run++ {
+				seed := c.Seed + int64(run)
+				g := sp.newStream(seed, 0)
+				hist := synth.TakeDataset(g, sp.histSize)
+				test, ems := synth.Take(g, sp.testSize)
+				alg, err := newOnline(name, g.Schema(), hist, seed)
+				if err != nil {
+					return err
+				}
+				correct := eval.Correctness(alg, test)
+				mean, rec, n := eval.RecoveryDelay(correct, ems, window, horizon, threshold)
+				meanSum += mean * float64(n)
+				recSum += rec * float64(n)
+				changes += n
+			}
+			if changes == 0 {
+				fmt.Fprintf(c.Out, "%-12s %16s %12s %10d\n", name, "-", "-", 0)
+				continue
+			}
+			fmt.Fprintf(c.Out, "%-12s %16.1f %11.0f%% %10d\n",
+				name, meanSum/float64(changes), 100*recSum/float64(changes), changes)
+		}
+	}
+	return nil
+}
+
+// Fig6 prints the high-order model's concept probabilities during concept
+// change (Figure 6): the prior active probability of the outgoing and the
+// incoming concept, aligned at change points and averaged.
+func Fig6(cfg Config) error {
+	c := cfg.withDefaults()
+	for _, sp := range specs(c)[:2] {
+		prevCurve := make([]float64, fig5Before+fig5After)
+		nextCurve := make([]float64, fig5Before+fig5After)
+		changes := 0
+		for run := 0; run < c.Runs; run++ {
+			seed := c.Seed + int64(run)
+			g := sp.newStream(seed, 0)
+			hist := synth.TakeDataset(g, sp.histSize)
+			test, ems := synth.Take(g, sp.testSize)
+			p, m, err := buildHighOrder(hist, seed)
+			if err != nil {
+				return err
+			}
+			// Record the prior probabilities before each observation.
+			priors := make([][]float64, test.Len())
+			for i, r := range test.Records {
+				priors[i] = p.PriorProbabilities()
+				p.Observe(r)
+			}
+			mapping := matchConcepts(m, test, ems, g.NumConcepts())
+			n := accumulateProbCurves(priors, ems, mapping, prevCurve, nextCurve)
+			changes += n
+		}
+		fmt.Fprintf(c.Out, "Figure 6 (%s): concept probabilities around changes (averaged over %d changes)\n",
+			sp.name, changes)
+		fmt.Fprintf(c.Out, "%8s %14s %14s\n", "offset", "P(prev)", "P(next)")
+		for i := 0; i < fig5Before+fig5After; i += 5 {
+			prev, next := 0.0, 0.0
+			if changes > 0 {
+				prev = prevCurve[i] / float64(changes)
+				next = nextCurve[i] / float64(changes)
+			}
+			fmt.Fprintf(c.Out, "%8d %14.5f %14.5f\n", i-fig5Before, prev, next)
+		}
+	}
+	return nil
+}
+
+// matchConcepts maps each true generator concept to the discovered concept
+// whose classifier labels its records best. Ground truth is used only for
+// reporting, never for prediction.
+func matchConcepts(m *core.Model, test *data.Dataset, ems []synth.Emission, numTrue int) []int {
+	mapping := make([]int, numTrue)
+	for g := 0; g < numTrue; g++ {
+		var recs []data.Record
+		for i, e := range ems {
+			if e.Concept == g && !e.Drifting {
+				recs = append(recs, test.Records[i])
+				if len(recs) >= 2000 {
+					break
+				}
+			}
+		}
+		best, bestAcc := 0, -1.0
+		for c := range m.Concepts {
+			acc := 1 - classifier.ErrorRate(m.Concepts[c].Model, &data.Dataset{Schema: test.Schema, Records: recs})
+			if acc > bestAcc {
+				best, bestAcc = c, acc
+			}
+		}
+		mapping[g] = best
+	}
+	return mapping
+}
+
+// accumulateProbCurves adds the prior probability of the outgoing and
+// incoming concept around every clean change point into the curves, and
+// returns the number of changes used.
+func accumulateProbCurves(priors [][]float64, ems []synth.Emission, mapping []int, prevCurve, nextCurve []float64) int {
+	n := 0
+	for t := 1; t < len(ems); t++ {
+		if !ems[t].ChangeStart || t-fig5Before < 0 || t+fig5After > len(ems) {
+			continue
+		}
+		clean := true
+		for u := t - fig5Before; u < t+fig5After; u++ {
+			if u != t && ems[u].ChangeStart {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			continue
+		}
+		prevTrue := ems[t-1].Concept
+		// The incoming concept: for drift streams the emission at the
+		// change start still reports the source as dominant, so look past
+		// the drift interval for the target.
+		nextTrue := ems[t].Concept
+		for u := t; u < t+fig5After && ems[u].Drifting; u++ {
+			nextTrue = ems[u].Concept
+		}
+		if prevTrue == nextTrue {
+			continue
+		}
+		pc, nc := mapping[prevTrue], mapping[nextTrue]
+		if pc == nc {
+			continue // concepts indistinguishable at this scale
+		}
+		n++
+		for off := -fig5Before; off < fig5After; off++ {
+			prevCurve[off+fig5Before] += priors[t+off][pc]
+			nextCurve[off+fig5Before] += priors[t+off][nc]
+		}
+	}
+	return n
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"highorder/internal/data"
+	"highorder/internal/eval"
+	"highorder/internal/synth"
+)
+
+// Table1 prints the benchmark stream summary (Table I): attribute counts,
+// concept counts, and the historical/test sizes at the configured scale.
+func Table1(cfg Config) error {
+	c := cfg.withDefaults()
+	fmt.Fprintf(c.Out, "Table I: Benchmark Data Streams (scale=%.3g)\n", c.Scale)
+	fmt.Fprintf(c.Out, "%-12s %10s %8s %12s %14s %12s\n",
+		"stream", "continuous", "discrete", "# concepts", "historical", "test")
+	for _, sp := range specs(c) {
+		schema := sp.newStream(c.Seed, 0).Schema()
+		continuous, discrete := 0, 0
+		for _, a := range schema.Attributes {
+			if a.Kind == data.Numeric {
+				continuous++
+			} else {
+				discrete++
+			}
+		}
+		fmt.Fprintf(c.Out, "%-12s %10d %8d %12s %14d %12d\n",
+			sp.name, continuous, discrete, sp.concepts, sp.histSize, sp.testSize)
+	}
+	return nil
+}
+
+// comparison holds the averaged error and test time of one algorithm on
+// one stream.
+type comparison struct {
+	err  float64
+	time time.Duration
+}
+
+// runComparison evaluates all three algorithms on every benchmark stream,
+// averaging over cfg.Runs independent streams — the shared computation
+// behind Tables II and III.
+func runComparison(cfg Config) (map[string]map[string]comparison, error) {
+	out := map[string]map[string]comparison{}
+	for _, sp := range specs(cfg) {
+		out[sp.name] = map[string]comparison{}
+		for run := 0; run < cfg.Runs; run++ {
+			seed := cfg.Seed + int64(run)
+			g := sp.newStream(seed, 0)
+			hist := synth.TakeDataset(g, sp.histSize)
+			test := synth.TakeDataset(g, sp.testSize)
+			for _, name := range algorithms {
+				alg, err := newOnline(name, g.Schema(), hist, seed)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", name, sp.name, err)
+				}
+				res := eval.Run(alg, test)
+				c := out[sp.name][name]
+				c.err += res.ErrorRate() / float64(cfg.Runs)
+				c.time += res.TestTime / time.Duration(cfg.Runs)
+				out[sp.name][name] = c
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table2 prints the error-rate comparison (Table II).
+func Table2(cfg Config) error {
+	c := cfg.withDefaults()
+	results, err := runComparison(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.Out, "Table II: Comparison in Error Rates (scale=%.3g, runs=%d)\n", c.Scale, c.Runs)
+	printComparison(c, results, func(v comparison) string { return fmt.Sprintf("%.7f", v.err) })
+	return nil
+}
+
+// Table3 prints the test-time comparison (Table III).
+func Table3(cfg Config) error {
+	c := cfg.withDefaults()
+	results, err := runComparison(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.Out, "Table III: Comparison in Test Times (sec) (scale=%.3g, runs=%d)\n", c.Scale, c.Runs)
+	printComparison(c, results, func(v comparison) string { return fmt.Sprintf("%.4f", v.time.Seconds()) })
+	return nil
+}
+
+func printComparison(cfg Config, results map[string]map[string]comparison, cell func(comparison) string) {
+	fmt.Fprintf(cfg.Out, "%-12s", "stream")
+	for _, name := range algorithms {
+		fmt.Fprintf(cfg.Out, " %14s", name)
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, sp := range specs(cfg) {
+		fmt.Fprintf(cfg.Out, "%-12s", sp.name)
+		for _, name := range algorithms {
+			fmt.Fprintf(cfg.Out, " %14s", cell(results[sp.name][name]))
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+}
+
+// Table23 prints Tables II and III from a single set of runs (they are
+// measured on the same evaluation pass; running them separately repeats
+// the work).
+func Table23(cfg Config) error {
+	c := cfg.withDefaults()
+	results, err := runComparison(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(c.Out, "Table II: Comparison in Error Rates (scale=%.3g, runs=%d)\n", c.Scale, c.Runs)
+	printComparison(c, results, func(v comparison) string { return fmt.Sprintf("%.7f", v.err) })
+	fmt.Fprintln(c.Out)
+	fmt.Fprintf(c.Out, "Table III: Comparison in Test Times (sec) (scale=%.3g, runs=%d)\n", c.Scale, c.Runs)
+	printComparison(c, results, func(v comparison) string { return fmt.Sprintf("%.4f", v.time.Seconds()) })
+	return nil
+}
+
+// Table4 prints the high-order model's building phase (Table IV): build
+// time over the historical dataset and the number of discovered concepts.
+func Table4(cfg Config) error {
+	c := cfg.withDefaults()
+	fmt.Fprintf(c.Out, "Table IV: Building Phase in High-order Model (scale=%.3g, runs=%d)\n", c.Scale, c.Runs)
+	fmt.Fprintf(c.Out, "%-12s %14s %12s %10s %10s\n", "stream", "build time (s)", "# concepts", "chunks", "trainings")
+	for _, sp := range specs(c) {
+		var buildTime float64
+		var concepts, chunks, trainings float64
+		for run := 0; run < c.Runs; run++ {
+			seed := c.Seed + int64(run)
+			g := sp.newStream(seed, 0)
+			hist := synth.TakeDataset(g, sp.histSize)
+			_, m, err := buildHighOrder(hist, seed)
+			if err != nil {
+				return fmt.Errorf("build on %s: %w", sp.name, err)
+			}
+			buildTime += m.Stats.Elapsed.Seconds() / float64(c.Runs)
+			concepts += float64(m.NumConcepts()) / float64(c.Runs)
+			chunks += float64(m.Stats.Clustering.Chunks) / float64(c.Runs)
+			trainings += float64(m.Stats.Clustering.ModelsTrained) / float64(c.Runs)
+		}
+		fmt.Fprintf(c.Out, "%-12s %14.4f %12.1f %10.1f %10.0f\n",
+			sp.name, buildTime, concepts, chunks, trainings)
+	}
+	return nil
+}

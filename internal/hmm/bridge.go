@@ -1,0 +1,58 @@
+package hmm
+
+import (
+	"highorder/internal/core"
+	"highorder/internal/data"
+)
+
+// FromHighOrder adapts a trained high-order model into an HMM: states are
+// the model's concepts, the transition matrix is χ (Eq. 6), and the
+// initial distribution is uniform (matching P_1(c) = 1/N, §III-B).
+func FromHighOrder(m *core.Model) (*Model, error) {
+	n := m.NumConcepts()
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = 1 / float64(n)
+	}
+	return New(pi, m.Chi)
+}
+
+// PsiLikelihood returns the emission likelihood of the paper's ψ (Eq. 8)
+// over a labeled record sequence: ψ(c, y_t) is 1 − Err_c when concept c's
+// classifier labels y_t correctly, and Err_c otherwise.
+func PsiLikelihood(m *core.Model, records []data.Record) Likelihood {
+	return func(t, state int) float64 {
+		c := &m.Concepts[state]
+		psi := c.Err
+		if c.Model.Predict(records[t]) == records[t].Class {
+			psi = 1 - c.Err
+		}
+		if psi < 1e-6 {
+			psi = 1e-6
+		}
+		return psi
+	}
+}
+
+// DecodeConcepts returns the Viterbi-decoded most likely concept for each
+// labeled record — the paper's "Viterbi-like algorithm to find the most
+// likely sequence of underlying concepts" (§III-A), useful for offline
+// analysis of a recorded stream.
+func DecodeConcepts(m *core.Model, records []data.Record) []int {
+	h, err := FromHighOrder(m)
+	if err != nil {
+		return nil
+	}
+	return h.Viterbi(PsiLikelihood(m, records), len(records))
+}
+
+// SmoothConcepts returns the forward–backward smoothed concept posteriors
+// p(concept at t | all labels), the offline counterpart of the predictor's
+// filtered active probabilities.
+func SmoothConcepts(m *core.Model, records []data.Record) [][]float64 {
+	h, err := FromHighOrder(m)
+	if err != nil {
+		return nil
+	}
+	return h.Smooth(PsiLikelihood(m, records), len(records))
+}

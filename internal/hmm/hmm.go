@@ -1,0 +1,307 @@
+// Package hmm implements discrete-state hidden Markov model inference —
+// scaled forward filtering, forward–backward smoothing, Viterbi decoding,
+// and expected-count transition re-estimation. The paper observes that its
+// online concept identification "is, to a certain extent, training a
+// Hidden Markov Model" whose states are the stable concepts (§III-A) and
+// leaves the full analogy to future work; this package makes it concrete.
+// FromHighOrder adapts a trained high-order model into an HMM whose
+// emission likelihoods are the paper's ψ(c, y) (Eq. 8), enabling offline
+// smoothing and most-likely-path decoding of concept sequences.
+package hmm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a discrete-state HMM. Emissions are abstracted as a likelihood
+// function supplied per inference call, so any observation type works.
+type Model struct {
+	// Pi is the initial state distribution.
+	Pi []float64
+	// Trans[i][j] is the probability of moving from state i to state j.
+	Trans [][]float64
+}
+
+// Likelihood returns p(observation at t | state). Values must be
+// non-negative; they need not be normalized over states.
+type Likelihood func(t, state int) float64
+
+// New validates and returns a model. Pi must be a distribution over N
+// states and Trans an N×N stochastic matrix.
+func New(pi []float64, trans [][]float64) (*Model, error) {
+	n := len(pi)
+	if n == 0 {
+		return nil, fmt.Errorf("hmm: no states")
+	}
+	if err := checkDist(pi); err != nil {
+		return nil, fmt.Errorf("hmm: initial distribution: %w", err)
+	}
+	if len(trans) != n {
+		return nil, fmt.Errorf("hmm: transition matrix has %d rows, want %d", len(trans), n)
+	}
+	for i, row := range trans {
+		if len(row) != n {
+			return nil, fmt.Errorf("hmm: transition row %d has %d entries, want %d", i, len(row), n)
+		}
+		if err := checkDist(row); err != nil {
+			return nil, fmt.Errorf("hmm: transition row %d: %w", i, err)
+		}
+	}
+	return &Model{Pi: pi, Trans: trans}, nil
+}
+
+func checkDist(p []float64) error {
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("negative or NaN probability %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// NumStates returns the number of states.
+func (m *Model) NumStates() int { return len(m.Pi) }
+
+// Forward runs scaled forward filtering over T observations. It returns
+// the filtered posteriors alpha[t][s] = p(state_t = s | obs_1..t) and the
+// total log-likelihood log p(obs_1..T). T = 0 yields an empty posterior
+// slice and log-likelihood 0.
+func (m *Model) Forward(lik Likelihood, T int) (alpha [][]float64, logLik float64) {
+	n := m.NumStates()
+	alpha = make([][]float64, T)
+	prev := make([]float64, n)
+	copy(prev, m.Pi)
+	for t := 0; t < T; t++ {
+		cur := make([]float64, n)
+		if t > 0 {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for i := 0; i < n; i++ {
+					s += prev[i] * m.Trans[i][j]
+				}
+				cur[j] = s
+			}
+		} else {
+			copy(cur, m.Pi)
+		}
+		scale := 0.0
+		for s := 0; s < n; s++ {
+			cur[s] *= lik(t, s)
+			scale += cur[s]
+		}
+		if scale <= 0 {
+			// All states impossible: reset to uniform to stay defined, and
+			// treat the observation as uninformative.
+			for s := range cur {
+				cur[s] = 1 / float64(n)
+			}
+			scale = 1
+		}
+		for s := range cur {
+			cur[s] /= scale
+		}
+		logLik += math.Log(scale)
+		alpha[t] = cur
+		prev = cur
+	}
+	return alpha, logLik
+}
+
+// Smooth runs forward–backward smoothing and returns the smoothed
+// posteriors gamma[t][s] = p(state_t = s | obs_1..T).
+func (m *Model) Smooth(lik Likelihood, T int) [][]float64 {
+	n := m.NumStates()
+	alpha, _ := m.Forward(lik, T)
+	gamma := make([][]float64, T)
+	beta := make([]float64, n)
+	for s := range beta {
+		beta[s] = 1
+	}
+	for t := T - 1; t >= 0; t-- {
+		g := make([]float64, n)
+		sum := 0.0
+		for s := 0; s < n; s++ {
+			g[s] = alpha[t][s] * beta[s]
+			sum += g[s]
+		}
+		if sum <= 0 {
+			for s := range g {
+				g[s] = 1 / float64(n)
+			}
+		} else {
+			for s := range g {
+				g[s] /= sum
+			}
+		}
+		gamma[t] = g
+		if t == 0 {
+			break
+		}
+		// beta_{t-1}(i) ∝ Σ_j Trans[i][j]·lik(t, j)·beta_t(j), rescaled to
+		// avoid underflow.
+		nb := make([]float64, n)
+		scale := 0.0
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += m.Trans[i][j] * lik(t, j) * beta[j]
+			}
+			nb[i] = s
+			scale += s
+		}
+		if scale <= 0 {
+			for i := range nb {
+				nb[i] = 1
+			}
+		} else {
+			for i := range nb {
+				nb[i] = nb[i] / scale * float64(n)
+			}
+		}
+		beta = nb
+	}
+	return gamma
+}
+
+// Viterbi returns a most likely state sequence for T observations, in
+// log space for numeric stability. An empty sequence is returned for T=0.
+func (m *Model) Viterbi(lik Likelihood, T int) []int {
+	if T == 0 {
+		return nil
+	}
+	n := m.NumStates()
+	logTrans := make([][]float64, n)
+	for i := range logTrans {
+		logTrans[i] = make([]float64, n)
+		for j := range logTrans[i] {
+			logTrans[i][j] = safeLog(m.Trans[i][j])
+		}
+	}
+	delta := make([]float64, n)
+	for s := 0; s < n; s++ {
+		delta[s] = safeLog(m.Pi[s]) + safeLog(lik(0, s))
+	}
+	back := make([][]int32, T)
+	for t := 1; t < T; t++ {
+		next := make([]float64, n)
+		bp := make([]int32, n)
+		for j := 0; j < n; j++ {
+			best, bestI := math.Inf(-1), 0
+			for i := 0; i < n; i++ {
+				v := delta[i] + logTrans[i][j]
+				if v > best {
+					best, bestI = v, i
+				}
+			}
+			next[j] = best + safeLog(lik(t, j))
+			bp[j] = int32(bestI)
+		}
+		back[t] = bp
+		delta = next
+	}
+	best := 0
+	for s := 1; s < n; s++ {
+		if delta[s] > delta[best] {
+			best = s
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = best
+	for t := T - 1; t > 0; t-- {
+		path[t-1] = int(back[t][path[t]])
+	}
+	return path
+}
+
+// EstimateTransitions performs one expectation step over the observations
+// and returns the re-estimated transition matrix from expected transition
+// counts (a single Baum-Welch M-step for Trans, with add-smoothing
+// pseudo-counts). It does not modify m.
+func (m *Model) EstimateTransitions(lik Likelihood, T int, smoothing float64) [][]float64 {
+	n := m.NumStates()
+	counts := make([][]float64, n)
+	for i := range counts {
+		counts[i] = make([]float64, n)
+		for j := range counts[i] {
+			counts[i][j] = smoothing
+		}
+	}
+	if T >= 2 {
+		alpha, _ := m.Forward(lik, T)
+		// Backward pass accumulating xi_t(i,j) ∝ alpha_t(i)·A[i][j]·
+		// lik(t+1,j)·beta_{t+1}(j).
+		beta := make([]float64, n)
+		for s := range beta {
+			beta[s] = 1
+		}
+		for t := T - 2; t >= 0; t-- {
+			total := 0.0
+			xi := make([][]float64, n)
+			for i := 0; i < n; i++ {
+				xi[i] = make([]float64, n)
+				for j := 0; j < n; j++ {
+					v := alpha[t][i] * m.Trans[i][j] * lik(t+1, j) * beta[j]
+					xi[i][j] = v
+					total += v
+				}
+			}
+			if total > 0 {
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						counts[i][j] += xi[i][j] / total
+					}
+				}
+			}
+			// Update beta for the next (earlier) step.
+			nb := make([]float64, n)
+			scale := 0.0
+			for i := 0; i < n; i++ {
+				s := 0.0
+				for j := 0; j < n; j++ {
+					s += m.Trans[i][j] * lik(t+1, j) * beta[j]
+				}
+				nb[i] = s
+				scale += s
+			}
+			if scale > 0 {
+				for i := range nb {
+					nb[i] = nb[i] / scale * float64(n)
+				}
+			} else {
+				for i := range nb {
+					nb[i] = 1
+				}
+			}
+			beta = nb
+		}
+	}
+	out := make([][]float64, n)
+	for i := range counts {
+		out[i] = make([]float64, n)
+		rowSum := 0.0
+		for _, v := range counts[i] {
+			rowSum += v
+		}
+		for j := range counts[i] {
+			if rowSum > 0 {
+				out[i][j] = counts[i][j] / rowSum
+			} else {
+				out[i][j] = 1 / float64(n)
+			}
+		}
+	}
+	return out
+}
+
+func safeLog(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,304 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+
+	"highorder/internal/core"
+	"highorder/internal/data"
+	"highorder/internal/rng"
+	"highorder/internal/synth"
+)
+
+// twoState returns a simple 2-state model with the given stay probability.
+func twoState(t *testing.T, stay float64) *Model {
+	t.Helper()
+	m, err := New(
+		[]float64{0.5, 0.5},
+		[][]float64{{stay, 1 - stay}, {1 - stay, stay}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// obsLik builds a Likelihood from a matrix lik[t][state].
+func obsLik(lik [][]float64) Likelihood {
+	return func(t, s int) float64 { return lik[t][s] }
+}
+
+func TestNewValidates(t *testing.T) {
+	bad := []struct {
+		pi    []float64
+		trans [][]float64
+	}{
+		{nil, nil},
+		{[]float64{0.5, 0.6}, [][]float64{{1, 0}, {0, 1}}},         // pi not normalized
+		{[]float64{0.5, 0.5}, [][]float64{{1, 0}}},                 // wrong rows
+		{[]float64{0.5, 0.5}, [][]float64{{1}, {0, 1}}},            // ragged
+		{[]float64{0.5, 0.5}, [][]float64{{0.5, 0.6}, {0.5, 0.5}}}, // row not normalized
+		{[]float64{0.5, 0.5}, [][]float64{{-1, 2}, {0.5, 0.5}}},    // negative
+		{[]float64{1.5, -0.5}, [][]float64{{1, 0}, {0, 1}}},        // negative pi
+	}
+	for i, c := range bad {
+		if _, err := New(c.pi, c.trans); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+	if _, err := New([]float64{1}, [][]float64{{1}}); err != nil {
+		t.Errorf("singleton model rejected: %v", err)
+	}
+}
+
+// bruteForceLik computes p(obs) by enumerating all state paths.
+func bruteForceLik(m *Model, lik Likelihood, T int) float64 {
+	n := m.NumStates()
+	total := 0.0
+	path := make([]int, T)
+	var rec func(t int, p float64)
+	rec = func(t int, p float64) {
+		if t == T {
+			total += p
+			return
+		}
+		for s := 0; s < n; s++ {
+			trans := m.Pi[s]
+			if t > 0 {
+				trans = m.Trans[path[t-1]][s]
+			}
+			path[t] = s
+			rec(t+1, p*trans*lik(t, s))
+		}
+	}
+	rec(0, 1)
+	return total
+}
+
+// bruteForceViterbi finds the best path by enumeration.
+func bruteForceViterbi(m *Model, lik Likelihood, T int) (best []int, bestP float64) {
+	n := m.NumStates()
+	path := make([]int, T)
+	var rec func(t int, p float64)
+	rec = func(t int, p float64) {
+		if t == T {
+			if p > bestP {
+				bestP = p
+				best = append([]int{}, path...)
+			}
+			return
+		}
+		for s := 0; s < n; s++ {
+			trans := m.Pi[s]
+			if t > 0 {
+				trans = m.Trans[path[t-1]][s]
+			}
+			path[t] = s
+			rec(t+1, p*trans*lik(t, s))
+		}
+	}
+	rec(0, 1)
+	return best, bestP
+}
+
+func randomLik(src *rng.Source, T, n int) [][]float64 {
+	lik := make([][]float64, T)
+	for t := range lik {
+		lik[t] = make([]float64, n)
+		for s := range lik[t] {
+			lik[t][s] = 0.05 + src.Float64()
+		}
+	}
+	return lik
+}
+
+func TestForwardMatchesBruteForce(t *testing.T) {
+	m := twoState(t, 0.8)
+	src := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		T := 1 + src.Intn(6)
+		lik := randomLik(src, T, 2)
+		_, logLik := m.Forward(obsLik(lik), T)
+		want := bruteForceLik(m, obsLik(lik), T)
+		if math.Abs(math.Exp(logLik)-want) > 1e-9*want {
+			t.Fatalf("trial %d: forward likelihood %v, brute force %v", trial, math.Exp(logLik), want)
+		}
+	}
+}
+
+func TestForwardPosteriorsNormalized(t *testing.T) {
+	m := twoState(t, 0.9)
+	src := rng.New(2)
+	lik := randomLik(src, 50, 2)
+	alpha, _ := m.Forward(obsLik(lik), 50)
+	for t2, a := range alpha {
+		sum := 0.0
+		for _, v := range a {
+			if v < 0 {
+				t.Fatalf("negative posterior at %d", t2)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("posterior at %d sums to %v", t2, sum)
+		}
+	}
+}
+
+func TestForwardZeroLikelihoodRecovers(t *testing.T) {
+	m := twoState(t, 0.8)
+	lik := func(int, int) float64 { return 0 }
+	alpha, _ := m.Forward(lik, 3)
+	for _, a := range alpha {
+		if math.Abs(a[0]+a[1]-1) > 1e-9 {
+			t.Fatal("zero-likelihood step broke normalization")
+		}
+	}
+}
+
+func TestViterbiMatchesBruteForce(t *testing.T) {
+	m := twoState(t, 0.7)
+	src := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		T := 1 + src.Intn(6)
+		lik := randomLik(src, T, 2)
+		got := m.Viterbi(obsLik(lik), T)
+		want, wantP := bruteForceViterbi(m, obsLik(lik), T)
+		// Compute the probability of the returned path; it must equal the
+		// brute-force optimum (ties allowed).
+		p := 1.0
+		for t2, s := range got {
+			if t2 == 0 {
+				p *= m.Pi[s]
+			} else {
+				p *= m.Trans[got[t2-1]][s]
+			}
+			p *= lik[t2][s]
+		}
+		if math.Abs(p-wantP) > 1e-12*wantP {
+			t.Fatalf("trial %d: viterbi path prob %v, optimum %v (got %v, want %v)", trial, p, wantP, got, want)
+		}
+	}
+}
+
+func TestViterbiEmpty(t *testing.T) {
+	if got := twoState(t, 0.5).Viterbi(func(int, int) float64 { return 1 }, 0); got != nil {
+		t.Fatal("Viterbi of length 0 not empty")
+	}
+}
+
+func TestSmoothUsesFuture(t *testing.T) {
+	// Sticky chain; the observation at t=2 strongly indicates state 1, so
+	// smoothing should pull t=1 toward state 1 compared with filtering.
+	m := twoState(t, 0.95)
+	lik := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.01, 0.99}}
+	alpha, _ := m.Forward(obsLik(lik), 3)
+	gamma := m.Smooth(obsLik(lik), 3)
+	if gamma[1][1] <= alpha[1][1] {
+		t.Fatalf("smoothing did not use the future: filtered %v, smoothed %v", alpha[1][1], gamma[1][1])
+	}
+	for t2 := range gamma {
+		if math.Abs(gamma[t2][0]+gamma[t2][1]-1) > 1e-9 {
+			t.Fatalf("smoothed posterior at %d not normalized", t2)
+		}
+	}
+}
+
+func TestEstimateTransitionsRecoversStickiness(t *testing.T) {
+	// Generate a sequence from a sticky chain with near-perfect emissions;
+	// one re-estimation step from a vaguer prior should move the diagonal
+	// up toward the truth.
+	src := rng.New(4)
+	T := 2000
+	states := make([]int, T)
+	s := 0
+	for t2 := 0; t2 < T; t2++ {
+		if src.Bool(0.02) {
+			s = 1 - s
+		}
+		states[t2] = s
+	}
+	lik := func(t2, state int) float64 {
+		if state == states[t2] {
+			return 0.95
+		}
+		return 0.05
+	}
+	start := twoState(t, 0.7)
+	re := start.EstimateTransitions(lik, T, 1)
+	if re[0][0] <= 0.9 || re[1][1] <= 0.9 {
+		t.Fatalf("re-estimated diagonal %v/%v, want > 0.9", re[0][0], re[1][1])
+	}
+	for i := range re {
+		sum := 0.0
+		for _, v := range re[i] {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("re-estimated row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestBridgeDecodesConceptSequence(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 9})
+	hist := synth.TakeDataset(g, 8000)
+	opts := core.DefaultOptions()
+	opts.Seed = 9
+	m, err := core.Build(hist, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, ems := synth.Take(g, 3000)
+	path := DecodeConcepts(m, test.Records)
+	if len(path) != test.Len() {
+		t.Fatalf("decoded path length %d, want %d", len(path), test.Len())
+	}
+	// The decoded concept must be consistent: wherever the true concept is
+	// unchanged for a long stretch, the decoded concept should be constant
+	// over most of the stretch.
+	changesWithinRuns := 0
+	for i := 1; i < len(path); i++ {
+		if ems[i].Concept == ems[i-1].Concept && path[i] != path[i-1] {
+			changesWithinRuns++
+		}
+	}
+	if frac := float64(changesWithinRuns) / float64(len(path)); frac > 0.02 {
+		t.Fatalf("decoded path flickers within stable runs: %v", frac)
+	}
+	// Decoding must beat per-record independent MAP in smoothness.
+	gamma := SmoothConcepts(m, test.Records)
+	if len(gamma) != test.Len() {
+		t.Fatalf("smoothed posterior length %d", len(gamma))
+	}
+	for _, gdist := range gamma {
+		sum := 0.0
+		for _, v := range gdist {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("smoothed posterior sums to %v", sum)
+		}
+	}
+}
+
+func TestPsiLikelihoodBounds(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 10})
+	hist := synth.TakeDataset(g, 4000)
+	opts := core.DefaultOptions()
+	opts.Seed = 10
+	m, err := core.Build(hist, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []data.Record{hist.Records[0], hist.Records[1]}
+	lik := PsiLikelihood(m, recs)
+	for t2 := range recs {
+		for s := 0; s < m.NumConcepts(); s++ {
+			v := lik(t2, s)
+			if v <= 0 || v > 1 {
+				t.Fatalf("ψ likelihood %v outside (0,1]", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package repro re-implements RePro (Yang, Wu and Zhu, "Combining
+// proactive and reactive predictions for data streams", KDD'05), the
+// paper's strongest competitor (§IV-B). RePro remembers historical concepts
+// and reuses pre-learned classifiers when a concept reappears:
+//
+//   - A sliding trigger window over the labeled stream detects a concept
+//     change when the current classifier's error rate inside the window
+//     reaches the trigger threshold.
+//   - After a trigger, a stable-learning buffer of fresh records is
+//     collected. A candidate classifier trained on the buffer is compared
+//     against every stored concept by conceptual equivalence (agreement on
+//     the buffer); a sufficiently similar historical concept is reused,
+//     otherwise the candidate is stored as a new concept.
+//   - A transition matrix among concepts supports proactive prediction:
+//     while the buffer fills, RePro predicts with the historically most
+//     likely successor of the previous concept if that guess explains the
+//     recent records well, falling back (reactively) to the old classifier
+//     otherwise.
+//
+// The paper configures RePro with trigger window 20, stable size 200,
+// trigger error threshold 0.2, and 0.8 for the remaining three thresholds
+// (§IV-B); those are the defaults here.
+package repro
+
+import (
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+	"highorder/internal/drift"
+)
+
+// Options configure RePro.
+type Options struct {
+	// Learner trains concept classifiers; nil is invalid.
+	Learner classifier.Learner
+	// Schema is the stream schema; nil is invalid.
+	Schema *data.Schema
+	// TriggerWindow is the number of recent labeled records whose error
+	// rate is monitored; <= 0 selects 20.
+	TriggerWindow int
+	// StableSize is the number of records collected to learn a concept
+	// after a trigger; <= 0 selects 200.
+	StableSize int
+	// TriggerThreshold is the windowed error rate that signals a concept
+	// change; <= 0 selects 0.2.
+	TriggerThreshold float64
+	// EquivThreshold is the minimum agreement between a candidate and a
+	// stored concept for the stored concept to be reused; <= 0 selects 0.8.
+	EquivThreshold float64
+	// ProactiveThreshold is the minimum accuracy of the proactive guess on
+	// the collected buffer for the guess to keep being used; <= 0 selects
+	// 0.8.
+	ProactiveThreshold float64
+	// StableThreshold is the minimum accuracy a freshly learned classifier
+	// must reach on its own buffer to be considered a stable concept
+	// rather than a mixture; <= 0 selects 0.8.
+	StableThreshold float64
+	// Detector overrides the change detector. nil selects the original
+	// RePro trigger, a windowed error threshold over TriggerWindow records
+	// at TriggerThreshold; any drift.Detector (e.g. DDM or Page–Hinkley)
+	// can be plugged in instead.
+	Detector drift.Detector
+}
+
+func (o Options) withDefaults() Options {
+	if o.TriggerWindow <= 0 {
+		o.TriggerWindow = 20
+	}
+	if o.StableSize <= 0 {
+		o.StableSize = 200
+	}
+	if o.TriggerThreshold <= 0 {
+		o.TriggerThreshold = 0.2
+	}
+	if o.EquivThreshold <= 0 {
+		o.EquivThreshold = 0.8
+	}
+	if o.ProactiveThreshold <= 0 {
+		o.ProactiveThreshold = 0.8
+	}
+	if o.StableThreshold <= 0 {
+		o.StableThreshold = 0.8
+	}
+	return o
+}
+
+// concept is one stored historical concept.
+type concept struct {
+	model classifier.Classifier
+}
+
+// state is the detector state.
+type state int
+
+const (
+	bootstrapping state = iota // no concept learned yet
+	stable                     // trusting the current concept
+	relearning                 // trigger fired; filling the buffer
+)
+
+// RePro is the online classifier.
+type RePro struct {
+	opts Options
+	det  drift.Detector
+
+	concepts []concept
+	// trans[i][j] counts observed transitions from concept i to j.
+	trans [][]int
+
+	st      state
+	current int // active concept id (stable) or previous concept (relearning)
+
+	// windowRecs holds the last TriggerWindow records, seeding the
+	// relearning buffer on a trigger.
+	windowRecs []data.Record
+	buffer     []data.Record
+
+	// proactive is the guessed next concept while relearning; -1 if none.
+	proactive int
+	// deadline is the buffer size at which relearning resolves; it starts
+	// at StableSize and is extended once when the candidate looks like a
+	// mixture of concepts (accuracy on its own buffer below
+	// StableThreshold).
+	deadline int
+	extended bool
+
+	// Diagnostics for the efficiency experiments.
+	triggers    int
+	reuses      int
+	newConcepts int
+	comparisons int // historical classifiers consulted during reuse checks
+	trainings   int
+}
+
+// New returns a RePro instance. It panics when Learner or Schema is nil.
+func New(opts Options) *RePro {
+	o := opts.withDefaults()
+	if o.Learner == nil {
+		panic("repro: Options.Learner is required")
+	}
+	if o.Schema == nil {
+		panic("repro: Options.Schema is required")
+	}
+	det := o.Detector
+	if det == nil {
+		det = drift.NewWindow(o.TriggerWindow, o.TriggerThreshold)
+	}
+	return &RePro{opts: o, det: det, st: bootstrapping, current: -1, proactive: -1}
+}
+
+// Name implements classifier.Online.
+func (r *RePro) Name() string { return "repro" }
+
+// NumConcepts returns the number of stored historical concepts.
+func (r *RePro) NumConcepts() int { return len(r.concepts) }
+
+// Triggers returns the number of detected concept changes.
+func (r *RePro) Triggers() int { return r.triggers }
+
+// Reuses returns how many triggers resolved to a reused historical concept.
+func (r *RePro) Reuses() int { return r.reuses }
+
+// Predict implements classifier.Online.
+func (r *RePro) Predict(x data.Record) int {
+	switch r.st {
+	case bootstrapping:
+		if len(r.buffer) > 0 {
+			return (&data.Dataset{Schema: r.opts.Schema, Records: r.buffer}).MajorityClass()
+		}
+		return 0
+	case relearning:
+		if r.proactive >= 0 {
+			return r.concepts[r.proactive].model.Predict(x)
+		}
+		if r.current >= 0 {
+			return r.concepts[r.current].model.Predict(x)
+		}
+		return 0
+	default:
+		return r.concepts[r.current].model.Predict(x)
+	}
+}
+
+// Learn implements classifier.Online.
+func (r *RePro) Learn(y data.Record) {
+	switch r.st {
+	case bootstrapping:
+		r.buffer = append(r.buffer, y)
+		if len(r.buffer) >= r.opts.StableSize {
+			r.adoptBuffer(-1)
+		}
+	case stable:
+		correct := r.concepts[r.current].model.Predict(y) == y.Class
+		r.pushWindow(y)
+		if r.det.Observe(correct) {
+			r.fireTrigger()
+		}
+	case relearning:
+		r.buffer = append(r.buffer, y)
+		// Periodically re-select the interim concept on the freshest
+		// window of post-trigger records: proactive guess first, reactive
+		// scan of the whole concept history otherwise.
+		if len(r.buffer)%r.opts.TriggerWindow == 0 {
+			r.proactive = r.selectInterim()
+		}
+		if len(r.buffer) >= r.deadline {
+			r.resolveTrigger()
+		}
+	}
+}
+
+// pushWindow keeps the last TriggerWindow records to seed the relearning
+// buffer when a trigger fires (they are likely already from the new
+// concept).
+func (r *RePro) pushWindow(y data.Record) {
+	r.windowRecs = append(r.windowRecs, y)
+	if len(r.windowRecs) > r.opts.TriggerWindow {
+		r.windowRecs = r.windowRecs[1:]
+	}
+}
+
+// fireTrigger transitions to relearning, seeding the buffer with the
+// trigger window (records likely already from the new concept) and picking
+// the proactive guess from the transition history.
+func (r *RePro) fireTrigger() {
+	r.triggers++
+	r.st = relearning
+	r.deadline = r.opts.StableSize
+	r.extended = false
+	r.buffer = append([]data.Record{}, r.windowRecs...)
+	r.windowRecs = r.windowRecs[:0]
+	r.det.Reset()
+	r.proactive = r.selectInterim()
+}
+
+// selectInterim picks the concept to predict with while the buffer fills,
+// judged on the most recent TriggerWindow records: the transition-predicted
+// successor of the previous concept if it explains them (proactive),
+// otherwise the best-fitting historical concept (reactive). This reactive
+// scan over every stored concept at each change is the linear cost the
+// paper identifies in RePro (§IV-C.1). Returns -1 when nothing qualifies.
+func (r *RePro) selectInterim() int {
+	recent := r.buffer
+	if len(recent) > r.opts.TriggerWindow {
+		recent = recent[len(recent)-r.opts.TriggerWindow:]
+	}
+	if guess := r.bestSuccessor(r.current); guess >= 0 {
+		if r.accuracyOn(guess, recent) >= r.opts.ProactiveThreshold {
+			return guess
+		}
+	}
+	best, bestAcc := -1, 0.0
+	for c := range r.concepts {
+		acc := r.accuracyOn(c, recent)
+		if acc > bestAcc {
+			best, bestAcc = c, acc
+		}
+	}
+	if bestAcc >= r.opts.ProactiveThreshold {
+		return best
+	}
+	return -1
+}
+
+// bestSuccessor returns the historically most frequent successor of
+// concept i, or -1 when no transition from i was ever observed.
+func (r *RePro) bestSuccessor(i int) int {
+	if i < 0 || i >= len(r.trans) {
+		return -1
+	}
+	best, bestCount := -1, 0
+	for j, c := range r.trans[i] {
+		if j != i && c > bestCount {
+			best, bestCount = j, c
+		}
+	}
+	return best
+}
+
+// accuracyOn measures concept c's classifier accuracy on records.
+func (r *RePro) accuracyOn(c int, records []data.Record) float64 {
+	if len(records) == 0 {
+		return 0
+	}
+	r.comparisons++
+	correct := 0
+	for _, rec := range records {
+		if r.concepts[c].model.Predict(rec) == rec.Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(records))
+}
+
+// resolveTrigger finishes relearning: train a candidate on the buffer,
+// search the concept history for an equivalent concept, and either reuse
+// it or store the candidate as new.
+func (r *RePro) resolveTrigger() {
+	prev := r.current
+	ds := &data.Dataset{Schema: r.opts.Schema, Records: r.buffer}
+	r.trainings++
+	candidate, err := r.opts.Learner.Train(ds)
+	if err != nil {
+		// Cannot learn from the buffer; stay with the previous concept.
+		r.st = stable
+		r.buffer = nil
+		r.proactive = -1
+		return
+	}
+	// An unstable candidate — poor accuracy even on its own buffer —
+	// usually means the buffer straddles the change point or mixes
+	// concepts. Extend the collection window once before committing.
+	if !r.extended && 1-classifier.ErrorRate(candidate, ds) < r.opts.StableThreshold {
+		r.extended = true
+		r.deadline += r.opts.StableSize
+		return
+	}
+	// Conceptual equivalence: agreement of the candidate with each stored
+	// concept on the buffer. RePro enumerates every historical concept —
+	// the linear scan the paper blames for its slowdown (§IV-C.1).
+	bestIdx, bestAgree := -1, 0.0
+	for i := range r.concepts {
+		r.comparisons++
+		agree := classifier.Agreement(candidate, r.concepts[i].model, r.buffer)
+		if agree > bestAgree {
+			bestIdx, bestAgree = i, agree
+		}
+	}
+	next := -1
+	if bestIdx >= 0 && bestAgree >= r.opts.EquivThreshold {
+		next = bestIdx
+		r.reuses++
+	} else {
+		// The candidate must itself look stable; an unstable mixture is
+		// stored anyway (an "illusive concept") when nothing better exists,
+		// mirroring RePro's behavior on noisy triggers.
+		r.concepts = append(r.concepts, concept{model: candidate})
+		for i := range r.trans {
+			r.trans[i] = append(r.trans[i], 0)
+		}
+		r.trans = append(r.trans, make([]int, len(r.concepts)))
+		next = len(r.concepts) - 1
+		r.newConcepts++
+	}
+	if prev >= 0 && prev != next {
+		r.trans[prev][next]++
+	}
+	r.current = next
+	r.st = stable
+	r.buffer = nil
+	r.proactive = -1
+}
+
+// adoptBuffer bootstraps the first concept from the initial buffer.
+func (r *RePro) adoptBuffer(prev int) {
+	ds := &data.Dataset{Schema: r.opts.Schema, Records: r.buffer}
+	r.trainings++
+	model, err := r.opts.Learner.Train(ds)
+	if err != nil {
+		return
+	}
+	r.concepts = append(r.concepts, concept{model: model})
+	for i := range r.trans {
+		r.trans[i] = append(r.trans[i], 0)
+	}
+	r.trans = append(r.trans, make([]int, len(r.concepts)))
+	r.current = len(r.concepts) - 1
+	if prev >= 0 {
+		r.trans[prev][r.current]++
+	}
+	r.st = stable
+	r.buffer = nil
+	r.newConcepts++
+}

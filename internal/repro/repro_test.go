@@ -1,0 +1,228 @@
+package repro
+
+import (
+	"testing"
+
+	"highorder/internal/drift"
+	"highorder/internal/synth"
+	"highorder/internal/tree"
+)
+
+func newRePro(opts Options) *RePro {
+	if opts.Learner == nil {
+		opts.Learner = tree.NewLearner()
+	}
+	if opts.Schema == nil {
+		opts.Schema = synth.StaggerSchema()
+	}
+	return New(opts)
+}
+
+// relabeledStagger yields a λ≈0 Stagger stream relabeled to the given
+// concept, so tests control the concept schedule exactly.
+func relabeledStagger(seed int64, concept int) func() synth.Emission {
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: seed})
+	return func() synth.Emission {
+		e := g.Next()
+		c := int(e.Record.Values[0])
+		s := int(e.Record.Values[1])
+		z := int(e.Record.Values[2])
+		e.Record.Class = synth.StaggerLabel(concept, c, s, z)
+		e.Concept = concept
+		return e
+	}
+}
+
+func TestPanicsWithoutLearner(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without learner did not panic")
+		}
+	}()
+	New(Options{Schema: synth.StaggerSchema()})
+}
+
+func TestPanicsWithoutSchema(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without schema did not panic")
+		}
+	}()
+	New(Options{Learner: tree.NewLearner()})
+}
+
+func TestBootstrapLearnsFirstConcept(t *testing.T) {
+	r := newRePro(Options{})
+	next := relabeledStagger(1, 0)
+	for i := 0; i < 200; i++ {
+		r.Learn(next().Record)
+	}
+	if r.NumConcepts() != 1 {
+		t.Fatalf("after bootstrap NumConcepts = %d, want 1", r.NumConcepts())
+	}
+	wrong := 0
+	for i := 0; i < 500; i++ {
+		e := next()
+		if r.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+		r.Learn(e.Record)
+	}
+	if got := float64(wrong) / 500; got > 0.02 {
+		t.Fatalf("stationary error = %v, want <= 0.02", got)
+	}
+}
+
+func TestDetectsConceptChange(t *testing.T) {
+	r := newRePro(Options{})
+	a := relabeledStagger(2, 0)
+	for i := 0; i < 1000; i++ {
+		r.Learn(a().Record)
+	}
+	if r.Triggers() != 0 {
+		t.Fatalf("false trigger on a stationary stream (%d triggers)", r.Triggers())
+	}
+	b := relabeledStagger(3, 2)
+	for i := 0; i < 1000; i++ {
+		r.Learn(b().Record)
+	}
+	if r.Triggers() == 0 {
+		t.Fatal("no trigger after an abrupt concept shift")
+	}
+	if r.NumConcepts() < 2 {
+		t.Fatalf("NumConcepts = %d after a shift, want >= 2", r.NumConcepts())
+	}
+}
+
+func TestReusesReappearingConcept(t *testing.T) {
+	r := newRePro(Options{})
+	// A → B → A → B: the second visits should reuse stored concepts.
+	for phase := 0; phase < 4; phase++ {
+		concept := phase % 2
+		next := relabeledStagger(int64(10+phase), concept*2) // concepts 0 and 2
+		for i := 0; i < 1500; i++ {
+			r.Learn(next().Record)
+		}
+	}
+	if r.Reuses() == 0 {
+		t.Fatal("no concept reuse across four alternating phases")
+	}
+	// The concept store should stay small: ~2 true concepts plus possibly
+	// an illusive one from a noisy trigger.
+	if r.NumConcepts() > 4 {
+		t.Fatalf("NumConcepts = %d, want <= 4 for two alternating concepts", r.NumConcepts())
+	}
+}
+
+func TestRecoversAccuracyAfterChange(t *testing.T) {
+	r := newRePro(Options{})
+	a := relabeledStagger(20, 0)
+	for i := 0; i < 1000; i++ {
+		r.Learn(a().Record)
+	}
+	b := relabeledStagger(21, 2)
+	// Give RePro a stable-learning period on the new concept.
+	for i := 0; i < 1000; i++ {
+		r.Learn(b().Record)
+	}
+	wrong := 0
+	for i := 0; i < 500; i++ {
+		e := b()
+		if r.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+		r.Learn(e.Record)
+	}
+	if got := float64(wrong) / 500; got > 0.05 {
+		t.Fatalf("post-change error = %v, want <= 0.05", got)
+	}
+}
+
+func TestProactivePredictionAfterLearnedPattern(t *testing.T) {
+	r := newRePro(Options{})
+	// Alternate A and C several times so the transition A→C is learned,
+	// then check that right after a fresh A→C trigger the prediction is
+	// already good (proactive guess) before the buffer is full.
+	for phase := 0; phase < 6; phase++ {
+		concept := (phase % 2) * 2
+		next := relabeledStagger(int64(30+phase), concept)
+		for i := 0; i < 1200; i++ {
+			r.Learn(next().Record)
+		}
+	}
+	// Now in concept C (phase 5). Switch back to A and feed just enough to
+	// fire the trigger, then measure prediction quality mid-relearning.
+	next := relabeledStagger(40, 0)
+	for i := 0; i < 60; i++ { // a few trigger windows
+		r.Learn(next().Record)
+	}
+	wrong, n := 0, 200
+	for i := 0; i < n; i++ {
+		e := next()
+		if r.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+	}
+	got := float64(wrong) / float64(n)
+	if got > 0.40 {
+		t.Fatalf("mid-relearning error = %v; proactive prediction should do better", got)
+	}
+}
+
+func TestIllusiveConceptsOnNoisyStream(t *testing.T) {
+	// Rapid concept changes relative to the stable size produce mixed
+	// buffers; RePro accumulates extra (illusive) concepts — the failure
+	// mode the paper describes (§IV-C.1).
+	r := newRePro(Options{StableSize: 200})
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 0.01, Seed: 50}) // avg run 100 < stable size
+	for i := 0; i < 20000; i++ {
+		r.Learn(g.Next().Record)
+	}
+	if r.NumConcepts() <= 3 {
+		t.Logf("note: only %d concepts accumulated; illusive-concept growth is stream-dependent", r.NumConcepts())
+	}
+	if r.Triggers() == 0 {
+		t.Fatal("no triggers on a fast-changing stream")
+	}
+}
+
+func TestName(t *testing.T) {
+	if newRePro(Options{}).Name() != "repro" {
+		t.Fatal("unexpected name")
+	}
+}
+
+func TestPredictBeforeAnyData(t *testing.T) {
+	r := newRePro(Options{})
+	e := relabeledStagger(60, 0)()
+	if got := r.Predict(e.Record); got != 0 {
+		t.Fatalf("prediction before any data = %d, want 0", got)
+	}
+}
+
+func TestCustomDetectorPlugsIn(t *testing.T) {
+	// A DDM-triggered RePro must still detect an abrupt shift and recover.
+	r := newRePro(Options{Detector: drift.NewDDM()})
+	a := relabeledStagger(70, 0)
+	for i := 0; i < 1000; i++ {
+		r.Learn(a().Record)
+	}
+	b := relabeledStagger(71, 2)
+	for i := 0; i < 1500; i++ {
+		r.Learn(b().Record)
+	}
+	if r.Triggers() == 0 {
+		t.Fatal("DDM-triggered RePro missed an abrupt shift")
+	}
+	wrong := 0
+	for i := 0; i < 400; i++ {
+		e := b()
+		if r.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+		r.Learn(e.Record)
+	}
+	if got := float64(wrong) / 400; got > 0.05 {
+		t.Fatalf("post-change error with DDM trigger = %v", got)
+	}
+}

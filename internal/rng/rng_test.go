@@ -1,0 +1,207 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("sources with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a, b := root.Split(), root.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("split sources produced %d/100 identical draws; want independent streams", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(99).Split()
+	b := New(99).Split()
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("Split is not a pure function of the root seed (draw %d)", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 returned %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(3)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency = %v, want ≈0.25", got)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	s := New(5)
+	w := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[s.Categorical(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Categorical index %d frequency = %v, want ≈%v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalSingleton(t *testing.T) {
+	s := New(6)
+	for i := 0; i < 10; i++ {
+		if got := s.Categorical([]float64{3.5}); got != 0 {
+			t.Fatalf("Categorical over one weight returned %d, want 0", got)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := map[string][]float64{
+		"empty":    {},
+		"zero":     {0, 0},
+		"negative": {1, -1},
+		"nan":      {math.NaN()},
+	}
+	for name, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%s) did not panic", name)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestZipfRanking(t *testing.T) {
+	s := New(11)
+	z := NewZipf(s, 4, 1)
+	counts := make([]int, 4)
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	// With z=1 over 4 ranks, P ∝ 1, 1/2, 1/3, 1/4 → must be strictly
+	// decreasing, and rank 1 should appear roughly 1/(1+1/2+1/3+1/4)=0.48
+	// of the time.
+	for i := 1; i < 4; i++ {
+		if counts[i] >= counts[i-1] {
+			t.Fatalf("Zipf counts not decreasing: %v", counts)
+		}
+	}
+	got := float64(counts[0]) / float64(n)
+	if math.Abs(got-0.48) > 0.01 {
+		t.Fatalf("Zipf rank-1 frequency = %v, want ≈0.48", got)
+	}
+}
+
+func TestZipfZeroExponentIsUniform(t *testing.T) {
+	s := New(13)
+	z := NewZipf(s, 5, 0)
+	counts := make([]int, 5)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		got := float64(c) / float64(n)
+		if math.Abs(got-0.2) > 0.01 {
+			t.Errorf("Zipf z=0 rank %d frequency = %v, want ≈0.2", i, got)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(0) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		p := s.Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	s := New(17)
+	n := 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Gaussian(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Gaussian mean = %v, want ≈3", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Fatalf("Gaussian variance = %v, want ≈4", variance)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			if v := s.Intn(7); v < 0 || v >= 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

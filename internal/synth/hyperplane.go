@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"fmt"
+
+	"highorder/internal/data"
+	"highorder/internal/rng"
+)
+
+// HyperplaneConfig configures the Hyperplane concept-drift generator
+// (§IV-A).
+type HyperplaneConfig struct {
+	// Dims is the dimensionality d; <= 0 selects the paper's 3.
+	Dims int
+	// NumConcepts is the number of stable hyperplanes; <= 0 selects the
+	// paper's 4.
+	NumConcepts int
+	// Lambda is the per-record probability of starting a drift to a new
+	// concept while stable; <= 0 selects the paper's 0.001.
+	Lambda float64
+	// DriftSteps is the number of records over which the hyperplane
+	// coefficients interpolate to the next concept; <= 0 selects the
+	// paper's 100.
+	DriftSteps int
+	// ZipfZ is the exponent for picking the next concept; <= 0 selects 1.
+	ZipfZ float64
+	// Seed drives both the concept hyperplanes and the record stream.
+	Seed int64
+}
+
+func (c HyperplaneConfig) withDefaults() HyperplaneConfig {
+	if c.Dims <= 0 {
+		c.Dims = 3
+	}
+	if c.NumConcepts <= 0 {
+		c.NumConcepts = 4
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.001
+	}
+	if c.DriftSteps <= 0 {
+		c.DriftSteps = 100
+	}
+	if c.ZipfZ <= 0 {
+		c.ZipfZ = 1
+	}
+	return c
+}
+
+// Hyperplane generates uniformly distributed records in [0,1]^d labeled
+// positive when Σ a_i·x_i ≥ a_0 with a_0 = ½·Σ a_i, so each concept's
+// hyperplane bisects the cube. On a concept change the coefficients drift
+// linearly to the next concept's over DriftSteps records — the paper's
+// concept-drifting stream.
+type Hyperplane struct {
+	cfg    HyperplaneConfig
+	src    *rng.Source
+	zipf   *rng.Zipf
+	schema *data.Schema
+
+	// planes[c] are concept c's coefficients a_1..a_d.
+	planes [][]float64
+
+	concept int // current (or drift-target) concept
+	source  int // concept being drifted away from
+	step    int // records into the drift; >= DriftSteps when stable
+	cur     []float64
+}
+
+// NewHyperplane returns a generator with NumConcepts random hyperplanes,
+// starting stable in concept 0.
+func NewHyperplane(cfg HyperplaneConfig) *Hyperplane {
+	c := cfg.withDefaults()
+	src := rng.New(c.Seed)
+	planeSrc := src.Split()
+	planes := make([][]float64, c.NumConcepts)
+	for i := range planes {
+		w := make([]float64, c.Dims)
+		for j := range w {
+			w[j] = planeSrc.Float64()
+		}
+		planes[i] = w
+	}
+	attrs := make([]data.Attribute, c.Dims)
+	for i := range attrs {
+		attrs[i] = data.Attribute{Name: fmt.Sprintf("x%d", i+1), Kind: data.Numeric}
+	}
+	g := &Hyperplane{
+		cfg:    c,
+		src:    src,
+		zipf:   rng.NewZipf(src.Split(), c.NumConcepts-1, c.ZipfZ),
+		schema: &data.Schema{Attributes: attrs, Classes: []string{"negative", "positive"}},
+		planes: planes,
+		step:   c.DriftSteps,
+		cur:    append([]float64{}, planes[0]...),
+	}
+	return g
+}
+
+// Schema implements Stream.
+func (g *Hyperplane) Schema() *data.Schema { return g.schema }
+
+// NumConcepts implements Stream.
+func (g *Hyperplane) NumConcepts() int { return g.cfg.NumConcepts }
+
+// Planes returns the concept hyperplane coefficients (for tests and the
+// probability-trace experiment).
+func (g *Hyperplane) Planes() [][]float64 { return g.planes }
+
+// Next implements Stream.
+func (g *Hyperplane) Next() Emission {
+	changed := false
+	stable := g.step >= g.cfg.DriftSteps
+	if stable && g.src.Bool(g.cfg.Lambda) {
+		g.source = g.concept
+		g.concept = nextByZipf(g.concept, g.cfg.NumConcepts, g.zipf)
+		g.step = 0
+		changed = true
+		stable = false
+	}
+	if !stable {
+		// Interpolate linearly from the source to the target plane.
+		g.step++
+		f := float64(g.step) / float64(g.cfg.DriftSteps)
+		src, dst := g.planes[g.source], g.planes[g.concept]
+		for j := range g.cur {
+			g.cur[j] = src[j] + f*(dst[j]-src[j])
+		}
+	}
+
+	x := make([]float64, g.cfg.Dims)
+	sum, wsum := 0.0, 0.0
+	for j := range x {
+		x[j] = g.src.Float64()
+		sum += g.cur[j] * x[j]
+		wsum += g.cur[j]
+	}
+	class := 0
+	if sum >= wsum/2 {
+		class = 1
+	}
+	dominant := g.concept
+	if !stable && float64(g.step) <= float64(g.cfg.DriftSteps)/2 {
+		dominant = g.source
+	}
+	return Emission{
+		Record:      data.Record{Values: x, Class: class},
+		Concept:     dominant,
+		Drifting:    g.step < g.cfg.DriftSteps,
+		ChangeStart: changed,
+	}
+}

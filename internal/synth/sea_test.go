@@ -1,0 +1,87 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"highorder/internal/classifier"
+	"highorder/internal/tree"
+)
+
+func TestSEADefaults(t *testing.T) {
+	g := NewSEA(SEAConfig{Seed: 1})
+	if g.NumConcepts() != 4 {
+		t.Fatalf("NumConcepts = %d, want 4", g.NumConcepts())
+	}
+	if len(g.Schema().Attributes) != 3 {
+		t.Fatalf("attributes = %d, want 3", len(g.Schema().Attributes))
+	}
+}
+
+func TestSEALabelsMatchThreshold(t *testing.T) {
+	g := NewSEA(SEAConfig{Lambda: 1e-12, Noise: 0, Seed: 2})
+	for i := 0; i < 5000; i++ {
+		e := g.Next()
+		want := 0
+		if e.Record.Values[0]+e.Record.Values[1] <= 8 { // first default threshold
+			want = 1
+		}
+		if e.Record.Class != want {
+			t.Fatalf("record %d mislabeled", i)
+		}
+	}
+}
+
+func TestSEANoiseRate(t *testing.T) {
+	clean := NewSEA(SEAConfig{Lambda: 1e-12, Noise: 0, Seed: 3})
+	noisy := NewSEA(SEAConfig{Lambda: 1e-12, Noise: 0.1, Seed: 3})
+	n, flips := 50000, 0
+	for i := 0; i < n; i++ {
+		// Same seed → same attribute draws; count label disagreements.
+		// Noise consumes extra randomness, so compare against the
+		// threshold rule directly instead of the clean stream.
+		e := noisy.Next()
+		want := 0
+		if e.Record.Values[0]+e.Record.Values[1] <= 8 {
+			want = 1
+		}
+		if e.Record.Class != want {
+			flips++
+		}
+		clean.Next()
+	}
+	got := float64(flips) / float64(n)
+	if math.Abs(got-0.1) > 0.01 {
+		t.Fatalf("noise rate = %v, want ≈0.1", got)
+	}
+}
+
+func TestSEAConceptsVisited(t *testing.T) {
+	g := NewSEA(SEAConfig{Lambda: 0.01, Seed: 4})
+	seen := map[int]bool{}
+	for i := 0; i < 30000; i++ {
+		seen[g.Next().Concept] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("visited %d concepts, want 4", len(seen))
+	}
+}
+
+func TestSEALearnable(t *testing.T) {
+	g := NewSEA(SEAConfig{Lambda: 1e-12, Noise: 0, Seed: 5})
+	train := TakeDataset(g, 3000)
+	test := TakeDataset(g, 2000)
+	c := classifier.MustTrain(tree.NewLearner(), train)
+	if err := classifier.ErrorRate(c, test); err > 0.05 {
+		t.Fatalf("tree error on stable SEA = %v", err)
+	}
+}
+
+func TestSEASingleThresholdNeverChanges(t *testing.T) {
+	g := NewSEA(SEAConfig{Thresholds: []float64{8}, Lambda: 0.5, Seed: 6})
+	for i := 0; i < 1000; i++ {
+		if e := g.Next(); e.ChangeStart || e.Concept != 0 {
+			t.Fatal("single-concept SEA changed concept")
+		}
+	}
+}

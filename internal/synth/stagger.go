@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"highorder/internal/data"
+	"highorder/internal/rng"
+)
+
+// StaggerConfig configures the Stagger concept-shift generator (§IV-A).
+type StaggerConfig struct {
+	// Lambda is the per-record probability of a concept shift; <= 0
+	// selects the paper's default of 0.001.
+	Lambda float64
+	// ZipfZ is the exponent of the Zipf distribution that picks the next
+	// concept on a shift; <= 0 selects the paper's default of 1.
+	ZipfZ float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+func (c StaggerConfig) withDefaults() StaggerConfig {
+	if c.Lambda <= 0 {
+		c.Lambda = 0.001
+	}
+	if c.ZipfZ <= 0 {
+		c.ZipfZ = 1
+	}
+	return c
+}
+
+// Stagger generates the classic three-concept Stagger stream: records have
+// three nominal attributes (color, shape, size) and the positive class is
+//
+//	A: color = red ∧ size = small
+//	B: color = green ∨ shape = circle
+//	C: size = medium ∨ size = large
+//
+// The active concept shifts instantaneously with probability Lambda before
+// each record; the next concept is drawn from a Zipf distribution over the
+// remaining concepts.
+type Stagger struct {
+	cfg     StaggerConfig
+	src     *rng.Source
+	zipf    *rng.Zipf
+	schema  *data.Schema
+	concept int
+}
+
+// StaggerSchema returns the Stagger stream schema.
+func StaggerSchema() *data.Schema {
+	return &data.Schema{
+		Attributes: []data.Attribute{
+			{Name: "color", Kind: data.Nominal, Values: []string{"green", "blue", "red"}},
+			{Name: "shape", Kind: data.Nominal, Values: []string{"triangle", "circle", "rectangle"}},
+			{Name: "size", Kind: data.Nominal, Values: []string{"small", "medium", "large"}},
+		},
+		Classes: []string{"negative", "positive"},
+	}
+}
+
+// StaggerLabel returns the true class of (color, shape, size) under
+// concept ∈ {0, 1, 2} (A, B, C above).
+func StaggerLabel(concept, color, shape, size int) int {
+	switch concept {
+	case 0:
+		if color == 2 && size == 0 {
+			return 1
+		}
+	case 1:
+		if color == 0 || shape == 1 {
+			return 1
+		}
+	case 2:
+		if size == 1 || size == 2 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// NewStagger returns a Stagger generator starting in concept A.
+func NewStagger(cfg StaggerConfig) *Stagger {
+	c := cfg.withDefaults()
+	src := rng.New(c.Seed)
+	return &Stagger{
+		cfg:    c,
+		src:    src,
+		zipf:   rng.NewZipf(src.Split(), 2, c.ZipfZ), // ranks over the 2 other concepts
+		schema: StaggerSchema(),
+	}
+}
+
+// Schema implements Stream.
+func (g *Stagger) Schema() *data.Schema { return g.schema }
+
+// NumConcepts implements Stream.
+func (g *Stagger) NumConcepts() int { return 3 }
+
+// Next implements Stream.
+func (g *Stagger) Next() Emission {
+	changed := false
+	if g.src.Bool(g.cfg.Lambda) {
+		g.concept = nextByZipf(g.concept, 3, g.zipf)
+		changed = true
+	}
+	color, shape, size := g.src.Intn(3), g.src.Intn(3), g.src.Intn(3)
+	return Emission{
+		Record: data.Record{
+			Values: []float64{float64(color), float64(shape), float64(size)},
+			Class:  StaggerLabel(g.concept, color, shape, size),
+		},
+		Concept:     g.concept,
+		ChangeStart: changed,
+	}
+}
+
+// nextByZipf picks the next concept ≠ current: the remaining concepts, in
+// index order, are ranked 1..n−1 and a rank is drawn from the Zipf sampler.
+func nextByZipf(current, n int, z *rng.Zipf) int {
+	rank := z.Draw() // 0-based rank among the others
+	idx := 0
+	for c := 0; c < n; c++ {
+		if c == current {
+			continue
+		}
+		if idx == rank {
+			return c
+		}
+		idx++
+	}
+	return (current + 1) % n // unreachable
+}

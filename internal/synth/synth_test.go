@@ -1,0 +1,327 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+	"highorder/internal/tree"
+)
+
+func TestStaggerLabelTruthTable(t *testing.T) {
+	// Concept A: red ∧ small.
+	if StaggerLabel(0, 2, 0, 0) != 1 || StaggerLabel(0, 2, 0, 1) != 0 || StaggerLabel(0, 0, 0, 0) != 0 {
+		t.Error("concept A labels wrong")
+	}
+	// Concept B: green ∨ circle.
+	if StaggerLabel(1, 0, 0, 0) != 1 || StaggerLabel(1, 1, 1, 0) != 1 || StaggerLabel(1, 1, 0, 0) != 0 {
+		t.Error("concept B labels wrong")
+	}
+	// Concept C: medium ∨ large.
+	if StaggerLabel(2, 0, 0, 1) != 1 || StaggerLabel(2, 0, 0, 2) != 1 || StaggerLabel(2, 2, 2, 0) != 0 {
+		t.Error("concept C labels wrong")
+	}
+}
+
+func TestStaggerDeterministic(t *testing.T) {
+	a := NewStagger(StaggerConfig{Seed: 42})
+	b := NewStagger(StaggerConfig{Seed: 42})
+	for i := 0; i < 1000; i++ {
+		ea, eb := a.Next(), b.Next()
+		if ea.Concept != eb.Concept || ea.Record.Class != eb.Record.Class {
+			t.Fatalf("streams diverged at record %d", i)
+		}
+		for j := range ea.Record.Values {
+			if ea.Record.Values[j] != eb.Record.Values[j] {
+				t.Fatalf("streams diverged at record %d", i)
+			}
+		}
+	}
+}
+
+func TestStaggerChangeRate(t *testing.T) {
+	g := NewStagger(StaggerConfig{Lambda: 0.01, Seed: 1})
+	n := 100000
+	changes := 0
+	for i := 0; i < n; i++ {
+		if g.Next().ChangeStart {
+			changes++
+		}
+	}
+	got := float64(changes) / float64(n)
+	if math.Abs(got-0.01) > 0.002 {
+		t.Fatalf("change frequency = %v, want ≈0.01", got)
+	}
+}
+
+func TestStaggerLabelsMatchConcept(t *testing.T) {
+	g := NewStagger(StaggerConfig{Lambda: 0.01, Seed: 2})
+	for i := 0; i < 10000; i++ {
+		e := g.Next()
+		c := int(e.Record.Values[0])
+		s := int(e.Record.Values[1])
+		z := int(e.Record.Values[2])
+		if e.Record.Class != StaggerLabel(e.Concept, c, s, z) {
+			t.Fatalf("record %d label inconsistent with its concept", i)
+		}
+	}
+}
+
+func TestStaggerVisitsAllConcepts(t *testing.T) {
+	g := NewStagger(StaggerConfig{Lambda: 0.02, Seed: 3})
+	seen := map[int]bool{}
+	for i := 0; i < 20000; i++ {
+		seen[g.Next().Concept] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("visited %d concepts, want 3", len(seen))
+	}
+}
+
+func TestStaggerRecordsValid(t *testing.T) {
+	g := NewStagger(StaggerConfig{Seed: 4})
+	schema := g.Schema()
+	for i := 0; i < 1000; i++ {
+		if err := schema.CheckRecord(g.Next().Record); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHyperplaneDefaults(t *testing.T) {
+	g := NewHyperplane(HyperplaneConfig{Seed: 1})
+	if g.NumConcepts() != 4 {
+		t.Errorf("NumConcepts = %d, want 4", g.NumConcepts())
+	}
+	if got := len(g.Schema().Attributes); got != 3 {
+		t.Errorf("dims = %d, want 3", got)
+	}
+	for _, p := range g.Planes() {
+		if len(p) != 3 {
+			t.Errorf("plane has %d coefficients", len(p))
+		}
+	}
+}
+
+func TestHyperplaneBisectsSpace(t *testing.T) {
+	// With a0 = ½·Σa_i, roughly half the records are positive.
+	g := NewHyperplane(HyperplaneConfig{Lambda: 1e-9, Seed: 2})
+	n, pos := 50000, 0
+	for i := 0; i < n; i++ {
+		pos += g.Next().Record.Class
+	}
+	frac := float64(pos) / float64(n)
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("positive fraction = %v, want ≈0.5", frac)
+	}
+}
+
+func TestHyperplaneDriftInterval(t *testing.T) {
+	g := NewHyperplane(HyperplaneConfig{Lambda: 0.005, DriftSteps: 100, Seed: 3})
+	driftRun := 0
+	maxRun := 0
+	sawChange := false
+	for i := 0; i < 50000; i++ {
+		e := g.Next()
+		if e.ChangeStart {
+			sawChange = true
+			if !e.Drifting {
+				t.Fatal("ChangeStart record not marked Drifting")
+			}
+		}
+		if e.Drifting {
+			driftRun++
+			if driftRun > maxRun {
+				maxRun = driftRun
+			}
+		} else {
+			driftRun = 0
+		}
+	}
+	if !sawChange {
+		t.Fatal("no concept change in 50k records at λ=0.005")
+	}
+	if maxRun > 100 {
+		t.Fatalf("drift interval ran %d records, want <= DriftSteps=100", maxRun)
+	}
+}
+
+func TestHyperplaneRecordsInUnitCube(t *testing.T) {
+	g := NewHyperplane(HyperplaneConfig{Seed: 4})
+	for i := 0; i < 1000; i++ {
+		for _, v := range g.Next().Record.Values {
+			if v < 0 || v >= 1 {
+				t.Fatalf("value %v outside [0,1)", v)
+			}
+		}
+	}
+}
+
+func TestHyperplaneStableConceptsAreLearnable(t *testing.T) {
+	// Freeze the stream in its initial stable concept: a tree should learn
+	// it reasonably well (trees approximate oblique planes imperfectly,
+	// hence a loose bound).
+	g := NewHyperplane(HyperplaneConfig{Lambda: 1e-12, Seed: 5})
+	train := TakeDataset(g, 4000)
+	test := TakeDataset(g, 2000)
+	c := classifier.MustTrain(tree.NewLearner(), train)
+	if err := classifier.ErrorRate(c, test); err > 0.12 {
+		t.Fatalf("tree error on a stable hyperplane = %v, want <= 0.12", err)
+	}
+}
+
+func TestIntrusionSchemaShape(t *testing.T) {
+	s := IntrusionSchema()
+	continuous, discrete := 0, 0
+	for _, a := range s.Attributes {
+		if a.Kind == data.Numeric {
+			continuous++
+		} else {
+			discrete++
+		}
+	}
+	if continuous != 34 || discrete != 7 {
+		t.Fatalf("schema has %d continuous + %d discrete attributes, want 34 + 7 (Table I)", continuous, discrete)
+	}
+	if s.NumClasses() != 5 {
+		t.Fatalf("classes = %d, want 5", s.NumClasses())
+	}
+}
+
+func TestIntrusionMixturesNormalized(t *testing.T) {
+	g := NewIntrusion(IntrusionConfig{Seed: 1})
+	for r := 0; r < g.NumConcepts(); r++ {
+		sum := 0.0
+		for _, w := range g.Mixture(r) {
+			if w < 0 {
+				t.Fatalf("regime %d has negative mixture weight", r)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("regime %d mixture sums to %v", r, sum)
+		}
+	}
+}
+
+func TestIntrusionRegime0IsNormalDominated(t *testing.T) {
+	g := NewIntrusion(IntrusionConfig{Lambda: 1e-12, Seed: 2})
+	n, normal := 20000, 0
+	for i := 0; i < n; i++ {
+		e := g.Next()
+		if e.Concept != 0 {
+			t.Fatal("regime changed despite λ≈0")
+		}
+		if e.Record.Class == 0 {
+			normal++
+		}
+	}
+	frac := float64(normal) / float64(n)
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Fatalf("normal fraction in regime 0 = %v, want ≈0.9", frac)
+	}
+}
+
+func TestIntrusionRegimesDifferInMixture(t *testing.T) {
+	g := NewIntrusion(IntrusionConfig{Seed: 3})
+	// Every pair of regimes must differ in their dominant class or
+	// intensity — otherwise they'd be the same concept.
+	for r1 := 0; r1 < g.NumConcepts(); r1++ {
+		for r2 := r1 + 1; r2 < g.NumConcepts(); r2++ {
+			diff := 0.0
+			for c := 0; c < 5; c++ {
+				diff += math.Abs(g.Mixture(r1)[c] - g.Mixture(r2)[c])
+			}
+			if diff < 0.05 {
+				t.Fatalf("regimes %d and %d have nearly identical mixtures", r1, r2)
+			}
+		}
+	}
+}
+
+func TestIntrusionRecordsValid(t *testing.T) {
+	g := NewIntrusion(IntrusionConfig{Seed: 4})
+	schema := g.Schema()
+	for i := 0; i < 2000; i++ {
+		if err := schema.CheckRecord(g.Next().Record); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIntrusionClassConditionalsAreStable(t *testing.T) {
+	// The sampling-change property: per-class attribute means must be the
+	// same in different regimes. Compare the mean of attribute 0 for class
+	// "dos" records across two regimes.
+	meanOfClassInRegime := func(seed int64, lambda float64, wantRegime, class int) float64 {
+		g := NewIntrusion(IntrusionConfig{Lambda: lambda, Seed: seed})
+		sum, n := 0.0, 0
+		for i := 0; i < 300000 && n < 2000; i++ {
+			e := g.Next()
+			if e.Concept == wantRegime && e.Record.Class == class {
+				sum += e.Record.Values[0]
+				n++
+			}
+		}
+		if n < 200 {
+			t.Fatalf("only %d samples of class %d in regime %d", n, class, wantRegime)
+		}
+		return sum / float64(n)
+	}
+	m0 := meanOfClassInRegime(5, 0.001, 0, 1)
+	m1 := meanOfClassInRegime(5, 0.001, 1, 1)
+	if math.Abs(m0-m1) > 0.15 {
+		t.Fatalf("class-conditional mean changed across regimes: %v vs %v", m0, m1)
+	}
+}
+
+func TestIntrusionLearnableWithinRegime(t *testing.T) {
+	g := NewIntrusion(IntrusionConfig{Lambda: 1e-12, Seed: 6})
+	train := TakeDataset(g, 4000)
+	test := TakeDataset(g, 2000)
+	c := classifier.MustTrain(tree.NewLearner(), train)
+	errRate := classifier.ErrorRate(c, test)
+	base := 1 - maxFloat(train.ClassDistribution())
+	if errRate >= base {
+		t.Fatalf("tree error %v no better than majority baseline %v", errRate, base)
+	}
+}
+
+func TestTakeHelpers(t *testing.T) {
+	g := NewStagger(StaggerConfig{Seed: 7})
+	d, ems := Take(g, 25)
+	if d.Len() != 25 || len(ems) != 25 {
+		t.Fatalf("Take sizes = %d records, %d emissions", d.Len(), len(ems))
+	}
+	for i := range ems {
+		if ems[i].Record.Class != d.Records[i].Class {
+			t.Fatal("Take emissions out of sync with dataset")
+		}
+	}
+	if TakeDataset(g, 10).Len() != 10 {
+		t.Fatal("TakeDataset length wrong")
+	}
+}
+
+func TestNextByZipfNeverReturnsCurrent(t *testing.T) {
+	g := NewStagger(StaggerConfig{Lambda: 1, Seed: 8}) // change every record
+	prev := -1
+	for i := 0; i < 2000; i++ {
+		e := g.Next()
+		if e.Concept == prev {
+			t.Fatalf("concept did not change at record %d despite λ=1", i)
+		}
+		prev = e.Concept
+	}
+}
+
+func maxFloat(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

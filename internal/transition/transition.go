@@ -1,0 +1,177 @@
+// Package transition derives the concept change patterns of the high-order
+// model from the historical occurrence sequence: each concept's average
+// lasting time Len_i, its historical frequency Freq_i, and the per-record
+// transition matrix χ(i, j) of Eq. 6,
+//
+//	χ(i, j) = 1 − 1/Len_i                      if i = j
+//	χ(i, j) = (1/Len_i) · Freq_j/(1 − Freq_i)  if i ≠ j
+//
+// where 1/Len_i is the probability the active concept changes before the
+// next record, and Freq_j/(1−Freq_i) the probability that j is the next
+// concept given a change away from i.
+package transition
+
+import (
+	"fmt"
+
+	"highorder/internal/cluster"
+)
+
+// Model holds the concept change patterns.
+type Model struct {
+	// Len[i] is concept i's average occurrence length in records.
+	Len []float64
+	// Freq[i] is concept i's share of historical occurrences.
+	Freq []float64
+	// Chi[i][j] is the probability that the concept at the next record is
+	// j given it is i now (Eq. 6). Each row sums to 1.
+	Chi [][]float64
+	// Counts[i][j] is the number of observed historical transitions from
+	// concept i to concept j (an extension beyond Eq. 6, used by the
+	// empirical-transition ablation).
+	Counts [][]int
+}
+
+// NumConcepts returns the number of concepts.
+func (m *Model) NumConcepts() int { return len(m.Len) }
+
+// FromOccurrences computes the model from the stream-ordered occurrence
+// list produced by concept clustering. numConcepts is the total number of
+// concepts; every occurrence's Concept must lie in [0, numConcepts).
+func FromOccurrences(occs []cluster.Occurrence, numConcepts int) (*Model, error) {
+	if numConcepts <= 0 {
+		return nil, fmt.Errorf("transition: numConcepts = %d, need > 0", numConcepts)
+	}
+	if len(occs) == 0 {
+		return nil, fmt.Errorf("transition: no occurrences")
+	}
+	totalLen := make([]float64, numConcepts)
+	count := make([]float64, numConcepts)
+	counts := make([][]int, numConcepts)
+	for i := range counts {
+		counts[i] = make([]int, numConcepts)
+	}
+	for i, occ := range occs {
+		if occ.Concept < 0 || occ.Concept >= numConcepts {
+			return nil, fmt.Errorf("transition: occurrence %d has concept %d outside [0,%d)", i, occ.Concept, numConcepts)
+		}
+		if occ.Len() <= 0 {
+			return nil, fmt.Errorf("transition: occurrence %d is empty", i)
+		}
+		totalLen[occ.Concept] += float64(occ.Len())
+		count[occ.Concept]++
+		if i+1 < len(occs) {
+			counts[occ.Concept][occs[i+1].Concept]++
+		}
+	}
+
+	m := &Model{
+		Len:    make([]float64, numConcepts),
+		Freq:   make([]float64, numConcepts),
+		Chi:    make([][]float64, numConcepts),
+		Counts: counts,
+	}
+	totalOcc := float64(len(occs))
+	// Fallback length for concepts never observed (cannot normally happen,
+	// but keeps the matrix well-defined): the mean occurrence length.
+	grandLen := 0.0
+	for c := 0; c < numConcepts; c++ {
+		grandLen += totalLen[c]
+	}
+	grandLen /= totalOcc
+	for c := 0; c < numConcepts; c++ {
+		if count[c] > 0 {
+			m.Len[c] = totalLen[c] / count[c]
+		} else {
+			m.Len[c] = grandLen
+		}
+		if m.Len[c] < 1 {
+			m.Len[c] = 1
+		}
+		m.Freq[c] = count[c] / totalOcc
+	}
+
+	for i := 0; i < numConcepts; i++ {
+		row := make([]float64, numConcepts)
+		if numConcepts == 1 {
+			row[0] = 1
+			m.Chi[i] = row
+			continue
+		}
+		pChange := 1 / m.Len[i]
+		stay := 1 - pChange
+		denom := 1 - m.Freq[i]
+		if denom <= 0 {
+			// Concept i accounts for every occurrence; with more than one
+			// concept this means the others were never seen. Split the
+			// change mass uniformly among them.
+			for j := 0; j < numConcepts; j++ {
+				if j != i {
+					row[j] = pChange / float64(numConcepts-1)
+				}
+			}
+		} else {
+			for j := 0; j < numConcepts; j++ {
+				if j != i {
+					row[j] = pChange * m.Freq[j] / denom
+				}
+			}
+			// Freq_i of the change mass has nowhere to go when some other
+			// concepts have zero frequency; renormalize the off-diagonal
+			// mass so the row still sums to 1.
+			off := 0.0
+			for j, v := range row {
+				if j != i {
+					off += v
+				}
+			}
+			if off > 0 && off != pChange {
+				scale := pChange / off
+				for j := range row {
+					if j != i {
+						row[j] *= scale
+					}
+				}
+			} else if off == 0 {
+				stay = 1
+			}
+		}
+		row[i] = stay
+		m.Chi[i] = row
+	}
+	return m, nil
+}
+
+// Empirical returns a transition matrix estimated from the observed
+// occurrence-to-occurrence transitions with Laplace smoothing, converted to
+// a per-record matrix using Len. This is the ablation alternative to Eq. 6:
+// it captures which concept actually follows which, not just how frequent
+// each concept is.
+func (m *Model) Empirical(smoothing float64) [][]float64 {
+	n := m.NumConcepts()
+	chi := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		if n == 1 {
+			row[0] = 1
+			chi[i] = row
+			continue
+		}
+		total := smoothing * float64(n-1)
+		for j, c := range m.Counts[i] {
+			if j != i {
+				total += float64(c)
+			}
+		}
+		pChange := 1 / m.Len[i]
+		for j := 0; j < n; j++ {
+			if j == i {
+				row[j] = 1 - pChange
+				continue
+			}
+			row[j] = pChange * (float64(m.Counts[i][j]) + smoothing) / total
+		}
+		chi[i] = row
+	}
+	return chi
+}

@@ -1,0 +1,192 @@
+package transition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"highorder/internal/cluster"
+)
+
+func occ(start, end, concept int) cluster.Occurrence {
+	return cluster.Occurrence{Start: start, End: end, Concept: concept}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := FromOccurrences(nil, 2); err == nil {
+		t.Error("empty occurrence list accepted")
+	}
+	if _, err := FromOccurrences([]cluster.Occurrence{occ(0, 10, 0)}, 0); err == nil {
+		t.Error("numConcepts=0 accepted")
+	}
+	if _, err := FromOccurrences([]cluster.Occurrence{occ(0, 10, 5)}, 2); err == nil {
+		t.Error("out-of-range concept accepted")
+	}
+	if _, err := FromOccurrences([]cluster.Occurrence{occ(10, 10, 0)}, 1); err == nil {
+		t.Error("empty occurrence accepted")
+	}
+}
+
+func TestLenAndFreq(t *testing.T) {
+	occs := []cluster.Occurrence{
+		occ(0, 100, 0),   // len 100
+		occ(100, 400, 1), // len 300
+		occ(400, 600, 0), // len 200
+	}
+	m, err := FromOccurrences(occs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len[0] != 150 { // (100+200)/2
+		t.Errorf("Len[0] = %v, want 150", m.Len[0])
+	}
+	if m.Len[1] != 300 {
+		t.Errorf("Len[1] = %v, want 300", m.Len[1])
+	}
+	if math.Abs(m.Freq[0]-2.0/3) > 1e-12 || math.Abs(m.Freq[1]-1.0/3) > 1e-12 {
+		t.Errorf("Freq = %v, want [2/3 1/3]", m.Freq)
+	}
+}
+
+func TestChiMatchesEq6(t *testing.T) {
+	occs := []cluster.Occurrence{
+		occ(0, 100, 0), occ(100, 200, 1), occ(200, 300, 2),
+		occ(300, 400, 0), occ(400, 500, 1), occ(500, 600, 2),
+	}
+	m, err := FromOccurrences(occs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All Len = 100, all Freq = 1/3.
+	for i := 0; i < 3; i++ {
+		if math.Abs(m.Chi[i][i]-(1-1.0/100)) > 1e-12 {
+			t.Errorf("Chi[%d][%d] = %v, want 0.99", i, i, m.Chi[i][i])
+		}
+		for j := 0; j < 3; j++ {
+			if i == j {
+				continue
+			}
+			want := (1.0 / 100) * (1.0 / 3) / (1 - 1.0/3) // = 0.01 * 0.5
+			if math.Abs(m.Chi[i][j]-want) > 1e-12 {
+				t.Errorf("Chi[%d][%d] = %v, want %v", i, j, m.Chi[i][j], want)
+			}
+		}
+	}
+}
+
+func TestChiRowsSumToOne(t *testing.T) {
+	f := func(seq []uint8) bool {
+		if len(seq) == 0 {
+			return true
+		}
+		n := 4
+		occs := make([]cluster.Occurrence, len(seq))
+		pos := 0
+		for i, s := range seq {
+			length := int(s)%50 + 1
+			occs[i] = occ(pos, pos+length, int(s)%n)
+			pos += length
+		}
+		m, err := FromOccurrences(occs, n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if m.Chi[i][j] < 0 {
+					return false
+				}
+				sum += m.Chi[i][j]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleConcept(t *testing.T) {
+	m, err := FromOccurrences([]cluster.Occurrence{occ(0, 500, 0)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Chi[0][0] != 1 {
+		t.Fatalf("single-concept Chi = %v, want [[1]]", m.Chi)
+	}
+}
+
+func TestUnseenConceptGetsFallback(t *testing.T) {
+	// Concept 1 never occurs: its row must still be a valid distribution.
+	m, err := FromOccurrences([]cluster.Occurrence{occ(0, 100, 0), occ(100, 200, 0)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		sum := 0.0
+		for _, v := range m.Chi[i] {
+			if v < 0 {
+				t.Fatalf("negative probability in row %d: %v", i, m.Chi[i])
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestCountsRecordTransitions(t *testing.T) {
+	occs := []cluster.Occurrence{
+		occ(0, 10, 0), occ(10, 20, 1), occ(20, 30, 0), occ(30, 40, 2),
+	}
+	m, err := FromOccurrences(occs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counts[0][1] != 1 || m.Counts[1][0] != 1 || m.Counts[0][2] != 1 {
+		t.Fatalf("Counts = %v", m.Counts)
+	}
+}
+
+func TestEmpiricalRowsSumToOne(t *testing.T) {
+	occs := []cluster.Occurrence{
+		occ(0, 100, 0), occ(100, 200, 1), occ(200, 300, 0), occ(300, 400, 2),
+	}
+	m, err := FromOccurrences(occs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chi := m.Empirical(0.5)
+	for i := range chi {
+		sum := 0.0
+		for _, v := range chi[i] {
+			if v < 0 {
+				t.Fatalf("negative empirical probability in row %d", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("empirical row %d sums to %v", i, sum)
+		}
+	}
+	// 0 → 1 happened once, 0 → 2 once: equal off-diagonal probabilities.
+	if math.Abs(chi[0][1]-chi[0][2]) > 1e-12 {
+		t.Fatalf("empirical chi[0] = %v, want symmetric 1↔2", chi[0])
+	}
+}
+
+func TestEmpiricalSingleConcept(t *testing.T) {
+	m, err := FromOccurrences([]cluster.Occurrence{occ(0, 100, 0)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chi := m.Empirical(1)
+	if chi[0][0] != 1 {
+		t.Fatalf("empirical single-concept chi = %v", chi)
+	}
+}

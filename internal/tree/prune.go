@@ -1,0 +1,87 @@
+package tree
+
+import "math"
+
+// prune applies C4.5-style pessimistic-error subtree replacement: a subtree
+// is collapsed into a leaf when the leaf's estimated (upper-confidence)
+// error count does not exceed the sum of its branches' estimates. cf is the
+// confidence factor (C4.5's CF, typically 0.25).
+func prune(n *Node, cf float64) float64 {
+	leafErr := float64(n.Errors) + addErrs(float64(n.N), float64(n.Errors), cf)
+	if n.IsLeaf() {
+		return leafErr
+	}
+	subtreeErr := 0.0
+	for _, c := range n.Children {
+		if c == nil {
+			continue
+		}
+		subtreeErr += prune(c, cf)
+	}
+	if leafErr <= subtreeErr+1e-9 {
+		n.Children = nil
+		return leafErr
+	}
+	return subtreeErr
+}
+
+// addErrs computes the extra errors to add to e observed errors out of n
+// records, at confidence cf, following C4.5's stats.c AddErrs. It estimates
+// the upper confidence bound of a binomial proportion.
+func addErrs(n, e, cf float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if e < 1e-6 {
+		// No observed errors: the upper bound solves (1-p)^n = cf.
+		return n * (1 - math.Pow(cf, 1/n))
+	}
+	if e < 0.9999 {
+		// Fractional error counts between 0 and 1: interpolate.
+		v0 := n * (1 - math.Pow(cf, 1/n))
+		return v0 + e*(addErrs(n, 1, cf)-v0)
+	}
+	if e+0.5 >= n {
+		return 0.67 * (n - e)
+	}
+	z := normalQuantile(1 - cf)
+	pr := (e + 0.5) / n
+	p2 := (pr + z*z/(2*n) + z*math.Sqrt(pr/n*(1-pr)+z*z/(4*n*n))) / (1 + z*z/n)
+	return p2*n - e
+}
+
+// normalQuantile returns the p-quantile of the standard normal distribution
+// using the Acklam rational approximation (relative error < 1.15e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	const pHigh = 1 - pLow
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

@@ -1,0 +1,260 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+)
+
+// Rule is one conjunctive classification rule extracted from a tree path,
+// in the style of C4.5rules: IF every condition holds THEN Class.
+type Rule struct {
+	// Conditions must all hold for the rule to fire.
+	Conditions []Condition
+	// Class is the rule's conclusion.
+	Class int
+	// Confidence is the pessimistic accuracy estimate of the rule on its
+	// covered training records.
+	Confidence float64
+	// Covered is the number of training records the rule covered.
+	Covered int
+}
+
+// Condition is a single attribute test.
+type Condition struct {
+	// Attr is the attribute index.
+	Attr int
+	// Op is the comparison: OpEq for nominal attributes, OpLE/OpGT for
+	// numeric thresholds.
+	Op CondOp
+	// Value is the nominal value index (OpEq) or the threshold (OpLE/OpGT).
+	Value float64
+}
+
+// CondOp enumerates condition operators.
+type CondOp int
+
+const (
+	// OpEq tests a nominal attribute for equality with Value.
+	OpEq CondOp = iota
+	// OpLE tests a numeric attribute for <= Value.
+	OpLE
+	// OpGT tests a numeric attribute for > Value.
+	OpGT
+)
+
+// Matches reports whether r satisfies the condition.
+func (c Condition) Matches(r data.Record) bool {
+	v := r.Values[c.Attr]
+	switch c.Op {
+	case OpEq:
+		return v == c.Value
+	case OpLE:
+		return v <= c.Value
+	default:
+		return v > c.Value
+	}
+}
+
+// Matches reports whether every condition of the rule holds for r.
+func (ru *Rule) Matches(r data.Record) bool {
+	for _, c := range ru.Conditions {
+		if !c.Matches(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule against the schema.
+func (ru *Rule) String(schema *data.Schema) string {
+	var b strings.Builder
+	b.WriteString("IF ")
+	if len(ru.Conditions) == 0 {
+		b.WriteString("true")
+	}
+	for i, c := range ru.Conditions {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		attr := schema.Attributes[c.Attr]
+		switch c.Op {
+		case OpEq:
+			fmt.Fprintf(&b, "%s = %s", attr.Name, attr.Values[int(c.Value)])
+		case OpLE:
+			fmt.Fprintf(&b, "%s <= %.6g", attr.Name, c.Value)
+		default:
+			fmt.Fprintf(&b, "%s > %.6g", attr.Name, c.Value)
+		}
+	}
+	fmt.Fprintf(&b, " THEN %s (conf %.3f, n=%d)", schema.Classes[ru.Class], ru.Confidence, ru.Covered)
+	return b.String()
+}
+
+// RuleSet is an ordered rule list with a default class, usable as a
+// classifier: the first matching rule decides, ties on order.
+type RuleSet struct {
+	Schema  *data.Schema
+	Rules   []Rule
+	Default int
+	// defaultDist is the class distribution used by PredictProba when no
+	// rule fires.
+	defaultDist []float64
+	buf         []float64
+}
+
+// ExtractRules converts the tree into a C4.5rules-style rule set evaluated
+// against the given training data: one rule per leaf, each rule's
+// conditions greedily generalized (a condition is dropped when dropping it
+// does not increase the rule's pessimistic error on train), then ordered
+// by confidence.
+func (t *Tree) ExtractRules(train *data.Dataset, cf float64) *RuleSet {
+	if cf <= 0 {
+		cf = 0.25
+	}
+	var rules []Rule
+	var walk func(n *Node, conds []Condition)
+	walk = func(n *Node, conds []Condition) {
+		if n.IsLeaf() {
+			rules = append(rules, Rule{
+				Conditions: append([]Condition{}, conds...),
+				Class:      n.Class,
+			})
+			return
+		}
+		attr := t.Schema.Attributes[n.Attr]
+		if attr.Kind == data.Numeric {
+			if n.Children[0] != nil {
+				walk(n.Children[0], append(conds, Condition{Attr: n.Attr, Op: OpLE, Value: n.Threshold}))
+			}
+			if n.Children[1] != nil {
+				walk(n.Children[1], append(conds, Condition{Attr: n.Attr, Op: OpGT, Value: n.Threshold}))
+			}
+			return
+		}
+		for v, child := range n.Children {
+			if child == nil {
+				continue
+			}
+			walk(child, append(conds, Condition{Attr: n.Attr, Op: OpEq, Value: float64(v)}))
+		}
+	}
+	walk(t.Root, nil)
+
+	for i := range rules {
+		simplifyRule(&rules[i], train, cf)
+	}
+	// Order by confidence (desc), then by coverage (desc) for stability.
+	sort.SliceStable(rules, func(i, j int) bool {
+		if rules[i].Confidence != rules[j].Confidence {
+			return rules[i].Confidence > rules[j].Confidence
+		}
+		return rules[i].Covered > rules[j].Covered
+	})
+	return &RuleSet{
+		Schema:      t.Schema,
+		Rules:       rules,
+		Default:     train.MajorityClass(),
+		defaultDist: train.ClassDistribution(),
+		buf:         make([]float64, t.Schema.NumClasses()),
+	}
+}
+
+// simplifyRule greedily drops conditions that do not increase the rule's
+// pessimistic error estimate on train, and fills in confidence/coverage.
+func simplifyRule(ru *Rule, train *data.Dataset, cf float64) {
+	pessimistic := func(conds []Condition) (estErr float64, covered, errs int) {
+		for _, r := range train.Records {
+			ok := true
+			for _, c := range conds {
+				if !c.Matches(r) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			covered++
+			if r.Class != ru.Class {
+				errs++
+			}
+		}
+		if covered == 0 {
+			return 1, 0, 0
+		}
+		est := (float64(errs) + addErrs(float64(covered), float64(errs), cf)) / float64(covered)
+		return est, covered, errs
+	}
+	best, _, _ := pessimistic(ru.Conditions)
+	for improved := true; improved && len(ru.Conditions) > 0; {
+		improved = false
+		for i := range ru.Conditions {
+			trial := append(append([]Condition{}, ru.Conditions[:i]...), ru.Conditions[i+1:]...)
+			if est, _, _ := pessimistic(trial); est <= best {
+				ru.Conditions = trial
+				best = est
+				improved = true
+				break
+			}
+		}
+	}
+	_, covered, errs := pessimistic(ru.Conditions)
+	ru.Covered = covered
+	if covered > 0 {
+		ru.Confidence = 1 - float64(errs)/float64(covered)
+	}
+}
+
+// Predict implements classifier.Classifier: the first matching rule wins.
+func (rs *RuleSet) Predict(r data.Record) int {
+	for i := range rs.Rules {
+		if rs.Rules[i].Matches(r) {
+			return rs.Rules[i].Class
+		}
+	}
+	return rs.Default
+}
+
+// PredictProba returns a point-mass-like distribution: the firing rule's
+// confidence on its class with the remainder spread uniformly, or the
+// training distribution when no rule fires. The returned slice is reused.
+func (rs *RuleSet) PredictProba(r data.Record) []float64 {
+	k := len(rs.buf)
+	for i := range rs.Rules {
+		ru := &rs.Rules[i]
+		if !ru.Matches(r) {
+			continue
+		}
+		rest := (1 - ru.Confidence) / float64(k-1)
+		for c := 0; c < k; c++ {
+			if c == ru.Class {
+				rs.buf[c] = ru.Confidence
+			} else {
+				rs.buf[c] = rest
+			}
+		}
+		return rs.buf
+	}
+	copy(rs.buf, rs.defaultDist)
+	return rs.buf
+}
+
+// Len returns the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.Rules) }
+
+// String renders the ordered rule list.
+func (rs *RuleSet) String() string {
+	var b strings.Builder
+	for i := range rs.Rules {
+		b.WriteString(rs.Rules[i].String(rs.Schema))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "DEFAULT %s\n", rs.Schema.Classes[rs.Default])
+	return b.String()
+}
+
+var _ classifier.Classifier = (*RuleSet)(nil)

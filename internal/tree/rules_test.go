@@ -1,0 +1,129 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+)
+
+func TestExtractRulesMatchesTreeOnCleanConcept(t *testing.T) {
+	train := staggerData(600, 40, conceptA)
+	tr := classifier.MustTrain(NewLearner(), train).(*Tree)
+	rs := tr.ExtractRules(train, 0.25)
+	if rs.Len() == 0 {
+		t.Fatal("no rules extracted")
+	}
+	test := staggerData(1000, 41, conceptA)
+	if err := classifier.ErrorRate(rs, test); err > 0.01 {
+		t.Fatalf("rule-set error = %v on a clean concept", err)
+	}
+}
+
+func TestRulesSimplerThanPaths(t *testing.T) {
+	// Concept A depends only on color and size; shape conditions in any
+	// path must be dropped by simplification.
+	train := staggerData(800, 42, conceptA)
+	tr := classifier.MustTrain(NewLearner(), train).(*Tree)
+	rs := tr.ExtractRules(train, 0.25)
+	for i := range rs.Rules {
+		for _, c := range rs.Rules[i].Conditions {
+			if c.Attr == 1 { // shape
+				t.Fatalf("rule %d retained an irrelevant shape condition: %s",
+					i, rs.Rules[i].String(tr.Schema))
+			}
+		}
+	}
+}
+
+func TestRuleSetNumeric(t *testing.T) {
+	train := thresholdData(600, 43, 0.4)
+	tr := classifier.MustTrain(NewLearner(), train).(*Tree)
+	rs := tr.ExtractRules(train, 0.25)
+	test := thresholdData(1000, 44, 0.4)
+	if err := classifier.ErrorRate(rs, test); err > 0.05 {
+		t.Fatalf("numeric rule-set error = %v", err)
+	}
+}
+
+func TestRuleSetDefaultClass(t *testing.T) {
+	train := staggerData(300, 45, conceptA)
+	tr := classifier.MustTrain(NewLearner(), train).(*Tree)
+	rs := tr.ExtractRules(train, 0.25)
+	// Force the no-rule-fires path by clearing the rules.
+	rs.Rules = nil
+	r := data.Record{Values: []float64{0, 0, 0}}
+	if got := rs.Predict(r); got != train.MajorityClass() {
+		t.Fatalf("default prediction = %d, want majority %d", got, train.MajorityClass())
+	}
+	p := rs.PredictProba(r)
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("default distribution sums to %v", sum)
+	}
+}
+
+func TestRuleSetProbaNormalized(t *testing.T) {
+	train := staggerData(500, 46, conceptA)
+	tr := classifier.MustTrain(NewLearner(), train).(*Tree)
+	rs := tr.ExtractRules(train, 0.25)
+	test := staggerData(200, 47, conceptA)
+	for _, r := range test.Records {
+		p := rs.PredictProba(r)
+		sum := 0.0
+		for _, v := range p {
+			if v < -1e-12 {
+				t.Fatal("negative rule probability")
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("rule distribution sums to %v", sum)
+		}
+	}
+}
+
+func TestRuleStringRendering(t *testing.T) {
+	train := staggerData(500, 48, conceptA)
+	tr := classifier.MustTrain(NewLearner(), train).(*Tree)
+	rs := tr.ExtractRules(train, 0.25)
+	s := rs.String()
+	if !strings.Contains(s, "IF ") || !strings.Contains(s, "THEN ") || !strings.Contains(s, "DEFAULT") {
+		t.Fatalf("rendering malformed:\n%s", s)
+	}
+}
+
+func TestConditionOps(t *testing.T) {
+	r := data.Record{Values: []float64{2, 0.5}}
+	cases := []struct {
+		c    Condition
+		want bool
+	}{
+		{Condition{Attr: 0, Op: OpEq, Value: 2}, true},
+		{Condition{Attr: 0, Op: OpEq, Value: 1}, false},
+		{Condition{Attr: 1, Op: OpLE, Value: 0.5}, true},
+		{Condition{Attr: 1, Op: OpLE, Value: 0.4}, false},
+		{Condition{Attr: 1, Op: OpGT, Value: 0.4}, true},
+		{Condition{Attr: 1, Op: OpGT, Value: 0.5}, false},
+	}
+	for i, c := range cases {
+		if got := c.c.Matches(r); got != c.want {
+			t.Errorf("case %d: Matches = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestRulesOrderedByConfidence(t *testing.T) {
+	train := staggerData(700, 49, conceptA)
+	tr := classifier.MustTrain(NewLearner(), train).(*Tree)
+	rs := tr.ExtractRules(train, 0.25)
+	for i := 1; i < rs.Len(); i++ {
+		if rs.Rules[i].Confidence > rs.Rules[i-1].Confidence+1e-12 {
+			t.Fatal("rules not ordered by confidence")
+		}
+	}
+}

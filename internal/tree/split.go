@@ -1,0 +1,354 @@
+package tree
+
+import (
+	"math"
+	"sort"
+
+	"highorder/internal/data"
+)
+
+// grower holds the state shared across the recursive tree construction.
+//
+// Numeric attributes are sorted once at the root; partitions propagate the
+// sorted index lists to children with stable linear scans, so threshold
+// search at every node is a single pass instead of a fresh sort. This is
+// what keeps training usable on deep trees over many numeric attributes
+// (the intrusion stream has 34).
+type grower struct {
+	schema  *data.Schema
+	opts    Options
+	records []data.Record
+	// childBuf maps a record index to the branch it takes in the split
+	// currently being executed; reused across partitions (safe because a
+	// node is fully partitioned before its children recurse).
+	childBuf []int32
+	// xlog2x[i] = i·log₂(i); precomputed so the threshold scan updates
+	// entropies in O(1) per record instead of looping over classes with
+	// live log calls (the dominant cost on numeric-heavy schemas).
+	xlog2x []float64
+	// cols[a][i] is record i's value of attribute a in columnar layout and
+	// classes[i] its class, avoiding the record-struct indirection in the
+	// hot threshold scan.
+	cols    [][]float64
+	classes []int32
+}
+
+func (g *grower) xl2(n int) float64 { return g.xlog2x[n] }
+
+// nodeData is the per-node view of the training set.
+type nodeData struct {
+	// idx lists the record indices in this node, in stream order.
+	idx []int32
+	// sorted[a] lists the same indices ordered by numeric attribute a's
+	// value; nil entries correspond to nominal attributes.
+	sorted [][]int32
+}
+
+// newGrower prepares the root nodeData for records.
+func (g *grower) root() *nodeData {
+	n := len(g.records)
+	g.childBuf = make([]int32, n)
+	g.xlog2x = make([]float64, n+1)
+	for i := 2; i <= n; i++ {
+		g.xlog2x[i] = float64(i) * math.Log2(float64(i))
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	g.classes = make([]int32, n)
+	for i, r := range g.records {
+		g.classes[i] = int32(r.Class)
+	}
+	g.cols = make([][]float64, len(g.schema.Attributes))
+	nd := &nodeData{idx: idx, sorted: make([][]int32, len(g.schema.Attributes))}
+	for a, attr := range g.schema.Attributes {
+		vals := make([]float64, n)
+		for i, r := range g.records {
+			vals[i] = r.Values[a]
+		}
+		g.cols[a] = vals
+		if attr.Kind != data.Numeric {
+			continue
+		}
+		s := make([]int32, n)
+		copy(s, idx)
+		sort.SliceStable(s, func(i, j int) bool { return vals[s[i]] < vals[s[j]] })
+		nd.sorted[a] = s
+	}
+	return nd
+}
+
+// grow builds the (unpruned) subtree for nd.
+func (g *grower) grow(nd *nodeData, depth int) *Node {
+	n := g.makeNode(nd.idx)
+	if n.Errors == 0 || len(nd.idx) < 2*g.opts.MinLeaf {
+		return n
+	}
+	if g.opts.MaxDepth > 0 && depth >= g.opts.MaxDepth {
+		return n
+	}
+	best := g.bestSplit(nd, n)
+	if best == nil {
+		return n
+	}
+	n.Attr = best.attr
+	n.Threshold = best.threshold
+	children := g.partition(nd, best)
+	n.Children = make([]*Node, len(children))
+	for i, child := range children {
+		if child == nil || len(child.idx) == 0 {
+			// Empty branch: predict the parent's majority. Represented as
+			// a nil child; Predict falls back to the parent node.
+			continue
+		}
+		n.Children[i] = g.grow(child, depth+1)
+	}
+	return n
+}
+
+// makeNode builds a leaf node summarizing the records in idx.
+func (g *grower) makeNode(idx []int32) *Node {
+	k := g.schema.NumClasses()
+	counts := make([]int, k)
+	for _, i := range idx {
+		counts[g.classes[i]]++
+	}
+	best := 0
+	for c := 1; c < k; c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	dist := make([]float64, k)
+	for c := range dist {
+		dist[c] = float64(counts[c]) / float64(len(idx))
+	}
+	return &Node{
+		Class:  best,
+		Dist:   dist,
+		N:      len(idx),
+		Errors: len(idx) - counts[best],
+	}
+}
+
+// candidate describes a potential split.
+type candidate struct {
+	attr      int
+	threshold float64 // numeric splits only
+	gainRatio float64
+	gain      float64
+}
+
+// partition divides nd among the candidate's branches, propagating the
+// per-attribute sorted orders with stable scans.
+func (g *grower) partition(nd *nodeData, c *candidate) []*nodeData {
+	attr := g.schema.Attributes[c.attr]
+	branches := 2
+	if attr.Kind == data.Nominal {
+		branches = attr.Cardinality()
+	}
+	sizes := make([]int, branches)
+	for _, i := range nd.idx {
+		b := g.branchOf(i, c, attr)
+		g.childBuf[i] = int32(b)
+		sizes[b]++
+	}
+	children := make([]*nodeData, branches)
+	for b := 0; b < branches; b++ {
+		if sizes[b] == 0 {
+			continue
+		}
+		children[b] = &nodeData{
+			idx:    make([]int32, 0, sizes[b]),
+			sorted: make([][]int32, len(nd.sorted)),
+		}
+	}
+	for _, i := range nd.idx {
+		child := children[g.childBuf[i]]
+		child.idx = append(child.idx, i)
+	}
+	for a, s := range nd.sorted {
+		if s == nil {
+			continue
+		}
+		for b := 0; b < branches; b++ {
+			if children[b] != nil {
+				children[b].sorted[a] = make([]int32, 0, sizes[b])
+			}
+		}
+		for _, i := range s {
+			child := children[g.childBuf[i]]
+			child.sorted[a] = append(child.sorted[a], i)
+		}
+	}
+	return children
+}
+
+func (g *grower) branchOf(i int32, c *candidate, attr data.Attribute) int {
+	v := g.cols[c.attr][i]
+	if attr.Kind == data.Numeric {
+		if v <= c.threshold {
+			return 0
+		}
+		return 1
+	}
+	return int(v)
+}
+
+// bestSplit returns the highest-gain-ratio admissible split, or nil when no
+// attribute yields positive information gain. Following C4.5, only splits
+// whose gain is at least the average gain of all positive-gain candidates
+// compete on gain ratio, which guards against attributes whose ratio is
+// inflated by a tiny split entropy.
+func (g *grower) bestSplit(nd *nodeData, summary *Node) *candidate {
+	baseEntropy := data.EntropyOfCounts(countsFromDist(summary), summary.N)
+	if baseEntropy == 0 {
+		return nil
+	}
+	var cands []candidate
+	for a, attr := range g.schema.Attributes {
+		var c *candidate
+		if attr.Kind == data.Numeric {
+			c = g.numericSplit(nd.sorted[a], a, baseEntropy)
+		} else {
+			c = g.nominalSplit(nd.idx, a, baseEntropy)
+		}
+		if c != nil && c.gain > 1e-12 {
+			cands = append(cands, *c)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	avgGain := 0.0
+	for _, c := range cands {
+		avgGain += c.gain
+	}
+	avgGain /= float64(len(cands))
+	var best *candidate
+	for i := range cands {
+		c := &cands[i]
+		if c.gain+1e-12 < avgGain {
+			continue
+		}
+		if best == nil || c.gainRatio > best.gainRatio {
+			best = c
+		}
+	}
+	return best
+}
+
+// countsFromDist reconstructs integer class counts from a summary node.
+func countsFromDist(n *Node) []int {
+	counts := make([]int, len(n.Dist))
+	for c, p := range n.Dist {
+		counts[c] = int(p*float64(n.N) + 0.5)
+	}
+	return counts
+}
+
+// nominalSplit evaluates the multiway split on nominal attribute a.
+func (g *grower) nominalSplit(idx []int32, a int, baseEntropy float64) *candidate {
+	attr := g.schema.Attributes[a]
+	k := g.schema.NumClasses()
+	card := attr.Cardinality()
+	counts := make([][]int, card)
+	for i := range counts {
+		counts[i] = make([]int, k)
+	}
+	sizes := make([]int, card)
+	vals := g.cols[a]
+	for _, i := range idx {
+		v := int(vals[i])
+		counts[v][g.classes[i]]++
+		sizes[v]++
+	}
+	// A split must send at least MinLeaf records down at least two branches.
+	branches := 0
+	for _, s := range sizes {
+		if s >= g.opts.MinLeaf {
+			branches++
+		}
+	}
+	if branches < 2 {
+		return nil
+	}
+	total := len(idx)
+	cond := 0.0   // conditional entropy after the split
+	splitH := 0.0 // split information (entropy of branch sizes)
+	for v := 0; v < card; v++ {
+		if sizes[v] == 0 {
+			continue
+		}
+		p := float64(sizes[v]) / float64(total)
+		cond += p * data.EntropyOfCounts(counts[v], sizes[v])
+		splitH -= p * math.Log2(p)
+	}
+	gain := baseEntropy - cond
+	if splitH <= 0 {
+		return nil
+	}
+	return &candidate{attr: a, gain: gain, gainRatio: gain / splitH}
+}
+
+// numericSplit finds the best threshold for numeric attribute a by a
+// single pass over the node's presorted index list, evaluating midpoints
+// between consecutive distinct values.
+func (g *grower) numericSplit(sorted []int32, a int, baseEntropy float64) *candidate {
+	k := g.schema.NumClasses()
+	total := len(sorted)
+	left := make([]int, k)
+	right := make([]int, k)
+	// Incremental entropy bookkeeping: with SL = Σ_c left_c·log₂(left_c)
+	// and SR likewise, the weighted conditional entropy is
+	//   cond = (nL·log₂ nL − SL + nR·log₂ nR − SR) / total.
+	var sl, sr float64
+	for _, i := range sorted {
+		right[g.classes[i]]++
+	}
+	for _, c := range right {
+		sr += g.xl2(c)
+	}
+	ftotal := float64(total)
+	vals := g.cols[a]
+	xl := g.xlog2x
+	var best *candidate
+	nLeft := 0
+	for pos := 0; pos < total-1; pos++ {
+		i := sorted[pos]
+		cls := g.classes[i]
+		sl += xl[left[cls]+1] - xl[left[cls]]
+		sr += xl[right[cls]-1] - xl[right[cls]]
+		left[cls]++
+		right[cls]--
+		nLeft++
+		v, vNext := vals[i], vals[sorted[pos+1]]
+		if v == vNext {
+			continue
+		}
+		nRight := total - nLeft
+		if nLeft < g.opts.MinLeaf || nRight < g.opts.MinLeaf {
+			continue
+		}
+		cond := (g.xl2(nLeft) - sl + g.xl2(nRight) - sr) / ftotal
+		gain := baseEntropy - cond
+		if gain <= 1e-12 {
+			continue
+		}
+		splitH := (g.xl2(total) - g.xl2(nLeft) - g.xl2(nRight)) / ftotal
+		if splitH <= 0 {
+			continue
+		}
+		ratio := gain / splitH
+		if best == nil || ratio > best.gainRatio {
+			thr := v + (vNext-v)/2
+			// Guard against midpoints that round back onto the upper value.
+			if thr >= vNext {
+				thr = v
+			}
+			best = &candidate{attr: a, threshold: thr, gain: gain, gainRatio: ratio}
+		}
+	}
+	return best
+}

@@ -1,0 +1,100 @@
+package vfdt
+
+import "math"
+
+// gaussianObserver tracks per-class Gaussian sufficient statistics of one
+// numeric attribute at a leaf, plus the observed value range. It is the
+// standard numeric attribute observer for Hoeffding trees: candidate
+// thresholds are evaluated by estimating, through the normal CDF, how many
+// records of each class would fall on each side.
+type gaussianObserver struct {
+	count []float64 // per class
+	mean  []float64
+	m2    []float64 // sum of squared deviations (Welford)
+	min   float64
+	max   float64
+	seen  bool
+}
+
+func newGaussianObserver(numClasses int) *gaussianObserver {
+	return &gaussianObserver{
+		count: make([]float64, numClasses),
+		mean:  make([]float64, numClasses),
+		m2:    make([]float64, numClasses),
+	}
+}
+
+// add folds in one observation with the given weight (weight -1 removes an
+// observation, used by window forgetting; removal is approximate for the
+// variance but unbiased for the mean).
+func (g *gaussianObserver) add(value float64, class int, weight float64) {
+	if !g.seen || value < g.min {
+		g.min = value
+	}
+	if !g.seen || value > g.max {
+		g.max = value
+	}
+	g.seen = true
+	n := g.count[class] + weight
+	if n <= 0 {
+		g.count[class], g.mean[class], g.m2[class] = 0, 0, 0
+		return
+	}
+	delta := value - g.mean[class]
+	g.mean[class] += weight * delta / n
+	g.m2[class] += weight * delta * (value - g.mean[class])
+	if g.m2[class] < 0 {
+		g.m2[class] = 0
+	}
+	g.count[class] = n
+}
+
+// sd returns the standard deviation estimate for class c, floored to keep
+// the CDF defined.
+func (g *gaussianObserver) sd(c int) float64 {
+	if g.count[c] < 2 {
+		return 1e-3
+	}
+	v := g.m2[c] / g.count[c]
+	if v < 1e-6 {
+		v = 1e-6
+	}
+	return math.Sqrt(v)
+}
+
+// normalCDF is Φ((x-μ)/σ).
+func normalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * (1 + math.Erf((x-mu)/(sigma*math.Sqrt2)))
+}
+
+// candidateSplits returns up to k evenly spaced thresholds strictly inside
+// the observed range.
+func (g *gaussianObserver) candidateSplits(k int) []float64 {
+	if !g.seen || g.min >= g.max {
+		return nil
+	}
+	out := make([]float64, 0, k)
+	step := (g.max - g.min) / float64(k+1)
+	for i := 1; i <= k; i++ {
+		out = append(out, g.min+float64(i)*step)
+	}
+	return out
+}
+
+// countsAround estimates the per-class counts left (<= t) and right (> t)
+// of threshold t.
+func (g *gaussianObserver) countsAround(t float64) (left, right []float64) {
+	k := len(g.count)
+	left = make([]float64, k)
+	right = make([]float64, k)
+	for c := 0; c < k; c++ {
+		n := g.count[c]
+		if n <= 0 {
+			continue
+		}
+		p := normalCDF(t, g.mean[c], g.sd(c))
+		left[c] = n * p
+		right[c] = n * (1 - p)
+	}
+	return left, right
+}

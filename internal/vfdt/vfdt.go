@@ -1,0 +1,377 @@
+// Package vfdt implements a Hoeffding tree — the Very Fast Decision Tree
+// of Domingos and Hulten (KDD'00) — with an optional sliding-window
+// forgetting mode in the spirit of CVFDT (Hulten, Spencer and Domingos,
+// "Mining time-changing data streams", KDD'01 — reference [1] of the
+// paper). VFDT is the canonical incremental, trend-chasing learner the
+// paper contrasts with: it grows one tree from the stream, splitting a
+// leaf once the Hoeffding bound guarantees the best split attribute is
+// truly best. With a window, statistics of expired records are removed so
+// the tree tracks the current concept — re-learning forever instead of
+// remembering concepts.
+package vfdt
+
+import (
+	"math"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+)
+
+// Options configure the tree.
+type Options struct {
+	// Schema is the stream schema; nil is invalid.
+	Schema *data.Schema
+	// GracePeriod is the number of records a leaf accumulates between
+	// split attempts; <= 0 selects 200.
+	GracePeriod int
+	// Delta is the Hoeffding bound's failure probability; <= 0 selects
+	// 1e-6.
+	Delta float64
+	// Tau is the tie-breaking threshold: when the bound shrinks below Tau
+	// the leaf splits on the current best attribute even without a clear
+	// winner; <= 0 selects 0.05.
+	Tau float64
+	// SplitCandidates is the number of thresholds evaluated per numeric
+	// attribute; <= 0 selects 10.
+	SplitCandidates int
+	// MaxLeaves bounds tree growth; <= 0 selects 1024.
+	MaxLeaves int
+	// Window, when > 0, keeps only the last Window records' statistics:
+	// each learned record is also "forgotten" from the leaf it reached
+	// once it leaves the window (a CVFDT-style simplification — the
+	// forgetting path is the current tree's path for the record).
+	Window int
+}
+
+func (o Options) withDefaults() Options {
+	if o.GracePeriod <= 0 {
+		o.GracePeriod = 200
+	}
+	if o.Delta <= 0 {
+		o.Delta = 1e-6
+	}
+	if o.Tau <= 0 {
+		o.Tau = 0.05
+	}
+	if o.SplitCandidates <= 0 {
+		o.SplitCandidates = 10
+	}
+	if o.MaxLeaves <= 0 {
+		o.MaxLeaves = 1024
+	}
+	return o
+}
+
+// node is a tree node; leaves carry learning statistics.
+type node struct {
+	// classCounts are the per-class weights seen at this node (leaves
+	// only maintain them after creation).
+	classCounts []float64
+	// nominal[a][v][c] counts nominal attribute a's value v under class c.
+	nominal [][][]float64
+	// numeric[a] observes numeric attribute a.
+	numeric []*gaussianObserver
+	// seenSinceSplit counts records since the last split attempt.
+	seenSinceSplit int
+
+	// Split fields for internal nodes.
+	attr      int
+	threshold float64
+	children  []*node
+}
+
+func (n *node) isLeaf() bool { return len(n.children) == 0 }
+
+// Tree is the online Hoeffding tree. It implements classifier.Online.
+type Tree struct {
+	opts   Options
+	root   *node
+	leaves int
+	// window is the FIFO of retained records when forgetting is enabled.
+	window []data.Record
+	buf    []float64
+}
+
+// New returns an empty tree. It panics when opts.Schema is nil.
+func New(opts Options) *Tree {
+	o := opts.withDefaults()
+	if o.Schema == nil {
+		panic("vfdt: Options.Schema is required")
+	}
+	t := &Tree{opts: o, leaves: 1, buf: make([]float64, o.Schema.NumClasses())}
+	t.root = t.newLeaf()
+	return t
+}
+
+// Name implements classifier.Online.
+func (t *Tree) Name() string {
+	if t.opts.Window > 0 {
+		return "vfdt-window"
+	}
+	return "vfdt"
+}
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return t.leaves }
+
+func (t *Tree) newLeaf() *node {
+	schema := t.opts.Schema
+	k := schema.NumClasses()
+	n := &node{
+		classCounts: make([]float64, k),
+		nominal:     make([][][]float64, len(schema.Attributes)),
+		numeric:     make([]*gaussianObserver, len(schema.Attributes)),
+	}
+	for a, attr := range schema.Attributes {
+		if attr.Kind == data.Nominal {
+			counts := make([][]float64, attr.Cardinality())
+			for v := range counts {
+				counts[v] = make([]float64, k)
+			}
+			n.nominal[a] = counts
+		} else {
+			n.numeric[a] = newGaussianObserver(k)
+		}
+	}
+	return n
+}
+
+// leafFor descends to the leaf r falls into.
+func (t *Tree) leafFor(r data.Record) *node {
+	n := t.root
+	for !n.isLeaf() {
+		attr := t.opts.Schema.Attributes[n.attr]
+		if attr.Kind == data.Numeric {
+			if r.Values[n.attr] <= n.threshold {
+				n = n.children[0]
+			} else {
+				n = n.children[1]
+			}
+			continue
+		}
+		v := int(r.Values[n.attr])
+		if v < 0 || v >= len(n.children) {
+			break
+		}
+		n = n.children[v]
+	}
+	return n
+}
+
+// Predict implements classifier.Online: the majority class of the leaf.
+func (t *Tree) Predict(r data.Record) int {
+	return classifier.ArgMax(t.PredictProba(r))
+}
+
+// PredictProba returns the leaf's class distribution (Laplace-smoothed).
+// The returned slice is reused across calls.
+func (t *Tree) PredictProba(r data.Record) []float64 {
+	leaf := t.leafFor(r)
+	total := 0.0
+	for c, v := range leaf.classCounts {
+		t.buf[c] = v + 1
+		total += v + 1
+	}
+	for c := range t.buf {
+		t.buf[c] /= total
+	}
+	return t.buf
+}
+
+// Learn implements classifier.Online.
+func (t *Tree) Learn(r data.Record) {
+	t.ingest(r, 1)
+	if t.opts.Window > 0 {
+		t.window = append(t.window, r)
+		if len(t.window) > t.opts.Window {
+			old := t.window[0]
+			t.window = t.window[1:]
+			t.ingest(old, -1)
+		}
+	}
+}
+
+// ingest routes the record to its leaf, updates statistics with the given
+// weight, and attempts a split on positive-weight updates.
+func (t *Tree) ingest(r data.Record, weight float64) {
+	leaf := t.leafFor(r)
+	if r.Class < 0 || r.Class >= len(leaf.classCounts) {
+		return
+	}
+	leaf.classCounts[r.Class] += weight
+	if leaf.classCounts[r.Class] < 0 {
+		leaf.classCounts[r.Class] = 0
+	}
+	for a, attr := range t.opts.Schema.Attributes {
+		if attr.Kind == data.Nominal {
+			v := int(r.Values[a])
+			if v >= 0 && v < len(leaf.nominal[a]) {
+				leaf.nominal[a][v][r.Class] += weight
+				if leaf.nominal[a][v][r.Class] < 0 {
+					leaf.nominal[a][v][r.Class] = 0
+				}
+			}
+			continue
+		}
+		leaf.numeric[a].add(r.Values[a], r.Class, weight)
+	}
+	if weight <= 0 {
+		return
+	}
+	leaf.seenSinceSplit++
+	if leaf.seenSinceSplit >= t.opts.GracePeriod {
+		leaf.seenSinceSplit = 0
+		t.trySplit(leaf)
+	}
+}
+
+// splitScore is an attribute's best evaluated information gain.
+type splitScore struct {
+	attr      int
+	gain      float64
+	threshold float64
+	numeric   bool
+}
+
+// trySplit applies the Hoeffding-bound split test at the leaf.
+func (t *Tree) trySplit(leaf *node) {
+	if t.leaves >= t.opts.MaxLeaves {
+		return
+	}
+	total := 0.0
+	for _, v := range leaf.classCounts {
+		total += v
+	}
+	if total < 2 {
+		return
+	}
+	baseEntropy := entropy(leaf.classCounts, total)
+	if baseEntropy == 0 {
+		return
+	}
+	var best, second splitScore
+	best.gain, second.gain = -1, -1
+	for a, attr := range t.opts.Schema.Attributes {
+		var s splitScore
+		if attr.Kind == data.Nominal {
+			s = t.nominalGain(leaf, a, baseEntropy, total)
+		} else {
+			s = t.numericGain(leaf, a, baseEntropy, total)
+		}
+		if s.gain > best.gain {
+			second = best
+			best = s
+		} else if s.gain > second.gain {
+			second = s
+		}
+	}
+	if best.gain <= 0 {
+		return
+	}
+	r := math.Log2(float64(len(leaf.classCounts)))
+	if r < 1 {
+		r = 1
+	}
+	eps := math.Sqrt(r * r * math.Log(1/t.opts.Delta) / (2 * total))
+	// The null split (gain 0) competes too: the winner must beat it by the
+	// bound, or noise-only leaves keep splitting on spurious tiny gains
+	// once eps shrinks below Tau.
+	if best.gain <= eps {
+		return
+	}
+	if best.gain-second.gain <= eps && eps >= t.opts.Tau {
+		return // not yet confident and not a tie
+	}
+	t.split(leaf, best)
+}
+
+// split converts the leaf into an internal node with fresh child leaves.
+func (t *Tree) split(leaf *node, s splitScore) {
+	schema := t.opts.Schema
+	leaf.attr = s.attr
+	branches := 2
+	if !s.numeric {
+		branches = schema.Attributes[s.attr].Cardinality()
+	}
+	leaf.threshold = s.threshold
+	leaf.children = make([]*node, branches)
+	for i := range leaf.children {
+		leaf.children[i] = t.newLeaf()
+	}
+	// Seed children's class priors from the parent's statistics so early
+	// predictions aren't uniform.
+	if s.numeric {
+		obs := leaf.numeric[s.attr]
+		left, right := obs.countsAround(s.threshold)
+		copy(leaf.children[0].classCounts, left)
+		copy(leaf.children[1].classCounts, right)
+	} else {
+		for v := range leaf.children {
+			copy(leaf.children[v].classCounts, leaf.nominal[s.attr][v])
+		}
+	}
+	// Release the leaf statistics; internal nodes only route.
+	leaf.nominal = nil
+	leaf.numeric = nil
+	t.leaves += branches - 1
+}
+
+// nominalGain computes the information gain of a multiway split.
+func (t *Tree) nominalGain(leaf *node, a int, baseEntropy, total float64) splitScore {
+	cond := 0.0
+	nonEmpty := 0
+	for _, counts := range leaf.nominal[a] {
+		n := 0.0
+		for _, v := range counts {
+			n += v
+		}
+		if n == 0 {
+			continue
+		}
+		nonEmpty++
+		cond += n / total * entropy(counts, n)
+	}
+	if nonEmpty < 2 {
+		return splitScore{attr: a, gain: -1}
+	}
+	return splitScore{attr: a, gain: baseEntropy - cond}
+}
+
+// numericGain evaluates SplitCandidates thresholds through the Gaussian
+// observer and returns the best.
+func (t *Tree) numericGain(leaf *node, a int, baseEntropy, total float64) splitScore {
+	best := splitScore{attr: a, gain: -1, numeric: true}
+	obs := leaf.numeric[a]
+	for _, thr := range obs.candidateSplits(t.opts.SplitCandidates) {
+		left, right := obs.countsAround(thr)
+		nl, nr := 0.0, 0.0
+		for c := range left {
+			nl += left[c]
+			nr += right[c]
+		}
+		if nl < 1 || nr < 1 {
+			continue
+		}
+		cond := nl/total*entropy(left, nl) + nr/total*entropy(right, nr)
+		if gain := baseEntropy - cond; gain > best.gain {
+			best.gain = gain
+			best.threshold = thr
+		}
+	}
+	return best
+}
+
+func entropy(counts []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := c / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}

@@ -1,0 +1,197 @@
+package vfdt
+
+import (
+	"testing"
+
+	"highorder/internal/data"
+	"highorder/internal/synth"
+)
+
+func TestPanicsWithoutSchema(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without schema did not panic")
+		}
+	}()
+	New(Options{})
+}
+
+func TestLearnsStationaryStagger(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 1})
+	tr := New(Options{Schema: g.Schema(), GracePeriod: 100})
+	for i := 0; i < 5000; i++ {
+		tr.Learn(g.Next().Record)
+	}
+	if tr.Leaves() < 2 {
+		t.Fatal("tree never split on a learnable concept")
+	}
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		e := g.Next()
+		if tr.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+		tr.Learn(e.Record)
+	}
+	if got := float64(wrong) / 2000; got > 0.05 {
+		t.Fatalf("stationary error = %v, want <= 0.05", got)
+	}
+}
+
+func TestLearnsNumericConcept(t *testing.T) {
+	g := synth.NewSEA(synth.SEAConfig{Lambda: 1e-12, Noise: 0, Seed: 2})
+	tr := New(Options{Schema: g.Schema(), GracePeriod: 100})
+	for i := 0; i < 10000; i++ {
+		tr.Learn(g.Next().Record)
+	}
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		e := g.Next()
+		if tr.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+		tr.Learn(e.Record)
+	}
+	if got := float64(wrong) / 2000; got > 0.10 {
+		t.Fatalf("numeric concept error = %v, want <= 0.10", got)
+	}
+}
+
+func TestDoesNotSplitOnNoise(t *testing.T) {
+	// Labels independent of attributes: the Hoeffding bound should keep
+	// the tree tiny.
+	schema := synth.StaggerSchema()
+	tr := New(Options{Schema: schema, GracePeriod: 100})
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 3})
+	for i := 0; i < 10000; i++ {
+		r := g.Next().Record
+		r.Class = i % 2 // alternate labels, independent of attributes
+		tr.Learn(r)
+	}
+	if tr.Leaves() > 3 {
+		t.Fatalf("tree grew %d leaves on pure noise", tr.Leaves())
+	}
+}
+
+func TestMaxLeavesBound(t *testing.T) {
+	g := synth.NewIntrusion(synth.IntrusionConfig{Seed: 4})
+	tr := New(Options{Schema: g.Schema(), GracePeriod: 50, MaxLeaves: 8})
+	for i := 0; i < 20000; i++ {
+		tr.Learn(g.Next().Record)
+	}
+	if tr.Leaves() > 8+4 { // one final multiway split may overshoot slightly
+		t.Fatalf("Leaves = %d, bound 8", tr.Leaves())
+	}
+}
+
+func TestWindowAdaptsToShift(t *testing.T) {
+	relabel := func(g synth.Stream, concept int) data.Record {
+		e := g.Next()
+		c, s, z := int(e.Record.Values[0]), int(e.Record.Values[1]), int(e.Record.Values[2])
+		e.Record.Class = synth.StaggerLabel(concept, c, s, z)
+		return e.Record
+	}
+	mk := func(window int) *Tree {
+		return New(Options{Schema: synth.StaggerSchema(), GracePeriod: 100, Window: window})
+	}
+	windowed := mk(2000)
+	a := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 5})
+	for i := 0; i < 6000; i++ {
+		windowed.Learn(relabel(a, 0))
+	}
+	b := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 6})
+	for i := 0; i < 6000; i++ {
+		windowed.Learn(relabel(b, 2))
+	}
+	wrong := 0
+	for i := 0; i < 2000; i++ {
+		r := relabel(b, 2)
+		if windowed.Predict(r) != r.Class {
+			wrong++
+		}
+		windowed.Learn(r)
+	}
+	if got := float64(wrong) / 2000; got > 0.15 {
+		t.Fatalf("windowed VFDT error after shift = %v, want <= 0.15", got)
+	}
+}
+
+func TestPredictProbaNormalized(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 7})
+	tr := New(Options{Schema: g.Schema()})
+	for i := 0; i < 1000; i++ {
+		tr.Learn(g.Next().Record)
+	}
+	for i := 0; i < 100; i++ {
+		p := tr.PredictProba(g.Next().Record)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestEmptyTreePredicts(t *testing.T) {
+	tr := New(Options{Schema: synth.StaggerSchema()})
+	r := data.Record{Values: []float64{0, 0, 0}}
+	if got := tr.Predict(r); got != 0 && got != 1 {
+		t.Fatalf("empty-tree prediction = %d", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if New(Options{Schema: synth.StaggerSchema()}).Name() != "vfdt" {
+		t.Fatal("name")
+	}
+	if New(Options{Schema: synth.StaggerSchema(), Window: 100}).Name() != "vfdt-window" {
+		t.Fatal("windowed name")
+	}
+}
+
+func TestGaussianObserver(t *testing.T) {
+	g := newGaussianObserver(2)
+	for i := 0; i < 1000; i++ {
+		g.add(float64(i%10), 0, 1)    // class 0: 0..9 uniform-ish
+		g.add(float64(i%10)+20, 1, 1) // class 1: 20..29
+	}
+	left, right := g.countsAround(15)
+	if left[0] < 900 || right[0] > 100 {
+		t.Fatalf("class 0 not mostly left of 15: %v / %v", left[0], right[0])
+	}
+	if right[1] < 900 || left[1] > 100 {
+		t.Fatalf("class 1 not mostly right of 15: %v / %v", left[1], right[1])
+	}
+	cands := g.candidateSplits(5)
+	if len(cands) != 5 {
+		t.Fatalf("candidates = %d", len(cands))
+	}
+	for _, c := range cands {
+		if c <= g.min || c >= g.max {
+			t.Fatalf("candidate %v outside (%v,%v)", c, g.min, g.max)
+		}
+	}
+}
+
+func TestGaussianObserverRemoval(t *testing.T) {
+	g := newGaussianObserver(1)
+	for i := 0; i < 100; i++ {
+		g.add(5, 0, 1)
+	}
+	for i := 0; i < 100; i++ {
+		g.add(5, 0, -1)
+	}
+	if g.count[0] != 0 {
+		t.Fatalf("count after full removal = %v", g.count[0])
+	}
+	// Further removal must not go negative.
+	g.add(5, 0, -1)
+	if g.count[0] < 0 {
+		t.Fatal("negative count after over-removal")
+	}
+}

@@ -1,0 +1,264 @@
+// Package wce implements the Weighted Classifier Ensemble of Wang, Fan, Yu
+// and Han (KDD'03), the paper's second competitor (§IV-B): the labeled
+// stream is divided into fixed-size sequential chunks, a base classifier is
+// trained from each chunk, and the most recent K classifiers are combined,
+// each weighted by how much better than random guessing it performs on the
+// most recent chunk (weight = MSE_r − MSE_i). Prediction averages the
+// classifiers' class distributions by weight and supports the paper's
+// instance-based pruning, which stops consulting classifiers once the
+// winning class can no longer change.
+package wce
+
+import (
+	"sort"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+)
+
+// Options configure WCE. The paper's experiments use ChunkSize 100 and
+// Ensemble 20 (§IV-B).
+type Options struct {
+	// Learner trains chunk classifiers; nil is invalid.
+	Learner classifier.Learner
+	// Schema is the stream schema; nil is invalid.
+	Schema *data.Schema
+	// ChunkSize is the number of labeled records per chunk; <= 0 selects
+	// 100.
+	ChunkSize int
+	// Ensemble is the maximum number of classifiers kept; <= 0 selects 20.
+	Ensemble int
+	// DisablePruning turns off instance-based pruning at prediction time.
+	DisablePruning bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 100
+	}
+	if o.Ensemble <= 0 {
+		o.Ensemble = 20
+	}
+	return o
+}
+
+// member is one ensemble classifier with its current weight.
+type member struct {
+	model  classifier.Classifier
+	weight float64
+}
+
+// WCE is the online weighted classifier ensemble.
+type WCE struct {
+	opts    Options
+	buffer  []data.Record
+	members []member
+	// retired counts classifiers dropped from the ensemble (diagnostics).
+	retired int
+	// consulted counts classifier invocations during Predict, which the
+	// instance-based-pruning efficiency experiment reads.
+	consulted int64
+	predicted int64
+}
+
+// New returns a WCE instance. It panics if opts.Learner or opts.Schema is
+// nil.
+func New(opts Options) *WCE {
+	o := opts.withDefaults()
+	if o.Learner == nil {
+		panic("wce: Options.Learner is required")
+	}
+	if o.Schema == nil {
+		panic("wce: Options.Schema is required")
+	}
+	return &WCE{opts: o}
+}
+
+// Name implements classifier.Online.
+func (w *WCE) Name() string { return "wce" }
+
+// EnsembleSize returns the current number of classifiers.
+func (w *WCE) EnsembleSize() int { return len(w.members) }
+
+// AvgConsulted returns the mean number of classifiers consulted per
+// Predict call, the quantity instance-based pruning reduces.
+func (w *WCE) AvgConsulted() float64 {
+	if w.predicted == 0 {
+		return 0
+	}
+	return float64(w.consulted) / float64(w.predicted)
+}
+
+// Learn implements classifier.Online: records accumulate into the current
+// chunk; a full chunk trains a new classifier and reweights the ensemble.
+func (w *WCE) Learn(y data.Record) {
+	w.buffer = append(w.buffer, y)
+	if len(w.buffer) < w.opts.ChunkSize {
+		return
+	}
+	chunk := &data.Dataset{Schema: w.opts.Schema, Records: w.buffer}
+	w.buffer = nil
+	model, err := w.opts.Learner.Train(chunk)
+	if err != nil {
+		return // degenerate chunk; keep the previous ensemble
+	}
+	w.members = append(w.members, member{model: model})
+	w.reweight(chunk)
+	// The newest classifier was trained on the evaluation chunk itself, so
+	// its resubstitution MSE is optimistic; following Wang et al. its
+	// weight comes from cross-validation on the chunk instead.
+	if cvWeight, ok := w.crossValidatedWeight(chunk); ok {
+		w.members[len(w.members)-1].weight = cvWeight
+	}
+	if len(w.members) > w.opts.Ensemble {
+		// Keep the Ensemble best-weighted classifiers.
+		sort.SliceStable(w.members, func(i, j int) bool {
+			return w.members[i].weight > w.members[j].weight
+		})
+		w.retired += len(w.members) - w.opts.Ensemble
+		w.members = w.members[:w.opts.Ensemble]
+	}
+}
+
+// reweight recomputes every member's weight on the evaluation chunk:
+// weight_i = MSE_r − MSE_i, where MSE_i averages (1 − f_i^c(x))² over the
+// chunk and MSE_r = Σ_c p(c)·(1−p(c))² is the error of random guessing.
+func (w *WCE) reweight(chunk *data.Dataset) {
+	dist := chunk.ClassDistribution()
+	mseR := 0.0
+	for _, p := range dist {
+		mseR += p * (1 - p) * (1 - p)
+	}
+	for i := range w.members {
+		m := &w.members[i]
+		sum := 0.0
+		for _, r := range chunk.Records {
+			probs := m.model.PredictProba(r)
+			pc := 0.0
+			if r.Class < len(probs) {
+				pc = probs[r.Class]
+			}
+			sum += (1 - pc) * (1 - pc)
+		}
+		mse := sum / float64(chunk.Len())
+		m.weight = mseR - mse
+	}
+}
+
+// crossValidatedWeight estimates a classifier's weight on its own training
+// chunk by 3-fold cross-validation: MSE_r − mean held-out MSE. ok is false
+// when the chunk cannot support folding.
+func (w *WCE) crossValidatedWeight(chunk *data.Dataset) (weight float64, ok bool) {
+	const folds = 3
+	if chunk.Len() < 2*folds {
+		return 0, false
+	}
+	dist := chunk.ClassDistribution()
+	mseR := 0.0
+	for _, p := range dist {
+		mseR += p * (1 - p) * (1 - p)
+	}
+	// Deterministic fold assignment by position: the chunk is already an
+	// arbitrary time slice, so striding yields balanced folds.
+	mseSum, n := 0.0, 0
+	for f := 0; f < folds; f++ {
+		var trainRecs, testRecs []data.Record
+		for i, r := range chunk.Records {
+			if i%folds == f {
+				testRecs = append(testRecs, r)
+			} else {
+				trainRecs = append(trainRecs, r)
+			}
+		}
+		m, err := w.opts.Learner.Train(&data.Dataset{Schema: w.opts.Schema, Records: trainRecs})
+		if err != nil {
+			continue
+		}
+		sum := 0.0
+		for _, r := range testRecs {
+			probs := m.PredictProba(r)
+			pc := 0.0
+			if r.Class < len(probs) {
+				pc = probs[r.Class]
+			}
+			sum += (1 - pc) * (1 - pc)
+		}
+		mseSum += sum / float64(len(testRecs))
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return mseR - mseSum/float64(n), true
+}
+
+// Predict implements classifier.Online: the weighted vote of the
+// positive-weight classifiers, with instance-based pruning unless disabled.
+func (w *WCE) Predict(x data.Record) int {
+	w.predicted++
+	if len(w.members) == 0 {
+		// Cold start: majority of the partial first chunk, else class 0.
+		if len(w.buffer) > 0 {
+			return (&data.Dataset{Schema: w.opts.Schema, Records: w.buffer}).MajorityClass()
+		}
+		return 0
+	}
+	k := w.opts.Schema.NumClasses()
+	acc := make([]float64, k)
+	// Consult classifiers in decreasing weight; skip non-positive weights
+	// (worse than random).
+	order := make([]int, len(w.members))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return w.members[order[a]].weight > w.members[order[b]].weight
+	})
+	remaining := 0.0
+	for _, i := range order {
+		if w.members[i].weight > 0 {
+			remaining += w.members[i].weight
+		}
+	}
+	if remaining == 0 {
+		// No classifier beats random guessing; fall back to the newest.
+		w.consulted++
+		return w.members[len(w.members)-1].model.Predict(x)
+	}
+	for _, i := range order {
+		m := w.members[i]
+		if m.weight <= 0 {
+			break
+		}
+		w.consulted++
+		probs := m.model.PredictProba(x)
+		for c := 0; c < k && c < len(probs); c++ {
+			acc[c] += m.weight * probs[c]
+		}
+		remaining -= m.weight
+		if !w.opts.DisablePruning && remaining > 0 {
+			best, second := topTwo(acc)
+			if acc[best]-acc[second] > remaining {
+				break
+			}
+		}
+	}
+	return classifier.ArgMax(acc)
+}
+
+func topTwo(v []float64) (best, second int) {
+	best = 0
+	second = -1
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			second = best
+			best = i
+		} else if second == -1 || v[i] > v[second] {
+			second = i
+		}
+	}
+	if second == -1 {
+		second = best
+	}
+	return best, second
+}

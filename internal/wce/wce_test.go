@@ -1,0 +1,175 @@
+package wce
+
+import (
+	"testing"
+
+	"highorder/internal/synth"
+	"highorder/internal/tree"
+)
+
+func newWCE(opts Options) *WCE {
+	if opts.Learner == nil {
+		opts.Learner = tree.NewLearner()
+	}
+	if opts.Schema == nil {
+		opts.Schema = synth.StaggerSchema()
+	}
+	return New(opts)
+}
+
+func TestPanicsWithoutLearner(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without learner did not panic")
+		}
+	}()
+	New(Options{Schema: synth.StaggerSchema()})
+}
+
+func TestPanicsWithoutSchema(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without schema did not panic")
+		}
+	}()
+	New(Options{Learner: tree.NewLearner()})
+}
+
+func TestColdStartPredicts(t *testing.T) {
+	w := newWCE(Options{})
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 1})
+	e := g.Next()
+	if got := w.Predict(e.Record); got != 0 {
+		t.Fatalf("empty-ensemble prediction = %d, want 0", got)
+	}
+	w.Learn(e.Record)
+	// With a partial buffer the prediction is the buffer majority.
+	got := w.Predict(e.Record)
+	if got != 0 && got != 1 {
+		t.Fatalf("partial-buffer prediction = %d", got)
+	}
+}
+
+func TestLearnsStationaryStagger(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 2})
+	w := newWCE(Options{})
+	// Warm up with 10 chunks.
+	for i := 0; i < 1000; i++ {
+		w.Learn(g.Next().Record)
+	}
+	if w.EnsembleSize() == 0 {
+		t.Fatal("no classifiers trained after 10 chunks")
+	}
+	wrong, n := 0, 1000
+	for i := 0; i < n; i++ {
+		e := g.Next()
+		if w.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+		w.Learn(e.Record)
+	}
+	if got := float64(wrong) / float64(n); got > 0.05 {
+		t.Fatalf("stationary error = %v, want <= 0.05", got)
+	}
+}
+
+func TestEnsembleBounded(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 3})
+	w := newWCE(Options{Ensemble: 5, ChunkSize: 50})
+	for i := 0; i < 3000; i++ {
+		w.Learn(g.Next().Record)
+	}
+	if w.EnsembleSize() > 5 {
+		t.Fatalf("ensemble size %d exceeds bound 5", w.EnsembleSize())
+	}
+}
+
+func TestRecoversAfterShift(t *testing.T) {
+	// Stationary concept 0, then an abrupt switch: error must drop again
+	// within a few chunks.
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 4})
+	w := newWCE(Options{ChunkSize: 100, Ensemble: 10})
+	for i := 0; i < 1000; i++ {
+		w.Learn(g.Next().Record)
+	}
+	// Shifted stream: relabel per concept C.
+	shift := synth.NewStagger(synth.StaggerConfig{Lambda: 1e-12, Seed: 5})
+	relabel := func(e synth.Emission) synth.Emission {
+		c := int(e.Record.Values[0])
+		s := int(e.Record.Values[1])
+		z := int(e.Record.Values[2])
+		e.Record.Class = synth.StaggerLabel(2, c, s, z)
+		return e
+	}
+	// Feed 5 chunks of the new concept.
+	for i := 0; i < 500; i++ {
+		w.Learn(relabel(shift.Next()).Record)
+	}
+	wrong, n := 0, 500
+	for i := 0; i < n; i++ {
+		e := relabel(shift.Next())
+		if w.Predict(e.Record) != e.Record.Class {
+			wrong++
+		}
+		w.Learn(e.Record)
+	}
+	if got := float64(wrong) / float64(n); got > 0.10 {
+		t.Fatalf("post-shift error = %v, want <= 0.10", got)
+	}
+}
+
+func TestPruningMatchesFullVote(t *testing.T) {
+	mk := func(disable bool) *WCE {
+		return newWCE(Options{ChunkSize: 100, Ensemble: 10, DisablePruning: disable})
+	}
+	pruned, full := mk(false), mk(true)
+	g := synth.NewStagger(synth.StaggerConfig{Lambda: 0.002, Seed: 6})
+	for i := 0; i < 3000; i++ {
+		e := g.Next()
+		if pruned.Predict(e.Record) != full.Predict(e.Record) {
+			t.Fatalf("pruned and full predictions disagree at record %d", i)
+		}
+		pruned.Learn(e.Record)
+		full.Learn(e.Record)
+	}
+	if pruned.AvgConsulted() > full.AvgConsulted() {
+		t.Fatalf("pruning consulted more classifiers (%v) than full voting (%v)",
+			pruned.AvgConsulted(), full.AvgConsulted())
+	}
+}
+
+func TestName(t *testing.T) {
+	if newWCE(Options{}).Name() != "wce" {
+		t.Fatal("unexpected name")
+	}
+}
+
+func TestAvgConsultedZeroInitially(t *testing.T) {
+	if newWCE(Options{}).AvgConsulted() != 0 {
+		t.Fatal("AvgConsulted nonzero before any prediction")
+	}
+}
+
+func TestNewestClassifierCVWeighted(t *testing.T) {
+	// On noise, the newest classifier's resubstitution MSE would look
+	// better than random; CV weighting must expose it as useless (weight
+	// near or below zero), so it cannot dominate the vote.
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 9})
+	w := newWCE(Options{ChunkSize: 100})
+	src := 0
+	for i := 0; i < 500; i++ {
+		e := g.Next()
+		e.Record.Class = src % 2 // labels independent of attributes
+		src++
+		w.Learn(e.Record)
+	}
+	maxW := -1.0
+	for _, m := range w.members {
+		if m.weight > maxW {
+			maxW = m.weight
+		}
+	}
+	if maxW > 0.1 {
+		t.Fatalf("a noise-trained classifier kept weight %v; CV weighting should deflate it", maxW)
+	}
+}
