@@ -14,8 +14,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
+	"highorder/internal/clock"
 	"highorder/internal/experiments"
 )
 
@@ -38,11 +38,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have %s)\n", id, strings.Join(experiments.IDs(), ", "))
 			os.Exit(2)
 		}
-		start := time.Now()
+		start := clock.Wall()
 		if err := runner(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, clock.Wall().Sub(start).Seconds())
 	}
 }

@@ -1,0 +1,96 @@
+// Command homlint runs the repository's custom static-analysis suite
+// (internal/analysis) over the module: determinism, seed plumbing, float
+// comparison, and sync-misuse invariants that `go vet` does not know
+// about. It prints findings as file:line:col diagnostics and exits 1 when
+// any survive suppression directives, so it can gate CI:
+//
+//	go run ./cmd/homlint ./...
+//
+// Usage:
+//
+//	homlint [-enable a,b] [-list] [packages ...]
+//
+// A package argument is a directory, or a directory suffixed with /... to
+// walk recursively; plain "./..." covers the whole module. With no
+// arguments, ./... is assumed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"highorder/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("homlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	enable := fs.String("enable", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *enable != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*enable, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+
+	targets := fs.Args()
+	if len(targets) == 0 {
+		targets = []string{"./..."}
+	}
+
+	loader := analysis.NewLoader()
+	var diags []analysis.Diagnostic
+	for _, t := range targets {
+		var (
+			passes []*analysis.Pass
+			err    error
+		)
+		if dir, ok := strings.CutSuffix(t, "/..."); ok {
+			if dir == "" || dir == "." {
+				dir = "."
+			}
+			passes, err = loader.LoadTree(dir)
+		} else {
+			passes, err = loader.LoadDir(t)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, p := range passes {
+			diags = append(diags, analysis.Run(p, analyzers)...)
+			diags = append(diags, analysis.CheckDirectives(p)...)
+		}
+	}
+
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "homlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

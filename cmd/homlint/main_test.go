@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsClean is the dogfood gate: the analyzer suite must run clean
+// over this repository itself. Any new violation must either be fixed or
+// carry a justified //homlint:allow directive.
+func TestRepoIsClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{moduleRoot(t) + "/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("homlint found violations in this repository (exit %d):\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestFindsSeededViolations runs the CLI over the analyzer fixtures and
+// checks it exits nonzero with findings from every analyzer.
+func TestFindsSeededViolations(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{filepath.Join(root, "internal", "analysis", "testdata", "determinism"),
+		filepath.Join(root, "internal", "analysis", "testdata", "seedplumb"),
+		filepath.Join(root, "internal", "analysis", "testdata", "floatcmp"),
+		filepath.Join(root, "internal", "analysis", "testdata", "syncmisuse")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("want exit 1 on seeded violations, got %d\n%s%s", code, stdout.String(), stderr.String())
+	}
+	for _, name := range []string{"determinism", "seedplumb", "floatcmp", "syncmisuse"} {
+		if !strings.Contains(stdout.String(), "["+name+"]") {
+			t.Errorf("no %s finding in CLI output", name)
+		}
+	}
+}
+
+// TestEnableFilter checks -enable restricts the suite.
+func TestEnableFilter(t *testing.T) {
+	root := moduleRoot(t)
+	fixture := filepath.Join(root, "internal", "analysis", "testdata", "determinism")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-enable", "floatcmp", fixture}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("floatcmp alone should pass the determinism fixture, got exit %d:\n%s", code, stdout.String())
+	}
+	if code := run([]string{"-enable", "bogus", fixture}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown analyzer should exit 2, got %d", code)
+	}
+}
+
+// TestListAnalyzers checks -list names the full suite.
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"determinism", "seedplumb", "floatcmp", "syncmisuse"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}

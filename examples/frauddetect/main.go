@@ -48,12 +48,12 @@ func generate(rng *rand.Rand, n int) *highorder.Dataset {
 			t = tactic(rng.Intn(int(numTactics)))
 		}
 		amount := rng.ExpFloat64() * 120
-		hour := float64(rng.Intn(24))
-		foreign := 0.0
+		hour := rng.Intn(24)
+		foreign := 0
 		if rng.Float64() < 0.2 {
 			foreign = 1
 		}
-		channel := float64(rng.Intn(3))
+		channel := rng.Intn(3)
 		fraud := false
 		switch t {
 		case cardTheft:
@@ -67,7 +67,7 @@ func generate(rng *rand.Rand, n int) *highorder.Dataset {
 		if fraud {
 			class = 1
 		}
-		d.Add(highorder.Record{Values: []float64{amount, hour, foreign, channel}, Class: class})
+		d.Add(highorder.Record{Values: []float64{amount, float64(hour), float64(foreign), float64(channel)}, Class: class})
 	}
 	return d
 }

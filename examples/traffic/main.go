@@ -59,7 +59,7 @@ func generate(rng *rand.Rand, n int) (*highorder.Dataset, []roadState) {
 		occ := rng.Float64()
 		speed := 20 + 90*rng.Float64()
 		flow := 60 * rng.Float64()
-		rain := 0.0
+		rain := 0
 		if rng.Float64() < 0.25 {
 			rain = 1
 		}
@@ -76,7 +76,7 @@ func generate(rng *rand.Rand, n int) (*highorder.Dataset, []roadState) {
 		if congested {
 			class = 1
 		}
-		d.Add(highorder.Record{Values: []float64{occ, speed, flow, rain}, Class: class})
+		d.Add(highorder.Record{Values: []float64{occ, speed, flow, float64(rain)}, Class: class})
 		states[i] = state
 	}
 	return d, states

@@ -1,0 +1,212 @@
+// Package analysis is a small stdlib-only static-analysis framework plus
+// the project-specific analyzers that enforce the repository's determinism
+// and concurrency invariants. The paper's pipeline — concept clustering,
+// transition estimation, active-probability tracking — is only reproducible
+// when every stage is bit-for-bit deterministic under a seed, so the things
+// Go makes easy to get wrong silently (global math/rand state, wall-clock
+// reads, map-iteration order, copied locks, races) are checked mechanically
+// by `go run ./cmd/homlint ./...` rather than by convention.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools/go/
+// analysis without depending on it: an Analyzer runs over one package Pass
+// and reports position-tagged Diagnostics. Findings are suppressed with
+// `//homlint:allow <analyzer> -- reason` directives (see directives.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	// Pos is the resolved file:line:column of the finding.
+	Pos token.Position
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Message describes the violation and, where possible, the fix.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form
+// consumed by editors.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant check over a package.
+type Analyzer interface {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //homlint:allow directives.
+	Name() string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc() string
+	// Run inspects the pass and reports findings via pass.Report.
+	Run(pass *Pass)
+}
+
+// File is one parsed source file of a pass.
+type File struct {
+	// Path is the file path as given to the loader.
+	Path string
+	// AST is the parsed file, with comments.
+	AST *ast.File
+	// Test reports whether this is a _test.go file.
+	Test bool
+}
+
+// Pass carries one package's syntax and (best-effort) type information
+// through the analyzers, and collects their diagnostics.
+type Pass struct {
+	// Fset resolves token positions for every file of the pass.
+	Fset *token.FileSet
+	// Dir is the package directory, relative to the analysis root.
+	Dir string
+	// Files are the package's source files, sorted by path.
+	Files []*File
+	// Info is the result of type-checking the package with full standard-
+	// library resolution but stubbed intra-module imports, so types that
+	// come from other packages of this module may be missing or invalid.
+	// Analyzers must treat it as best-effort and fall back to syntax.
+	Info *types.Info
+
+	analyzer string
+	diags    []Diagnostic
+}
+
+// Report records a finding at pos for the currently running analyzer.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when type-checking could not
+// resolve it (e.g. it involves a stubbed intra-module import).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil || t == types.Typ[types.Invalid] {
+		return nil
+	}
+	return t
+}
+
+// ImportName returns the local name under which file imports path, or ""
+// when the file does not import it. Dot and blank imports return "".
+func ImportName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		if imp.Path.Value != `"`+path+`"` {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		// Default name: the last path element.
+		p := path
+		for i := len(p) - 1; i >= 0; i-- {
+			if p[i] == '/' {
+				return p[i+1:]
+			}
+		}
+		return p
+	}
+	return ""
+}
+
+// IsPkgCall reports whether call is pkgName.fn(...) for the given local
+// package name, returning the selector for position reporting.
+func IsPkgCall(call *ast.CallExpr, pkgName, fn string) (*ast.SelectorExpr, bool) {
+	if pkgName == "" {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgName {
+		return nil, false
+	}
+	return sel, true
+}
+
+// Run executes the analyzers over the pass and returns the diagnostics that
+// survive suppression directives, sorted by position.
+func Run(pass *Pass, analyzers []Analyzer) []Diagnostic {
+	sup := collectDirectives(pass)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass.analyzer = a.Name()
+		pass.diags = pass.diags[:0]
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if !sup.allows(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, analyzer so
+// output is deterministic across runs and worker orderings.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		&Determinism{},
+		&SeedPlumb{},
+		&FloatCmp{},
+		&SyncMisuse{},
+	}
+}
+
+// ByName returns the subset of All whose names appear in names, preserving
+// suite order, or an error naming the first unknown entry.
+func ByName(names []string) ([]Analyzer, error) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name()] = true
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		if !known[n] {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		want[n] = true
+	}
+	var out []Analyzer
+	for _, a := range All() {
+		if want[a.Name()] {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression directives let a reviewed, justified exception coexist with a
+// mechanically enforced invariant. Three scopes are supported:
+//
+//	//homlint:allow <analyzer> -- <reason>      line scope
+//	//homlint:func-allow <analyzer> -- <reason> function scope (in the doc comment)
+//	//homlint:file-allow <analyzer> -- <reason> file scope (anywhere in the file)
+//
+// A line-scope directive suppresses findings of <analyzer> on its own line
+// or the line immediately below it (so it can trail the offending code or
+// sit on its own line above). <analyzer> may be "all". The "-- reason" tail
+// is required: an unexplained suppression is itself reported by the runner
+// via CheckDirectives.
+
+const directivePrefix = "//homlint:"
+
+// suppressions indexes directives for the allows test.
+type suppressions struct {
+	// fileAllow maps filename -> analyzer set suppressed for the whole file.
+	fileAllow map[string]map[string]bool
+	// lineAllow maps filename -> line -> analyzer set. A directive at line L
+	// registers L and L+1.
+	lineAllow map[string]map[int]map[string]bool
+	// malformed collects directives that did not parse; surfaced by
+	// CheckDirectives so typos fail loudly instead of silently not
+	// suppressing (or worse, appearing to pass because the code was fixed).
+	malformed []Diagnostic
+}
+
+func (s *suppressions) allows(d Diagnostic) bool {
+	if set := s.fileAllow[d.Pos.Filename]; set != nil && (set["all"] || set[d.Analyzer]) {
+		return true
+	}
+	if lines := s.lineAllow[d.Pos.Filename]; lines != nil {
+		if set := lines[d.Pos.Line]; set != nil && (set["all"] || set[d.Analyzer]) {
+			return true
+		}
+	}
+	return false
+}
+
+// parseDirective parses one comment's text, returning ok=false when the
+// comment is not a homlint directive at all, and malformed=true when it is
+// one but does not follow the grammar.
+func parseDirective(text string) (kind, analyzer, reason string, ok, malformed bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", "", false, false
+	}
+	rest := strings.TrimPrefix(text, directivePrefix)
+	body := rest
+	if i := strings.Index(rest, "--"); i >= 0 {
+		body = strings.TrimSpace(rest[:i])
+		reason = strings.TrimSpace(rest[i+2:])
+	} else {
+		body = strings.TrimSpace(rest)
+	}
+	fields := strings.Fields(body)
+	if len(fields) != 2 {
+		return "", "", "", true, true
+	}
+	kind, analyzer = fields[0], fields[1]
+	switch kind {
+	case "allow", "func-allow", "file-allow":
+	default:
+		return "", "", "", true, true
+	}
+	if reason == "" {
+		return "", "", "", true, true
+	}
+	return kind, analyzer, reason, true, false
+}
+
+// collectDirectives gathers every homlint directive in the pass.
+func collectDirectives(pass *Pass) *suppressions {
+	s := &suppressions{
+		fileAllow: map[string]map[string]bool{},
+		lineAllow: map[string]map[int]map[string]bool{},
+	}
+	addLine := func(file string, line int, analyzer string) {
+		if s.lineAllow[file] == nil {
+			s.lineAllow[file] = map[int]map[string]bool{}
+		}
+		for _, l := range [2]int{line, line + 1} {
+			if s.lineAllow[file][l] == nil {
+				s.lineAllow[file][l] = map[string]bool{}
+			}
+			s.lineAllow[file][l][analyzer] = true
+		}
+	}
+	addRange := func(file string, from, to int, analyzer string) {
+		if s.lineAllow[file] == nil {
+			s.lineAllow[file] = map[int]map[string]bool{}
+		}
+		for l := from; l <= to; l++ {
+			if s.lineAllow[file][l] == nil {
+				s.lineAllow[file][l] = map[string]bool{}
+			}
+			s.lineAllow[file][l][analyzer] = true
+		}
+	}
+
+	for _, f := range pass.Files {
+		// Function-scope directives live in doc comments; map them to the
+		// declaration's full line range.
+		funcRange := map[*ast.CommentGroup][2]int{}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			from := pass.Fset.Position(fd.Pos()).Line
+			to := pass.Fset.Position(fd.End()).Line
+			funcRange[fd.Doc] = [2]int{from, to}
+		}
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				kind, analyzer, _, ok, malformed := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				if malformed {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directives",
+						Message:  "malformed homlint directive; want //homlint:(allow|func-allow|file-allow) <analyzer> -- <reason>",
+					})
+					continue
+				}
+				switch kind {
+				case "file-allow":
+					if s.fileAllow[pos.Filename] == nil {
+						s.fileAllow[pos.Filename] = map[string]bool{}
+					}
+					s.fileAllow[pos.Filename][analyzer] = true
+				case "func-allow":
+					if r, ok := funcRange[cg]; ok {
+						addRange(pos.Filename, r[0], r[1], analyzer)
+					} else {
+						// Not a function doc comment: degrade to line scope.
+						addLine(pos.Filename, pos.Line, analyzer)
+					}
+				case "allow":
+					addLine(pos.Filename, pos.Line, analyzer)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// CheckDirectives returns a diagnostic for every malformed homlint
+// directive in the pass, so suppressions that would silently fail to apply
+// are reported as findings in their own right.
+func CheckDirectives(pass *Pass) []Diagnostic {
+	return collectDirectives(pass).malformed
+}

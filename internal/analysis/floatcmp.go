@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point expressions. The cluster
+// ΔQ ordering, model-similarity distances, and active-probability updates
+// are all float accumulations; exact equality on such values depends on
+// evaluation order and optimization level, which is exactly the kind of
+// silent irreproducibility this repository bans. Compare against an
+// epsilon, restructure to integer counts, or — where exact comparison is
+// the point (sentinel defaults, deterministic tie-breaks on already-equal
+// values) — suppress with //homlint:allow floatcmp -- <why exactness is
+// intended>.
+//
+// Test files are exempt: asserting exact float output in tests is the
+// determinism contract at work, not a bug.
+type FloatCmp struct{}
+
+// Name implements Analyzer.
+func (*FloatCmp) Name() string { return "floatcmp" }
+
+// Doc implements Analyzer.
+func (*FloatCmp) Doc() string {
+	return "flags ==/!= between floating-point expressions outside tests"
+}
+
+// Run implements Analyzer.
+func (fc *FloatCmp) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if fc.isFloat(pass, be.X) || fc.isFloat(pass, be.Y) {
+				pass.Report(be.OpPos, "%s between floating-point values: use an epsilon comparison, or suppress with a reason if exact equality is intended", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether e is float-typed, preferring type info and
+// falling back to the syntactic float-literal check when the checker could
+// not resolve the expression.
+func (*FloatCmp) isFloat(pass *Pass, e ast.Expr) bool {
+	if t := pass.TypeOf(e); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok {
+			return b.Info()&types.IsFloat != 0
+		}
+		return false
+	}
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.FLOAT
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages for analysis. A single Loader
+// shares a FileSet and an import cache across packages, so repeated
+// standard-library imports are resolved once.
+type Loader struct {
+	fset *token.FileSet
+	// std resolves standard-library imports from $GOROOT source, giving the
+	// analyzers real types for sync.Mutex, time.Time, math/rand, etc.
+	std types.Importer
+	// stubs caches the empty placeholder packages handed out for imports the
+	// source importer cannot resolve (intra-module paths, chiefly), so the
+	// type checker degrades gracefully instead of failing the whole package.
+	stubs map[string]*types.Package
+}
+
+// NewLoader returns a ready Loader.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		stubs: map[string]*types.Package{},
+	}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Import implements types.Importer: standard-library packages resolve
+// fully; anything else gets an empty stub so selector expressions on it
+// simply have no type information.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if pkg, err := l.std.Import(path); err == nil {
+		return pkg, nil
+	}
+	if pkg, ok := l.stubs[path]; ok {
+		return pkg, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	l.stubs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses every .go file directly inside dir (no recursion) and
+// returns one Pass per package clause found there (a directory can hold a
+// package and its _test variant, or package main next to a library in
+// malformed trees; each is checked independently).
+func (l *Loader) LoadDir(dir string) ([]*Pass, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	byPkg := map[string][]*File{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
+		}
+		pkgName := f.Name.Name
+		byPkg[pkgName] = append(byPkg[pkgName], &File{
+			Path: path,
+			AST:  f,
+			Test: strings.HasSuffix(name, "_test.go"),
+		})
+	}
+	pkgNames := make([]string, 0, len(byPkg))
+	for name := range byPkg {
+		pkgNames = append(pkgNames, name)
+	}
+	sort.Strings(pkgNames)
+
+	var passes []*Pass
+	for _, name := range pkgNames {
+		files := byPkg[name]
+		sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+		passes = append(passes, l.check(dir, name, files))
+	}
+	return passes, nil
+}
+
+// check type-checks one package best-effort and assembles its Pass. Type
+// errors are expected (stubbed imports guarantee some) and ignored; the
+// analyzers fall back to syntax where Info has gaps.
+func (l *Loader) check(dir, name string, files []*File) *Pass {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer:    l,
+		Error:       func(error) {}, // best-effort: stubbed imports produce errors by design
+		FakeImportC: true,
+	}
+	asts := make([]*ast.File, len(files))
+	for i, f := range files {
+		asts[i] = f.AST
+	}
+	// The returned error only repeats what conf.Error already swallowed.
+	_, _ = conf.Check(dir+":"+name, l.fset, asts, info)
+	return &Pass{Fset: l.fset, Dir: dir, Files: files, Info: info}
+}
+
+// LoadTree walks root recursively and loads every package directory,
+// skipping testdata, vendor, hidden directories, and .git. Returned passes
+// are ordered by directory then package name.
+func (l *Loader) LoadTree(root string) ([]*Pass, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	sort.Strings(dirs)
+	var passes []*Pass
+	for _, dir := range dirs {
+		hasGo, err := dirHasGoFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !hasGo {
+			continue
+		}
+		ps, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		passes = append(passes, ps...)
+	}
+	return passes, nil
+}
+
+func dirHasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, fmt.Errorf("analysis: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// SeedPlumb checks that random sources are constructed from *plumbed*
+// seeds: a seed must arrive through a parameter, receiver field, struct
+// option, constant, or another source's output (rng.Source.Split /
+// Int63), never from ambient process state. The classic offenders —
+// rand.NewSource(time.Now().UnixNano()), seeds from os.Getpid — reseed
+// differently on every run and silently destroy the paper's record-for-
+// record reproducibility contract, so they are flagged at the
+// construction site.
+type SeedPlumb struct{}
+
+// Name implements Analyzer.
+func (*SeedPlumb) Name() string { return "seedplumb" }
+
+// Doc implements Analyzer.
+func (*SeedPlumb) Doc() string {
+	return "flags rng/rand source construction from ambient (time, pid, global-rand) seeds"
+}
+
+// seedConstructors maps import path -> function names whose first argument
+// is a seed expression to vet.
+var seedConstructors = map[string][]string{
+	"math/rand":              {"NewSource", "Seed"},
+	"highorder/internal/rng": {"New"},
+}
+
+// Run implements Analyzer.
+func (*SeedPlumb) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		names := map[string][]string{}
+		for path, fns := range seedConstructors {
+			if local := ImportName(f.AST, path); local != "" {
+				names[local] = fns
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		timeName := ImportName(f.AST, "time")
+		osName := ImportName(f.AST, "os")
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fns, ok := names[pkg.Name]
+			if !ok {
+				return true
+			}
+			match := false
+			for _, fn := range fns {
+				if sel.Sel.Name == fn {
+					match = true
+				}
+			}
+			if !match {
+				return true
+			}
+			if bad, what := ambientSeed(call.Args[0], timeName, osName); bad {
+				pass.Report(call.Args[0].Pos(), "%s.%s seeded from %s: plumb the seed from configuration so runs are reproducible", pkg.Name, sel.Sel.Name, what)
+			}
+			return true
+		})
+	}
+}
+
+// ambientSeed reports whether the seed expression draws on ambient process
+// state, and names the offending source.
+func ambientSeed(seed ast.Expr, timeName, osName string) (bool, string) {
+	bad := false
+	what := ""
+	ast.Inspect(seed, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch {
+		case timeName != "" && id.Name == timeName && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since"):
+			bad, what = true, "time."+sel.Sel.Name
+		case osName != "" && id.Name == osName && (sel.Sel.Name == "Getpid" || sel.Sel.Name == "Getppid"):
+			bad, what = true, "os."+sel.Sel.Name
+		}
+		return true
+	})
+	return bad, what
+}

@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncMisuse flags the two concurrency mistakes most likely to corrupt the
+// parallel clustering engine silently:
+//
+//  1. Copied synchronization primitives: a sync.Mutex / sync.RWMutex /
+//     sync.WaitGroup / sync.Once passed, returned, assigned, or received
+//     by value. A copied lock guards nothing; a copied WaitGroup deadlocks
+//     or races. (go vet's copylocks catches many of these, but not value
+//     declarations copied from another variable in all positions; this
+//     analyzer is the project-local belt to vet's braces.)
+//  2. Goroutines launched inside a loop whose closure captures the loop
+//     variable without shadowing it or passing it as an argument. Under
+//     the module's go >= 1.22 semantics each iteration gets a fresh
+//     variable, so this is a hygiene rule: the pattern is still a trap
+//     when code is copied into older modules, and an explicit argument
+//     documents what the goroutine reads.
+type SyncMisuse struct{}
+
+// Name implements Analyzer.
+func (*SyncMisuse) Name() string { return "syncmisuse" }
+
+// Doc implements Analyzer.
+func (*SyncMisuse) Doc() string {
+	return "flags by-value sync primitives and loop-variable capture in goroutines"
+}
+
+// syncValueTypes are the sync types that must never be copied.
+var syncValueTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+}
+
+// Run implements Analyzer.
+func (sm *SyncMisuse) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		syncName := ImportName(f.AST, "sync")
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				sm.checkSignature(pass, syncName, v)
+			case *ast.AssignStmt:
+				sm.checkAssign(pass, syncName, v)
+			case *ast.RangeStmt:
+				sm.checkRangeCopy(pass, v)
+				sm.checkLoopCapture(pass, v.Body, rangeLoopVars(v))
+			case *ast.ForStmt:
+				sm.checkLoopCapture(pass, v.Body, forLoopVars(v))
+			}
+			return true
+		})
+	}
+}
+
+// checkSignature flags by-value sync primitives in parameters, results, and
+// value receivers.
+func (sm *SyncMisuse) checkSignature(pass *Pass, syncName string, fd *ast.FuncDecl) {
+	report := func(fl *ast.Field, where string) {
+		if name := syncValueTypeName(syncName, fl.Type); name != "" {
+			pass.Report(fl.Type.Pos(), "sync.%s %s by value: pass a pointer, copying a lock guards nothing", name, where)
+		}
+	}
+	if fd.Recv != nil {
+		for _, fl := range fd.Recv.List {
+			report(fl, "received")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, fl := range fd.Type.Params.List {
+			report(fl, "passed")
+		}
+	}
+	if fd.Type.Results != nil {
+		for _, fl := range fd.Type.Results.List {
+			report(fl, "returned")
+		}
+	}
+}
+
+// checkAssign flags `a := b` / `a = b` where b is a sync primitive value
+// (not a pointer, not a composite literal initializing a fresh one).
+func (sm *SyncMisuse) checkAssign(pass *Pass, syncName string, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		// Initializing declarations like `var mu sync.Mutex` or
+		// `mu := sync.Mutex{}` create, not copy; blank assignment discards.
+		if _, isLit := rhs.(*ast.CompositeLit); isLit {
+			continue
+		}
+		if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		t := pass.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || !syncValueTypes[obj.Name()] {
+			continue
+		}
+		pass.Report(rhs.Pos(), "assignment copies sync.%s value: use a pointer, the copy is a distinct lock", obj.Name())
+	}
+}
+
+// checkRangeCopy flags ranging by value over elements that contain sync
+// primitives directly (e.g. []sync.Mutex).
+func (sm *SyncMisuse) checkRangeCopy(pass *Pass, rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	t := pass.TypeOf(rs.Value)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncValueTypes[obj.Name()] {
+		pass.Report(rs.Value.Pos(), "range copies sync.%s values: iterate by index or store pointers", obj.Name())
+	}
+}
+
+// syncValueTypeName returns the sync type name when expr is a bare
+// sync.<T> (not *sync.<T>) for a non-copyable T, else "".
+func syncValueTypeName(syncName string, expr ast.Expr) string {
+	if syncName == "" {
+		return ""
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != syncName || !syncValueTypes[sel.Sel.Name] {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// rangeLoopVars returns the identifiers bound by a range statement.
+func rangeLoopVars(rs *ast.RangeStmt) map[string]bool {
+	vars := map[string]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			vars[id.Name] = true
+		}
+	}
+	return vars
+}
+
+// forLoopVars returns the identifiers declared in a for statement's init.
+func forLoopVars(fs *ast.ForStmt) map[string]bool {
+	vars := map[string]bool{}
+	if as, ok := fs.Init.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				vars[id.Name] = true
+			}
+		}
+	}
+	return vars
+}
+
+// checkLoopCapture flags `go func() { ... loopVar ... }()` where loopVar is
+// a loop variable referenced (not shadowed, not passed as an argument) by
+// the goroutine closure.
+func (sm *SyncMisuse) checkLoopCapture(pass *Pass, body *ast.BlockStmt, loopVars map[string]bool) {
+	if body == nil || len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		// Variables passed as call arguments are safe snapshots, and
+		// closure parameters shadow the loop variable.
+		shadowed := map[string]bool{}
+		for _, fld := range fl.Type.Params.List {
+			for _, name := range fld.Names {
+				shadowed[name.Name] = true
+			}
+		}
+		// Identifiers that are not variable references: selector field
+		// names and composite-literal keys.
+		notRef := map[*ast.Ident]bool{}
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			switch v := m.(type) {
+			case *ast.SelectorExpr:
+				notRef[v.Sel] = true
+			case *ast.KeyValueExpr:
+				if id, ok := v.Key.(*ast.Ident); ok {
+					notRef[id] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(fl.Body, func(m ast.Node) bool {
+			// Local redeclarations shadow too (including range keys).
+			switch v := m.(type) {
+			case *ast.AssignStmt:
+				if v.Tok.String() == ":=" {
+					for _, lhs := range v.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							shadowed[id.Name] = true
+						}
+					}
+				}
+				return true
+			case *ast.RangeStmt:
+				for name := range rangeLoopVars(v) {
+					shadowed[name] = true
+				}
+				return true
+			}
+			id, ok := m.(*ast.Ident)
+			if !ok || notRef[id] || !loopVars[id.Name] || shadowed[id.Name] {
+				return true
+			}
+			pass.Report(id.Pos(), "goroutine closure captures loop variable %q: pass it as an argument so the dependency is explicit and safe under pre-1.22 semantics", id.Name)
+			return true
+		})
+		return true
+	})
+}

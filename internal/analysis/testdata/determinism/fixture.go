@@ -1,0 +1,63 @@
+// Package fixture seeds deliberate determinism violations for the
+// analyzer tests. Each annotated line must be detected; unannotated code
+// must stay clean.
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func globalRand() int {
+	return rand.Intn(10) // want determinism "global math/rand.Intn"
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want determinism "global math/rand.Shuffle"
+}
+
+func localRandFine(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func wallClock() time.Time {
+	return time.Now() // want determinism "time.Now"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want determinism "time.Since"
+}
+
+func mapAccumulate(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want determinism "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapAccumulateSortedFine(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapCountFine(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func slicePrintFine(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x)
+	}
+}

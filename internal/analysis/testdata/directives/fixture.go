@@ -1,0 +1,12 @@
+// Package fixture holds malformed homlint directives; CheckDirectives must
+// report each annotated line.
+package fixture
+
+//homlint:allow determinism
+func missingReason() {} // the directive above lacks the "-- reason" tail
+
+//homlint:frobnicate determinism -- no such verb
+func unknownVerb() {}
+
+//homlint:allow -- no analyzer named
+func missingAnalyzer() {}

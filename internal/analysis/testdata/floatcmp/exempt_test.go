@@ -1,0 +1,7 @@
+// Test files are exempt from floatcmp: asserting exact float output is the
+// determinism contract at work. Nothing in this file may be reported.
+package fixture
+
+func assertExactInTest(got, want float64) bool {
+	return got == want
+}

@@ -1,0 +1,37 @@
+// Package fixture seeds deliberate float-comparison violations for the
+// analyzer tests.
+package fixture
+
+import "math"
+
+func exactEqual(a, b float64) bool {
+	return a == b // want floatcmp "=="
+}
+
+func exactNotEqual(a, b float64) bool {
+	return a != b // want floatcmp "!="
+}
+
+func literalCompare(x float64) bool {
+	return x == 0.5 // want floatcmp "=="
+}
+
+func accumulated(xs []float64) bool {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum == 1 // want floatcmp "=="
+}
+
+func intFine(a, b int) bool {
+	return a == b
+}
+
+func epsilonFine(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func orderingFine(a, b float64) bool {
+	return a < b || a > b
+}

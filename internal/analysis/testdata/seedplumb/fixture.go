@@ -1,0 +1,35 @@
+// Package fixture seeds deliberate seed-plumbing violations for the
+// analyzer tests.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+
+	"highorder/internal/rng"
+)
+
+func ambientClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want seedplumb "time.Now"
+}
+
+func ambientPid() *rand.Rand {
+	return rand.New(rand.NewSource(int64(os.Getpid()))) // want seedplumb "os.Getpid"
+}
+
+func ambientRngSource() *rng.Source {
+	return rng.New(time.Now().Unix()) // want seedplumb "time.Now"
+}
+
+func plumbedFine(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func constantFine() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+func derivedFine(src *rng.Source) *rng.Source {
+	return rng.New(src.Int63())
+}

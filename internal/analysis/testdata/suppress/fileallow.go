@@ -1,0 +1,12 @@
+//homlint:file-allow determinism -- fixture: the whole file is sanctioned timing code
+package fixture
+
+import "time"
+
+func fileScopeOne() time.Time {
+	return time.Now()
+}
+
+func fileScopeTwo(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,22 @@
+// Package fixture holds violations that are all covered by suppression
+// directives; the suite must report nothing here.
+package fixture
+
+import "time"
+
+func trailingAllow() time.Time {
+	return time.Now() //homlint:allow determinism -- fixture: justified wall-clock read
+}
+
+func precedingAllow() time.Time {
+	//homlint:allow determinism -- fixture: directive on the line above the call
+	return time.Now()
+}
+
+//homlint:func-allow floatcmp -- fixture: this whole function compares exactly on purpose
+func funcScope(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return a != b
+}

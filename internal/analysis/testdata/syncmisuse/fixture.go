@@ -1,0 +1,65 @@
+// Package fixture seeds deliberate sync-misuse violations for the
+// analyzer tests.
+package fixture
+
+import "sync"
+
+func passByValue(mu sync.Mutex) { // want syncmisuse "passed by value"
+	mu.Lock()
+}
+
+func returnByValue() sync.WaitGroup { // want syncmisuse "returned by value"
+	var wg sync.WaitGroup
+	return wg
+}
+
+func copyAssign() {
+	var mu sync.Mutex
+	mu2 := mu // want syncmisuse "assignment copies sync.Mutex"
+	mu2.Lock()
+}
+
+func rangeCopy(mus []sync.Mutex) {
+	for _, mu := range mus { // want syncmisuse "range copies sync.Mutex"
+		mu.Lock()
+	}
+}
+
+func loopCapture(items []int, out chan<- int) {
+	for _, it := range items {
+		go func() {
+			out <- it // want syncmisuse "captures loop variable"
+		}()
+	}
+}
+
+func pointerFine(mu *sync.Mutex) {
+	mu.Lock()
+}
+
+func freshFine() {
+	mu := sync.Mutex{}
+	mu.Lock()
+}
+
+func loopArgFine(items []int, out chan<- int) {
+	for _, it := range items {
+		go func(v int) {
+			out <- v
+		}(it)
+	}
+}
+
+func workerPoolFine(work chan int, results []int) {
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = i
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -93,11 +93,11 @@ func (l *Learner) Train(d *data.Dataset) (classifier.Classifier, error) {
 		mean := make([]float64, k)
 		sd := make([]float64, k)
 		for c := 0; c < k; c++ {
-			n := float64(counts[c])
-			if n == 0 {
+			if counts[c] == 0 {
 				mean[c], sd[c] = 0, 1 // uninformative density for unseen class
 				continue
 			}
+			n := float64(counts[c])
 			mean[c] = sum[c] / n
 			variance := sumSq[c]/n - mean[c]*mean[c]
 			if variance < minSD*minSD {

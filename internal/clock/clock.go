@@ -1,0 +1,62 @@
+// Package clock provides the injectable time source used by every
+// component that measures wall-clock durations (the evaluation harness's
+// test-time accounting, the model build timer). Production code takes a
+// Clock and defaults to Wall; tests inject a Fake so timing-dependent
+// results are deterministic. Direct time.Now calls elsewhere in the module
+// are flagged by the determinism analyzer (cmd/homlint) — this package
+// holds the single sanctioned wall-clock read.
+package clock
+
+import "time"
+
+// Clock supplies the current time. The zero value (nil) is usable: helpers
+// treat nil as the wall clock, so Clock can ride along in options structs
+// without ceremony.
+type Clock func() time.Time
+
+// Wall reads the wall clock.
+//
+//homlint:func-allow determinism -- the module's single sanctioned wall-clock read; everything else injects a Clock.
+func Wall() time.Time {
+	return time.Now()
+}
+
+// OrWall returns c, or the wall clock when c is nil.
+func (c Clock) OrWall() Clock {
+	if c == nil {
+		return Wall
+	}
+	return c
+}
+
+// Since returns the elapsed time between start and c's current time.
+func (c Clock) Since(start time.Time) time.Duration {
+	return c.OrWall()().Sub(start)
+}
+
+// Fake is a manually advanced clock for tests. The zero value starts at
+// the zero time; use NewFake to pick an epoch. Fake is not safe for
+// concurrent use — tests that need that should synchronize externally.
+type Fake struct {
+	now time.Time
+}
+
+// NewFake returns a Fake frozen at start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+// Clock returns a Clock reading the fake's current time.
+func (f *Fake) Clock() Clock {
+	return func() time.Time { return f.now }
+}
+
+// Advance moves the fake clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.now = f.now.Add(d)
+}
+
+// Set jumps the fake clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.now = t
+}

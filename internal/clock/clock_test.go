@@ -1,0 +1,42 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilClockFallsBackToWall(t *testing.T) {
+	var c Clock
+	before := Wall()
+	got := c.OrWall()()
+	after := Wall()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("nil clock returned %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestFakeAdvance(t *testing.T) {
+	epoch := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	f := NewFake(epoch)
+	c := f.Clock()
+	if !c().Equal(epoch) {
+		t.Fatalf("fake clock starts at %v, want %v", c(), epoch)
+	}
+	start := c()
+	f.Advance(1500 * time.Millisecond)
+	if d := c.Since(start); d != 1500*time.Millisecond {
+		t.Fatalf("Since = %v, want 1.5s", d)
+	}
+	f.Set(epoch.Add(time.Hour))
+	if d := c.Since(start); d != time.Hour {
+		t.Fatalf("after Set, Since = %v, want 1h", d)
+	}
+}
+
+func TestSinceOnNilClockUsesWall(t *testing.T) {
+	var c Clock
+	start := Wall().Add(-time.Minute)
+	if d := c.Since(start); d < time.Minute || d > time.Minute+10*time.Second {
+		t.Fatalf("Since on nil clock = %v, want ≈1m", d)
+	}
+}

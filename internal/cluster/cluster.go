@@ -91,7 +91,7 @@ func (o Options) withDefaults() (Options, error) {
 	if o.EarlyStopFactor <= 1 {
 		o.EarlyStopFactor = 1.2
 	}
-	if o.CutSlack == 0 {
+	if o.CutSlack == 0 { //homlint:allow floatcmp -- 0 is the exact "unset" sentinel of the option, never a computed value
 		o.CutSlack = 1
 	} else if o.CutSlack < 0 {
 		o.CutSlack = 0

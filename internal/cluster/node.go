@@ -99,7 +99,7 @@ type edgeHeap []*edge
 func (h edgeHeap) Len() int { return len(h) }
 
 func (h edgeHeap) Less(i, j int) bool {
-	if h[i].dist != h[j].dist {
+	if h[i].dist != h[j].dist { //homlint:allow floatcmp -- deterministic tie-break: only bitwise-equal distances fall through to the id ordering
 		return h[i].dist < h[j].dist
 	}
 	if h[i].u.id != h[j].u.id {

@@ -7,6 +7,26 @@ import (
 	"highorder/internal/tree"
 )
 
+// assignments expands a clustering's occurrences into a per-record concept
+// id vector over a stream of n records; records outside every occurrence
+// (there should be none) stay -1.
+func assignments(cl *Clustering, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for _, occ := range cl.Occurrences {
+		for t := occ.Start; t < occ.End && t < n; t++ {
+			out[t] = occ.Concept
+		}
+	}
+	return out
+}
+
+// TestParallelMatchesSequential is the determinism contract of the worker
+// pools in engine.go: the clustering result — occurrence boundaries,
+// concept structure, and the concept assigned to every single record —
+// must be bit-for-bit identical whatever the worker count.
 func TestParallelMatchesSequential(t *testing.T) {
 	g := synth.NewStagger(synth.StaggerConfig{Seed: 77})
 	d := synth.TakeDataset(g, 4000)
@@ -19,14 +39,66 @@ func TestParallelMatchesSequential(t *testing.T) {
 		return cl
 	}
 	seq := mk(1)
-	par := mk(8)
-	if len(seq.Concepts) != len(par.Concepts) || len(seq.Occurrences) != len(par.Occurrences) {
-		t.Fatalf("worker count changed the result: %d/%d concepts, %d/%d occurrences",
-			len(seq.Concepts), len(par.Concepts), len(seq.Occurrences), len(par.Occurrences))
-	}
-	for i := range seq.Occurrences {
-		if seq.Occurrences[i] != par.Occurrences[i] {
-			t.Fatalf("occurrence %d differs between 1 and 8 workers", i)
+	for _, workers := range []int{2, 8} {
+		par := mk(workers)
+		if len(seq.Concepts) != len(par.Concepts) || len(seq.Occurrences) != len(par.Occurrences) {
+			t.Fatalf("worker count %d changed the result: %d/%d concepts, %d/%d occurrences",
+				workers, len(seq.Concepts), len(par.Concepts), len(seq.Occurrences), len(par.Occurrences))
 		}
+		for i := range seq.Occurrences {
+			if seq.Occurrences[i] != par.Occurrences[i] {
+				t.Fatalf("occurrence %d differs between 1 and %d workers: %+v vs %+v",
+					i, workers, seq.Occurrences[i], par.Occurrences[i])
+			}
+		}
+		for ci := range seq.Concepts {
+			sc, pc := seq.Concepts[ci], par.Concepts[ci]
+			if sc.Size != pc.Size || sc.Err != pc.Err {
+				t.Fatalf("concept %d differs between 1 and %d workers: size %d/%d err %v/%v",
+					ci, workers, sc.Size, pc.Size, sc.Err, pc.Err)
+			}
+			if len(sc.Occurrences) != len(pc.Occurrences) {
+				t.Fatalf("concept %d occurrence lists differ between 1 and %d workers", ci, workers)
+			}
+			for oi := range sc.Occurrences {
+				if sc.Occurrences[oi] != pc.Occurrences[oi] {
+					t.Fatalf("concept %d occurrence %d differs between 1 and %d workers", ci, oi, workers)
+				}
+			}
+		}
+		sa, pa := assignments(seq, d.Len()), assignments(par, d.Len())
+		for rec := range sa {
+			if sa[rec] != pa[rec] {
+				t.Fatalf("record %d assigned to concept %d with 1 worker but %d with %d workers",
+					rec, sa[rec], pa[rec], workers)
+			}
+		}
+	}
+}
+
+// TestAssignmentsCoverStream checks the occurrence list tiles the whole
+// historical stream: every record belongs to exactly one occurrence.
+func TestAssignmentsCoverStream(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 3})
+	d := synth.TakeDataset(g, 1500)
+	cl, err := ClusterConcepts(d, Options{Learner: tree.NewLearner(), BlockSize: 10, Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assignments(cl, d.Len())
+	for rec, c := range a {
+		if c < 0 || c >= len(cl.Concepts) {
+			t.Fatalf("record %d has no valid concept assignment (got %d)", rec, c)
+		}
+	}
+	prevEnd := 0
+	for i, occ := range cl.Occurrences {
+		if occ.Start != prevEnd {
+			t.Fatalf("occurrence %d starts at %d, want %d (gap or overlap)", i, occ.Start, prevEnd)
+		}
+		prevEnd = occ.End
+	}
+	if prevEnd != d.Len() {
+		t.Fatalf("occurrences end at %d, want %d", prevEnd, d.Len())
 	}
 }

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"highorder/internal/clock"
+)
+
+// TestBuildWithFakeClock checks the injected Clock drives the Elapsed
+// measurement: a frozen fake yields exactly zero, so build timing never
+// leaks wall-clock nondeterminism into the model stats.
+func TestBuildWithFakeClock(t *testing.T) {
+	hist, _ := stream(9, [2]int{0, 200}, [2]int{1, 200})
+	opts := DefaultOptions()
+	opts.Clock = clock.NewFake(time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC)).Clock()
+	m, err := Build(hist, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Elapsed != 0 {
+		t.Fatalf("frozen clock measured Elapsed = %v, want 0", m.Stats.Elapsed)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"highorder/internal/classifier"
+	"highorder/internal/clock"
 	"highorder/internal/cluster"
 	"highorder/internal/data"
 	"highorder/internal/transition"
@@ -57,6 +58,10 @@ type Options struct {
 	// CutSlack overrides the clustering cut slack (see cluster.Options);
 	// 0 keeps the default.
 	CutSlack float64
+	// Clock supplies the time source for BuildStats.Elapsed; nil selects
+	// the wall clock. Inject a clock.Fake to make build timing
+	// deterministic in tests.
+	Clock clock.Clock
 }
 
 // DefaultOptions returns the configuration used in the experiments: tree
@@ -131,7 +136,8 @@ func Build(hist *data.Dataset, opts Options) (*Model, error) {
 	if hist == nil || hist.Len() == 0 {
 		return nil, fmt.Errorf("core: empty historical dataset")
 	}
-	start := time.Now()
+	clk := o.Clock.OrWall()
+	start := clk()
 	cl, err := cluster.ClusterConcepts(hist, cluster.Options{
 		Learner:          o.Learner,
 		BlockSize:        o.BlockSize,
@@ -184,7 +190,7 @@ func Build(hist *data.Dataset, opts Options) (*Model, error) {
 		}
 	}
 	m.Stats = BuildStats{
-		Elapsed:     time.Since(start),
+		Elapsed:     clk().Sub(start),
 		Clustering:  cl.Stats,
 		HistorySize: hist.Len(),
 	}

@@ -225,7 +225,7 @@ func (p *Predictor) PredictProba(x data.Record) []float64 {
 	}
 	for c := range p.m.Concepts {
 		w := p.prior[c]
-		if w == 0 {
+		if w == 0 { //homlint:allow floatcmp -- pruning writes an exact 0; this skips only concepts explicitly zeroed (§III-C)
 			continue
 		}
 		dist := p.m.Concepts[c].Model.PredictProba(x)

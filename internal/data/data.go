@@ -131,6 +131,7 @@ func (s *Schema) CheckRecord(r Record) error {
 	for i, a := range s.Attributes {
 		if a.Kind == Nominal {
 			v := int(r.Values[i])
+			//homlint:allow floatcmp -- integrality check: a nominal code is valid only when the round-trip is bit-exact
 			if float64(v) != r.Values[i] || v < 0 || v >= len(a.Values) {
 				return fmt.Errorf("data: attribute %q: nominal value %v out of range [0,%d)", a.Name, r.Values[i], len(a.Values))
 			}

@@ -1,0 +1,166 @@
+package dataio
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"highorder/internal/data"
+	"highorder/internal/synth"
+)
+
+// sameValue compares attribute values treating NaN as equal to itself, so
+// fuzz inputs containing "NaN" do not trip the round-trip comparison.
+func sameValue(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+func sameRecords(a, b data.Record) bool {
+	if a.Class != b.Class || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if !sameValue(a.Values[i], b.Values[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzParseRecord fuzzes single CSV data rows against the Stagger schema
+// (the paper's nominal stream) and a numeric schema (Hyperplane): parsing
+// must never panic, and any row that parses must survive a
+// write-read round trip bit-for-bit.
+func FuzzParseRecord(f *testing.F) {
+	nominal := synth.StaggerSchema()
+	numeric := synth.NewHyperplane(synth.HyperplaneConfig{Seed: 1}).Schema()
+
+	// Seed corpus: valid rows from the generators plus known-bad shapes
+	// from the existing error tests.
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 1})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, synth.TakeDataset(g, 5)); err != nil {
+		f.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, row := range lines[1:] {
+		f.Add(row)
+	}
+	f.Add("purple,circle,small,negative")
+	f.Add("red,circle")
+	f.Add("red,circle,small,maybe,extra")
+	f.Add(`"red",circle,small,negative`)
+	f.Add("1.5,2.5,NaN,+Inf,1e309,false")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, row string) {
+		for _, schema := range []*data.Schema{nominal, numeric} {
+			header := headerFor(schema)
+			d, err := ReadCSV(strings.NewReader(header+"\n"+row+"\n"), schema)
+			if err != nil {
+				continue
+			}
+			// Whatever parsed must satisfy the schema and round-trip.
+			for i, rec := range d.Records {
+				if cerr := schema.CheckRecord(rec); cerr != nil {
+					t.Fatalf("ReadCSV accepted record %d violating schema: %v", i, cerr)
+				}
+			}
+			var out bytes.Buffer
+			if err := WriteCSV(&out, d); err != nil {
+				t.Fatalf("WriteCSV failed on records ReadCSV accepted: %v", err)
+			}
+			back, err := ReadCSV(bytes.NewReader(out.Bytes()), schema)
+			if err != nil {
+				t.Fatalf("round trip failed to parse: %v", err)
+			}
+			if back.Len() != d.Len() {
+				t.Fatalf("round trip %d records, want %d", back.Len(), d.Len())
+			}
+			for i := range d.Records {
+				if !sameRecords(d.Records[i], back.Records[i]) {
+					t.Fatalf("record %d changed in round trip: %+v vs %+v", i, d.Records[i], back.Records[i])
+				}
+			}
+		}
+	})
+}
+
+// headerFor renders the CSV header row for a schema, mirroring WriteCSV.
+func headerFor(s *data.Schema) string {
+	names := make([]string, 0, s.NumAttributes()+1)
+	for _, a := range s.Attributes {
+		names = append(names, a.Name)
+	}
+	return strings.Join(append(names, "class"), ",")
+}
+
+// FuzzReadStream fuzzes whole stream payloads: the incremental
+// StreamReader and the batch ReadCSV must agree on every input — same
+// records when both succeed, and a failure on one side implies a failure
+// on the other.
+func FuzzReadStream(f *testing.F) {
+	schema := synth.StaggerSchema()
+
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 2})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, synth.TakeDataset(g, 8)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("color,shape,size,class\n"))
+	f.Add([]byte("color,shape,size,class\npurple,circle,small,negative\n"))
+	f.Add([]byte("color,shape,size,class\nred,circle,small,negative\nred,circle\n"))
+	f.Add([]byte("not,a,valid,header\nred,circle,small,negative\n"))
+	f.Add([]byte{})
+	f.Add([]byte("color,shape,size,class\r\nred,circle,small,negative\r\n"))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		batch, batchErr := ReadCSV(bytes.NewReader(payload), schema)
+
+		sr, err := NewStreamReader(bytes.NewReader(payload), schema)
+		if err != nil {
+			if batchErr == nil {
+				t.Fatalf("StreamReader rejected header ReadCSV accepted: %v", err)
+			}
+			return
+		}
+		var streamed []data.Record
+		var streamErr error
+		for {
+			rec, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				streamErr = err
+				break
+			}
+			streamed = append(streamed, rec)
+		}
+
+		if batchErr == nil {
+			if streamErr != nil {
+				t.Fatalf("ReadCSV accepted the stream but StreamReader failed: %v", streamErr)
+			}
+			if len(streamed) != batch.Len() {
+				t.Fatalf("StreamReader yielded %d records, ReadCSV %d", len(streamed), batch.Len())
+			}
+			for i := range streamed {
+				if !sameRecords(streamed[i], batch.Records[i]) {
+					t.Fatalf("record %d differs between StreamReader and ReadCSV", i)
+				}
+			}
+			if sr.Line() != batch.Len() {
+				t.Fatalf("Line() = %d after %d records", sr.Line(), batch.Len())
+			}
+		} else if streamErr == nil {
+			t.Fatalf("ReadCSV rejected the stream (%v) but StreamReader read %d records cleanly", batchErr, len(streamed))
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"highorder/internal/clock"
+)
+
+func TestRunWithFakeClockIsDeterministic(t *testing.T) {
+	fake := clock.NewFake(time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
+	c := &fixedOnline{class: 1}
+	d := dataset(1, 0, 1)
+	res := RunWith(c, d, fake.Clock())
+	if res.TestTime != 0 {
+		t.Fatalf("frozen clock measured %v, want 0", res.TestTime)
+	}
+	fakeAdvancing := clock.NewFake(time.Unix(0, 0))
+	clk := fakeAdvancing.Clock()
+	// Advance between the two reads by wrapping the clock.
+	reads := 0
+	wrapped := clock.Clock(func() time.Time {
+		reads++
+		if reads > 1 {
+			fakeAdvancing.Set(time.Unix(0, 0).Add(250 * time.Millisecond))
+		}
+		return clk()
+	})
+	res = RunWith(c, d, wrapped)
+	if res.TestTime != 250*time.Millisecond {
+		t.Fatalf("TestTime = %v, want exactly 250ms from the fake clock", res.TestTime)
+	}
+	if res.Errors != 1 {
+		t.Fatalf("Errors = %d, want 1", res.Errors)
+	}
+}
+
+func TestRunNilClockStillMeasures(t *testing.T) {
+	res := RunWith(&fixedOnline{}, dataset(0, 1), nil)
+	if res.TestTime < 0 {
+		t.Fatalf("negative TestTime %v", res.TestTime)
+	}
+}

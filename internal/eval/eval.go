@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"highorder/internal/classifier"
+	"highorder/internal/clock"
 	"highorder/internal/data"
 	"highorder/internal/synth"
 )
@@ -43,17 +44,25 @@ func (r Result) String() string {
 // Run evaluates c on the test dataset with the test-then-train protocol:
 // for each record, Predict on the unlabeled attributes, count the error,
 // then Learn the labeled record. Generation time is excluded because the
-// dataset is materialized up front.
+// dataset is materialized up front. Timing uses the wall clock; use
+// RunWith to inject a test clock.
 func Run(c classifier.Online, test *data.Dataset) Result {
+	return RunWith(c, test, nil)
+}
+
+// RunWith is Run with an injectable clock for the test-time accounting; a
+// nil clock selects the wall clock.
+func RunWith(c classifier.Online, test *data.Dataset, clk clock.Clock) Result {
+	clk = clk.OrWall()
 	res := Result{Name: c.Name(), Records: test.Len()}
-	start := time.Now()
+	start := clk()
 	for _, r := range test.Records {
 		if c.Predict(data.Record{Values: r.Values}) != r.Class {
 			res.Errors++
 		}
 		c.Learn(r)
 	}
-	res.TestTime = time.Since(start)
+	res.TestTime = clk().Sub(start)
 	return res
 }
 

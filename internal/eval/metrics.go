@@ -60,10 +60,10 @@ func (c *ConfusionMatrix) Accuracy() float64 {
 // commonly preferred over raw accuracy on skewed streams. It returns 0
 // when agreement by chance is total (degenerate distributions).
 func (c *ConfusionMatrix) Kappa() float64 {
-	n := float64(c.Total())
-	if n == 0 {
+	if c.Total() == 0 {
 		return 0
 	}
+	n := float64(c.Total())
 	k := len(c.Counts)
 	po := c.Accuracy()
 	pe := 0.0
@@ -169,7 +169,7 @@ func (p *Prequential) Add(correct bool) {
 
 // ErrorRate returns the faded error estimate; 0 before any outcome.
 func (p *Prequential) ErrorRate() float64 {
-	if p.weightedN == 0 {
+	if p.weightedN <= 0 {
 		return 0
 	}
 	return p.weightedErr / p.weightedN

@@ -125,14 +125,18 @@ func FromOccurrences(occs []cluster.Occurrence, numConcepts int) (*Model, error)
 					off += v
 				}
 			}
-			if off > 0 && off != pChange {
+			if off > 0 {
+				// When off already equals pChange the scale is exactly 1
+				// and the renormalization is a no-op.
 				scale := pChange / off
 				for j := range row {
 					if j != i {
 						row[j] *= scale
 					}
 				}
-			} else if off == 0 {
+			} else {
+				// Probabilities are non-negative, so off > 0 failing means
+				// the off-diagonal mass is zero: all mass stays put.
 				stay = 1
 			}
 		}

@@ -51,6 +51,7 @@ func (c Condition) Matches(r data.Record) bool {
 	v := r.Values[c.Attr]
 	switch c.Op {
 	case OpEq:
+		//homlint:allow floatcmp -- OpEq only ever tests integer-coded nominal values, which compare exactly
 		return v == c.Value
 	case OpLE:
 		return v <= c.Value
@@ -149,7 +150,7 @@ func (t *Tree) ExtractRules(train *data.Dataset, cf float64) *RuleSet {
 	}
 	// Order by confidence (desc), then by coverage (desc) for stability.
 	sort.SliceStable(rules, func(i, j int) bool {
-		if rules[i].Confidence != rules[j].Confidence {
+		if rules[i].Confidence != rules[j].Confidence { //homlint:allow floatcmp -- deterministic sort tie-break on bitwise-equal confidences
 			return rules[i].Confidence > rules[j].Confidence
 		}
 		return rules[i].Covered > rules[j].Covered

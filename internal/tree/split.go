@@ -203,7 +203,8 @@ func (g *grower) branchOf(i int32, c *candidate, attr data.Attribute) int {
 // inflated by a tiny split entropy.
 func (g *grower) bestSplit(nd *nodeData, summary *Node) *candidate {
 	baseEntropy := data.EntropyOfCounts(countsFromDist(summary), summary.N)
-	if baseEntropy == 0 {
+	if baseEntropy <= 0 {
+		// Entropy is non-negative; zero means the node is pure.
 		return nil
 	}
 	var cands []candidate
@@ -324,7 +325,7 @@ func (g *grower) numericSplit(sorted []int32, a int, baseEntropy float64) *candi
 		right[cls]--
 		nLeft++
 		v, vNext := vals[i], vals[sorted[pos+1]]
-		if v == vNext {
+		if v == vNext { //homlint:allow floatcmp -- thresholds may only fall between distinct sorted values; exact duplicate detection is the point
 			continue
 		}
 		nRight := total - nLeft

@@ -246,7 +246,8 @@ func (t *Tree) trySplit(leaf *node) {
 		return
 	}
 	baseEntropy := entropy(leaf.classCounts, total)
-	if baseEntropy == 0 {
+	if baseEntropy <= 0 {
+		// Entropy is non-negative; zero means the leaf is pure.
 		return
 	}
 	var best, second splitScore
@@ -325,7 +326,7 @@ func (t *Tree) nominalGain(leaf *node, a int, baseEntropy, total float64) splitS
 		for _, v := range counts {
 			n += v
 		}
-		if n == 0 {
+		if n <= 0 {
 			continue
 		}
 		nonEmpty++

@@ -220,7 +220,7 @@ func (w *WCE) Predict(x data.Record) int {
 			remaining += w.members[i].weight
 		}
 	}
-	if remaining == 0 {
+	if remaining <= 0 {
 		// No classifier beats random guessing; fall back to the newest.
 		w.consulted++
 		return w.members[len(w.members)-1].model.Predict(x)

@@ -1,0 +1,45 @@
+#!/bin/sh
+# verify.sh — the repository's tier-1 verification gate.
+#
+# Runs, in order: formatting, vet, build, the full test suite under the
+# race detector, short fuzz passes over the CSV parsers, and the
+# repository's own static-analysis suite (cmd/homlint). Every step must
+# pass; the script exits nonzero at the first failure.
+#
+# Usage:  ./verify.sh            # from the module root
+#         FUZZTIME=30s ./verify.sh   # longer fuzz budget
+set -eu
+
+cd "$(dirname "$0")"
+
+FUZZTIME="${FUZZTIME:-5s}"
+
+step() {
+	echo "== $*"
+}
+
+step gofmt
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+step go vet ./...
+go vet ./...
+
+step go build ./...
+go build ./...
+
+step "go test -race ./..."
+go test -race ./...
+
+step "fuzz dataio (${FUZZTIME} each)"
+go test ./internal/dataio -run='^$' -fuzz='^FuzzParseRecord$' -fuzztime="$FUZZTIME"
+go test ./internal/dataio -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIME"
+
+step "homlint ./..."
+go run ./cmd/homlint ./...
+
+echo "verify.sh: all gates passed"
