@@ -3,6 +3,10 @@
 // first predicted from its attributes alone, then its label is fed to the
 // predictor as the online cue stream.
 //
+// The replay itself is internal/serve's session/replay plumbing — the same
+// code path homserve runs for served traffic — so file replay and served
+// replay stay bit-identical by construction.
+//
 // Usage:
 //
 //	hompredict -model model.gob -in test.csv [-schema schema.json] [-v]
@@ -11,11 +15,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 
 	"highorder/internal/data"
 	"highorder/internal/dataio"
+	"highorder/internal/serve"
 )
 
 func main() {
@@ -57,30 +61,21 @@ func main() {
 		fail(err)
 	}
 
-	p := m.NewPredictor()
-	records, errors := 0, 0
-	for {
-		r, err := sr.Next()
-		if err == io.EOF {
-			break
+	var onRecord func(i, predicted int, r data.Record)
+	if *verbose {
+		onRecord = func(i, predicted int, r data.Record) {
+			fmt.Printf("%d: predicted=%s actual=%s\n", i, schema.Classes[predicted], schema.Classes[r.Class])
 		}
-		if err != nil {
-			fail(err)
-		}
-		got := p.Predict(data.Record{Values: r.Values})
-		if got != r.Class {
-			errors++
-		}
-		if *verbose {
-			fmt.Printf("%d: predicted=%s actual=%s\n", records, schema.Classes[got], schema.Classes[r.Class])
-		}
-		p.Observe(r)
-		records++
 	}
-	fmt.Printf("records: %d\n", records)
-	fmt.Printf("errors: %d (%.5f)\n", errors, float64(errors)/float64(records))
-	best, prob := p.CurrentConcept()
-	fmt.Printf("current concept: %d (probability %.3f)\n", best, prob)
+	sess := serve.NewLocalSession(m.NewPredictor())
+	res, err := serve.Replay(sess, sr.Next, onRecord)
+	if err != nil {
+		fail(err)
+	}
+	info := sess.Info()
+	fmt.Printf("records: %d\n", res.Records)
+	fmt.Printf("errors: %d (%.5f)\n", res.Errors, res.ErrorRate())
+	fmt.Printf("current concept: %d (probability %.3f)\n", info.CurrentConcept, info.CurrentProbability)
 }
 
 func fail(err error) {

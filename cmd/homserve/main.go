@@ -1,0 +1,79 @@
+// Command homserve serves a persisted high-order model as a concurrent
+// online-prediction HTTP service. Each client stream opens a session that
+// owns its active-probability state; classify and observe traffic flows
+// through a bounded queue with 429 backpressure; /metrics exposes
+// Prometheus-format counters. SIGINT/SIGTERM drain in-flight work before
+// exit.
+//
+// Usage:
+//
+//	homserve -model model.gob [-addr :8080] [-queue 256] [-workers N]
+//	         [-micro-batch 8] [-ttl 15m] [-max-sessions 10000]
+//
+// API:
+//
+//	POST   /v1/sessions                  open a session
+//	GET    /v1/sessions                  list sessions (introspection)
+//	GET    /v1/sessions/{id}             session info (active probabilities, explained rate)
+//	GET    /v1/sessions/{id}/state       predictor snapshot
+//	DELETE /v1/sessions/{id}             close a session
+//	POST   /v1/sessions/{id}/classify    classify a batch of records
+//	POST   /v1/sessions/{id}/observe     feed labeled records (cue stream)
+//	GET    /metrics                      Prometheus text metrics
+//	GET    /healthz                      liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"highorder/internal/dataio"
+	"highorder/internal/serve"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.gob", "persisted high-order model")
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 0, "bounded work-queue depth (0 = default 256)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	microBatch := flag.Int("micro-batch", 0, "max queued tasks one worker wakeup drains (0 = default 8)")
+	ttl := flag.Duration("ttl", 15*time.Minute, "idle session time-to-live")
+	maxSessions := flag.Int("max-sessions", 0, "live session limit (0 = default 10000)")
+	flag.Parse()
+
+	m, err := dataio.LoadModel(*modelPath)
+	if err != nil {
+		fail(err)
+	}
+	s := serve.New(m, serve.Options{
+		QueueDepth:  *queue,
+		Workers:     *workers,
+		MicroBatch:  *microBatch,
+		SessionTTL:  *ttl,
+		MaxSessions: *maxSessions,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("homserve: serving %d-concept model from %s on %s\n", m.NumConcepts(), *modelPath, l.Addr())
+	if err := s.Serve(ctx, l); err != nil {
+		fail(err)
+	}
+	fmt.Println("homserve: drained, bye")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "homserve: %v\n", err)
+	os.Exit(1)
+}

@@ -24,7 +24,13 @@ type PredictorOptions struct {
 // Predict/PredictProba using the prior P_t⁻(c) (Eq. 10), since labels lag
 // the data being classified (§III-A).
 //
-// A Predictor is not safe for concurrent use.
+// A Predictor is single-goroutine: it is not safe for concurrent use, and
+// every method (including the read-only accessors, which can lazily refresh
+// the prior) may mutate internal state. A layer that shares one predictor
+// across goroutines must serialize all access behind one lock — this is
+// exactly what internal/serve does with its per-session mutex. Use
+// Snapshot/Restore to persist or inspect the online state across that
+// boundary.
 type Predictor struct {
 	m    *Model
 	opts PredictorOptions

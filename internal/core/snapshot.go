@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// PredictorState is a portable snapshot of a Predictor's online state: the
+// posterior active-probability vector, the labeled-record step counter, and
+// the RecentExplainedRate window. It contains everything that distinguishes
+// one predictor over a model from another, so a serving layer can persist a
+// client session, inspect it, or rebuild it bit-identically on another
+// predictor over the same model.
+type PredictorState struct {
+	// Active is the posterior active-probability vector P_t(c), indexed by
+	// concept.
+	Active []float64
+	// Observed is the number of labeled records consumed (the online step
+	// counter).
+	Observed int
+	// Explained is the RecentExplainedRate ring, oldest observation first;
+	// at most explainWindow entries.
+	Explained []bool
+}
+
+// Snapshot captures the predictor's online state. The returned state shares
+// no memory with the predictor.
+func (p *Predictor) Snapshot() PredictorState {
+	st := PredictorState{
+		Active:    make([]float64, len(p.post)),
+		Observed:  p.observed,
+		Explained: make([]bool, 0, p.explainedN),
+	}
+	copy(st.Active, p.post)
+	// Unroll the ring into chronological order: when full, the oldest entry
+	// is at explainedNext; before that, the ring is a plain prefix.
+	if p.explainedN == explainWindow {
+		st.Explained = append(st.Explained, p.explained[p.explainedNext:]...)
+		st.Explained = append(st.Explained, p.explained[:p.explainedNext]...)
+	} else {
+		st.Explained = append(st.Explained, p.explained[:p.explainedN]...)
+	}
+	return st
+}
+
+// Restore overwrites the predictor's online state with st, as produced by
+// Snapshot on a predictor over the same model. The posterior is restored
+// verbatim, so Snapshot/Restore round-trips are bit-identical. Restore
+// validates st against the model and leaves the predictor unchanged on
+// error.
+func (p *Predictor) Restore(st PredictorState) error {
+	if len(st.Active) != len(p.post) {
+		return fmt.Errorf("core: restore: state has %d concepts, model has %d", len(st.Active), len(p.post))
+	}
+	if len(st.Explained) > explainWindow {
+		return fmt.Errorf("core: restore: explained window has %d entries, max %d", len(st.Explained), explainWindow)
+	}
+	if st.Observed < 0 {
+		return fmt.Errorf("core: restore: negative observed count %d", st.Observed)
+	}
+	sum := 0.0
+	for c, v := range st.Active {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("core: restore: active probability %v for concept %d", v, c)
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return fmt.Errorf("core: restore: active probabilities sum to %v", sum)
+	}
+	copy(p.post, st.Active)
+	p.priorValid = false
+	p.observed = st.Observed
+	for i := range p.explained {
+		p.explained[i] = false
+	}
+	copy(p.explained, st.Explained)
+	p.explainedN = len(st.Explained)
+	p.explainedNext = p.explainedN % explainWindow
+	return nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"highorder/internal/classifier"
+	"highorder/internal/data"
+	"highorder/internal/rng"
+)
+
+// handModel builds a two-concept model by hand: degenerate majority
+// classifiers with different favorite classes, so predictions and posterior
+// updates depend on the active-probability state without paying for a full
+// clustering build.
+func handModel() *Model {
+	return &Model{
+		Schema: staggerSchema(),
+		Concepts: []Concept{
+			{Model: classifier.NewMajority(0, []float64{0.8, 0.2}), Err: 0.2, Len: 100, Freq: 0.5, Size: 100},
+			{Model: classifier.NewMajority(1, []float64{0.3, 0.7}), Err: 0.3, Len: 100, Freq: 0.5, Size: 100},
+		},
+		Chi: [][]float64{{0.95, 0.05}, {0.05, 0.95}},
+	}
+}
+
+// randomRecords draws n labeled stagger-schema records from src.
+func randomRecords(src *rng.Source, n int) []data.Record {
+	recs := make([]data.Record, n)
+	for i := range recs {
+		recs[i] = data.Record{
+			Values: []float64{float64(src.Intn(3)), float64(src.Intn(3)), float64(src.Intn(3))},
+			Class:  src.Intn(2),
+		}
+	}
+	return recs
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := handModel()
+	src := rng.New(7)
+	// Run past the explained-window size so the ring wraps before the
+	// snapshot is taken.
+	prefix := randomRecords(src, explainWindow+23)
+	suffix := randomRecords(src, 40)
+
+	p1 := m.NewPredictor()
+	for _, r := range prefix {
+		p1.Predict(data.Record{Values: r.Values})
+		p1.Observe(r)
+	}
+	st := p1.Snapshot()
+	if st.Observed != len(prefix) {
+		t.Fatalf("snapshot observed = %d, want %d", st.Observed, len(prefix))
+	}
+	if len(st.Explained) != explainWindow {
+		t.Fatalf("snapshot explained window = %d, want %d", len(st.Explained), explainWindow)
+	}
+
+	p2 := m.NewPredictor()
+	if err := p2.Restore(st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !bitsEqual(p1.ActiveProbabilities(), p2.ActiveProbabilities()) {
+		t.Fatalf("restored active probabilities differ: %v vs %v", p1.ActiveProbabilities(), p2.ActiveProbabilities())
+	}
+	r1, f1 := p1.RecentExplainedRate()
+	r2, f2 := p2.RecentExplainedRate()
+	if math.Float64bits(r1) != math.Float64bits(r2) || f1 != f2 {
+		t.Fatalf("restored explained rate (%v,%v), want (%v,%v)", r2, f2, r1, f1)
+	}
+
+	// The restored predictor must track the original bit-for-bit through an
+	// identical continuation of the stream.
+	for i, r := range suffix {
+		x := data.Record{Values: r.Values}
+		if g1, g2 := p1.Predict(x), p2.Predict(x); g1 != g2 {
+			t.Fatalf("step %d: predictions diverge: %d vs %d", i, g1, g2)
+		}
+		p1.Observe(r)
+		p2.Observe(r)
+		if !bitsEqual(p1.ActiveProbabilities(), p2.ActiveProbabilities()) {
+			t.Fatalf("step %d: active probabilities diverge", i)
+		}
+	}
+	if p1.Observed() != p2.Observed() {
+		t.Fatalf("observed counters diverge: %d vs %d", p1.Observed(), p2.Observed())
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	m := handModel()
+	p := m.NewPredictor()
+	st := p.Snapshot()
+	st.Active[0] = 123
+	if p.ActiveProbabilities()[0] > 1 {
+		t.Fatal("mutating a snapshot leaked into the predictor")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	m := handModel()
+	p := m.NewPredictor()
+	cases := []PredictorState{
+		{Active: []float64{0.5}},                                    // wrong concept count
+		{Active: []float64{0.5, math.NaN()}},                        // NaN
+		{Active: []float64{0.5, math.Inf(1)}},                       // Inf
+		{Active: []float64{0.5, -0.5}},                              // negative
+		{Active: []float64{0, 0}},                                   // zero mass
+		{Active: []float64{0.5, 0.5}, Observed: -1},                 // negative step counter
+		{Active: []float64{0.5, 0.5}, Explained: make([]bool, 200)}, // oversized window
+	}
+	for i, st := range cases {
+		if err := p.Restore(st); err == nil {
+			t.Errorf("case %d: Restore accepted invalid state %+v", i, st)
+		}
+	}
+	// The failed restores must not have disturbed the predictor.
+	if !bitsEqual(p.ActiveProbabilities(), []float64{0.5, 0.5}) {
+		t.Fatalf("failed restore mutated predictor: %v", p.ActiveProbabilities())
+	}
+}
+
+// TestPredictorSerializedByLock hammers a single predictor from many
+// goroutines that all serialize through one mutex — the exact discipline
+// internal/serve's session lock imposes. Run under -race (verify.sh does)
+// this checks that lock-serialized sharing of a Predictor is sound, i.e.
+// that the documented single-goroutine contract plus an external lock is
+// sufficient.
+func TestPredictorSerializedByLock(t *testing.T) {
+	m := handModel()
+	p := m.NewPredictor()
+	var mu sync.Mutex // the "session lock"
+
+	const goroutines = 8
+	const opsPer = 200
+	recs := randomRecords(rng.New(11), goroutines*opsPer)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < opsPer; i++ {
+				r := recs[g*opsPer+i]
+				mu.Lock()
+				switch i % 4 {
+				case 0:
+					p.Predict(data.Record{Values: r.Values})
+				case 1:
+					p.Observe(r)
+				case 2:
+					p.Snapshot()
+				default:
+					p.PredictProba(data.Record{Values: r.Values})
+					p.RecentExplainedRate()
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if p.Observed() != goroutines*opsPer/4 {
+		t.Fatalf("observed = %d, want %d", p.Observed(), goroutines*opsPer/4)
+	}
+	sum := 0.0
+	for _, v := range p.ActiveProbabilities() {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("posterior does not sum to 1 after hammering: %v", sum)
+	}
+}

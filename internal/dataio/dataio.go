@@ -5,6 +5,7 @@
 package dataio
 
 import (
+	"bufio"
 	"encoding/csv"
 	"encoding/gob"
 	"encoding/json"
@@ -134,28 +135,99 @@ func ReadSchema(r io.Reader) (*data.Schema, error) {
 	return &s, nil
 }
 
-// SaveModel persists a trained high-order model to path with gob.
+// Model files start with a magic-plus-version header so a stale or
+// foreign file fails with a typed, actionable error instead of an opaque
+// gob decode error. Files written before the header was introduced (plain
+// gob streams) are still readable; LoadModel emits a warning suggesting a
+// re-save.
+const (
+	// modelMagic prefixes every versioned model file.
+	modelMagic = "homgob"
+	// ModelVersion is the format version written by WriteModel. Bump it
+	// when the persisted core.Model layout changes incompatibly.
+	ModelVersion = 1
+)
+
+// modelHeaderLen is the on-disk header size: the magic plus one version byte.
+const modelHeaderLen = len(modelMagic) + 1
+
+// ModelVersionError reports a model file whose header names a format
+// version this build cannot read.
+type ModelVersionError struct {
+	// Got is the version byte found in the file; Want is ModelVersion.
+	Got, Want int
+}
+
+// Error implements error.
+func (e *ModelVersionError) Error() string {
+	return fmt.Sprintf("dataio: model file is format version %d, this build reads version %d — rebuild the model with homtrain", e.Got, e.Want)
+}
+
+// SaveModel persists a trained high-order model to path: a versioned
+// header followed by the gob encoding.
 func SaveModel(path string, m *core.Model) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(m); err != nil {
-		return fmt.Errorf("dataio: encoding model: %w", err)
+	if err := WriteModel(f, m); err != nil {
+		return err
 	}
 	return f.Close()
 }
 
-// LoadModel reads a model persisted by SaveModel.
+// WriteModel writes the versioned header and the gob-encoded model to w.
+func WriteModel(w io.Writer, m *core.Model) error {
+	header := append([]byte(modelMagic), byte(ModelVersion))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("dataio: writing model header: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("dataio: encoding model: %w", err)
+	}
+	return nil
+}
+
+// LoadModel reads a model persisted by SaveModel. Legacy files without the
+// version header are still accepted; a warning goes to stderr.
 func LoadModel(path string) (*core.Model, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	m, err := ReadModel(f, os.Stderr)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// ReadModel reads a model stream written by WriteModel. A stream that does
+// not start with the magic is treated as a legacy unversioned gob model: it
+// is decoded as before, and a one-line warning is written to warn (if
+// non-nil) recommending a re-save. A stream with the magic but a different
+// version fails with *ModelVersionError.
+func ReadModel(r io.Reader, warn io.Writer) (*core.Model, error) {
+	br := bufio.NewReader(r)
+	header, err := br.Peek(modelHeaderLen)
+	if err == nil && string(header[:len(modelMagic)]) == modelMagic {
+		if v := int(header[len(modelMagic)]); v != ModelVersion {
+			return nil, &ModelVersionError{Got: v, Want: ModelVersion}
+		}
+		if _, err := br.Discard(modelHeaderLen); err != nil {
+			return nil, fmt.Errorf("dataio: reading model header: %w", err)
+		}
+	} else {
+		// Short streams fall through too: the gob decoder below produces
+		// the error for genuinely truncated input.
+		if warn != nil {
+			fmt.Fprintf(warn, "dataio: warning: model file has no version header (pre-versioning format); re-save it with the current homtrain\n")
+		}
+	}
 	var m core.Model
-	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+	if err := gob.NewDecoder(br).Decode(&m); err != nil {
 		return nil, fmt.Errorf("dataio: decoding model: %w", err)
 	}
 	return &m, nil

@@ -1,0 +1,92 @@
+package dataio
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"highorder/internal/classifier"
+	"highorder/internal/core"
+	"highorder/internal/synth"
+)
+
+// tinyModel hand-builds the smallest gob-encodable model, avoiding a full
+// clustering build in format-level tests.
+func tinyModel() *core.Model {
+	return &core.Model{
+		Schema: synth.StaggerSchema(),
+		Concepts: []core.Concept{
+			{Model: classifier.NewMajority(0, []float64{0.8, 0.2}), Err: 0.2, Len: 10, Freq: 1, Size: 10},
+		},
+		Chi: [][]float64{{1}},
+	}
+}
+
+func TestWriteModelPrependsHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, tinyModel()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) < modelHeaderLen {
+		t.Fatalf("model stream shorter than header: %d bytes", len(b))
+	}
+	if string(b[:len(modelMagic)]) != modelMagic || b[len(modelMagic)] != ModelVersion {
+		t.Fatalf("header = %q %d, want %q %d", b[:len(modelMagic)], b[len(modelMagic)], modelMagic, ModelVersion)
+	}
+
+	var warn bytes.Buffer
+	m, err := ReadModel(&buf, &warn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumConcepts() != 1 {
+		t.Fatalf("round trip lost concepts: %d", m.NumConcepts())
+	}
+	if warn.Len() != 0 {
+		t.Fatalf("versioned read emitted a warning: %q", warn.String())
+	}
+}
+
+func TestReadModelLegacyUnversioned(t *testing.T) {
+	// A pre-versioning file is a bare gob stream.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(tinyModel()); err != nil {
+		t.Fatal(err)
+	}
+	var warn bytes.Buffer
+	m, err := ReadModel(&buf, &warn)
+	if err != nil {
+		t.Fatalf("legacy model rejected: %v", err)
+	}
+	if m.NumConcepts() != 1 {
+		t.Fatalf("legacy round trip lost concepts: %d", m.NumConcepts())
+	}
+	if warn.Len() == 0 {
+		t.Fatal("legacy read emitted no warning")
+	}
+}
+
+func TestReadModelVersionMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(modelMagic)
+	buf.WriteByte(99)
+	buf.WriteString("whatever follows")
+	var vErr *ModelVersionError
+	_, err := ReadModel(&buf, nil)
+	if !errors.As(err, &vErr) {
+		t.Fatalf("want *ModelVersionError, got %v", err)
+	}
+	if vErr.Got != 99 || vErr.Want != ModelVersion {
+		t.Fatalf("version error fields = %+v", vErr)
+	}
+}
+
+func TestReadModelGarbage(t *testing.T) {
+	for _, in := range []string{"", "hom", "not a model at all"} {
+		if _, err := ReadModel(bytes.NewReader([]byte(in)), nil); err == nil {
+			t.Errorf("garbage input %q accepted", in)
+		}
+	}
+}

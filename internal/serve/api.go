@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"highorder/internal/data"
+)
+
+// The JSON wire types of the homserve HTTP API. Records travel as plain
+// float64 vectors in schema attribute order — numeric attributes hold their
+// value, nominal attributes hold the value's index — exactly the in-memory
+// data.Record layout, so no per-request name lookups happen on the hot
+// path.
+
+// CreateSessionRequest opens a new client session. The zero value selects
+// the paper's defaults (pruned weighted-ensemble prediction).
+type CreateSessionRequest struct {
+	// MAPOnly selects single most-probable-concept prediction (the §III-C
+	// ablation) instead of the weighted ensemble.
+	MAPOnly bool `json:"map_only,omitempty"`
+	// DisablePruning turns off active-probability pruning.
+	DisablePruning bool `json:"disable_pruning,omitempty"`
+}
+
+// CreateSessionResponse describes the session just opened.
+type CreateSessionResponse struct {
+	// ID names the session in all per-session endpoints.
+	ID string `json:"id"`
+	// Concepts is the model's stable concept count.
+	Concepts int `json:"concepts"`
+	// Classes are the class label names, indexing the prediction ints.
+	Classes []string `json:"classes"`
+}
+
+// ClassifyRequest classifies a batch of unlabeled records.
+type ClassifyRequest struct {
+	// Records are attribute vectors in schema order.
+	Records [][]float64 `json:"records"`
+	// Proba additionally returns the full class distribution per record
+	// (Eq. 10) alongside the argmax predictions.
+	Proba bool `json:"proba,omitempty"`
+}
+
+// ClassifyResponse carries the predictions for one ClassifyRequest.
+type ClassifyResponse struct {
+	// Predictions holds one class index per input record (Eq. 11).
+	Predictions []int `json:"predictions"`
+	// Probabilities holds one class distribution per input record when
+	// requested.
+	Probabilities [][]float64 `json:"probabilities,omitempty"`
+	// MAPConcept is the most probable concept under the session's posterior
+	// at the time of the call.
+	MAPConcept int `json:"map_concept"`
+}
+
+// ObserveRequest folds a batch of labeled records into the session's active
+// probabilities (the online cue stream, Eqs. 7–9).
+type ObserveRequest struct {
+	// Records are attribute vectors in schema order.
+	Records [][]float64 `json:"records"`
+	// Classes are the true class indices, parallel to Records.
+	Classes []int `json:"classes"`
+}
+
+// ObserveResponse reports the session's post-update state.
+type ObserveResponse struct {
+	// Observed is the session's total labeled-record count.
+	Observed int `json:"observed"`
+	// ExplainedRate and ExplainedFull mirror Predictor.RecentExplainedRate:
+	// the fraction of recent labels the most probable concept explained,
+	// and whether the window is full. A persistently low full-window rate
+	// signals a concept the historical model never saw.
+	ExplainedRate float64 `json:"explained_rate"`
+	ExplainedFull bool    `json:"explained_full"`
+}
+
+// SessionInfo is the introspection view of one session.
+type SessionInfo struct {
+	ID string `json:"id"`
+	// Observed is the labeled-record count.
+	Observed int `json:"observed"`
+	// Active is the posterior active-probability vector P_t(c).
+	Active []float64 `json:"active"`
+	// CurrentConcept is the most probable concept with its probability.
+	CurrentConcept     int     `json:"current_concept"`
+	CurrentProbability float64 `json:"current_probability"`
+	// ExplainedRate / ExplainedFull mirror ObserveResponse.
+	ExplainedRate float64 `json:"explained_rate"`
+	ExplainedFull bool    `json:"explained_full"`
+}
+
+// ListSessionsResponse is the response of GET /v1/sessions.
+type ListSessionsResponse struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// HealthResponse is the response of GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	Concepts int    `json:"concepts"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeRecords validates and converts wire vectors into records over the
+// schema. Classes may be nil (classify) or parallel to vectors (observe).
+func decodeRecords(s *data.Schema, vectors [][]float64, classes []int) ([]data.Record, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("no records")
+	}
+	if classes != nil && len(classes) != len(vectors) {
+		return nil, fmt.Errorf("%d records but %d classes", len(vectors), len(classes))
+	}
+	recs := make([]data.Record, len(vectors))
+	for i, v := range vectors {
+		if len(v) != s.NumAttributes() {
+			return nil, fmt.Errorf("record %d has %d attributes, schema has %d", i, len(v), s.NumAttributes())
+		}
+		for j, a := range s.Attributes {
+			x := v[j]
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, fmt.Errorf("record %d: attribute %q is %v", i, a.Name, x)
+			}
+			if a.Kind == data.Nominal {
+				idx := int(x)
+				if float64(idx) != x || idx < 0 || idx >= len(a.Values) { //homlint:allow floatcmp -- exact integrality check on a nominal index, not a tolerance comparison
+					return nil, fmt.Errorf("record %d: attribute %q: %v is not a valid nominal index (0..%d)", i, a.Name, x, len(a.Values)-1)
+				}
+			}
+		}
+		recs[i] = data.Record{Values: v}
+		if classes != nil {
+			if classes[i] < 0 || classes[i] >= s.NumClasses() {
+				return nil, fmt.Errorf("record %d: class %d out of range (0..%d)", i, classes[i], s.NumClasses()-1)
+			}
+			recs[i].Class = classes[i]
+		}
+	}
+	return recs, nil
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTPError is a non-2xx answer from the server, carrying the status code
+// and the Retry-After hint when the server applied backpressure. Callers
+// (cmd/homload, tests) use it to distinguish retryable 429s from hard
+// failures.
+type HTTPError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error string.
+	Message string
+	// RetryAfter is the server's backoff hint (zero when absent).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Retryable reports whether the request was refused by backpressure and
+// safe to retry after RetryAfter.
+func (e *HTTPError) Retryable() bool { return e.Status == http.StatusTooManyRequests }
+
+// Client is a thin client for the homserve HTTP API, shared by
+// cmd/homload and the end-to-end tests.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). httpClient nil selects http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: base, hc: httpClient}
+}
+
+// do runs one JSON round trip. in nil sends no body; out nil discards the
+// response body.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		he := &HTTPError{Status: resp.StatusCode}
+		var eresp ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&eresp); err == nil {
+			he.Message = eresp.Error
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				he.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return he
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// CreateSession opens a session.
+func (c *Client) CreateSession(req CreateSessionRequest) (CreateSessionResponse, error) {
+	var resp CreateSessionResponse
+	err := c.do(http.MethodPost, "/v1/sessions", req, &resp)
+	return resp, err
+}
+
+// CloseSession closes a session.
+func (c *Client) CloseSession(id string) error {
+	return c.do(http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Classify classifies a batch of attribute vectors.
+func (c *Client) Classify(id string, records [][]float64, proba bool) (ClassifyResponse, error) {
+	var resp ClassifyResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/classify", ClassifyRequest{Records: records, Proba: proba}, &resp)
+	return resp, err
+}
+
+// Observe feeds labeled records into the session's cue stream.
+func (c *Client) Observe(id string, records [][]float64, classes []int) (ObserveResponse, error) {
+	var resp ObserveResponse
+	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/observe", ObserveRequest{Records: records, Classes: classes}, &resp)
+	return resp, err
+}
+
+// Info fetches a session's introspection view.
+func (c *Client) Info(id string) (SessionInfo, error) {
+	var resp SessionInfo
+	err := c.do(http.MethodGet, "/v1/sessions/"+id, nil, &resp)
+	return resp, err
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &HTTPError{Status: resp.StatusCode, Message: string(b)}
+	}
+	return string(b), nil
+}
+
+// MetricValue extracts a single un-labeled gauge/counter value from
+// Prometheus exposition text.
+func MetricValue(text, name string) (float64, bool) {
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the cumulative histogram upper bounds in seconds,
+// spanning sub-millisecond in-process calls up to multi-second stalls.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// histogram is a fixed-bucket cumulative latency histogram.
+type histogram struct {
+	counts []int64 // per bucket; parallel to latencyBuckets
+	inf    int64   // observations above the last bound
+	sum    float64 // seconds
+	count  int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]int64, len(latencyBuckets))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	h.sum += s
+	h.count++
+	for i, b := range latencyBuckets {
+		if s <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// metrics aggregates the server's counters. One mutex guards everything:
+// the per-request cost is one short critical section, which is noise next
+// to a predictor call, and it keeps the render path trivially consistent.
+type metrics struct {
+	mu sync.Mutex
+
+	// requests counts finished HTTP requests by endpoint and status code.
+	requests map[string]map[int]int64
+	// latency tracks request durations by endpoint.
+	latency map[string]*histogram
+	// rejected counts requests refused with 429 because the queue was full.
+	rejected int64
+	// queueMax is the high-water queue depth observed at enqueue time.
+	queueMax int
+	// predictionsByClass counts classify outputs per predicted class.
+	predictionsByClass []int64
+	// predictionsByConcept counts classified records per posterior-MAP
+	// concept at the time of the call.
+	predictionsByConcept []int64
+	// observedRecords counts labeled records folded into sessions.
+	observedRecords int64
+	// sessionsCreated counts sessions opened over the server's lifetime.
+	sessionsCreated int64
+}
+
+func newMetrics(numClasses, numConcepts int) *metrics {
+	return &metrics{
+		requests:             make(map[string]map[int]int64),
+		latency:              make(map[string]*histogram),
+		predictionsByClass:   make([]int64, numClasses),
+		predictionsByConcept: make([]int64, numConcepts),
+	}
+}
+
+func (m *metrics) request(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[endpoint]
+	if byCode == nil {
+		byCode = make(map[int]int64)
+		m.requests[endpoint] = byCode
+	}
+	byCode[code]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = newHistogram()
+		m.latency[endpoint] = h
+	}
+	h.observe(d)
+}
+
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) observeQueueDepth(depth int) {
+	m.mu.Lock()
+	if depth > m.queueMax {
+		m.queueMax = depth
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) classified(predictions []int, mapConcept int) {
+	m.mu.Lock()
+	for _, p := range predictions {
+		if p >= 0 && p < len(m.predictionsByClass) {
+			m.predictionsByClass[p]++
+		}
+	}
+	if mapConcept >= 0 && mapConcept < len(m.predictionsByConcept) {
+		m.predictionsByConcept[mapConcept] += int64(len(predictions))
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) observed(n int) {
+	m.mu.Lock()
+	m.observedRecords += int64(n)
+	m.mu.Unlock()
+}
+
+func (m *metrics) sessionCreated() {
+	m.mu.Lock()
+	m.sessionsCreated++
+	m.mu.Unlock()
+}
+
+// gauges are point-in-time values sampled at render time rather than
+// accumulated in the metrics struct.
+type gauges struct {
+	queueDepth   int
+	liveSessions int
+	evicted      int64
+}
+
+// writeTo renders the Prometheus text exposition format. All map-keyed
+// series are emitted in sorted order so the output is deterministic.
+func (m *metrics) writeTo(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP homserve_requests_total Finished HTTP requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE homserve_requests_total counter\n")
+	endpoints := make([]string, 0, len(m.requests))
+	for e := range m.requests {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		codes := make([]int, 0, len(m.requests[e]))
+		for c := range m.requests[e] {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "homserve_requests_total{endpoint=%q,code=\"%d\"} %d\n", e, c, m.requests[e][c])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP homserve_request_seconds Request latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE homserve_request_seconds histogram\n")
+	lats := make([]string, 0, len(m.latency))
+	for e := range m.latency {
+		lats = append(lats, e)
+	}
+	sort.Strings(lats)
+	for _, e := range lats {
+		h := m.latency[e]
+		cum := int64(0)
+		for i, b := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "homserve_request_seconds_bucket{endpoint=%q,le=%q} %d\n", e, strconv.FormatFloat(b, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(w, "homserve_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e, cum+h.inf)
+		fmt.Fprintf(w, "homserve_request_seconds_sum{endpoint=%q} %g\n", e, h.sum)
+		fmt.Fprintf(w, "homserve_request_seconds_count{endpoint=%q} %d\n", e, h.count)
+	}
+
+	fmt.Fprintf(w, "# HELP homserve_rejected_total Requests refused with 429 because the queue was full.\n")
+	fmt.Fprintf(w, "# TYPE homserve_rejected_total counter\n")
+	fmt.Fprintf(w, "homserve_rejected_total %d\n", m.rejected)
+
+	fmt.Fprintf(w, "# HELP homserve_queue_depth Tasks waiting in the bounded queue.\n")
+	fmt.Fprintf(w, "# TYPE homserve_queue_depth gauge\n")
+	fmt.Fprintf(w, "homserve_queue_depth %d\n", g.queueDepth)
+
+	fmt.Fprintf(w, "# HELP homserve_queue_depth_max High-water queue depth since start.\n")
+	fmt.Fprintf(w, "# TYPE homserve_queue_depth_max gauge\n")
+	fmt.Fprintf(w, "homserve_queue_depth_max %d\n", m.queueMax)
+
+	fmt.Fprintf(w, "# HELP homserve_sessions_live Live sessions.\n")
+	fmt.Fprintf(w, "# TYPE homserve_sessions_live gauge\n")
+	fmt.Fprintf(w, "homserve_sessions_live %d\n", g.liveSessions)
+
+	fmt.Fprintf(w, "# HELP homserve_sessions_created_total Sessions opened since start.\n")
+	fmt.Fprintf(w, "# TYPE homserve_sessions_created_total counter\n")
+	fmt.Fprintf(w, "homserve_sessions_created_total %d\n", m.sessionsCreated)
+
+	fmt.Fprintf(w, "# HELP homserve_sessions_evicted_total Sessions evicted by TTL since start.\n")
+	fmt.Fprintf(w, "# TYPE homserve_sessions_evicted_total counter\n")
+	fmt.Fprintf(w, "homserve_sessions_evicted_total %d\n", g.evicted)
+
+	fmt.Fprintf(w, "# HELP homserve_predictions_total Classified records by predicted class.\n")
+	fmt.Fprintf(w, "# TYPE homserve_predictions_total counter\n")
+	for c, n := range m.predictionsByClass {
+		fmt.Fprintf(w, "homserve_predictions_total{class=\"%d\"} %d\n", c, n)
+	}
+
+	fmt.Fprintf(w, "# HELP homserve_concept_predictions_total Classified records by posterior-MAP concept at call time.\n")
+	fmt.Fprintf(w, "# TYPE homserve_concept_predictions_total counter\n")
+	for c, n := range m.predictionsByConcept {
+		fmt.Fprintf(w, "homserve_concept_predictions_total{concept=\"%d\"} %d\n", c, n)
+	}
+
+	fmt.Fprintf(w, "# HELP homserve_observed_records_total Labeled records folded into sessions.\n")
+	fmt.Fprintf(w, "# TYPE homserve_observed_records_total counter\n")
+	fmt.Fprintf(w, "homserve_observed_records_total %d\n", m.observedRecords)
+}

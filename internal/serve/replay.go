@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"io"
+
+	"highorder/internal/data"
+)
+
+// ReplayResult summarizes a test-then-train replay.
+type ReplayResult struct {
+	// Records is the number of records replayed.
+	Records int
+	// Errors is the number of mispredictions.
+	Errors int
+}
+
+// ErrorRate returns Errors/Records (0 for an empty replay).
+func (r ReplayResult) ErrorRate() float64 {
+	if r.Records == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Records)
+}
+
+// Replay drives labeled records from next through sess under the paper's
+// test-then-train protocol: each record is classified from its attributes
+// alone, then its label is fed back as the online cue stream (§III-A).
+// next returns io.EOF to end the stream. onRecord, when non-nil, is called
+// after each prediction with the record's index, the prediction, and the
+// record.
+//
+// This is the single replay code path: cmd/hompredict runs it over a CSV
+// StreamReader against a local session, and the end-to-end tests run it as
+// the offline reference that served traffic must match bit-for-bit.
+func Replay(sess *Session, next func() (data.Record, error), onRecord func(i, predicted int, r data.Record)) (ReplayResult, error) {
+	var res ReplayResult
+	for {
+		r, err := next()
+		if err == io.EOF {
+			return res, nil
+		}
+		if err != nil {
+			return res, err
+		}
+		got := sess.Classify([]data.Record{{Values: r.Values}}, false).Predictions[0]
+		if got != r.Class {
+			res.Errors++
+		}
+		if onRecord != nil {
+			onRecord(res.Records, got, r)
+		}
+		sess.Observe([]data.Record{r})
+		res.Records++
+	}
+}

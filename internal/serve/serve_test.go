@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"highorder/internal/classifier"
+	"highorder/internal/clock"
+	"highorder/internal/core"
+	"highorder/internal/data"
+)
+
+// testModel hand-builds a two-concept model over the Stagger schema, cheap
+// enough for unit tests that exercise serving mechanics, not learning.
+func testModel() *core.Model {
+	return &core.Model{
+		Schema: &data.Schema{
+			Attributes: []data.Attribute{
+				{Name: "color", Kind: data.Nominal, Values: []string{"green", "blue", "red"}},
+				{Name: "shape", Kind: data.Nominal, Values: []string{"triangle", "circle", "rectangle"}},
+				{Name: "size", Kind: data.Nominal, Values: []string{"small", "medium", "large"}},
+			},
+			Classes: []string{"neg", "pos"},
+		},
+		Concepts: []core.Concept{
+			{Model: classifier.NewMajority(0, []float64{0.8, 0.2}), Err: 0.2, Len: 100, Freq: 0.5, Size: 100},
+			{Model: classifier.NewMajority(1, []float64{0.3, 0.7}), Err: 0.3, Len: 100, Freq: 0.5, Size: 100},
+		},
+		Chi: [][]float64{{0.95, 0.05}, {0.05, 0.95}},
+	}
+}
+
+func TestSessionTableTTLEviction(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	tab := newSessionTable(fake.Clock(), time.Minute, 10)
+	m := testModel()
+
+	s1, err := tab.create(m, core.PredictorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake.Advance(30 * time.Second)
+	if _, ok := tab.get(s1.ID()); !ok {
+		t.Fatal("session evicted before TTL")
+	}
+	// The get refreshed the TTL; another 50s keeps it alive (80s after
+	// creation, 50s after last use).
+	fake.Advance(50 * time.Second)
+	if _, ok := tab.get(s1.ID()); !ok {
+		t.Fatal("session evicted though accessed within TTL")
+	}
+	fake.Advance(61 * time.Second)
+	if _, ok := tab.get(s1.ID()); ok {
+		t.Fatal("session survived past its TTL")
+	}
+	if tab.live() != 0 {
+		t.Fatalf("live = %d after eviction", tab.live())
+	}
+	if tab.evictedCount() != 1 {
+		t.Fatalf("evicted = %d, want 1", tab.evictedCount())
+	}
+}
+
+func TestSessionTableSweepFreesCapacity(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	tab := newSessionTable(fake.Clock(), time.Minute, 2)
+	m := testModel()
+	for i := 0; i < 2; i++ {
+		if _, err := tab.create(m, core.PredictorOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tab.create(m, core.PredictorOptions{}); err == nil {
+		t.Fatal("create above the session limit succeeded")
+	}
+	// Once the old sessions expire, create must succeed again without an
+	// explicit sweep call.
+	fake.Advance(2 * time.Minute)
+	if _, err := tab.create(m, core.PredictorOptions{}); err != nil {
+		t.Fatalf("create after TTL expiry: %v", err)
+	}
+}
+
+func TestSessionIDsAreSequential(t *testing.T) {
+	tab := newSessionTable(nil, time.Hour, 10)
+	m := testModel()
+	a, _ := tab.create(m, core.PredictorOptions{})
+	b, _ := tab.create(m, core.PredictorOptions{})
+	if a.ID() != "s1" || b.ID() != "s2" {
+		t.Fatalf("ids = %q, %q; want s1, s2", a.ID(), b.ID())
+	}
+}
+
+// TestBackpressure fills the bounded queue (no workers are started, so
+// nothing drains) and checks the HTTP surface answers 429 with a
+// Retry-After hint.
+func TestBackpressure(t *testing.T) {
+	s := New(testModel(), Options{QueueDepth: 2, RetryAfter: 3 * time.Second})
+	// Deliberately no Start(): the queue can only fill.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	created, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, _ := s.table.get(created.ID)
+	for i := 0; i < 2; i++ {
+		if accepted, serving := s.enqueue(&task{kind: taskObserve, sess: sess, done: make(chan taskResult, 1)}); !accepted || !serving {
+			t.Fatalf("enqueue %d refused with empty capacity", i)
+		}
+	}
+	_, err = c.Classify(created.ID, [][]float64{{0, 0, 0}}, false)
+	he, ok := err.(*HTTPError)
+	if !ok || he.Status != http.StatusTooManyRequests {
+		t.Fatalf("want 429 HTTPError, got %v", err)
+	}
+	if !he.Retryable() || he.RetryAfter != 3*time.Second {
+		t.Fatalf("Retry-After hint = %v, want 3s", he.RetryAfter)
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := MetricValue(text, "homserve_rejected_total"); !ok || v != 1 {
+		t.Fatalf("homserve_rejected_total = %v,%v; want 1", v, ok)
+	}
+	if v, ok := MetricValue(text, "homserve_queue_depth"); !ok || v != 2 {
+		t.Fatalf("homserve_queue_depth = %v,%v; want 2", v, ok)
+	}
+}
+
+// TestMicroBatchGroupsBySession runs runBatch directly over interleaved
+// tasks of two sessions and checks every task completes and same-session
+// order is preserved (the observe counter must rise monotonically).
+func TestMicroBatchGroupsBySession(t *testing.T) {
+	m := testModel()
+	s := New(m, Options{})
+	a, _ := s.table.create(m, core.PredictorOptions{})
+	b, _ := s.table.create(m, core.PredictorOptions{})
+
+	rec := data.Record{Values: []float64{0, 0, 0}, Class: 1}
+	var batch []*task
+	for i := 0; i < 3; i++ {
+		batch = append(batch,
+			&task{kind: taskObserve, sess: a, recs: []data.Record{rec}, done: make(chan taskResult, 1)},
+			&task{kind: taskObserve, sess: b, recs: []data.Record{rec}, done: make(chan taskResult, 1)},
+		)
+	}
+	s.runBatch(batch)
+	wantA, wantB := 0, 0
+	for i, tk := range batch {
+		res := <-tk.done
+		if tk.sess == a {
+			wantA++
+			if res.observe.Observed != wantA {
+				t.Fatalf("task %d (session a): observed = %d, want %d", i, res.observe.Observed, wantA)
+			}
+		} else {
+			wantB++
+			if res.observe.Observed != wantB {
+				t.Fatalf("task %d (session b): observed = %d, want %d", i, res.observe.Observed, wantB)
+			}
+		}
+	}
+}
+
+// TestServerLifecycle drives concurrent classify/observe traffic through a
+// running server, closes it, and checks every request completed and the
+// metrics add up — no dropped-but-unreported work.
+func TestServerLifecycle(t *testing.T) {
+	s := New(testModel(), Options{QueueDepth: 64, Workers: 4, MicroBatch: 4})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	c := NewClient(ts.URL, nil)
+
+	const sessions = 4
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			created, err := c.CreateSession(CreateSessionRequest{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				recs := [][]float64{{0, 1, 2}, {2, 0, 0}}
+				if _, err := c.Classify(created.ID, recs, r%2 == 0); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := c.Observe(created.ID, recs, []int{0, 1}); err != nil {
+					errs <- err
+					return
+				}
+			}
+			info, err := c.Info(created.ID)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if info.Observed != rounds*2 {
+				t.Errorf("session %s observed %d, want %d", created.ID, info.Observed, rounds*2)
+			}
+			if err := c.CloseSession(created.ID); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := MetricValue(text, "homserve_observed_records_total"); v != sessions*rounds*2 {
+		t.Fatalf("observed_records_total = %v, want %d", v, sessions*rounds*2)
+	}
+	if v, _ := MetricValue(text, "homserve_sessions_live"); v != 0 {
+		t.Fatalf("sessions_live = %v after closing all sessions", v)
+	}
+	if v, _ := MetricValue(text, "homserve_sessions_created_total"); v != sessions {
+		t.Fatalf("sessions_created_total = %v, want %d", v, sessions)
+	}
+	if !strings.Contains(text, "homserve_request_seconds_bucket{endpoint=\"classify\",le=\"+Inf\"}") {
+		t.Fatal("latency histogram for classify missing from /metrics")
+	}
+	if !strings.Contains(text, "homserve_concept_predictions_total{concept=\"0\"}") {
+		t.Fatal("per-concept prediction counts missing from /metrics")
+	}
+
+	ts.Close()
+	s.Close()
+	// After Close the queue refuses work instead of panicking.
+	if _, serving := s.enqueue(&task{done: make(chan taskResult, 1)}); serving {
+		t.Fatal("enqueue accepted work after Close")
+	}
+}
+
+// TestSessionExpiryOverHTTP checks lazy TTL eviction through the API: a
+// fake clock advances past the TTL and the session answers 404.
+func TestSessionExpiryOverHTTP(t *testing.T) {
+	fake := clock.NewFake(time.Unix(5000, 0))
+	s := New(testModel(), Options{SessionTTL: time.Minute, Clock: fake.Clock()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	created, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Info(created.ID); err != nil {
+		t.Fatalf("fresh session: %v", err)
+	}
+	fake.Advance(2 * time.Minute)
+	_, err = c.Info(created.ID)
+	he, ok := err.(*HTTPError)
+	if !ok || he.Status != http.StatusNotFound {
+		t.Fatalf("want 404 for expired session, got %v", err)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	s := New(testModel(), Options{})
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	created, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"wrong attribute count", func() error { _, err := c.Classify(created.ID, [][]float64{{1}}, false); return err }},
+		{"nominal out of range", func() error { _, err := c.Classify(created.ID, [][]float64{{0, 0, 9}}, false); return err }},
+		{"non-integral nominal", func() error { _, err := c.Classify(created.ID, [][]float64{{0, 0, 0.5}}, false); return err }},
+		{"empty batch", func() error { _, err := c.Classify(created.ID, nil, false); return err }},
+		{"class out of range", func() error { _, err := c.Observe(created.ID, [][]float64{{0, 0, 0}}, []int{7}); return err }},
+		{"classes not parallel", func() error { _, err := c.Observe(created.ID, [][]float64{{0, 0, 0}}, []int{0, 1}); return err }},
+	}
+	for _, tc := range cases {
+		err := tc.call()
+		he, ok := err.(*HTTPError)
+		if !ok || he.Status != http.StatusBadRequest {
+			t.Errorf("%s: want 400, got %v", tc.name, err)
+		}
+	}
+	// Unknown session is 404, not 400.
+	if _, err := c.Classify("nope", [][]float64{{0, 0, 0}}, false); err == nil || err.(*HTTPError).Status != http.StatusNotFound {
+		t.Errorf("unknown session: want 404, got %v", err)
+	}
+}

@@ -1,0 +1,514 @@
+// Package serve turns a trained high-order model into a concurrent online
+// prediction service. The paper's split — expensive offline mining, cheap
+// online probability-weighted lookups (§III) — is exactly the shape of a
+// model server: one immutable core.Model shared read-only by every client,
+// and one small piece of mutable per-client state (the active-probability
+// vector) held in a session.
+//
+// Architecture:
+//
+//   - Each client stream owns a Session wrapping one core.Predictor; a
+//     per-session mutex serializes predictor access (the Predictor is
+//     single-goroutine by contract). Sessions live in a table with TTL
+//     eviction driven by the injectable clock.
+//   - Classify and observe work flows through one bounded queue drained by
+//     a worker pool. A full queue answers 429 with Retry-After — explicit
+//     backpressure instead of unbounded goroutine pileup.
+//   - Workers micro-batch: each wakeup drains up to MicroBatch queued
+//     tasks and runs same-session tasks under a single lock acquisition.
+//   - Shutdown is graceful: the listener stops accepting, in-flight
+//     handlers drain through the queue, then workers exit.
+//   - GET /metrics exposes Prometheus-format counters, latency histograms,
+//     queue depth, live sessions, and per-concept prediction counts.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"highorder/internal/clock"
+	"highorder/internal/core"
+	"highorder/internal/data"
+)
+
+// Options configure a Server. The zero value selects sane defaults.
+type Options struct {
+	// QueueDepth bounds the classify/observe work queue; <= 0 selects 256.
+	QueueDepth int
+	// Workers is the worker-pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// MicroBatch is the maximum number of queued tasks one worker wakeup
+	// drains and executes together; <= 0 selects 8, 1 disables batching.
+	MicroBatch int
+	// SessionTTL evicts sessions idle longer than this; <= 0 selects
+	// 15 minutes. To disable eviction set a very large TTL.
+	SessionTTL time.Duration
+	// MaxSessions bounds live sessions; <= 0 selects 10000.
+	MaxSessions int
+	// RetryAfter is the Retry-After hint on 429 responses; <= 0 selects 1s.
+	RetryAfter time.Duration
+	// JanitorInterval is the TTL sweep period; <= 0 selects SessionTTL/4
+	// (bounded below at 1s).
+	JanitorInterval time.Duration
+	// Clock supplies time for TTL accounting and latency metrics; nil
+	// selects the wall clock. Tests inject a clock.Fake.
+	Clock clock.Clock
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MicroBatch <= 0 {
+		o.MicroBatch = 8
+	}
+	if o.SessionTTL <= 0 {
+		o.SessionTTL = 15 * time.Minute
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 10000
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.JanitorInterval <= 0 {
+		o.JanitorInterval = o.SessionTTL / 4
+		if o.JanitorInterval < time.Second {
+			o.JanitorInterval = time.Second
+		}
+	}
+	return o
+}
+
+// taskKind distinguishes queued work.
+type taskKind int
+
+const (
+	taskClassify taskKind = iota
+	taskObserve
+)
+
+// task is one unit of queued predictor work plus its reply channel.
+type task struct {
+	kind      taskKind
+	sess      *Session
+	recs      []data.Record
+	withProba bool
+	done      chan taskResult
+}
+
+type taskResult struct {
+	classify ClassifyResponse
+	observe  ObserveResponse
+}
+
+// Server serves one immutable model to many concurrent sessions.
+type Server struct {
+	model   *core.Model
+	opts    Options
+	clk     clock.Clock
+	table   *sessionTable
+	metrics *metrics
+
+	queue chan *task
+	// qmu guards qclosed against concurrent enqueues; Close takes the
+	// write side so no handler can send on a closed channel.
+	qmu     sync.RWMutex
+	qclosed bool
+
+	wg         sync.WaitGroup
+	janitorEnd chan struct{}
+	startOnce  sync.Once
+	closeOnce  sync.Once
+	mux        *http.ServeMux
+}
+
+// New builds a server over m. Call Start to launch the worker pool, then
+// expose Handler via an http.Server (or use Serve, which does both).
+func New(m *core.Model, opts Options) *Server {
+	o := opts.withDefaults()
+	clk := o.Clock.OrWall()
+	s := &Server{
+		model:      m,
+		opts:       o,
+		clk:        clk,
+		table:      newSessionTable(clk, o.SessionTTL, o.MaxSessions),
+		metrics:    newMetrics(m.Schema.NumClasses(), m.NumConcepts()),
+		queue:      make(chan *task, o.QueueDepth),
+		janitorEnd: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sessions", s.instrument("create_session", s.handleCreateSession))
+	s.mux.HandleFunc("GET /v1/sessions", s.instrument("list_sessions", s.handleListSessions))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("session_info", s.handleSessionInfo))
+	s.mux.HandleFunc("GET /v1/sessions/{id}/state", s.instrument("session_state", s.handleSessionState))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("close_session", s.handleCloseSession))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/classify", s.instrument("classify", s.handleClassify))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/observe", s.instrument("observe", s.handleObserve))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Start launches the worker pool and the TTL janitor. Idempotent.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		for i := 0; i < s.opts.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+		s.wg.Add(1)
+		go s.janitor()
+	})
+}
+
+// Close drains the queue and stops the workers. It must only be called
+// once no new requests can arrive (after the HTTP server has shut down).
+// Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.qmu.Lock()
+		s.qclosed = true
+		close(s.queue)
+		s.qmu.Unlock()
+		close(s.janitorEnd)
+		s.wg.Wait()
+	})
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve starts the workers and serves HTTP on l until ctx is cancelled,
+// then shuts down gracefully: the listener closes, in-flight requests
+// drain through the queue, workers exit.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	s.Start()
+	hs := &http.Server{Handler: s.mux}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(sctx)
+	}()
+	err := hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		err = <-shutdownErr
+	}
+	s.Close()
+	return err
+}
+
+// Model returns the served model (read-only by convention).
+func (s *Server) Model() *core.Model { return s.model }
+
+// worker drains the queue until Close. Each wakeup takes one task and
+// opportunistically up to MicroBatch-1 more without blocking, then runs
+// same-session tasks under a single session-lock acquisition.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		batch := s.drainBatch(t)
+		s.runBatch(batch)
+	}
+}
+
+func (s *Server) drainBatch(first *task) []*task {
+	batch := []*task{first}
+	for len(batch) < s.opts.MicroBatch {
+		select {
+		case t, ok := <-s.queue:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, t)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// runBatch groups the drained tasks by session (stable, preserving queue
+// order within a session) and executes each group under one lock.
+func (s *Server) runBatch(batch []*task) {
+	processed := make([]bool, len(batch))
+	group := make([]*task, 0, len(batch))
+	for i := range batch {
+		if processed[i] {
+			continue
+		}
+		sess := batch[i].sess
+		group = group[:0]
+		for j := i; j < len(batch); j++ {
+			if !processed[j] && batch[j].sess == sess {
+				processed[j] = true
+				group = append(group, batch[j])
+			}
+		}
+		sess.runTasks(group, s.metrics)
+	}
+}
+
+// runTasks executes queued tasks for this session under one lock
+// acquisition — the micro-batching fast path.
+func (sess *Session) runTasks(tasks []*task, m *metrics) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	for _, t := range tasks {
+		var res taskResult
+		switch t.kind {
+		case taskClassify:
+			res.classify = sess.classifyLocked(t.recs, t.withProba)
+			m.classified(res.classify.Predictions, res.classify.MAPConcept)
+		case taskObserve:
+			res.observe = sess.observeLocked(t.recs)
+			m.observed(len(t.recs))
+		}
+		t.done <- res
+	}
+}
+
+// enqueue submits a task, reporting (accepted, serving). Not accepted +
+// serving means the queue is full (backpressure); not serving means the
+// server is draining.
+func (s *Server) enqueue(t *task) (accepted, serving bool) {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.qclosed {
+		return false, false
+	}
+	select {
+	case s.queue <- t:
+		s.metrics.observeQueueDepth(len(s.queue))
+		return true, true
+	default:
+		return false, true
+	}
+}
+
+// submit queues predictor work and waits for the result. The wait is
+// bounded: the queue is bounded and every queued task is executed.
+func (s *Server) submit(t *task) (taskResult, int, error) {
+	t.done = make(chan taskResult, 1)
+	accepted, serving := s.enqueue(t)
+	if !serving {
+		return taskResult{}, http.StatusServiceUnavailable, fmt.Errorf("server is shutting down")
+	}
+	if !accepted {
+		s.metrics.reject()
+		return taskResult{}, http.StatusTooManyRequests, fmt.Errorf("queue full (%d tasks)", s.opts.QueueDepth)
+	}
+	return <-t.done, http.StatusOK, nil
+}
+
+// janitor sweeps expired sessions until Close.
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.opts.JanitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.janitorEnd:
+			return
+		case <-ticker.C:
+			s.table.sweep()
+		}
+	}
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency tracking.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.clk()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.request(endpoint, sw.code, s.clk().Sub(start))
+	}
+}
+
+// maxBodyBytes bounds request bodies; a classify batch of a few thousand
+// wide records fits comfortably.
+const maxBodyBytes = 16 << 20
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client hanging up mid-response is not a server error
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
+	}
+	s.writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// session resolves the {id} path value, answering 404 when absent/expired.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.table.get(id)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "no session %q (closed, expired, or never created)", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	// An empty body is allowed: default options.
+	if r.ContentLength != 0 {
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+	}
+	sess, err := s.table.create(s.model, core.PredictorOptions{
+		MAPOnly:        req.MAPOnly,
+		DisablePruning: req.DisablePruning,
+	})
+	if err != nil {
+		if errors.Is(err, ErrSessionLimit) {
+			s.writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.metrics.sessionCreated()
+	s.writeJSON(w, http.StatusCreated, CreateSessionResponse{
+		ID:       sess.ID(),
+		Concepts: s.model.NumConcepts(),
+		Classes:  append([]string(nil), s.model.Schema.Classes...),
+	})
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	sessions := s.table.list()
+	resp := ListSessionsResponse{Sessions: make([]SessionInfo, len(sessions))}
+	for i, sess := range sessions {
+		resp.Sessions[i] = sess.Info()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sess.Info())
+}
+
+func (s *Server) handleSessionState(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sess.State())
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.table.remove(id) {
+		s.writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req ClassifyRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	recs, err := decodeRecords(s.model.Schema, req.Records, nil)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, code, err := s.submit(&task{kind: taskClassify, sess: sess, recs: recs, withProba: req.Proba})
+	if err != nil {
+		s.writeError(w, code, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res.classify)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var req ObserveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	recs, err := decodeRecords(s.model.Schema, req.Records, req.Classes)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, code, err := s.submit(&task{kind: taskObserve, sess: sess, recs: recs})
+	if err != nil {
+		s.writeError(w, code, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res.observe)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.writeTo(w, gauges{
+		queueDepth:   len(s.queue),
+		liveSessions: s.table.live(),
+		evicted:      s.table.evictedCount(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Sessions: s.table.live(),
+		Concepts: s.model.NumConcepts(),
+	})
+}

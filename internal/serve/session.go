@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"highorder/internal/clock"
+	"highorder/internal/core"
+	"highorder/internal/data"
+)
+
+// ErrSessionLimit is returned by the session table when creating a session
+// would exceed the configured maximum.
+var ErrSessionLimit = errors.New("serve: session limit reached")
+
+// Session owns one core.Predictor and the lock that serializes access to
+// it. The predictor's active probabilities are per-client-stream state
+// (§III-B): every client stream gets its own session, and all predictor
+// calls — from HTTP workers, the replay helper, or introspection — go
+// through the session's methods, which hold the lock for the duration of
+// the call. This is the single place the Predictor's documented
+// single-goroutine contract is enforced.
+type Session struct {
+	id string
+
+	mu sync.Mutex
+	p  *core.Predictor
+
+	// lastUsed is the unix-nano timestamp of the last table access, read
+	// by TTL eviction without taking mu.
+	lastUsed atomic.Int64
+}
+
+// NewLocalSession wraps a predictor for in-process use — cmd/hompredict's
+// file replay and the offline halves of the e2e tests go through the same
+// Session code path as served traffic.
+func NewLocalSession(p *core.Predictor) *Session {
+	return &Session{id: "local", p: p}
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Classify predicts every record in recs (labels ignored), in order, and
+// reports the posterior-MAP concept at the time of the call.
+func (s *Session) Classify(recs []data.Record, withProba bool) ClassifyResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.classifyLocked(recs, withProba)
+}
+
+// classifyLocked is Classify with s.mu already held — the worker pool's
+// micro-batching path calls it directly to amortize one lock acquisition
+// over several queued tasks.
+func (s *Session) classifyLocked(recs []data.Record, withProba bool) ClassifyResponse {
+	out := ClassifyResponse{Predictions: make([]int, len(recs))}
+	out.MAPConcept, _ = s.p.CurrentConcept()
+	if withProba {
+		out.Probabilities = make([][]float64, len(recs))
+	}
+	for i, r := range recs {
+		x := data.Record{Values: r.Values}
+		if withProba {
+			// PredictProba reuses its buffer; copy per record.
+			dist := s.p.PredictProba(x)
+			out.Probabilities[i] = append([]float64(nil), dist...)
+		}
+		out.Predictions[i] = s.p.Predict(x)
+	}
+	return out
+}
+
+// Observe folds the labeled records into the session's active
+// probabilities, in order.
+func (s *Session) Observe(recs []data.Record) ObserveResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.observeLocked(recs)
+}
+
+// observeLocked is Observe with s.mu already held (see classifyLocked).
+func (s *Session) observeLocked(recs []data.Record) ObserveResponse {
+	for _, r := range recs {
+		s.p.Observe(r)
+	}
+	rate, full := s.p.RecentExplainedRate()
+	return ObserveResponse{Observed: s.p.Observed(), ExplainedRate: rate, ExplainedFull: full}
+}
+
+// Info returns the introspection view of the session.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	concept, prob := s.p.CurrentConcept()
+	rate, full := s.p.RecentExplainedRate()
+	return SessionInfo{
+		ID:                 s.id,
+		Observed:           s.p.Observed(),
+		Active:             s.p.ActiveProbabilities(),
+		CurrentConcept:     concept,
+		CurrentProbability: prob,
+		ExplainedRate:      rate,
+		ExplainedFull:      full,
+	}
+}
+
+// State snapshots the session's predictor (core.PredictorState).
+func (s *Session) State() core.PredictorState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Snapshot()
+}
+
+// RestoreState overwrites the predictor's online state from a snapshot.
+func (s *Session) RestoreState(st core.PredictorState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.Restore(st)
+}
+
+// touch records an access at time t for TTL accounting.
+func (s *Session) touch(t time.Time) { s.lastUsed.Store(t.UnixNano()) }
+
+// sessionTable maps session ids to live sessions, enforcing the session
+// limit and TTL eviction. Ids are sequential ("s1", "s2", ...): the table
+// is process-local state over a deterministic model, and predictable ids
+// keep tests and traces readable.
+type sessionTable struct {
+	clk clock.Clock
+	ttl time.Duration
+	max int
+
+	mu       sync.Mutex
+	nextID   int64
+	sessions map[string]*Session
+	evicted  int64
+}
+
+func newSessionTable(clk clock.Clock, ttl time.Duration, max int) *sessionTable {
+	return &sessionTable{
+		clk:      clk.OrWall(),
+		ttl:      ttl,
+		max:      max,
+		sessions: make(map[string]*Session),
+	}
+}
+
+// create opens a new session. Expired sessions are evicted first, so a
+// full table of dead sessions does not refuse live clients.
+func (t *sessionTable) create(m *core.Model, opts core.PredictorOptions) (*Session, error) {
+	now := t.clk()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked(now)
+	if t.max > 0 && len(t.sessions) >= t.max {
+		return nil, fmt.Errorf("%w (%d live)", ErrSessionLimit, len(t.sessions))
+	}
+	t.nextID++
+	s := &Session{
+		id: fmt.Sprintf("s%d", t.nextID),
+		p:  m.NewPredictorWithOptions(opts),
+	}
+	s.touch(now)
+	t.sessions[s.id] = s
+	return s, nil
+}
+
+// get looks up a session and refreshes its TTL.
+func (t *sessionTable) get(id string) (*Session, bool) {
+	now := t.clk()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	if t.expired(s, now) {
+		delete(t.sessions, id)
+		t.evicted++
+		return nil, false
+	}
+	s.touch(now)
+	return s, true
+}
+
+// remove closes a session explicitly.
+func (t *sessionTable) remove(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.sessions[id]; !ok {
+		return false
+	}
+	delete(t.sessions, id)
+	return true
+}
+
+// sweep evicts every expired session and returns how many it removed.
+func (t *sessionTable) sweep() int {
+	now := t.clk()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sweepLocked(now)
+}
+
+func (t *sessionTable) sweepLocked(now time.Time) int {
+	if t.ttl <= 0 {
+		return 0
+	}
+	n := 0
+	for id, s := range t.sessions {
+		if t.expired(s, now) {
+			delete(t.sessions, id)
+			t.evicted++
+			n++
+		}
+	}
+	return n
+}
+
+func (t *sessionTable) expired(s *Session, now time.Time) bool {
+	return t.ttl > 0 && now.UnixNano()-s.lastUsed.Load() > int64(t.ttl)
+}
+
+// live returns the live session count.
+func (t *sessionTable) live() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}
+
+// evictedCount returns the total number of TTL evictions.
+func (t *sessionTable) evictedCount() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// list returns the live sessions sorted by id.
+func (t *sessionTable) list() []*Session {
+	t.mu.Lock()
+	out := make([]*Session, 0, len(t.sessions))
+	for _, s := range t.sessions {
+		out = append(out, s)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return sessionLess(out[i].id, out[j].id) })
+	return out
+}
+
+// sessionLess orders "s<N>" ids numerically, falling back to string order.
+func sessionLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}

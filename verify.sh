@@ -42,4 +42,18 @@ go test ./internal/dataio -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIM
 step "homlint ./..."
 go run ./cmd/homlint ./...
 
+# Serving smoke: train a small model through the real pipeline and push
+# one session of load through an in-process homserve (loopback HTTP, the
+# bounded queue, micro-batching workers, graceful drain). homload exits
+# nonzero on any failed or unaccounted request.
+step "homserve/homload smoke (1 session, 200 records)"
+smoketmp=$(mktemp -d)
+trap 'rm -rf "$smoketmp"' EXIT
+go run ./cmd/genstream -stream stagger -n 3000 -seed 7 \
+	-o "$smoketmp/hist.csv" -schema "$smoketmp/schema.json"
+go run ./cmd/homtrain -in "$smoketmp/hist.csv" -schema "$smoketmp/schema.json" \
+	-o "$smoketmp/model.gob" -seed 7 >/dev/null
+go run ./cmd/homload -model "$smoketmp/model.gob" -sessions 1 -records 200 \
+	-batch 16 -out "$smoketmp/BENCH_serve.json"
+
 echo "verify.sh: all gates passed"
