@@ -4,19 +4,27 @@
 // extracted from the concept's tree and the concept's own historical
 // records.
 //
+// With -timeline (and -in), it replays the stream through a fresh
+// predictor instrumented with the obs introspection sink and renders the
+// MAP-concept timeline: one line per stable segment plus every switch with
+// its active-probability vector — the online view of Eqs. 5–9 for humans.
+//
 // Usage:
 //
-//	homexplain -model model.gob [-in history.csv] [-rules]
+//	homexplain -model model.gob [-in history.csv] [-rules] [-timeline]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"highorder/internal/core"
 	"highorder/internal/data"
 	"highorder/internal/dataio"
 	"highorder/internal/hmm"
+	"highorder/internal/obs"
 	"highorder/internal/tree"
 )
 
@@ -24,6 +32,7 @@ func main() {
 	modelPath := flag.String("model", "model.gob", "persisted high-order model")
 	in := flag.String("in", "", "historical stream CSV (enables per-concept rule extraction)")
 	rules := flag.Bool("rules", true, "extract rules when -in is given")
+	timeline := flag.Bool("timeline", false, "replay -in through an instrumented predictor and print the MAP-concept timeline")
 	flag.Parse()
 
 	m, err := dataio.LoadModel(*modelPath)
@@ -63,7 +72,11 @@ func main() {
 		fmt.Printf("  %3d: [%7d, %7d) → concept %d\n", i, occ.Start, occ.End, occ.Concept)
 	}
 
-	if *in == "" || !*rules {
+	if *in == "" {
+		if *timeline {
+			fmt.Fprintln(os.Stderr, "homexplain: -timeline needs -in")
+			os.Exit(2)
+		}
 		return
 	}
 	f, err := os.Open(*in)
@@ -74,6 +87,13 @@ func main() {
 	f.Close()
 	if err != nil {
 		fail(err)
+	}
+
+	if *timeline {
+		renderTimeline(m, hist)
+	}
+	if !*rules {
+		return
 	}
 	// Cross-check: decode the history's most likely concept sequence with
 	// the HMM view (§III-A) and report its agreement with the clustering's
@@ -116,6 +136,48 @@ func main() {
 			fmt.Printf("    %s\n", rs.Rules[i].String(m.Schema))
 		}
 	}
+}
+
+// renderTimeline replays the labeled stream through a fresh predictor with
+// a TimelineSink and prints the MAP-concept segments and switch events.
+func renderTimeline(m *core.Model, hist *data.Dataset) {
+	p := m.NewPredictor()
+	sink := &obs.TimelineSink{}
+	p.SetSink(sink)
+	for _, r := range hist.Records {
+		p.Observe(r)
+	}
+	fmt.Printf("\nintrospection timeline (%d labeled records replayed):\n", hist.Len())
+	events := sink.Events
+	for start := 0; start < len(events); {
+		end := start
+		for end+1 < len(events) && events[end+1].MAP == events[start].MAP {
+			end++
+		}
+		meanP := 0.0
+		for _, ev := range events[start : end+1] {
+			meanP += ev.Prob
+		}
+		meanP /= float64(end - start + 1)
+		fmt.Printf("  [%7d, %7d] concept %d  mean P %.3f\n",
+			events[start].Seq, events[end].Seq, events[start].MAP, meanP)
+		start = end + 1
+	}
+	switches := sink.Switches()
+	fmt.Printf("  %d MAP switches\n", len(switches))
+	for _, ev := range switches {
+		fmt.Printf("    record %7d: concept %d -> %d  active %s\n",
+			ev.Seq, ev.PrevMAP, ev.MAP, probString(ev.Active))
+	}
+}
+
+// probString renders an active-probability vector compactly.
+func probString(probs []float64) string {
+	parts := make([]string, len(probs))
+	for i, p := range probs {
+		parts[i] = fmt.Sprintf("%.2f", p)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 func fail(err error) {

@@ -124,6 +124,18 @@ func main() {
 		if v, ok := serve.MetricValue(text, "homserve_sessions_live"); ok {
 			sum.Server.LiveSessionsEnd = int(v)
 		}
+		if qs, ok := serve.HistogramQuantiles(text, "homserve_request_seconds",
+			map[string]string{"endpoint": "classify"}, 0.50, 0.95, 0.99); ok {
+			sum.ServerLatencyMS.ClassifyP50 = qs[0] * 1000
+			sum.ServerLatencyMS.ClassifyP95 = qs[1] * 1000
+			sum.ServerLatencyMS.ClassifyP99 = qs[2] * 1000
+		}
+		if qs, ok := serve.HistogramQuantiles(text, "homserve_request_seconds",
+			map[string]string{"endpoint": "observe"}, 0.50, 0.95, 0.99); ok {
+			sum.ServerLatencyMS.ObserveP50 = qs[0] * 1000
+			sum.ServerLatencyMS.ObserveP95 = qs[1] * 1000
+			sum.ServerLatencyMS.ObserveP99 = qs[2] * 1000
+		}
 	}
 
 	if shutdown != nil {
@@ -282,6 +294,18 @@ type summary struct {
 		RejectedTotal   int `json:"rejected_total"`
 		LiveSessionsEnd int `json:"live_sessions_end"`
 	} `json:"server"`
+	// ServerLatencyMS is the server's own view of request latency,
+	// estimated from the homserve_request_seconds exposition histogram by
+	// bucket interpolation — coarser than the client-side samples above but
+	// free of client scheduling noise.
+	ServerLatencyMS struct {
+		ClassifyP50 float64 `json:"classify_p50"`
+		ClassifyP95 float64 `json:"classify_p95"`
+		ClassifyP99 float64 `json:"classify_p99"`
+		ObserveP50  float64 `json:"observe_p50"`
+		ObserveP95  float64 `json:"observe_p95"`
+		ObserveP99  float64 `json:"observe_p99"`
+	} `json:"server_latency_ms"`
 }
 
 func summarize(results []*sessionResult, sessions, records, batch int, stream string, seed int64, elapsed float64) *summary {

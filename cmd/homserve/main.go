@@ -9,6 +9,12 @@
 //
 //	homserve -model model.gob [-addr :8080] [-queue 256] [-workers N]
 //	         [-micro-batch 8] [-ttl 15m] [-max-sessions 10000]
+//	         [-debug-addr 127.0.0.1:6060]
+//
+// -debug-addr starts a second listener with net/http/pprof profiles under
+// /debug/pprof/ and expvar runtime counters under /debug/vars. It is off
+// by default and should be bound to loopback: the profile endpoints are
+// diagnostic surface, not part of the serving API.
 //
 // API:
 //
@@ -25,9 +31,12 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +54,7 @@ func main() {
 	microBatch := flag.Int("micro-batch", 0, "max queued tasks one worker wakeup drains (0 = default 8)")
 	ttl := flag.Duration("ttl", 15*time.Minute, "idle session time-to-live")
 	maxSessions := flag.Int("max-sessions", 0, "live session limit (0 = default 10000)")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for /debug/pprof/* and /debug/vars (off when empty)")
 	flag.Parse()
 
 	m, err := dataio.LoadModel(*modelPath)
@@ -66,11 +76,36 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		go serveDebug(dl)
+		fmt.Printf("homserve: debug endpoints (pprof, expvar) on %s\n", dl.Addr())
+	}
+
 	fmt.Printf("homserve: serving %d-concept model from %s on %s\n", m.NumConcepts(), *modelPath, l.Addr())
 	if err := s.Serve(ctx, l); err != nil {
 		fail(err)
 	}
 	fmt.Println("homserve: drained, bye")
+}
+
+// serveDebug exposes the diagnostic endpoints on their own mux so nothing
+// registers on http.DefaultServeMux and nothing leaks onto the API
+// listener. Best-effort: debug serving errors never take the server down.
+func serveDebug(l net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if err := http.Serve(l, mux); err != nil {
+		fmt.Fprintf(os.Stderr, "homserve: debug listener: %v\n", err)
+	}
 }
 
 func fail(err error) {

@@ -4,17 +4,25 @@
 // Usage:
 //
 //	homtrain -in history.csv -schema schema.json -o model.gob \
-//	         [-block 10] [-seed 1] [-learner tree|bayes]
+//	         [-block 10] [-seed 1] [-learner tree|bayes] \
+//	         [-trace trace.json] [-bench-out BENCH_pipeline.json]
+//
+// -trace writes the offline pipeline's phase spans as Chrome trace-event
+// JSON (load it at https://ui.perfetto.dev). -bench-out writes per-phase
+// wall times and span counts as JSON (the committed BENCH_pipeline.json).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"highorder/internal/bayes"
 	"highorder/internal/core"
 	"highorder/internal/dataio"
+	"highorder/internal/obs"
 )
 
 func main() {
@@ -24,6 +32,8 @@ func main() {
 	block := flag.Int("block", 10, "concept-clustering block size (paper: 2-20)")
 	seed := flag.Int64("seed", 1, "random seed")
 	learner := flag.String("learner", "tree", "base learner: tree or bayes")
+	tracePath := flag.String("trace", "", "write pipeline phase spans as Chrome trace-event JSON")
+	benchOut := flag.String("bench-out", "", "write per-phase wall times as JSON")
 	flag.Parse()
 
 	if *in == "" || *schemaPath == "" {
@@ -61,12 +71,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *obs.Tracer
+	if *tracePath != "" || *benchOut != "" {
+		tracer = obs.NewTracer(nil)
+		opts.Tracer = tracer
+	}
+
 	m, err := core.Build(hist, opts)
 	if err != nil {
 		fail(err)
 	}
 	if err := dataio.SaveModel(*out, m); err != nil {
 		fail(err)
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			fail(err)
+		}
+		fmt.Printf("phase trace written to %s (load at https://ui.perfetto.dev)\n", *tracePath)
+	}
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, m, hist.Len(), *block, *seed, *learner, tracer); err != nil {
+			fail(err)
+		}
+		fmt.Printf("pipeline bench written to %s\n", *benchOut)
 	}
 	fmt.Printf("built high-order model from %d records in %.2fs\n", hist.Len(), m.Stats.Elapsed.Seconds())
 	fmt.Printf("concepts: %d (from %d occurrences)\n", m.NumConcepts(), len(m.Occurrences))
@@ -75,6 +103,51 @@ func main() {
 			i, c.Size, c.Err, c.Len, c.Freq)
 	}
 	fmt.Printf("model written to %s\n", *out)
+}
+
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// pipelineBench is the BENCH_pipeline.json schema: the build configuration
+// and the tracer's per-phase aggregate (span counts, wall seconds, summed
+// span args).
+type pipelineBench struct {
+	Config struct {
+		HistoryRecords int    `json:"history_records"`
+		Block          int    `json:"block"`
+		Seed           int64  `json:"seed"`
+		Learner        string `json:"learner"`
+		GoMaxProcs     int    `json:"gomaxprocs"`
+	} `json:"config"`
+	Concepts       int                `json:"concepts"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Phases         []obs.PhaseSummary `json:"phases"`
+}
+
+func writeBench(path string, m *core.Model, records, block int, seed int64, learner string, tr *obs.Tracer) error {
+	var b pipelineBench
+	b.Config.HistoryRecords = records
+	b.Config.Block = block
+	b.Config.Seed = seed
+	b.Config.Learner = learner
+	b.Config.GoMaxProcs = runtime.GOMAXPROCS(0)
+	b.Concepts = m.NumConcepts()
+	b.ElapsedSeconds = m.Stats.Elapsed.Seconds()
+	b.Phases = tr.Summarize()
+	out, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func fail(err error) {

@@ -185,6 +185,7 @@ func All() []Analyzer {
 		&SeedPlumb{},
 		&FloatCmp{},
 		&SyncMisuse{},
+		&SpanEnd{},
 	}
 }
 

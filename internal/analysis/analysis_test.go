@@ -68,6 +68,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"seedplumb", []string{"seedplumb"}},
 		{"floatcmp", []string{"floatcmp"}},
 		{"syncmisuse", []string{"syncmisuse"}},
+		{"spanend", []string{"spanend"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

@@ -1,0 +1,94 @@
+// Package fixture seeds deliberate span-lifecycle violations for the
+// spanend analyzer tests, next to the ownership patterns it must accept.
+package fixture
+
+import (
+	"errors"
+
+	"highorder/internal/obs"
+)
+
+func deferEndOK(tr *obs.Tracer) {
+	sp := tr.StartSpan("ok")
+	defer sp.End()
+	work()
+}
+
+func plainEndOK(tr *obs.Tracer) {
+	sp := tr.StartSpan("ok")
+	work()
+	sp.End()
+}
+
+func childSpansOK(tr *obs.Tracer) {
+	parent := tr.StartSpan("parent")
+	defer parent.End()
+	child := parent.StartSpan("child")
+	child.SetArg("n", 1)
+	child.End()
+}
+
+func discarded(tr *obs.Tracer) {
+	tr.StartSpan("leak") // want spanend "started and discarded"
+}
+
+func blankBound(tr *obs.Tracer) {
+	_ = tr.StartSpan("leak") // want spanend "assigned to _"
+}
+
+func neverEnded(tr *obs.Tracer) {
+	sp := tr.StartSpan("leak") // want spanend "never ended"
+	sp.SetArg("n", 2)
+}
+
+func leakOnEarlyReturn(tr *obs.Tracer, fail bool) error {
+	sp := tr.StartSpan("maybe") // want spanend "leak past a return"
+	if fail {
+		return errors.New("bail")
+	}
+	sp.End()
+	return nil
+}
+
+func endBeforeReturnOK(tr *obs.Tracer, fail bool) error {
+	sp := tr.StartSpan("ok")
+	work()
+	sp.End()
+	if fail {
+		return errors.New("bail")
+	}
+	return nil
+}
+
+func returnedDirectlyOK(tr *obs.Tracer) *obs.Span {
+	return tr.StartSpan("caller-owns")
+}
+
+func returnedVarOK(tr *obs.Tracer) *obs.Span {
+	sp := tr.StartSpan("caller-owns")
+	sp.SetArg("n", 3)
+	return sp
+}
+
+func chainEndOK(tr *obs.Tracer) {
+	tr.StartSpan("instant").End()
+}
+
+func chainWithoutEnd(tr *obs.Tracer) {
+	tr.StartSpan("leak").SetArg("n", 4) // want spanend "without being bound"
+}
+
+func deferClosureEndOK(tr *obs.Tracer) {
+	sp := tr.StartSpan("ok")
+	defer func() { sp.End() }()
+	work()
+}
+
+func passedToHelperOK(tr *obs.Tracer) {
+	sp := tr.StartSpan("handed-off")
+	finish(sp)
+}
+
+func finish(sp *obs.Span) { sp.End() }
+
+func work() {}

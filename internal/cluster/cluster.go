@@ -23,6 +23,7 @@ import (
 
 	"highorder/internal/classifier"
 	"highorder/internal/data"
+	"highorder/internal/obs"
 	"highorder/internal/rng"
 )
 
@@ -70,6 +71,14 @@ type Options struct {
 	// analysis and visualization tools. Off by default to avoid holding
 	// the intermediate structures alive.
 	KeepDendrogram bool
+
+	// Span is the parent tracing span the clustering nests its phase spans
+	// under (block building, step-1 chunk merge, step-2 concept merge).
+	// nil disables tracing at zero cost. Phase spans are created only in
+	// this sequential entry path — the parallel training workers report
+	// through span args instead — so the recorded span tree is
+	// deterministic for a fixed seed.
+	Span *obs.Span
 
 	// CutSlack controls how much better a partition must be before the
 	// final cut splits a dendrogram node: the node splits only when
@@ -214,15 +223,20 @@ func ClusterConcepts(hist *data.Dataset, opts Options) (*Clustering, error) {
 	// Step 1: adjacent blocks → chunks (concept occurrences). A short tail
 	// block is folded into its predecessor so every node can hold two
 	// mutually exclusive holdout halves (§II-B).
+	spBlocks := o.Span.StartSpan("block_build")
 	blocks := hist.Blocks(o.BlockSize)
 	if n := len(blocks); n > 1 && blocks[n-1].Len() < o.BlockSize {
 		blocks[n-2] = blocks[n-2].Concat(blocks[n-1])
 		blocks = blocks[:n-1]
 	}
 	step1, err := eng.makeLeaves(blocks)
+	spBlocks.SetArg("blocks", int64(len(blocks)))
+	spBlocks.SetArg("models_trained", eng.modelsTrained.Load())
+	spBlocks.End()
 	if err != nil {
 		return nil, err
 	}
+	spChunk := o.Span.StartSpan("chunk_merge")
 	eng.nextID = len(blocks)
 	roots1 := eng.agglomerate(step1, false)
 	chunkNodes := cut(roots1, o.CutSlack)
@@ -244,6 +258,9 @@ func ClusterConcepts(hist *data.Dataset, opts Options) (*Clustering, error) {
 		first, last := memberRange(c)
 		occs[i] = Occurrence{Start: first * o.BlockSize, End: blockEnd(last), Concept: -1}
 	}
+	spChunk.SetArg("chunks", int64(len(chunkNodes)))
+	spChunk.SetArg("mergers", int64(eng.stats.Mergers))
+	spChunk.End()
 
 	// Step 2: chunks → concepts, over a complete graph. Chunk nodes carry
 	// their models and holdout halves forward; reset ids and dendrogram
@@ -261,11 +278,15 @@ func ClusterConcepts(hist *data.Dataset, opts Options) (*Clustering, error) {
 			members: []int{i},
 		}
 	}
+	spConcept := o.Span.StartSpan("concept_merge")
 	eng.nextID = len(step2)
 	eng.prepareSamples(step2)
 	roots2 := eng.agglomerate(step2, true)
 	conceptNodes := cut(roots2, o.CutSlack)
 	orderByFirstMember(conceptNodes)
+	spConcept.SetArg("concepts", int64(len(conceptNodes)))
+	spConcept.SetArg("models_trained", eng.modelsTrained.Load())
+	spConcept.End()
 
 	cl := &Clustering{Occurrences: occs, Stats: eng.stats}
 	cl.Stats.Blocks = len(blocks)

@@ -17,6 +17,7 @@ import (
 	"highorder/internal/clock"
 	"highorder/internal/cluster"
 	"highorder/internal/data"
+	"highorder/internal/obs"
 	"highorder/internal/transition"
 	"highorder/internal/tree"
 )
@@ -62,6 +63,10 @@ type Options struct {
 	// the wall clock. Inject a clock.Fake to make build timing
 	// deterministic in tests.
 	Clock clock.Clock
+	// Tracer records the offline pipeline's phase spans (block building,
+	// chunk merge, concept merge, transition estimation, per-concept
+	// retraining) when non-nil. nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the configuration used in the experiments: tree
@@ -138,6 +143,9 @@ func Build(hist *data.Dataset, opts Options) (*Model, error) {
 	}
 	clk := o.Clock.OrWall()
 	start := clk()
+	build := o.Tracer.StartSpan("build")
+	defer build.End()
+	build.SetArg("history_records", int64(hist.Len()))
 	cl, err := cluster.ClusterConcepts(hist, cluster.Options{
 		Learner:          o.Learner,
 		BlockSize:        o.BlockSize,
@@ -148,11 +156,14 @@ func Build(hist *data.Dataset, opts Options) (*Model, error) {
 		Workers:          o.Workers,
 		Step2DeltaQ:      o.Step2DeltaQ,
 		CutSlack:         o.CutSlack,
+		Span:             build,
 	})
 	if err != nil {
 		return nil, err
 	}
+	spTrans := build.StartSpan("transitions")
 	trans, err := transition.FromOccurrences(cl.Occurrences, len(cl.Concepts))
+	spTrans.End()
 	if err != nil {
 		return nil, err
 	}
@@ -167,19 +178,24 @@ func Build(hist *data.Dataset, opts Options) (*Model, error) {
 		Chi:         chi,
 		Occurrences: cl.Occurrences,
 	}
+	spRetrain := build.StartSpan("retrain")
 	for ci, c := range cl.Concepts {
 		model := c.Model
 		if o.RetrainConcepts {
+			spc := spRetrain.StartSpan("train_concept")
+			spc.SetArg("concept", int64(ci))
 			full := data.NewDataset(hist.Schema)
 			for _, oi := range c.Occurrences {
 				occ := cl.Occurrences[oi]
 				full = full.Concat(hist.Slice(occ.Start, occ.End))
 			}
+			spc.SetArg("records", int64(full.Len()))
 			if full.Len() > 0 {
 				if retrained, err := o.Learner.Train(full); err == nil {
 					model = retrained
 				}
 			}
+			spc.End()
 		}
 		m.Concepts[ci] = Concept{
 			Model: model,
@@ -189,10 +205,12 @@ func Build(hist *data.Dataset, opts Options) (*Model, error) {
 			Size:  c.Size,
 		}
 	}
+	spRetrain.End()
 	m.Stats = BuildStats{
 		Elapsed:     clk().Sub(start),
 		Clustering:  cl.Stats,
 		HistorySize: hist.Len(),
 	}
+	build.SetArg("concepts", int64(len(m.Concepts)))
 	return m, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"highorder/internal/classifier"
 	"highorder/internal/data"
+	"highorder/internal/obs"
 )
 
 // PredictorOptions configure online prediction.
@@ -50,6 +51,15 @@ type Predictor struct {
 	// observed counts labeled records seen, for diagnostics.
 	observed int
 
+	// sink receives one introspection event per Observe when non-nil; the
+	// nil path costs one pointer check (see SetSink).
+	sink obs.PredictorSink
+	// lastMAP is the MAP concept reported in the previous sink event, or
+	// -1 before the first event; maintained only while a sink is set.
+	lastMAP int
+	// driftMark is the observed count at the last MarkDrift call, or -1.
+	driftMark int
+
 	// explained is a ring buffer over the last explainWindow labeled
 	// records: whether the then-most-probable concept classified the
 	// record correctly. A persistently low rate means no historical
@@ -81,6 +91,8 @@ func (m *Model) NewPredictorWithOptions(opts PredictorOptions) *Predictor {
 		order:     make([]int, n),
 		acc:       make([]float64, m.Schema.NumClasses()),
 		explained: make([]bool, explainWindow),
+		lastMAP:   -1,
+		driftMark: -1,
 	}
 	for c := range p.post {
 		p.post[c] = 1 / float64(n)
@@ -138,6 +150,52 @@ func (p *Predictor) RecentExplainedRate() (rate float64, full bool) {
 		}
 	}
 	return float64(correct) / float64(p.explainedN), p.explainedN == explainWindow
+}
+
+// SetSink installs (or, with nil, removes) the predictor's introspection
+// sink. While set, every Observe emits one obs.PredictorEvent — the
+// posterior vector, the MAP concept, whether it switched, and the lag
+// since the last MarkDrift — after the active-probability update. The
+// sink runs inline on the Observe path and is subject to the predictor's
+// single-goroutine contract. With a nil sink the entire mechanism costs
+// one pointer check per Observe and zero allocations (see
+// BenchmarkPredictorObserveNilSink).
+func (p *Predictor) SetSink(s obs.PredictorSink) {
+	p.sink = s
+	p.lastMAP = -1
+}
+
+// MarkDrift records that the true stream concept changed now (known to
+// harnesses replaying annotated synthetic streams). Subsequent sink
+// events report SinceDrift relative to this point, so a MAP switch's
+// SinceDrift is the paper's detection lag.
+func (p *Predictor) MarkDrift() {
+	p.driftMark = p.observed
+}
+
+// emitEvent builds and delivers one sink event; only called when a sink
+// is set, keeping its allocations off the nil-sink path.
+func (p *Predictor) emitEvent() {
+	best := 0
+	for c := 1; c < len(p.post); c++ {
+		if p.post[c] > p.post[best] {
+			best = c
+		}
+	}
+	ev := obs.PredictorEvent{
+		Seq:        p.observed,
+		Active:     append([]float64(nil), p.post...),
+		MAP:        best,
+		Prob:       p.post[best],
+		PrevMAP:    p.lastMAP,
+		Switched:   p.lastMAP >= 0 && best != p.lastMAP,
+		SinceDrift: -1,
+	}
+	if p.driftMark >= 0 {
+		ev.SinceDrift = p.observed - p.driftMark
+	}
+	p.lastMAP = best
+	p.sink.ObserveEvent(ev)
 }
 
 // Learn implements classifier.Online as an alias for Observe, so the
@@ -220,6 +278,9 @@ func (p *Predictor) Observe(y data.Record) {
 	}
 	p.priorValid = false
 	p.observed++
+	if p.sink != nil {
+		p.emitEvent()
+	}
 }
 
 // PredictProba returns Highorder(l|x) = Σ_c P_t⁻(c)·M_c(l|x) (Eq. 10).

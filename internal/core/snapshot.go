@@ -77,5 +77,8 @@ func (p *Predictor) Restore(st PredictorState) error {
 	copy(p.explained, st.Explained)
 	p.explainedN = len(st.Explained)
 	p.explainedNext = p.explainedN % explainWindow
+	// The restored posterior is a new baseline for the introspection
+	// stream: the first event after a restore must not report a switch.
+	p.lastMAP = -1
 	return nil
 }

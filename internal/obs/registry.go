@@ -1,0 +1,510 @@
+// Package obs is the repository's stdlib-only observability layer: a
+// metrics registry with Prometheus text exposition (registry.go), a
+// hierarchical span tracer on the injectable clock exporting Chrome
+// trace-event JSON (trace.go), and the predictor introspection event
+// stream (sink.go).
+//
+// The paper's claims are about run-time behavior — how fast the active
+// probabilities (Eqs. 5–7) lock onto the true concept after a change, how
+// often the MAP concept switches, where the offline mining of Algorithm 1
+// spends its time — so that behavior is emitted as a first-class layer
+// instead of being recomputed ad hoc inside experiments. Every instrument
+// is nil-safe: a nil *Tracer, *Span, or sink makes the instrumented call a
+// pointer check and nothing else, so the hot paths pay nothing when
+// observability is off.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Families render in registration order (so an existing
+// exposition stays byte-identical when new families are appended); series
+// within a family render in natural order of their label values. All
+// methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// familyKind discriminates how a family stores and renders its series.
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// family is one named metric family: a fixed kind, help text, label names,
+// and its live series. Func-backed families sample their values at render
+// time instead of storing series.
+type family struct {
+	name    string
+	help    string
+	kind    familyKind
+	labels  []string
+	buckets []float64 // histogram upper bounds, cumulative
+
+	mu     sync.Mutex
+	series map[string]any // label-values key -> *Counter | *Gauge | *Histogram
+	keys   []string       // insertion order; sorted naturally at render
+
+	valueFn   func() int64                                // unlabeled func-backed value
+	collectFn func(emit func(values []string, v float64)) // labeled func-backed values
+}
+
+// typeString is the family's TYPE line token.
+func (f *family) typeString() string {
+	switch f.kind {
+	case kindHistogram:
+		return "histogram"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "counter"
+	}
+}
+
+// register adds a family, panicking on duplicate names or kind mismatch —
+// metric registration happens at construction time, so misuse is a
+// programming error, not a runtime condition.
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byName[f.name]; ok {
+		if prev.kind != f.kind {
+			panic(fmt.Sprintf("obs: family %q re-registered with a different kind", f.name))
+		}
+		return prev
+	}
+	f.series = make(map[string]any)
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable integer metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// SetMax raises the gauge to n when n is larger (high-water tracking).
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket cumulative histogram over float64
+// observations (typically seconds).
+type Histogram struct {
+	buckets []float64 // upper bounds, ascending
+
+	mu     sync.Mutex
+	counts []int64 // per bucket; parallel to buckets
+	inf    int64   // observations above the last bound
+	sum    float64
+	count  int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sum += v
+	h.count++
+	for i, b := range h.buckets {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts by
+// linear interpolation within the bucket that crosses the target rank. The
+// +Inf bucket reports the last finite bound. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return bucketQuantile(h.buckets, h.counts, h.inf, h.count, q)
+}
+
+// BucketQuantile estimates the q-quantile of a cumulative-bucket histogram
+// given per-bucket (non-cumulative) counts, for clients that re-assemble
+// histograms from exposition text. See Histogram.Quantile.
+func BucketQuantile(bounds []float64, counts []int64, inf, total int64, q float64) float64 {
+	return bucketQuantile(bounds, counts, inf, total, q)
+}
+
+// bucketQuantile is the shared bucket-interpolation quantile estimate, also
+// used by clients that re-assemble histograms from exposition text.
+func bucketQuantile(bounds []float64, counts []int64, inf, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	lower := 0.0
+	for i, b := range bounds {
+		prev := cum
+		cum += counts[i]
+		if float64(cum) >= rank {
+			// Interpolate within [lower, b] by the rank's position in the
+			// bucket's count mass.
+			if counts[i] == 0 {
+				return b
+			}
+			frac := (rank - float64(prev)) / float64(counts[i])
+			return lower + (b-lower)*frac
+		}
+		lower = b
+	}
+	// The rank falls in the +Inf bucket: report the largest finite bound —
+	// the conventional Prometheus histogram_quantile behavior.
+	_ = inf
+	if len(bounds) > 0 {
+		return bounds[len(bounds)-1]
+	}
+	return 0
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct{ f *family }
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct{ f *family }
+
+// NewCounter registers (or fetches) an unlabeled counter family.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, kind: kindCounter})
+	return f.seriesFor(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// NewCounterFunc registers a counter family whose value is sampled from fn
+// at render time (for counts owned by another subsystem).
+func (r *Registry) NewCounterFunc(name, help string, fn func() int64) {
+	f := r.register(&family{name: name, help: help, kind: kindCounter})
+	f.valueFn = fn
+}
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(&family{name: name, help: help, kind: kindCounter, labels: labels})}
+}
+
+// NewGauge registers an unlabeled gauge family.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, kind: kindGauge})
+	return f.seriesFor(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// NewGaugeFunc registers a gauge family sampled from fn at render time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) {
+	f := r.register(&family{name: name, help: help, kind: kindGauge})
+	f.valueFn = fn
+}
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(&family{name: name, help: help, kind: kindGauge, labels: labels})}
+}
+
+// NewGaugeVecFunc registers a labeled gauge family whose series are
+// collected at render time: collect is called with an emit function and
+// produces every (label values, value) pair. Series order in the
+// exposition is the natural order of the label values, regardless of emit
+// order. Used for families whose population is dynamic (e.g. per-session
+// active probabilities).
+func (r *Registry) NewGaugeVecFunc(name, help string, labels []string, collect func(emit func(values []string, v float64))) {
+	f := r.register(&family{name: name, help: help, kind: kindGauge, labels: labels})
+	f.collectFn = collect
+}
+
+// NewHistogram registers an unlabeled histogram family with the given
+// cumulative bucket upper bounds.
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(&family{name: name, help: help, kind: kindHistogram, buckets: buckets})
+	return f.seriesFor(nil, func() any { return newHistogram(buckets) }).(*Histogram)
+}
+
+// NewHistogramVec registers a labeled histogram family.
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(&family{name: name, help: help, kind: kindHistogram, buckets: buckets, labels: labels})}
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{buckets: buckets, counts: make([]int64, len(buckets))}
+}
+
+// With returns the counter for the given label values, creating it at zero
+// on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.seriesFor(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// Preset creates the series at zero so it renders before being touched —
+// dense index families (per-class, per-concept) expose their full range
+// from the first scrape.
+func (v *CounterVec) Preset(values ...string) { v.With(values...) }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.seriesFor(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	f := v.f
+	return f.seriesFor(values, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// Remove drops the series for the given label values (e.g. when a session
+// closes, so per-session cardinality stays bounded by live sessions).
+func (v *CounterVec) Remove(values ...string) { v.f.removeSeries(values) }
+
+// seriesFor fetches or creates the series stored under the label values.
+func (f *family) seriesFor(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: family %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := mk()
+	f.series[key] = s
+	f.keys = append(f.keys, key)
+	return s
+}
+
+func (f *family) removeSeries(values []string) {
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.series[key]; !ok {
+		return
+	}
+	delete(f.series, key)
+	for i, k := range f.keys {
+		if k == key {
+			f.keys = append(f.keys[:i], f.keys[i+1:]...)
+			break
+		}
+	}
+}
+
+// naturalLess compares strings with digit runs ordered numerically, so
+// "s2" < "s10", "200" < "404", and plain words fall back to lexical order.
+// It keeps exposition order human-sensible for id-like label values.
+func naturalLess(a, b string) bool {
+	for len(a) > 0 && len(b) > 0 {
+		ad, bd := digitPrefix(a), digitPrefix(b)
+		if ad > 0 && bd > 0 {
+			av, aerr := strconv.ParseUint(a[:ad], 10, 64)
+			bv, berr := strconv.ParseUint(b[:bd], 10, 64)
+			if aerr == nil && berr == nil {
+				if av != bv {
+					return av < bv
+				}
+				a, b = a[ad:], b[bd:]
+				continue
+			}
+		}
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		a, b = a[1:], b[1:]
+	}
+	return len(a) < len(b)
+}
+
+// digitPrefix returns the length of the leading digit run of s.
+func digitPrefix(s string) int {
+	n := 0
+	for n < len(s) && s[n] >= '0' && s[n] <= '9' {
+		n++
+	}
+	return n
+}
+
+// keyLess orders two series keys by natural order of each label value.
+func keyLess(a, b string) bool {
+	as, bs := strings.Split(a, "\x00"), strings.Split(b, "\x00")
+	for i := 0; i < len(as) && i < len(bs); i++ {
+		if as[i] != bs[i] {
+			return naturalLess(as[i], bs[i])
+		}
+	}
+	return len(as) < len(bs)
+}
+
+// labelString renders {k1="v1",k2="v2"} for the series key, or "" for
+// unlabeled series.
+func labelString(labels []string, key string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	values := strings.Split(key, "\x00")
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l, values[i])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WriteText renders the Prometheus text exposition of every family, in
+// registration order, with deterministic series order. (Not named WriteTo:
+// this is not io.WriterTo — exposition has no meaningful byte count.)
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+	for _, f := range families {
+		f.writeTo(w)
+	}
+}
+
+func (f *family) writeTo(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typeString())
+
+	if f.valueFn != nil {
+		fmt.Fprintf(w, "%s %d\n", f.name, f.valueFn())
+		return
+	}
+	if f.collectFn != nil {
+		type sample struct {
+			key string
+			v   float64
+		}
+		var samples []sample
+		f.collectFn(func(values []string, v float64) {
+			if len(values) != len(f.labels) {
+				panic(fmt.Sprintf("obs: family %q collected %d label values, want %d", f.name, len(values), len(f.labels)))
+			}
+			samples = append(samples, sample{key: strings.Join(values, "\x00"), v: v})
+		})
+		sort.Slice(samples, func(i, j int) bool { return keyLess(samples[i].key, samples[j].key) })
+		for _, s := range samples {
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.key), formatFloat(s.v))
+		}
+		return
+	}
+
+	f.mu.Lock()
+	keys := make([]string, len(f.keys))
+	copy(keys, f.keys)
+	f.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	for _, key := range keys {
+		f.mu.Lock()
+		s := f.series[key]
+		f.mu.Unlock()
+		if s == nil {
+			continue
+		}
+		ls := labelString(f.labels, key)
+		switch v := s.(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, ls, v.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, ls, v.Value())
+		case *Histogram:
+			v.writeTo(w, f.name, f.labels, key)
+		}
+	}
+}
+
+// writeTo renders the histogram's _bucket/_sum/_count series. Bucket
+// bounds format with strconv's shortest 'g' representation, matching the
+// fmt %g verb used for the sum.
+func (h *Histogram) writeTo(w io.Writer, name string, labels []string, key string) {
+	h.mu.Lock()
+	counts := append([]int64(nil), h.counts...)
+	inf, sum, count := h.inf, h.sum, h.count
+	h.mu.Unlock()
+
+	// Bucket label lists append le after the family labels.
+	values := []string{}
+	if key != "" || len(labels) > 0 {
+		values = strings.Split(key, "\x00")
+	}
+	bucketLabels := append(append([]string{}, labels...), "le")
+	cum := int64(0)
+	for i, b := range h.buckets {
+		cum += counts[i]
+		bkey := strings.Join(append(append([]string{}, values...), strconv.FormatFloat(b, 'g', -1, 64)), "\x00")
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(bucketLabels, bkey), cum)
+	}
+	bkey := strings.Join(append(append([]string{}, values...), "+Inf"), "\x00")
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(bucketLabels, bkey), cum+inf)
+	ls := labelString(labels, key)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, ls, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, ls, count)
+}
+
+// formatFloat renders v exactly like fmt's %g: shortest representation
+// that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

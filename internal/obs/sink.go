@@ -1,0 +1,68 @@
+package obs
+
+// PredictorEvent is one introspection event emitted by core.Predictor
+// after folding a labeled record into the active probabilities (Eqs. 7–9).
+// It carries everything the paper's drift-reaction telemetry needs: the
+// full posterior vector, the MAP concept before and after the update, and
+// the number of labeled records observed since the last external drift
+// mark — the detection lag.
+type PredictorEvent struct {
+	// Seq is the 1-based count of labeled records observed, i.e. the
+	// stream position of the record that produced this event.
+	Seq int
+	// Active is the posterior active-probability vector P_t(c) after the
+	// update. The slice is owned by the receiver (it is a fresh copy).
+	Active []float64
+	// MAP is the arg-max concept of Active; Prob its probability.
+	MAP  int
+	Prob float64
+	// PrevMAP is the MAP concept before this update; -1 on the first event
+	// a sink receives.
+	PrevMAP int
+	// Switched reports that MAP differs from PrevMAP (never true on the
+	// first event).
+	Switched bool
+	// SinceDrift is the number of observed records since MarkDrift was
+	// last called, or -1 when no drift has been marked. On a Switched
+	// event this is the detection lag relative to the marked true drift.
+	SinceDrift int
+}
+
+// PredictorSink consumes predictor introspection events. Implementations
+// must not retain Active beyond the call unless they own the copy (they
+// do — each event carries a fresh slice) and must be fast: the sink runs
+// inline on the Observe path. A nil sink disables the stream entirely at
+// the cost of one pointer check per Observe.
+type PredictorSink interface {
+	ObserveEvent(ev PredictorEvent)
+}
+
+// FuncSink adapts a function to PredictorSink.
+type FuncSink func(ev PredictorEvent)
+
+// ObserveEvent implements PredictorSink.
+func (f FuncSink) ObserveEvent(ev PredictorEvent) { f(ev) }
+
+// TimelineSink records every event, for offline timeline rendering
+// (cmd/homexplain) and tests. Not safe for concurrent use — it matches
+// the predictor's single-goroutine contract.
+type TimelineSink struct {
+	// Events are the recorded events in arrival order.
+	Events []PredictorEvent
+}
+
+// ObserveEvent implements PredictorSink.
+func (t *TimelineSink) ObserveEvent(ev PredictorEvent) {
+	t.Events = append(t.Events, ev)
+}
+
+// Switches returns only the MAP-switch events.
+func (t *TimelineSink) Switches() []PredictorEvent {
+	var out []PredictorEvent
+	for _, ev := range t.Events {
+		if ev.Switched {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

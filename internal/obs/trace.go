@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"highorder/internal/clock"
+)
+
+// Tracer records hierarchical spans on an injectable clock and exports
+// them as Chrome trace-event JSON (chrome://tracing, Perfetto) or as an
+// exported tree for summaries and determinism tests.
+//
+// A nil *Tracer is fully usable: StartSpan returns a nil *Span, and every
+// *Span method no-ops on nil, so instrumented code threads spans around
+// unconditionally and the disabled path costs one pointer comparison and
+// zero allocations.
+//
+// Span creation and mutation are safe for concurrent use (the tracer's
+// mutex guards the tree), but deterministic span trees require that
+// sibling spans be created from a single goroutine — the offline pipeline
+// therefore creates phase spans only in sequential code and lets parallel
+// workers report aggregate counts through span args.
+type Tracer struct {
+	clk clock.Clock
+
+	mu    sync.Mutex
+	epoch time.Time
+	roots []*Span
+}
+
+// NewTracer returns a tracer reading time from clk (nil selects the wall
+// clock). The first span's start time is the tracer's epoch; exported
+// timestamps are relative to it.
+func NewTracer(clk clock.Clock) *Tracer {
+	c := clk.OrWall()
+	return &Tracer{clk: c, epoch: c()}
+}
+
+// Span is one timed region of work. Spans form a tree: children created
+// with StartSpan nest under their parent.
+type Span struct {
+	tracer   *Tracer
+	name     string
+	start    time.Duration // since tracer epoch
+	dur      time.Duration
+	ended    bool
+	args     map[string]int64
+	children []*Span
+}
+
+// StartSpan opens a root span. Safe on a nil tracer (returns nil).
+func (t *Tracer) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tracer: t, name: name, start: t.clk().Sub(t.epoch)}
+	t.roots = append(t.roots, s)
+	return s
+}
+
+// StartSpan opens a child span nested under s. Safe on a nil span.
+func (s *Span) StartSpan(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &Span{tracer: t, name: name, start: t.clk().Sub(t.epoch)}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End closes the span. Ending twice keeps the first end time. Safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.dur = t.clk().Sub(t.epoch) - s.start
+}
+
+// SetArg attaches an integer argument (a count, a size) to the span; it
+// renders under "args" in the Chrome trace and in exported nodes. Safe on
+// nil.
+func (s *Span) SetArg(key string, v int64) {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.args == nil {
+		s.args = make(map[string]int64)
+	}
+	s.args[key] = v
+}
+
+// SpanNode is an immutable exported view of one recorded span.
+type SpanNode struct {
+	// Name is the span name.
+	Name string
+	// Start is the span start relative to the tracer epoch; Duration is
+	// its length (zero when the span was never ended).
+	Start, Duration time.Duration
+	// Args are the span's integer arguments (nil when none).
+	Args map[string]int64
+	// Children are the nested spans, in creation order.
+	Children []SpanNode
+}
+
+// Snapshot exports the recorded span tree. Unended spans export with their
+// duration so far, so a snapshot taken mid-run is still well-formed.
+func (t *Tracer) Snapshot() []SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clk().Sub(t.epoch)
+	out := make([]SpanNode, len(t.roots))
+	for i, s := range t.roots {
+		out[i] = s.export(now)
+	}
+	return out
+}
+
+func (s *Span) export(now time.Duration) SpanNode {
+	n := SpanNode{Name: s.name, Start: s.start, Duration: s.dur}
+	if !s.ended {
+		n.Duration = now - s.start
+	}
+	if len(s.args) > 0 {
+		n.Args = make(map[string]int64, len(s.args))
+		for k, v := range s.args {
+			n.Args[k] = v
+		}
+	}
+	n.Children = make([]SpanNode, len(s.children))
+	for i, c := range s.children {
+		n.Children[i] = c.export(now)
+	}
+	return n
+}
+
+// traceEvent is one Chrome trace-event object ("X" complete events only).
+type traceEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`  // microseconds since epoch
+	Dur  int64            `json:"dur"` // microseconds
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the span tree in the Chrome trace-event JSON
+// array format, loadable in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. Events are emitted depth-first in creation order, so
+// output is deterministic for a deterministic tree.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := []traceEvent{}
+	var walk func(n SpanNode)
+	walk = func(n SpanNode) {
+		events = append(events, traceEvent{
+			Name: n.Name,
+			Ph:   "X",
+			Ts:   n.Start.Microseconds(),
+			Dur:  n.Duration.Microseconds(),
+			Pid:  1,
+			Tid:  1,
+			Args: n.Args,
+		})
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Snapshot() {
+		walk(r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(events)
+}
+
+// PhaseSummary aggregates spans of the same name at the same tree depth
+// path: span count, total wall time, and summed args.
+type PhaseSummary struct {
+	// Phase is the slash-joined span path, e.g. "build/cluster/step1_chunk_merge".
+	Phase string `json:"phase"`
+	// Spans is the number of spans recorded on the path.
+	Spans int `json:"spans"`
+	// WallSeconds is the summed duration of those spans.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Args sums the spans' integer args by key (omitted when empty).
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// Summarize flattens the span tree into per-path aggregates, sorted by
+// path, for bench artifacts like BENCH_pipeline.json.
+func (t *Tracer) Summarize() []PhaseSummary {
+	agg := map[string]*PhaseSummary{}
+	var order []string
+	var walk func(prefix string, n SpanNode)
+	walk = func(prefix string, n SpanNode) {
+		path := n.Name
+		if prefix != "" {
+			path = prefix + "/" + n.Name
+		}
+		ps := agg[path]
+		if ps == nil {
+			ps = &PhaseSummary{Phase: path}
+			agg[path] = ps
+			order = append(order, path)
+		}
+		ps.Spans++
+		ps.WallSeconds += n.Duration.Seconds()
+		for k, v := range n.Args {
+			if ps.Args == nil {
+				ps.Args = make(map[string]int64)
+			}
+			ps.Args[k] += v
+		}
+		for _, c := range n.Children {
+			walk(path, c)
+		}
+	}
+	for _, r := range t.Snapshot() {
+		walk("", r)
+	}
+	sort.Strings(order)
+	out := make([]PhaseSummary, 0, len(order))
+	for _, p := range order {
+		out = append(out, *agg[p])
+	}
+	return out
+}
+
+// StripTimes returns the tree with every Start/Duration zeroed — the
+// shape (names, hierarchy, counts, args) that must be identical across
+// identically-seeded runs even though timestamps differ.
+func StripTimes(nodes []SpanNode) []SpanNode {
+	out := make([]SpanNode, len(nodes))
+	for i, n := range nodes {
+		out[i] = SpanNode{Name: n.Name, Args: n.Args, Children: StripTimes(n.Children)}
+	}
+	return out
+}
+
+// TreeString renders the stripped tree as an indented text form — handy
+// for test diffs.
+func TreeString(nodes []SpanNode) string {
+	var sb []byte
+	var walk func(indent string, n SpanNode)
+	walk = func(indent string, n SpanNode) {
+		sb = append(sb, fmt.Sprintf("%s%s%s\n", indent, n.Name, argString(n.Args))...)
+		for _, c := range n.Children {
+			walk(indent+"  ", c)
+		}
+	}
+	for _, n := range nodes {
+		walk("", n)
+	}
+	return string(sb)
+}
+
+func argString(args map[string]int64) string {
+	if len(args) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := " ["
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, args[k])
+	}
+	return s + "]"
+}

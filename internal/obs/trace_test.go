@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"highorder/internal/clock"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("root")
+	if sp != nil {
+		t.Fatalf("nil tracer StartSpan = %v, want nil", sp)
+	}
+	child := sp.StartSpan("child")
+	if child != nil {
+		t.Fatalf("nil span StartSpan = %v, want nil", child)
+	}
+	// None of these may panic.
+	sp.SetArg("n", 1)
+	sp.End()
+	child.End()
+	if got := tr.Snapshot(); got != nil {
+		t.Fatalf("nil tracer Snapshot = %v, want nil", got)
+	}
+}
+
+func TestTracerHierarchyAndTiming(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	tr := NewTracer(fake.Clock())
+
+	root := tr.StartSpan("build")
+	fake.Advance(10 * time.Millisecond)
+	c1 := root.StartSpan("cluster")
+	fake.Advance(20 * time.Millisecond)
+	c1.SetArg("models_trained", 42)
+	c1.End()
+	c2 := root.StartSpan("retrain")
+	fake.Advance(5 * time.Millisecond)
+	c2.End()
+	root.End()
+
+	nodes := tr.Snapshot()
+	if len(nodes) != 1 {
+		t.Fatalf("roots = %d, want 1", len(nodes))
+	}
+	b := nodes[0]
+	if b.Name != "build" || len(b.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want build with 2", b.Name, len(b.Children))
+	}
+	if b.Duration != 35*time.Millisecond {
+		t.Errorf("build duration = %v, want 35ms", b.Duration)
+	}
+	if b.Children[0].Name != "cluster" || b.Children[0].Duration != 20*time.Millisecond {
+		t.Errorf("child 0 = %q/%v, want cluster/20ms", b.Children[0].Name, b.Children[0].Duration)
+	}
+	if b.Children[0].Args["models_trained"] != 42 {
+		t.Errorf("cluster args = %v, want models_trained=42", b.Children[0].Args)
+	}
+	if b.Children[1].Start != 30*time.Millisecond {
+		t.Errorf("retrain start = %v, want 30ms", b.Children[1].Start)
+	}
+}
+
+// TestChromeTraceSchema validates the exported JSON against the trace-event
+// format contract: a JSON array of objects, each with name/ph/ts/dur/pid/tid,
+// ph always "X", ts/dur non-negative, children contained in their parents.
+func TestChromeTraceSchema(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	tr := NewTracer(fake.Clock())
+	root := tr.StartSpan("build")
+	fake.Advance(time.Millisecond)
+	child := root.StartSpan("cluster")
+	fake.Advance(2 * time.Millisecond)
+	child.SetArg("blocks", 7)
+	child.End()
+	fake.Advance(time.Millisecond)
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	byName := map[string]map[string]any{}
+	for _, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, ev)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Errorf("ph = %v, want X", ev["ph"])
+		}
+		ts, tsOK := ev["ts"].(float64)
+		dur, durOK := ev["dur"].(float64)
+		if !tsOK || !durOK || ts < 0 || dur < 0 {
+			t.Errorf("ts/dur not non-negative numbers: %v", ev)
+		}
+		byName[ev["name"].(string)] = ev
+	}
+	b, c := byName["build"], byName["cluster"]
+	if b == nil || c == nil {
+		t.Fatalf("missing build/cluster events: %v", byName)
+	}
+	// Child interval nested in parent interval.
+	bs, bd := b["ts"].(float64), b["dur"].(float64)
+	cs, cd := c["ts"].(float64), c["dur"].(float64)
+	if cs < bs || cs+cd > bs+bd {
+		t.Errorf("child [%v,%v] not contained in parent [%v,%v]", cs, cs+cd, bs, bs+bd)
+	}
+	if args, ok := c["args"].(map[string]any); !ok || args["blocks"] != float64(7) {
+		t.Errorf("child args = %v, want blocks=7", c["args"])
+	}
+}
+
+func TestSummarizeAggregatesByPath(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	tr := NewTracer(fake.Clock())
+	root := tr.StartSpan("build")
+	for i := 0; i < 3; i++ {
+		sp := root.StartSpan("train_concept")
+		fake.Advance(10 * time.Millisecond)
+		sp.SetArg("records", 100)
+		sp.End()
+	}
+	root.End()
+
+	sums := tr.Summarize()
+	var train *PhaseSummary
+	for i := range sums {
+		if sums[i].Phase == "build/train_concept" {
+			train = &sums[i]
+		}
+	}
+	if train == nil {
+		t.Fatalf("no build/train_concept summary in %v", sums)
+	}
+	if train.Spans != 3 {
+		t.Errorf("spans = %d, want 3", train.Spans)
+	}
+	if train.WallSeconds < 0.029 || train.WallSeconds > 0.031 {
+		t.Errorf("wall = %v, want ~0.030", train.WallSeconds)
+	}
+	if train.Args["records"] != 300 {
+		t.Errorf("args = %v, want records=300", train.Args)
+	}
+}
+
+func TestStripTimes(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	tr := NewTracer(fake.Clock())
+	sp := tr.StartSpan("a")
+	fake.Advance(time.Millisecond)
+	sp.StartSpan("b").End()
+	sp.End()
+	stripped := StripTimes(tr.Snapshot())
+	want := []SpanNode{{Name: "a", Children: []SpanNode{{Name: "b", Children: []SpanNode{}}}}}
+	if !reflect.DeepEqual(stripped, want) {
+		t.Errorf("stripped = %#v, want %#v", stripped, want)
+	}
+	if TreeString(stripped) != "a\n  b\n" {
+		t.Errorf("TreeString = %q", TreeString(stripped))
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	tr := NewTracer(fake.Clock())
+	sp := tr.StartSpan("a")
+	fake.Advance(time.Millisecond)
+	sp.End()
+	fake.Advance(time.Hour)
+	sp.End()
+	if d := tr.Snapshot()[0].Duration; d != time.Millisecond {
+		t.Errorf("duration after double End = %v, want 1ms", d)
+	}
+}

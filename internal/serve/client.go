@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"highorder/internal/obs"
 )
 
 // HTTPError is a non-2xx answer from the server, carrying the status code
@@ -157,4 +160,85 @@ func MetricValue(text, name string) (float64, bool) {
 		return v, true
 	}
 	return 0, false
+}
+
+// HistogramQuantiles re-assembles the named histogram from exposition text,
+// keeping only series whose labels include every filter entry, and
+// estimates the requested quantiles by bucket interpolation
+// (obs.BucketQuantile). Reports false when no matching buckets exist or
+// the histogram is empty.
+func HistogramQuantiles(text, name string, filter map[string]string, qs ...float64) ([]float64, bool) {
+	type bucket struct {
+		bound float64
+		cum   int64
+	}
+	var finite []bucket
+	var total int64
+	seenInf := false
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+"_bucket{")
+		if !ok {
+			continue
+		}
+		end := strings.Index(rest, "} ")
+		if end < 0 {
+			continue
+		}
+		labels := parseLabels(rest[:end])
+		match := true
+		for k, v := range filter {
+			if labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		cum, err := strconv.ParseInt(strings.TrimSpace(rest[end+2:]), 10, 64)
+		if err != nil {
+			continue
+		}
+		if labels["le"] == "+Inf" {
+			total = cum
+			seenInf = true
+			continue
+		}
+		bound, err := strconv.ParseFloat(labels["le"], 64)
+		if err != nil {
+			continue
+		}
+		finite = append(finite, bucket{bound: bound, cum: cum})
+	}
+	if !seenInf || total == 0 {
+		return nil, false
+	}
+	sort.Slice(finite, func(i, j int) bool { return finite[i].bound < finite[j].bound })
+	bounds := make([]float64, len(finite))
+	counts := make([]int64, len(finite))
+	prev := int64(0)
+	for i, b := range finite {
+		bounds[i] = b.bound
+		counts[i] = b.cum - prev
+		prev = b.cum
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = obs.BucketQuantile(bounds, counts, total-prev, total, q)
+	}
+	return out, true
+}
+
+// parseLabels splits `k1="v1",k2="v2"` into a map. Label values in this
+// exposition never contain quotes or commas, so a simple split suffices.
+func parseLabels(s string) map[string]string {
+	out := make(map[string]string)
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			continue
+		}
+		out[k] = strings.Trim(v, "\"")
+	}
+	return out
 }

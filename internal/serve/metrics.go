@@ -1,12 +1,11 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"sort"
 	"strconv"
-	"sync"
 	"time"
+
+	"highorder/internal/obs"
 )
 
 // latencyBuckets are the cumulative histogram upper bounds in seconds,
@@ -15,209 +14,132 @@ var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
 }
 
-// histogram is a fixed-bucket cumulative latency histogram.
-type histogram struct {
-	counts []int64 // per bucket; parallel to latencyBuckets
-	inf    int64   // observations above the last bound
-	sum    float64 // seconds
-	count  int64
+// samplers supply the render-time values owned by other subsystems (the
+// queue, the session table). The metrics layer samples them on every
+// exposition instead of caching copies.
+type samplers struct {
+	queueDepth func() int64
+	live       func() int64
+	evicted    func() int64
+	// activeProbs emits every live session's active-probability vector,
+	// one (session id, concept index, probability) triple at a time.
+	activeProbs func(emit func(session string, concept int, p float64))
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]int64, len(latencyBuckets))}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	s := d.Seconds()
-	h.sum += s
-	h.count++
-	for i, b := range latencyBuckets {
-		if s <= b {
-			h.counts[i]++
-			return
-		}
-	}
-	h.inf++
-}
-
-// metrics aggregates the server's counters. One mutex guards everything:
-// the per-request cost is one short critical section, which is noise next
-// to a predictor call, and it keeps the render path trivially consistent.
+// metrics is the server's instrument set over a shared obs.Registry. The
+// families registered first reproduce the original hand-rolled exposition
+// byte for byte (the registry renders families in registration order and
+// series in natural label order, which coincides with the old sorted-map
+// order for these label sets); the hom_* introspection families are
+// appended after them so existing scrape configs keep parsing unchanged
+// output plus new trailing series.
 type metrics struct {
-	mu sync.Mutex
+	reg *obs.Registry
 
-	// requests counts finished HTTP requests by endpoint and status code.
-	requests map[string]map[int]int64
-	// latency tracks request durations by endpoint.
-	latency map[string]*histogram
-	// rejected counts requests refused with 429 because the queue was full.
-	rejected int64
-	// queueMax is the high-water queue depth observed at enqueue time.
-	queueMax int
-	// predictionsByClass counts classify outputs per predicted class.
-	predictionsByClass []int64
-	// predictionsByConcept counts classified records per posterior-MAP
-	// concept at the time of the call.
-	predictionsByConcept []int64
-	// observedRecords counts labeled records folded into sessions.
-	observedRecords int64
-	// sessionsCreated counts sessions opened over the server's lifetime.
-	sessionsCreated int64
+	numClasses  int
+	numConcepts int
+
+	requests        *obs.CounterVec   // endpoint, code
+	latency         *obs.HistogramVec // endpoint
+	rejected        *obs.Counter
+	queueMax        *obs.Gauge
+	sessionsCreated *obs.Counter
+	byClass         *obs.CounterVec // class
+	byConcept       *obs.CounterVec // concept
+	observedRecords *obs.Counter
+
+	// switches counts MAP-concept switches per session, fed by each
+	// session's predictor introspection sink. Series are removed when the
+	// session closes or expires, so cardinality is bounded by live sessions.
+	switches *obs.CounterVec
 }
 
-func newMetrics(numClasses, numConcepts int) *metrics {
-	return &metrics{
-		requests:             make(map[string]map[int]int64),
-		latency:              make(map[string]*histogram),
-		predictionsByClass:   make([]int64, numClasses),
-		predictionsByConcept: make([]int64, numConcepts),
+func newMetrics(numClasses, numConcepts int, smp samplers) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg, numClasses: numClasses, numConcepts: numConcepts}
+	m.requests = reg.NewCounterVec("homserve_requests_total",
+		"Finished HTTP requests by endpoint and status code.", "endpoint", "code")
+	m.latency = reg.NewHistogramVec("homserve_request_seconds",
+		"Request latency by endpoint.", latencyBuckets, "endpoint")
+	m.rejected = reg.NewCounter("homserve_rejected_total",
+		"Requests refused with 429 because the queue was full.")
+	reg.NewGaugeFunc("homserve_queue_depth",
+		"Tasks waiting in the bounded queue.", smp.queueDepth)
+	m.queueMax = reg.NewGauge("homserve_queue_depth_max",
+		"High-water queue depth since start.")
+	reg.NewGaugeFunc("homserve_sessions_live",
+		"Live sessions.", smp.live)
+	m.sessionsCreated = reg.NewCounter("homserve_sessions_created_total",
+		"Sessions opened since start.")
+	reg.NewCounterFunc("homserve_sessions_evicted_total",
+		"Sessions evicted by TTL since start.", smp.evicted)
+	m.byClass = reg.NewCounterVec("homserve_predictions_total",
+		"Classified records by predicted class.", "class")
+	for c := 0; c < numClasses; c++ {
+		m.byClass.Preset(strconv.Itoa(c))
 	}
+	m.byConcept = reg.NewCounterVec("homserve_concept_predictions_total",
+		"Classified records by posterior-MAP concept at call time.", "concept")
+	for c := 0; c < numConcepts; c++ {
+		m.byConcept.Preset(strconv.Itoa(c))
+	}
+	m.observedRecords = reg.NewCounter("homserve_observed_records_total",
+		"Labeled records folded into sessions.")
+
+	// New introspection families: appended after every pre-existing family
+	// so the exposition prefix stays byte-identical.
+	reg.NewGaugeVecFunc("hom_active_prob",
+		"Per-session concept active probability P_t(c) at scrape time.",
+		[]string{"session", "concept"},
+		func(emit func(values []string, v float64)) {
+			smp.activeProbs(func(session string, concept int, p float64) {
+				emit([]string{session, strconv.Itoa(concept)}, p)
+			})
+		})
+	m.switches = reg.NewCounterVec("hom_concept_switches_total",
+		"MAP-concept switches observed on the session's labeled stream.", "session")
+	return m
 }
 
 func (m *metrics) request(endpoint string, code int, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	byCode := m.requests[endpoint]
-	if byCode == nil {
-		byCode = make(map[int]int64)
-		m.requests[endpoint] = byCode
-	}
-	byCode[code]++
-	h := m.latency[endpoint]
-	if h == nil {
-		h = newHistogram()
-		m.latency[endpoint] = h
-	}
-	h.observe(d)
+	m.requests.With(endpoint, strconv.Itoa(code)).Inc()
+	m.latency.With(endpoint).Observe(d.Seconds())
 }
 
-func (m *metrics) reject() {
-	m.mu.Lock()
-	m.rejected++
-	m.mu.Unlock()
-}
+func (m *metrics) reject() { m.rejected.Inc() }
 
-func (m *metrics) observeQueueDepth(depth int) {
-	m.mu.Lock()
-	if depth > m.queueMax {
-		m.queueMax = depth
-	}
-	m.mu.Unlock()
-}
+func (m *metrics) observeQueueDepth(depth int) { m.queueMax.SetMax(int64(depth)) }
 
 func (m *metrics) classified(predictions []int, mapConcept int) {
-	m.mu.Lock()
 	for _, p := range predictions {
-		if p >= 0 && p < len(m.predictionsByClass) {
-			m.predictionsByClass[p]++
+		if p >= 0 && p < m.numClasses {
+			m.byClass.With(strconv.Itoa(p)).Inc()
 		}
 	}
-	if mapConcept >= 0 && mapConcept < len(m.predictionsByConcept) {
-		m.predictionsByConcept[mapConcept] += int64(len(predictions))
+	if mapConcept >= 0 && mapConcept < m.numConcepts {
+		m.byConcept.With(strconv.Itoa(mapConcept)).Add(int64(len(predictions)))
 	}
-	m.mu.Unlock()
 }
 
-func (m *metrics) observed(n int) {
-	m.mu.Lock()
-	m.observedRecords += int64(n)
-	m.mu.Unlock()
-}
+func (m *metrics) observed(n int) { m.observedRecords.Add(int64(n)) }
 
-func (m *metrics) sessionCreated() {
-	m.mu.Lock()
-	m.sessionsCreated++
-	m.mu.Unlock()
-}
+func (m *metrics) sessionCreated() { m.sessionsCreated.Inc() }
 
-// gauges are point-in-time values sampled at render time rather than
-// accumulated in the metrics struct.
-type gauges struct {
-	queueDepth   int
-	liveSessions int
-	evicted      int64
-}
+// sessionClosed drops the session's per-session series.
+func (m *metrics) sessionClosed(id string) { m.switches.Remove(id) }
 
-// writeTo renders the Prometheus text exposition format. All map-keyed
-// series are emitted in sorted order so the output is deterministic.
-func (m *metrics) writeTo(w io.Writer, g gauges) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintf(w, "# HELP homserve_requests_total Finished HTTP requests by endpoint and status code.\n")
-	fmt.Fprintf(w, "# TYPE homserve_requests_total counter\n")
-	endpoints := make([]string, 0, len(m.requests))
-	for e := range m.requests {
-		endpoints = append(endpoints, e)
-	}
-	sort.Strings(endpoints)
-	for _, e := range endpoints {
-		codes := make([]int, 0, len(m.requests[e]))
-		for c := range m.requests[e] {
-			codes = append(codes, c)
+// switchSink returns the predictor introspection sink that feeds the
+// session's hom_concept_switches_total series. Touching the counter here
+// also creates the series at zero, so a fresh session is visible on the
+// next scrape.
+func (m *metrics) switchSink(id string) obs.PredictorSink {
+	ctr := m.switches.With(id)
+	return obs.FuncSink(func(ev obs.PredictorEvent) {
+		if ev.Switched {
+			ctr.Inc()
 		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(w, "homserve_requests_total{endpoint=%q,code=\"%d\"} %d\n", e, c, m.requests[e][c])
-		}
-	}
-
-	fmt.Fprintf(w, "# HELP homserve_request_seconds Request latency by endpoint.\n")
-	fmt.Fprintf(w, "# TYPE homserve_request_seconds histogram\n")
-	lats := make([]string, 0, len(m.latency))
-	for e := range m.latency {
-		lats = append(lats, e)
-	}
-	sort.Strings(lats)
-	for _, e := range lats {
-		h := m.latency[e]
-		cum := int64(0)
-		for i, b := range latencyBuckets {
-			cum += h.counts[i]
-			fmt.Fprintf(w, "homserve_request_seconds_bucket{endpoint=%q,le=%q} %d\n", e, strconv.FormatFloat(b, 'g', -1, 64), cum)
-		}
-		fmt.Fprintf(w, "homserve_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e, cum+h.inf)
-		fmt.Fprintf(w, "homserve_request_seconds_sum{endpoint=%q} %g\n", e, h.sum)
-		fmt.Fprintf(w, "homserve_request_seconds_count{endpoint=%q} %d\n", e, h.count)
-	}
-
-	fmt.Fprintf(w, "# HELP homserve_rejected_total Requests refused with 429 because the queue was full.\n")
-	fmt.Fprintf(w, "# TYPE homserve_rejected_total counter\n")
-	fmt.Fprintf(w, "homserve_rejected_total %d\n", m.rejected)
-
-	fmt.Fprintf(w, "# HELP homserve_queue_depth Tasks waiting in the bounded queue.\n")
-	fmt.Fprintf(w, "# TYPE homserve_queue_depth gauge\n")
-	fmt.Fprintf(w, "homserve_queue_depth %d\n", g.queueDepth)
-
-	fmt.Fprintf(w, "# HELP homserve_queue_depth_max High-water queue depth since start.\n")
-	fmt.Fprintf(w, "# TYPE homserve_queue_depth_max gauge\n")
-	fmt.Fprintf(w, "homserve_queue_depth_max %d\n", m.queueMax)
-
-	fmt.Fprintf(w, "# HELP homserve_sessions_live Live sessions.\n")
-	fmt.Fprintf(w, "# TYPE homserve_sessions_live gauge\n")
-	fmt.Fprintf(w, "homserve_sessions_live %d\n", g.liveSessions)
-
-	fmt.Fprintf(w, "# HELP homserve_sessions_created_total Sessions opened since start.\n")
-	fmt.Fprintf(w, "# TYPE homserve_sessions_created_total counter\n")
-	fmt.Fprintf(w, "homserve_sessions_created_total %d\n", m.sessionsCreated)
-
-	fmt.Fprintf(w, "# HELP homserve_sessions_evicted_total Sessions evicted by TTL since start.\n")
-	fmt.Fprintf(w, "# TYPE homserve_sessions_evicted_total counter\n")
-	fmt.Fprintf(w, "homserve_sessions_evicted_total %d\n", g.evicted)
-
-	fmt.Fprintf(w, "# HELP homserve_predictions_total Classified records by predicted class.\n")
-	fmt.Fprintf(w, "# TYPE homserve_predictions_total counter\n")
-	for c, n := range m.predictionsByClass {
-		fmt.Fprintf(w, "homserve_predictions_total{class=\"%d\"} %d\n", c, n)
-	}
-
-	fmt.Fprintf(w, "# HELP homserve_concept_predictions_total Classified records by posterior-MAP concept at call time.\n")
-	fmt.Fprintf(w, "# TYPE homserve_concept_predictions_total counter\n")
-	for c, n := range m.predictionsByConcept {
-		fmt.Fprintf(w, "homserve_concept_predictions_total{concept=\"%d\"} %d\n", c, n)
-	}
-
-	fmt.Fprintf(w, "# HELP homserve_observed_records_total Labeled records folded into sessions.\n")
-	fmt.Fprintf(w, "# TYPE homserve_observed_records_total counter\n")
-	fmt.Fprintf(w, "homserve_observed_records_total %d\n", m.observedRecords)
+	})
 }
+
+// writeTo renders the Prometheus text exposition.
+func (m *metrics) writeTo(w io.Writer) { m.reg.WriteText(w) }

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"highorder/internal/obs"
+)
+
+// scriptedMetrics replays the fixed interaction sequence the golden file
+// was captured from (under the pre-registry metrics implementation).
+func scriptedMetrics(smp samplers) *metrics {
+	m := newMetrics(2, 3, smp)
+	m.sessionCreated()
+	m.request("classify", 200, 300*time.Microsecond)
+	m.request("classify", 200, 2*time.Millisecond)
+	m.request("classify", 429, 100*time.Microsecond)
+	m.request("observe", 200, 5*time.Second)
+	m.request("create_session", 201, 50*time.Microsecond)
+	m.reject()
+	m.observeQueueDepth(2)
+	m.observeQueueDepth(5)
+	m.classified([]int{0, 1, 1}, 2)
+	m.classified([]int{1}, 0)
+	m.observed(3)
+	return m
+}
+
+// TestMetricsGoldenExposition locks the /metrics format across the
+// migration to the shared obs registry: the exposition of every
+// pre-existing family must match the golden capture of the previous
+// hand-rolled renderer byte for byte, and everything after that prefix
+// must belong to the new hom_* families.
+func TestMetricsGoldenExposition(t *testing.T) {
+	golden, err := os.ReadFile("testdata/metrics_golden.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := scriptedMetrics(samplers{
+		queueDepth:  func() int64 { return 2 },
+		live:        func() int64 { return 1 },
+		evicted:     func() int64 { return 3 },
+		activeProbs: func(emit func(string, int, float64)) {},
+	})
+	var sb strings.Builder
+	m.writeTo(&sb)
+	got := sb.String()
+	want := string(golden)
+	if !strings.HasPrefix(got, want) {
+		// Find the first differing line for a readable failure.
+		gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+		for i := range wl {
+			if i >= len(gl) || gl[i] != wl[i] {
+				t.Fatalf("exposition diverges from golden at line %d:\n got: %q\nwant: %q", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("exposition shorter than golden:\n%s", got)
+	}
+	for _, line := range strings.Split(got[len(want):], "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "# HELP hom_") && !strings.HasPrefix(line, "# TYPE hom_") && !strings.HasPrefix(line, "hom_") {
+			t.Errorf("unexpected non-hom_ line after golden prefix: %q", line)
+		}
+	}
+}
+
+// TestMetricsIntrospectionFamilies checks the new per-session families:
+// hom_active_prob sampled from the collector at render time, and
+// hom_concept_switches_total fed by the predictor sink, with series
+// lifecycle tied to the session.
+func TestMetricsIntrospectionFamilies(t *testing.T) {
+	active := map[string][]float64{"s1": {0.25, 0.75}}
+	m := newMetrics(2, 2, samplers{
+		queueDepth: func() int64 { return 0 },
+		live:       func() int64 { return int64(len(active)) },
+		evicted:    func() int64 { return 0 },
+		activeProbs: func(emit func(session string, concept int, p float64)) {
+			for id, probs := range active {
+				for c, p := range probs {
+					emit(id, c, p)
+				}
+			}
+		},
+	})
+	sink := m.switchSink("s1")
+	sink.ObserveEvent(obs.PredictorEvent{Switched: false})
+	sink.ObserveEvent(obs.PredictorEvent{Switched: true})
+	sink.ObserveEvent(obs.PredictorEvent{Switched: true})
+
+	var sb strings.Builder
+	m.writeTo(&sb)
+	got := sb.String()
+	for _, want := range []string{
+		"hom_active_prob{session=\"s1\",concept=\"0\"} 0.25\n",
+		"hom_active_prob{session=\"s1\",concept=\"1\"} 0.75\n",
+		"hom_concept_switches_total{session=\"s1\"} 2\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+
+	// Closing the session drops its series but keeps the family headers.
+	delete(active, "s1")
+	m.sessionClosed("s1")
+	sb.Reset()
+	m.writeTo(&sb)
+	got = sb.String()
+	if strings.Contains(got, "session=\"s1\"") {
+		t.Errorf("closed session still exposed:\n%s", got)
+	}
+	if !strings.Contains(got, "# TYPE hom_concept_switches_total counter") {
+		t.Errorf("family header missing after session close:\n%s", got)
+	}
+}

@@ -251,6 +251,52 @@ func TestServerLifecycle(t *testing.T) {
 	}
 }
 
+// TestIntrospectionFamiliesOverHTTP checks the hom_* families end to end:
+// a live session exposes its active-probability vector and switch counter
+// on /metrics, and closing the session retires its series.
+func TestIntrospectionFamiliesOverHTTP(t *testing.T) {
+	s := New(testModel(), Options{})
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	created, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Observe(created.ID, [][]float64{{0, 1, 2}, {2, 0, 0}}, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	probLine := "hom_active_prob{session=\"" + created.ID + "\",concept=\"0\"}"
+	if !strings.Contains(text, probLine) {
+		t.Fatalf("/metrics missing %s:\n%s", probLine, text)
+	}
+	switchLine := "hom_concept_switches_total{session=\"" + created.ID + "\"}"
+	if !strings.Contains(text, switchLine) {
+		t.Fatalf("/metrics missing %s:\n%s", switchLine, text)
+	}
+
+	if err := c.CloseSession(created.ID); err != nil {
+		t.Fatal(err)
+	}
+	text, err = c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "session=\""+created.ID+"\"") {
+		t.Fatalf("/metrics still exposes closed session %s:\n%s", created.ID, text)
+	}
+	if !strings.Contains(text, "# TYPE hom_active_prob gauge") {
+		t.Fatal("hom_active_prob family header missing after session close")
+	}
+}
+
 // TestSessionExpiryOverHTTP checks lazy TTL eviction through the API: a
 // fake clock advances past the TTL and the session answers 404.
 func TestSessionExpiryOverHTTP(t *testing.T) {

@@ -37,6 +37,7 @@ import (
 	"highorder/internal/clock"
 	"highorder/internal/core"
 	"highorder/internal/data"
+	"highorder/internal/obs"
 )
 
 // Options configure a Server. The zero value selects sane defaults.
@@ -61,6 +62,11 @@ type Options struct {
 	// Clock supplies time for TTL accounting and latency metrics; nil
 	// selects the wall clock. Tests inject a clock.Fake.
 	Clock clock.Clock
+	// Trace records a span per classify/observe micro-batch when non-nil.
+	// The tracer retains every span until exported, so it is meant for
+	// bounded diagnostic runs (tests, replays, load probes), not for a
+	// long-lived production server. nil disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -144,10 +150,24 @@ func New(m *core.Model, opts Options) *Server {
 		opts:       o,
 		clk:        clk,
 		table:      newSessionTable(clk, o.SessionTTL, o.MaxSessions),
-		metrics:    newMetrics(m.Schema.NumClasses(), m.NumConcepts()),
 		queue:      make(chan *task, o.QueueDepth),
 		janitorEnd: make(chan struct{}),
 	}
+	s.metrics = newMetrics(m.Schema.NumClasses(), m.NumConcepts(), samplers{
+		queueDepth: func() int64 { return int64(len(s.queue)) },
+		live:       func() int64 { return int64(s.table.live()) },
+		evicted:    s.table.evictedCount,
+		activeProbs: func(emit func(session string, concept int, p float64)) {
+			for _, sess := range s.table.list() {
+				id := sess.ID()
+				for c, p := range sess.activeProbs() {
+					emit(id, c, p)
+				}
+			}
+		},
+	})
+	// Per-session series die with the session, whether closed or evicted.
+	s.table.onRemove = s.metrics.sessionClosed
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sessions", s.instrument("create_session", s.handleCreateSession))
 	s.mux.HandleFunc("GET /v1/sessions", s.instrument("list_sessions", s.handleListSessions))
@@ -258,23 +278,30 @@ func (s *Server) runBatch(batch []*task) {
 				group = append(group, batch[j])
 			}
 		}
-		sess.runTasks(group, s.metrics)
+		sess.runTasks(group, s.metrics, s.opts.Trace)
 	}
 }
 
 // runTasks executes queued tasks for this session under one lock
-// acquisition — the micro-batching fast path.
-func (sess *Session) runTasks(tasks []*task, m *metrics) {
+// acquisition — the micro-batching fast path. With a tracer configured it
+// records one span per task on the online hot path.
+func (sess *Session) runTasks(tasks []*task, m *metrics, tr *obs.Tracer) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	for _, t := range tasks {
 		var res taskResult
 		switch t.kind {
 		case taskClassify:
+			sp := tr.StartSpan("serve.classify")
 			res.classify = sess.classifyLocked(t.recs, t.withProba)
+			sp.SetArg("records", int64(len(t.recs)))
+			sp.End()
 			m.classified(res.classify.Predictions, res.classify.MAPConcept)
 		case taskObserve:
+			sp := tr.StartSpan("serve.observe")
 			res.observe = sess.observeLocked(t.recs)
+			sp.SetArg("records", int64(len(t.recs)))
+			sp.End()
 			m.observed(len(t.recs))
 		}
 		t.done <- res
@@ -410,6 +437,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	sess.setSink(s.metrics.switchSink(sess.ID()))
 	s.metrics.sessionCreated()
 	s.writeJSON(w, http.StatusCreated, CreateSessionResponse{
 		ID:       sess.ID(),
@@ -498,11 +526,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.writeTo(w, gauges{
-		queueDepth:   len(s.queue),
-		liveSessions: s.table.live(),
-		evicted:      s.table.evictedCount(),
-	})
+	s.metrics.writeTo(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -11,6 +11,7 @@ import (
 	"highorder/internal/clock"
 	"highorder/internal/core"
 	"highorder/internal/data"
+	"highorder/internal/obs"
 )
 
 // ErrSessionLimit is returned by the session table when creating a session
@@ -122,6 +123,23 @@ func (s *Session) RestoreState(st core.PredictorState) error {
 	return s.p.Restore(st)
 }
 
+// setSink attaches a predictor introspection sink (per-session switch
+// counting). The sink runs inside Observe under s.mu, so it follows the
+// predictor's single-goroutine contract automatically.
+func (s *Session) setSink(sink obs.PredictorSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p.SetSink(sink)
+}
+
+// activeProbs returns the predictor's active-probability vector, for the
+// hom_active_prob scrape-time collector.
+func (s *Session) activeProbs() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.p.ActiveProbabilities()
+}
+
 // touch records an access at time t for TTL accounting.
 func (s *Session) touch(t time.Time) { s.lastUsed.Store(t.UnixNano()) }
 
@@ -138,6 +156,11 @@ type sessionTable struct {
 	nextID   int64
 	sessions map[string]*Session
 	evicted  int64
+
+	// onRemove, when set, is called with the id of every session that
+	// leaves the table (explicit close or TTL eviction), so per-session
+	// metric series can be dropped with it. Set before the table is shared.
+	onRemove func(id string)
 }
 
 func newSessionTable(clk clock.Clock, ttl time.Duration, max int) *sessionTable {
@@ -179,7 +202,7 @@ func (t *sessionTable) get(id string) (*Session, bool) {
 		return nil, false
 	}
 	if t.expired(s, now) {
-		delete(t.sessions, id)
+		t.dropLocked(id)
 		t.evicted++
 		return nil, false
 	}
@@ -194,8 +217,16 @@ func (t *sessionTable) remove(id string) bool {
 	if _, ok := t.sessions[id]; !ok {
 		return false
 	}
-	delete(t.sessions, id)
+	t.dropLocked(id)
 	return true
+}
+
+// dropLocked deletes the session and notifies onRemove; t.mu must be held.
+func (t *sessionTable) dropLocked(id string) {
+	delete(t.sessions, id)
+	if t.onRemove != nil {
+		t.onRemove(id)
+	}
 }
 
 // sweep evicts every expired session and returns how many it removed.
@@ -213,7 +244,7 @@ func (t *sessionTable) sweepLocked(now time.Time) int {
 	n := 0
 	for id, s := range t.sessions {
 		if t.expired(s, now) {
-			delete(t.sessions, id)
+			t.dropLocked(id)
 			t.evicted++
 			n++
 		}

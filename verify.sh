@@ -42,17 +42,25 @@ go test ./internal/dataio -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIM
 step "homlint ./..."
 go run ./cmd/homlint ./...
 
-# Serving smoke: train a small model through the real pipeline and push
-# one session of load through an in-process homserve (loopback HTTP, the
+# Serving smoke: train a small model through the real pipeline — with
+# phase tracing on, exercising the obs tracer end to end — and push one
+# session of load through an in-process homserve (loopback HTTP, the
 # bounded queue, micro-batching workers, graceful drain). homload exits
 # nonzero on any failed or unaccounted request.
-step "homserve/homload smoke (1 session, 200 records)"
+step "homserve/homload smoke (1 session, 200 records, traced build)"
 smoketmp=$(mktemp -d)
 trap 'rm -rf "$smoketmp"' EXIT
 go run ./cmd/genstream -stream stagger -n 3000 -seed 7 \
 	-o "$smoketmp/hist.csv" -schema "$smoketmp/schema.json"
 go run ./cmd/homtrain -in "$smoketmp/hist.csv" -schema "$smoketmp/schema.json" \
-	-o "$smoketmp/model.gob" -seed 7 >/dev/null
+	-o "$smoketmp/model.gob" -seed 7 \
+	-trace "$smoketmp/trace.json" -bench-out "$smoketmp/BENCH_pipeline.json" >/dev/null
+for f in trace.json BENCH_pipeline.json; do
+	if [ ! -s "$smoketmp/$f" ]; then
+		echo "homtrain produced empty $f" >&2
+		exit 1
+	fi
+done
 go run ./cmd/homload -model "$smoketmp/model.gob" -sessions 1 -records 200 \
 	-batch 16 -out "$smoketmp/BENCH_serve.json"
 
