@@ -67,6 +67,7 @@ func main() {
 	}
 
 	clk := clock.Clock(nil).OrWall()
+	slp := clock.Sleeper(nil).OrReal()
 	base := *addr
 	var shutdown func() error
 	if *modelPath != "" {
@@ -105,7 +106,7 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runSession(clk, base, *stream, *lambda, seeds[i], *records, *batch, *maxRetries)
+			results[i] = runSession(clk, slp, base, *stream, *lambda, seeds[i], *records, *batch, *maxRetries)
 		}(i)
 	}
 	wg.Wait()
@@ -178,8 +179,11 @@ func newStream(name string, lambda float64, seed int64) (synth.Stream, error) {
 	}
 }
 
-// call runs one HTTP call with 429-retry, timing successful attempts.
-func (r *sessionResult) call(clk clock.Clock, maxRetries int, f func() error) bool {
+// call runs one HTTP call with backpressure retry (429/503), timing
+// successful attempts. The backoff sleep goes through the injected
+// clock.Sleeper (the sleeploop analyzer forbids raw time.Sleep in retry
+// loops), so load runs are deterministic under a fake sleeper in tests.
+func (r *sessionResult) call(clk clock.Clock, slp clock.Sleeper, maxRetries int, f func() error) bool {
 	for retry := 0; ; retry++ {
 		r.attempted++
 		start := clk()
@@ -196,7 +200,7 @@ func (r *sessionResult) call(clk clock.Clock, maxRetries int, f func() error) bo
 			if backoff <= 0 {
 				backoff = 50 * time.Millisecond
 			}
-			time.Sleep(backoff)
+			slp.Sleep(backoff)
 			continue
 		}
 		r.failed++
@@ -205,7 +209,7 @@ func (r *sessionResult) call(clk clock.Clock, maxRetries int, f func() error) bo
 	}
 }
 
-func runSession(clk clock.Clock, base, stream string, lambda float64, seed int64, records, batch, maxRetries int) *sessionResult {
+func runSession(clk clock.Clock, slp clock.Sleeper, base, stream string, lambda float64, seed int64, records, batch, maxRetries int) *sessionResult {
 	r := &sessionResult{}
 	g, err := newStream(stream, lambda, seed)
 	if err != nil {
@@ -217,7 +221,7 @@ func runSession(clk clock.Clock, base, stream string, lambda float64, seed int64
 	c := serve.NewClient(base, nil)
 
 	var created serve.CreateSessionResponse
-	if !r.call(clk, maxRetries, func() error {
+	if !r.call(clk, slp, maxRetries, func() error {
 		var err error
 		created, err = c.CreateSession(serve.CreateSessionRequest{})
 		return err
@@ -235,7 +239,7 @@ func runSession(clk clock.Clock, base, stream string, lambda float64, seed int64
 			classes[i] = rec.Class
 		}
 		var resp serve.ClassifyResponse
-		if !r.call(clk, maxRetries, func() error {
+		if !r.call(clk, slp, maxRetries, func() error {
 			var err error
 			resp, err = c.Classify(created.ID, vectors, false)
 			return err
@@ -247,7 +251,7 @@ func runSession(clk clock.Clock, base, stream string, lambda float64, seed int64
 				r.predErrors++
 			}
 		}
-		if !r.call(clk, maxRetries, func() error {
+		if !r.call(clk, slp, maxRetries, func() error {
 			_, err := c.Observe(created.ID, vectors, classes)
 			return err
 		}) {
@@ -257,7 +261,7 @@ func runSession(clk clock.Clock, base, stream string, lambda float64, seed int64
 		r.records += n
 	}
 
-	r.call(clk, maxRetries, func() error { return c.CloseSession(created.ID) })
+	r.call(clk, slp, maxRetries, func() error { return c.CloseSession(created.ID) })
 	return r
 }
 

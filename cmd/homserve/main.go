@@ -9,6 +9,7 @@
 //
 //	homserve -model model.gob [-addr :8080] [-queue 256] [-workers N]
 //	         [-micro-batch 8] [-ttl 15m] [-max-sessions 10000]
+//	         [-request-timeout 10s] [-shed-depth 0]
 //	         [-debug-addr 127.0.0.1:6060]
 //
 // -debug-addr starts a second listener with net/http/pprof profiles under
@@ -54,6 +55,8 @@ func main() {
 	microBatch := flag.Int("micro-batch", 0, "max queued tasks one worker wakeup drains (0 = default 8)")
 	ttl := flag.Duration("ttl", 15*time.Minute, "idle session time-to-live")
 	maxSessions := flag.Int("max-sessions", 0, "live session limit (0 = default 10000)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request queue deadline; expired tasks answer 503 without running (0 = default 10s)")
+	shedDepth := flag.Int("shed-depth", 0, "queue depth at which new work is shed with 503 before the queue is full (0 = disabled)")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for /debug/pprof/* and /debug/vars (off when empty)")
 	flag.Parse()
 
@@ -62,11 +65,13 @@ func main() {
 		fail(err)
 	}
 	s := serve.New(m, serve.Options{
-		QueueDepth:  *queue,
-		Workers:     *workers,
-		MicroBatch:  *microBatch,
-		SessionTTL:  *ttl,
-		MaxSessions: *maxSessions,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		MicroBatch:     *microBatch,
+		SessionTTL:     *ttl,
+		MaxSessions:    *maxSessions,
+		RequestTimeout: *requestTimeout,
+		ShedDepth:      *shedDepth,
 	})
 
 	l, err := net.Listen("tcp", *addr)

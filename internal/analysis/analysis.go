@@ -186,6 +186,7 @@ func All() []Analyzer {
 		&FloatCmp{},
 		&SyncMisuse{},
 		&SpanEnd{},
+		&SleepLoop{},
 	}
 }
 

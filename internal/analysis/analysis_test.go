@@ -69,6 +69,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"floatcmp", []string{"floatcmp"}},
 		{"syncmisuse", []string{"syncmisuse"}},
 		{"spanend", []string{"spanend"}},
+		{"sleeploop", []string{"sleeploop"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

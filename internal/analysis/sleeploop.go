@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SleepLoop flags raw time.Sleep calls inside loops in production code.
+// A sleep that re-runs per iteration is pacing — a retry/backoff loop, a
+// poll loop — and pacing must flow through an injected clock.Sleeper
+// (internal/clock) so tests can substitute a fake that completes
+// instantly and load runs stay deterministic. A one-shot sleep outside a
+// loop is left alone, as are _test.go files (tests legitimately poll with
+// short real sleeps) and function literals defined inside a loop (their
+// body runs on the goroutine's own schedule, not per iteration).
+type SleepLoop struct{}
+
+// Name implements Analyzer.
+func (*SleepLoop) Name() string { return "sleeploop" }
+
+// Doc implements Analyzer.
+func (*SleepLoop) Doc() string {
+	return "flags time.Sleep inside loops: retry/backoff pacing must go through an injected clock.Sleeper"
+}
+
+// Run implements Analyzer.
+func (s *SleepLoop) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		if f.Test {
+			continue
+		}
+		timeName := ImportName(f.AST, "time")
+		if timeName == "" {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Track the ancestor stack (Inspect reports post-order exits as
+			// nil) so loop membership can stop at function-literal
+			// boundaries.
+			var stack []ast.Node
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := IsPkgCall(call, timeName, "Sleep")
+				if !ok {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj, found := pass.Info.Uses[id]; found {
+						if _, isPkg := obj.(*types.PkgName); !isPkg {
+							return true
+						}
+					}
+				}
+				if enclosingLoop(stack) {
+					pass.Report(sel.Pos(), "time.Sleep inside a loop: inject a clock.Sleeper (internal/clock) so retry/backoff pacing is deterministic under test")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// enclosingLoop reports whether the innermost enclosing scope of the node
+// on top of stack, up to the nearest function literal, contains a loop.
+func enclosingLoop(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the sleeploop analyzer: raw time.Sleep in a
+// loop is retry/backoff pacing and must go through an injected
+// clock.Sleeper; one-shot sleeps and goroutine-body sleeps are fine.
+package fixture
+
+import (
+	"time"
+)
+
+func retryBackoff(call func() error) {
+	backoff := 50 * time.Millisecond
+	for retry := 0; retry < 5; retry++ {
+		if call() == nil {
+			return
+		}
+		time.Sleep(backoff) // want sleeploop "inject a clock.Sleeper"
+		backoff *= 2
+	}
+}
+
+func pollUntil(ready func() bool) {
+	for !ready() {
+		time.Sleep(10 * time.Millisecond) // want sleeploop "time.Sleep inside a loop"
+	}
+}
+
+func rangedDrip(items []int, emit func(int)) {
+	for _, it := range items {
+		emit(it)
+		time.Sleep(time.Second) // want sleeploop "clock.Sleeper"
+	}
+}
+
+// oneShotDelay is allowed: a single sleep is not loop pacing.
+func oneShotDelay() {
+	time.Sleep(time.Second)
+}
+
+// goroutinePerItem is allowed: the literal's body runs on its own
+// goroutine's schedule, not once per loop iteration of the spawner.
+func goroutinePerItem(items []int, emit func(int)) {
+	for _, it := range items {
+		go func(v int) {
+			time.Sleep(time.Millisecond)
+			emit(v)
+		}(it)
+	}
+}
+
+// sanctioned carries a justification directive and is suppressed.
+func sanctioned() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Millisecond) //homlint:allow sleeploop -- fixture: demonstrates the suppression form
+	}
+}

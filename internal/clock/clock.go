@@ -34,6 +34,38 @@ func (c Clock) Since(start time.Time) time.Duration {
 	return c.OrWall()().Sub(start)
 }
 
+// Sleeper blocks the caller for a duration. Like Clock, the zero value
+// (nil) is usable and selects the real time.Sleep, so a Sleeper can ride
+// along in options structs without ceremony. Production retry/backoff
+// loops must sleep through an injected Sleeper rather than time.Sleep —
+// the sleeploop analyzer (cmd/homlint) flags raw sleeps inside loops —
+// so tests can substitute a fake that completes instantly and
+// deterministically.
+type Sleeper func(time.Duration)
+
+// realSleep is the module's single sanctioned raw sleep; everything else
+// injects a Sleeper.
+func realSleep(d time.Duration) {
+	time.Sleep(d)
+}
+
+// OrReal returns s, or the real time.Sleep when s is nil.
+func (s Sleeper) OrReal() Sleeper {
+	if s == nil {
+		return realSleep
+	}
+	return s
+}
+
+// Sleep blocks for d (nil-safe; non-positive durations return
+// immediately without calling the underlying sleeper).
+func (s Sleeper) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	s.OrReal()(d)
+}
+
 // Fake is a manually advanced clock for tests. The zero value starts at
 // the zero time; use NewFake to pick an epoch. Fake is not safe for
 // concurrent use — tests that need that should synchronize externally.
@@ -59,4 +91,15 @@ func (f *Fake) Advance(d time.Duration) {
 // Set jumps the fake clock to t.
 func (f *Fake) Set(t time.Time) {
 	f.now = t
+}
+
+// Sleeper returns a Sleeper that advances the fake clock by the requested
+// duration and returns immediately, so code under test that sleeps through
+// an injected Sleeper runs instantly while still observing time pass.
+func (f *Fake) Sleeper() Sleeper {
+	return func(d time.Duration) {
+		if d > 0 {
+			f.Advance(d)
+		}
+	}
 }

@@ -40,3 +40,41 @@ func TestSinceOnNilClockUsesWall(t *testing.T) {
 		t.Fatalf("Since on nil clock = %v, want ≈1m", d)
 	}
 }
+
+func TestNilSleeperFallsBackToRealSleep(t *testing.T) {
+	var s Sleeper
+	start := Wall()
+	s.Sleep(10 * time.Millisecond)
+	if d := Clock(nil).Since(start); d < 10*time.Millisecond {
+		t.Fatalf("nil Sleeper returned after %v, want >= 10ms", d)
+	}
+}
+
+func TestSleepNonPositiveSkipsSleeper(t *testing.T) {
+	called := false
+	s := Sleeper(func(time.Duration) { called = true })
+	s.Sleep(0)
+	s.Sleep(-time.Second)
+	if called {
+		t.Fatal("Sleep invoked the underlying sleeper for a non-positive duration")
+	}
+	s.Sleep(time.Nanosecond)
+	if !called {
+		t.Fatal("Sleep skipped the underlying sleeper for a positive duration")
+	}
+}
+
+func TestFakeSleeperAdvancesInstantly(t *testing.T) {
+	epoch := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	f := NewFake(epoch)
+	s := f.Sleeper()
+	wall := Wall()
+	s.Sleep(time.Hour)
+	s.Sleep(-time.Minute) // must not rewind the clock
+	if got := f.Clock()(); !got.Equal(epoch.Add(time.Hour)) {
+		t.Fatalf("fake clock at %v after sleeping 1h, want %v", got, epoch.Add(time.Hour))
+	}
+	if d := Clock(nil).Since(wall); d > 5*time.Second {
+		t.Fatalf("fake sleep took %v of real time, want ~0", d)
+	}
+}

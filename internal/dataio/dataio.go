@@ -18,6 +18,7 @@ import (
 	"highorder/internal/classifier"
 	"highorder/internal/core"
 	"highorder/internal/data"
+	"highorder/internal/fault"
 	"highorder/internal/tree"
 )
 
@@ -210,7 +211,17 @@ func LoadModel(path string) (*core.Model, error) {
 // non-nil) recommending a re-save. A stream with the magic but a different
 // version fails with *ModelVersionError.
 func ReadModel(r io.Reader, warn io.Writer) (*core.Model, error) {
-	br := bufio.NewReader(r)
+	return ReadModelFaulted(r, warn, nil)
+}
+
+// ReadModelFaulted is ReadModel with a fault-injection hook on the byte
+// stream: a non-nil injector's ModelCorrupt point may flip bytes as they
+// are read, and the loader must turn any such corruption into a typed
+// error (*ModelVersionError, a header error, or a wrapped gob decode
+// error) — never a panic and never a silently wrong model. A nil injector
+// is the production path and costs one pointer check.
+func ReadModelFaulted(r io.Reader, warn io.Writer, inj *fault.Injector) (*core.Model, error) {
+	br := bufio.NewReader(inj.CorruptReader(r))
 	header, err := br.Peek(modelHeaderLen)
 	if err == nil && string(header[:len(modelMagic)]) == modelMagic {
 		if v := int(header[len(modelMagic)]); v != ModelVersion {

@@ -1,0 +1,111 @@
+package drift
+
+import "testing"
+
+// TestWindowThresholdBoundary probes the windowed detector exactly at its
+// firing boundary: with wrong errors in a full window of the given size it
+// must fire iff wrong/size >= threshold — one error fewer stays silent,
+// the boundary count itself fires (the trigger is >=, matching RePro).
+func TestWindowThresholdBoundary(t *testing.T) {
+	cases := []struct {
+		name      string
+		size      int
+		threshold float64
+		wrong     int
+		fire      bool
+	}{
+		{"10@0.2 one short", 10, 0.2, 1, false},
+		{"10@0.2 at boundary", 10, 0.2, 2, true},
+		{"5@0.4 one short", 5, 0.4, 1, false},
+		{"5@0.4 at boundary", 5, 0.4, 2, true},
+		{"20@0.2 one short", 20, 0.2, 3, false},
+		{"20@0.2 at boundary", 20, 0.2, 4, true},
+		{"4@0.5 one short", 4, 0.5, 1, false},
+		{"4@0.5 at boundary", 4, 0.5, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWindow(tc.size, tc.threshold)
+			fired := false
+			// Errors first, then correct outcomes to fill the window: the
+			// verdict at the moment the window completes is the boundary.
+			for i := 0; i < tc.wrong; i++ {
+				fired = w.Observe(false) || fired
+			}
+			for i := 0; i < tc.size-tc.wrong; i++ {
+				fired = w.Observe(true) || fired
+			}
+			if fired != tc.fire {
+				t.Fatalf("size %d threshold %g with %d errors: fired=%v, want %v", tc.size, tc.threshold, tc.wrong, fired, tc.fire)
+			}
+		})
+	}
+}
+
+// periodic feeds n outcomes where every period-th outcome is an error and
+// returns whether the detector ever fired.
+func periodic(d Detector, n, period int) bool {
+	fired := false
+	for i := 0; i < n; i++ {
+		fired = d.Observe(i%period != period-1) || fired
+	}
+	return fired
+}
+
+// TestDDMFireBoundary drives DDM with deterministic periodic error
+// streams: a stable 10% phase must never fire (it is the running minimum),
+// continuing at the same rate stays silent, and jumping to 50% errors
+// pushes p+s past p_min + 3·s_min and fires.
+func TestDDMFireBoundary(t *testing.T) {
+	cases := []struct {
+		name        string
+		afterPeriod int
+		fire        bool
+	}{
+		{"steady 10% never fires", 10, false},
+		{"jump to 50% fires", 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDDM()
+			if periodic(d, 200, 10) {
+				t.Fatal("fired during the stable 10% phase")
+			}
+			if got := periodic(d, 200, tc.afterPeriod); got != tc.fire {
+				t.Fatalf("after switching to period-%d errors: fired=%v, want %v", tc.afterPeriod, got, tc.fire)
+			}
+		})
+	}
+}
+
+// TestPageHinkleyLambdaBoundary checks the Page–Hinkley accumulation
+// against Lambda: after a clean warm-up, each consecutive error adds just
+// under 1 to the cumulative statistic, so a burst safely below Lambda=50
+// stays silent and a burst safely above it fires.
+func TestPageHinkleyLambdaBoundary(t *testing.T) {
+	cases := []struct {
+		name   string
+		errors int
+		fire   bool
+	}{
+		{"burst of 30 stays under Lambda", 30, false},
+		{"burst of 80 crosses Lambda", 80, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPageHinkley()
+			for i := 0; i < 100; i++ {
+				if p.Observe(true) {
+					t.Fatal("fired on a perfect warm-up stream")
+				}
+			}
+			fired := false
+			for i := 0; i < tc.errors; i++ {
+				fired = p.Observe(false) || fired
+			}
+			if fired != tc.fire {
+				t.Fatalf("after %d consecutive errors: fired=%v, want %v", tc.errors, fired, tc.fire)
+			}
+		})
+	}
+}

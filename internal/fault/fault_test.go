@@ -1,0 +1,282 @@
+package fault
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"highorder/internal/clock"
+)
+
+// TestScheduleDeterminism: two injectors with the same seed and plan
+// produce identical per-point fault schedules; a different seed produces
+// a different schedule.
+func TestScheduleDeterminism(t *testing.T) {
+	plan := Plan{RequestDrop: {Prob: 0.3}, LabelLoss: {Prob: 0.1}}
+	const n = 2000
+	schedule := func(seed int64, p Point) []bool {
+		inj := New(seed, plan)
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = inj.Fire(p)
+		}
+		return out
+	}
+	for _, p := range []Point{RequestDrop, LabelLoss} {
+		a, b := schedule(42, p), schedule(42, p)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("point %v: schedules diverge at invocation %d", p, i)
+			}
+		}
+		c := schedule(43, p)
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("point %v: seeds 42 and 43 produced identical %d-invocation schedules", p, n)
+		}
+	}
+}
+
+// TestFireRate: over many invocations the empirical rate lands near Prob.
+func TestFireRate(t *testing.T) {
+	inj := New(7, Plan{LabelLoss: {Prob: 0.2}})
+	const n = 50000
+	fired := 0
+	for i := 0; i < n; i++ {
+		if inj.Fire(LabelLoss) {
+			fired++
+		}
+	}
+	rate := float64(fired) / n
+	if rate < 0.18 || rate > 0.22 {
+		t.Fatalf("empirical rate %.4f far from configured 0.2", rate)
+	}
+	if got := inj.Invocations(LabelLoss); got != n {
+		t.Fatalf("Invocations = %d, want %d", got, n)
+	}
+	if got := inj.Fired(LabelLoss); got != int64(fired) {
+		t.Fatalf("Fired = %d, want %d", got, fired)
+	}
+}
+
+// TestNilInjector: every method is safe and inert on a nil receiver.
+func TestNilInjector(t *testing.T) {
+	var inj *Injector
+	if inj.Fire(RequestDrop) {
+		t.Fatal("nil injector fired")
+	}
+	if d := inj.Delay(ResponseDelay); d != 0 {
+		t.Fatalf("nil injector delay = %v", d)
+	}
+	if inj.Invocations(RequestDrop) != 0 || inj.Fired(RequestDrop) != 0 {
+		t.Fatal("nil injector reported state")
+	}
+	inj.EachFired(func(Point, int64) { t.Fatal("nil injector emitted") })
+	r := bytes.NewReader([]byte("abc"))
+	if got := inj.CorruptReader(r); got != io.Reader(r) {
+		t.Fatal("nil injector wrapped the reader")
+	}
+	fake := clock.NewFake(time.Unix(0, 0))
+	base := fake.Clock()
+	wrapped := inj.WrapClock(base)
+	if !wrapped().Equal(base()) {
+		t.Fatal("nil injector skewed the clock")
+	}
+}
+
+// TestNilInjectorZeroAllocs pins the nil-hook contract: a disabled fault
+// layer costs zero allocations on the hot path.
+func TestNilInjectorZeroAllocs(t *testing.T) {
+	var inj *Injector
+	if n := testing.AllocsPerRun(1000, func() {
+		if inj.Fire(RequestDrop) || inj.Delay(ResponseDelay) != 0 {
+			t.Fatal("nil injector acted")
+		}
+	}); n != 0 {
+		t.Fatalf("nil injector hot path allocates %.1f allocs/op, want 0", n)
+	}
+}
+
+// TestDisabledPointZeroAllocs: a live injector with the point unconfigured
+// is also allocation-free (the common mixed-plan case).
+func TestDisabledPointZeroAllocs(t *testing.T) {
+	inj := New(1, Plan{LabelLoss: {Prob: 0.5}})
+	if n := testing.AllocsPerRun(1000, func() {
+		if inj.Fire(RequestDrop) {
+			t.Fatal("unconfigured point fired")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled point costs %.1f allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkNilInjectorFire measures the production fast path (run with
+// -benchmem to confirm 0 allocs/op).
+func BenchmarkNilInjectorFire(b *testing.B) {
+	var inj *Injector
+	for i := 0; i < b.N; i++ {
+		if inj.Fire(RequestDrop) {
+			b.Fatal("nil injector fired")
+		}
+	}
+}
+
+// BenchmarkEnabledFire measures the armed path for comparison.
+func BenchmarkEnabledFire(b *testing.B) {
+	inj := New(1, Plan{RequestDrop: {Prob: 0.01}})
+	for i := 0; i < b.N; i++ {
+		inj.Fire(RequestDrop)
+	}
+}
+
+// TestPointString covers the metric-label names.
+func TestPointString(t *testing.T) {
+	want := map[Point]string{
+		RequestDrop: "request_drop", ResponseDelay: "response_delay",
+		QueueOverflow: "queue_overflow", LabelLoss: "label_loss",
+		LabelDelay: "label_delay", ModelCorrupt: "model_corrupt",
+		ClockSkew: "clock_skew",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), name)
+		}
+	}
+	if got := Point(200).String(); got != "point_200" {
+		t.Errorf("out-of-range point String = %q", got)
+	}
+}
+
+// TestDelay: delay-class points return the configured stall when firing
+// and zero otherwise, deterministically per seed.
+func TestDelay(t *testing.T) {
+	mk := func(seed int64) []time.Duration {
+		inj := New(seed, Plan{ResponseDelay: {Prob: 0.5, Delay: 20 * time.Millisecond}})
+		out := make([]time.Duration, 100)
+		for i := range out {
+			out[i] = inj.Delay(ResponseDelay)
+		}
+		return out
+	}
+	a, b := mk(11), mk(11)
+	sawZero, sawDelay := false, false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay schedules diverge at %d", i)
+		}
+		switch a[i] {
+		case 0:
+			sawZero = true
+		case 20 * time.Millisecond:
+			sawDelay = true
+		default:
+			t.Fatalf("unexpected delay %v", a[i])
+		}
+	}
+	if !sawZero || !sawDelay {
+		t.Fatalf("p=0.5 over 100 draws should mix outcomes (zero=%v delay=%v)", sawZero, sawDelay)
+	}
+}
+
+// TestEachFired emits only configured points, in point order.
+func TestEachFired(t *testing.T) {
+	inj := New(3, Plan{LabelLoss: {Prob: 1}, RequestDrop: {Prob: 1}})
+	inj.Fire(LabelLoss)
+	inj.Fire(LabelLoss)
+	inj.Fire(RequestDrop)
+	var points []Point
+	var counts []int64
+	inj.EachFired(func(p Point, n int64) {
+		points = append(points, p)
+		counts = append(counts, n)
+	})
+	if len(points) != 2 || points[0] != RequestDrop || points[1] != LabelLoss {
+		t.Fatalf("EachFired points = %v, want [RequestDrop LabelLoss]", points)
+	}
+	if counts[0] != 1 || counts[1] != 2 {
+		t.Fatalf("EachFired counts = %v, want [1 2]", counts)
+	}
+}
+
+// TestCorruptReader: with Prob=1 every read flips exactly one byte, the
+// corruption is deterministic per seed, and a disabled injector passes
+// bytes through untouched.
+func TestCorruptReader(t *testing.T) {
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	readAll := func(inj *Injector) []byte {
+		out, err := io.ReadAll(inj.CorruptReader(bytes.NewReader(src)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	clean := readAll(New(5, Plan{}))
+	if !bytes.Equal(clean, src) {
+		t.Fatal("disabled injector altered the stream")
+	}
+
+	a := readAll(New(5, Plan{ModelCorrupt: {Prob: 1}}))
+	b := readAll(New(5, Plan{ModelCorrupt: {Prob: 1}}))
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if bytes.Equal(a, src) {
+		t.Fatal("Prob=1 corruption left the stream intact")
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != src[i] {
+			diff++
+		}
+	}
+	// io.ReadAll grows its buffer, so the read count (= flipped bytes at
+	// Prob=1) is small but at least one per non-empty Read.
+	if diff == 0 {
+		t.Fatal("no bytes flipped")
+	}
+}
+
+// TestWrapClock: skew accumulates monotonically and deterministically.
+func TestWrapClock(t *testing.T) {
+	epoch := time.Unix(1000, 0)
+	run := func(seed int64) []time.Duration {
+		fake := clock.NewFake(epoch)
+		wrapped := New(seed, Plan{ClockSkew: {Prob: 0.5, Skew: time.Second}}).WrapClock(fake.Clock())
+		out := make([]time.Duration, 50)
+		for i := range out {
+			fake.Advance(time.Millisecond)
+			out[i] = wrapped().Sub(epoch)
+		}
+		return out
+	}
+	a, b := run(9), run(9)
+	prev := time.Duration(-1)
+	skewed := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("skew schedules diverge at read %d", i)
+		}
+		if a[i] < prev {
+			t.Fatalf("wrapped clock went backwards at read %d (%v < %v)", i, a[i], prev)
+		}
+		// Base advanced i+1 ms; anything beyond that is injected skew.
+		if a[i] > time.Duration(i+1)*time.Millisecond {
+			skewed = true
+		}
+		prev = a[i]
+	}
+	if !skewed {
+		t.Fatal("p=0.5 skew over 50 reads never fired")
+	}
+}

@@ -1,0 +1,99 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+)
+
+// TestForwardHandComputed pins scaled forward filtering to hand-computed
+// two-state cases. Unlike the brute-force cross-check, these expectations
+// were worked out on paper, so they also catch a bug that brute force and
+// Forward share (e.g. both predicting before weighting at t = 0).
+func TestForwardHandComputed(t *testing.T) {
+	cases := []struct {
+		name  string
+		pi    []float64
+		trans [][]float64
+		// lik[t][s] is the observation likelihood table driving the run.
+		lik        [][]float64
+		wantAlpha  [][]float64
+		wantLogLik float64
+	}{
+		{
+			// t=0: weight π=[0.6,0.4] by [0.9,0.2] → [0.54,0.08],
+			// scale 0.62, α₀ = [27/31, 4/31].
+			// t=1: predict through χ → [0.635483̄87, 0.364516̄13],
+			// weight by [0.1,0.7] → scale 0.31870967̄7.
+			name:  "two-step generic",
+			pi:    []float64{0.6, 0.4},
+			trans: [][]float64{{0.7, 0.3}, {0.2, 0.8}},
+			lik:   [][]float64{{0.9, 0.2}, {0.1, 0.7}},
+			wantAlpha: [][]float64{
+				{0.870967741935484, 0.129032258064516},
+				{0.199392712550607, 0.800607287449393},
+			},
+			wantLogLik: math.Log(0.62) + math.Log(0.318709677419355),
+		},
+		{
+			// Uninformative observations over a uniform chain change
+			// nothing: every posterior is uniform and every scale is 1.
+			name:  "uniform stays uniform",
+			pi:    []float64{0.5, 0.5},
+			trans: [][]float64{{0.5, 0.5}, {0.5, 0.5}},
+			lik:   [][]float64{{1, 1}, {1, 1}, {1, 1}},
+			wantAlpha: [][]float64{
+				{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5},
+			},
+			wantLogLik: 0,
+		},
+		{
+			// A deterministic alternating chain with uninformative
+			// observations flips the certain state every step.
+			name:  "deterministic alternation",
+			pi:    []float64{1, 0},
+			trans: [][]float64{{0, 1}, {1, 0}},
+			lik:   [][]float64{{1, 1}, {1, 1}, {1, 1}},
+			wantAlpha: [][]float64{
+				{1, 0}, {0, 1}, {1, 0},
+			},
+			wantLogLik: 0,
+		},
+		{
+			// A first observation that rules out state 1 collapses the
+			// posterior to [1,0] at cost log(0.5); the second observation
+			// is uninformative so α₁ is just the one-step prediction.
+			name:  "certain first observation",
+			pi:    []float64{0.5, 0.5},
+			trans: [][]float64{{0.9, 0.1}, {0.1, 0.9}},
+			lik:   [][]float64{{1, 0}, {1, 1}},
+			wantAlpha: [][]float64{
+				{1, 0}, {0.9, 0.1},
+			},
+			wantLogLik: math.Log(0.5),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := New(tc.pi, tc.trans)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alpha, logLik := m.Forward(func(step, state int) float64 {
+				return tc.lik[step][state]
+			}, len(tc.lik))
+			if len(alpha) != len(tc.wantAlpha) {
+				t.Fatalf("got %d posteriors, want %d", len(alpha), len(tc.wantAlpha))
+			}
+			for step := range alpha {
+				for s := range alpha[step] {
+					if math.Abs(alpha[step][s]-tc.wantAlpha[step][s]) > 1e-9 {
+						t.Errorf("alpha[%d][%d] = %.15f, want %.15f", step, s, alpha[step][s], tc.wantAlpha[step][s])
+					}
+				}
+			}
+			if math.Abs(logLik-tc.wantLogLik) > 1e-9 {
+				t.Errorf("logLik = %.15f, want %.15f", logLik, tc.wantLogLik)
+			}
+		})
+	}
+}

@@ -73,6 +73,17 @@ type ObserveResponse struct {
 	// signals a concept the historical model never saw.
 	ExplainedRate float64 `json:"explained_rate"`
 	ExplainedFull bool    `json:"explained_full"`
+	// Applied is how many of the batch's records actually reached the
+	// predictor — len(Records) minus injected label losses. A client that
+	// logs Applied/Dropped can reconstruct the exact record sequence the
+	// session folded in, which is what makes faulted runs replayable.
+	Applied int `json:"applied"`
+	// Dropped lists the request indices of records lost to fault-injected
+	// label loss, in order. Empty in normal operation.
+	Dropped []int `json:"dropped,omitempty"`
+	// Degraded reports that this batch lost labels: the session keeps
+	// serving from its last-good active probabilities.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // SessionInfo is the introspection view of one session.
@@ -88,6 +99,9 @@ type SessionInfo struct {
 	// ExplainedRate / ExplainedFull mirror ObserveResponse.
 	ExplainedRate float64 `json:"explained_rate"`
 	ExplainedFull bool    `json:"explained_full"`
+	// Degraded reports the session is serving from last-good state after
+	// fault-injected label loss (see ObserveResponse.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // ListSessionsResponse is the response of GET /v1/sessions.

@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,7 +12,9 @@ import (
 	"strings"
 	"time"
 
+	"highorder/internal/clock"
 	"highorder/internal/obs"
+	"highorder/internal/rng"
 )
 
 // HTTPError is a non-2xx answer from the server, carrying the status code
@@ -32,15 +35,68 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("serve: HTTP %d: %s", e.Status, e.Message)
 }
 
-// Retryable reports whether the request was refused by backpressure and
-// safe to retry after RetryAfter.
-func (e *HTTPError) Retryable() bool { return e.Status == http.StatusTooManyRequests }
+// Retryable reports whether the request was refused by transient
+// backpressure — 429 (queue full) or 503 (shed, deadline lapsed,
+// draining) — and safe to retry after RetryAfter. Both statuses are only
+// ever answered before predictor work executes, so retrying cannot
+// double-apply an observe.
+func (e *HTTPError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// RetryExhaustedError reports that every attempt of a retried request
+// failed; Last is the final attempt's error.
+type RetryExhaustedError struct {
+	// Attempts is the total number of attempts made (initial + retries).
+	Attempts int
+	// Last is the error from the final attempt.
+	Last error
+}
+
+// Error implements error.
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("serve: %d attempts exhausted: %v", e.Attempts, e.Last)
+}
+
+// Unwrap exposes the final attempt's error to errors.As/Is.
+func (e *RetryExhaustedError) Unwrap() error { return e.Last }
+
+// RetryPolicy is the client's bounded retry/backoff configuration.
+// Backoff doubles per attempt from BaseBackoff, is capped (together with
+// the server's Retry-After hint) at MaxBackoff, and optionally carries
+// deterministic jitter from an injected rng.Source. Sleeping goes through
+// an injectable clock.Sleeper so tests and chaos runs complete instantly.
+// A policy with a non-nil Rng is not safe for concurrent use — give each
+// goroutine its own Client.
+type RetryPolicy struct {
+	// MaxRetries bounds retries after the first attempt; <= 0 selects 8.
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff; <= 0 selects 50ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps both the doubling backoff and the server's
+	// Retry-After hint; <= 0 selects 2s.
+	MaxBackoff time.Duration
+	// Jitter adds a uniform fraction in [0, Jitter) of the backoff on top
+	// of it, drawn from Rng; <= 0 (or Rng nil) disables jitter.
+	Jitter float64
+	// RetryTransport also retries transport-level errors (connection
+	// dropped before any HTTP status). This is safe against this server
+	// because its request-drop fault fires before handler processing, but
+	// enable it only when requests are idempotent or drops are known to
+	// precede side effects.
+	RetryTransport bool
+	// Sleep performs the backoff wait; nil selects the real time.Sleep.
+	Sleep clock.Sleeper
+	// Rng supplies jitter randomness; nil disables jitter.
+	Rng *rng.Source
+}
 
 // Client is a thin client for the homserve HTTP API, shared by
 // cmd/homload and the end-to-end tests.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy
 }
 
 // NewClient returns a client for the server at base (e.g.
@@ -52,9 +108,70 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: base, hc: httpClient}
 }
 
-// do runs one JSON round trip. in nil sends no body; out nil discards the
-// response body.
+// WithRetry returns the client with p installed: every request retries
+// retryable failures under p's bounds, returning *RetryExhaustedError
+// when the budget runs out.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	c.retry = &p
+	return c
+}
+
+// do runs one JSON round trip, retrying under the installed policy.
 func (c *Client) do(method, path string, in, out any) error {
+	if c.retry == nil {
+		return c.doOnce(method, path, in, out)
+	}
+	p := c.retry
+	maxRetries := p.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 8
+	}
+	backoff := p.BaseBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	maxBackoff := p.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		wait := backoff
+		retryable := false
+		if he := (*HTTPError)(nil); errors.As(err, &he) {
+			retryable = he.Retryable()
+			if he.RetryAfter > wait {
+				wait = he.RetryAfter
+			}
+		} else if p.RetryTransport {
+			retryable = true
+		}
+		if !retryable {
+			return err
+		}
+		if attempt >= maxRetries {
+			return &RetryExhaustedError{Attempts: attempt + 1, Last: err}
+		}
+		if wait > maxBackoff {
+			wait = maxBackoff
+		}
+		if p.Jitter > 0 && p.Rng != nil {
+			wait += time.Duration(p.Rng.Float64() * p.Jitter * float64(wait))
+		}
+		p.Sleep.Sleep(wait)
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// doOnce runs one JSON round trip. in nil sends no body; out nil discards
+// the response body.
+func (c *Client) doOnce(method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"highorder/internal/clock"
+	"highorder/internal/rng"
+)
+
+// scripted stands in for a server that fails a request a fixed number of
+// times before succeeding.
+func scripted(failures *atomic.Int64, code int, retryAfter string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if failures.Load() > 0 {
+			failures.Add(-1)
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			_, _ = w.Write([]byte(`{"error":"scripted failure"}`))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok","sessions":0,"concepts":1}`))
+	}
+}
+
+// TestClientRetriesBackpressure: 429 then 503 then success, with every
+// backoff wait flowing through the injected Sleeper, capped at
+// MaxBackoff even though the server's Retry-After hint is much larger.
+func TestClientRetriesBackpressure(t *testing.T) {
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		var failures atomic.Int64
+		failures.Store(2)
+		ts := httptest.NewServer(scripted(&failures, code, "30"))
+
+		var sleeps []time.Duration
+		c := NewClient(ts.URL, nil).WithRetry(RetryPolicy{
+			MaxRetries:  4,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  8 * time.Millisecond,
+			Sleep:       clock.Sleeper(func(d time.Duration) { sleeps = append(sleeps, d) }),
+		})
+		var out HealthResponse
+		if err := c.do(http.MethodGet, "/healthz", nil, &out); err != nil {
+			t.Fatalf("code %d: retried request failed: %v", code, err)
+		}
+		ts.Close()
+		if out.Status != "ok" {
+			t.Fatalf("code %d: unexpected body %+v", code, out)
+		}
+		if len(sleeps) != 2 {
+			t.Fatalf("code %d: %d sleeps, want 2", code, len(sleeps))
+		}
+		for i, d := range sleeps {
+			// The 30s Retry-After hint must be capped by MaxBackoff, or
+			// chaos runs would crawl at the server's whole-second hint.
+			if d <= 0 || d > 8*time.Millisecond {
+				t.Fatalf("code %d: sleep %d = %v outside (0, MaxBackoff]", code, i, d)
+			}
+		}
+	}
+}
+
+// TestClientRetryExhausted: persistent backpressure ends in a typed
+// *RetryExhaustedError that unwraps to the final *HTTPError.
+func TestClientRetryExhausted(t *testing.T) {
+	var failures atomic.Int64
+	failures.Store(1 << 30)
+	ts := httptest.NewServer(scripted(&failures, http.StatusServiceUnavailable, ""))
+	defer ts.Close()
+
+	sleeps := 0
+	c := NewClient(ts.URL, nil).WithRetry(RetryPolicy{
+		MaxRetries:  3,
+		BaseBackoff: time.Millisecond,
+		Sleep:       clock.Sleeper(func(time.Duration) { sleeps++ }),
+	})
+	err := c.do(http.MethodGet, "/healthz", nil, nil)
+	var re *RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RetryExhaustedError, got %v", err)
+	}
+	if re.Attempts != 4 || sleeps != 3 {
+		t.Fatalf("attempts=%d sleeps=%d, want 4 and 3", re.Attempts, sleeps)
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted error does not unwrap to the final HTTPError: %v", err)
+	}
+}
+
+// TestClientNoRetryOnHardFailure: a 400 is not backpressure and must not
+// be retried.
+func TestClientNoRetryOnHardFailure(t *testing.T) {
+	var failures atomic.Int64
+	failures.Store(1 << 30)
+	ts := httptest.NewServer(scripted(&failures, http.StatusBadRequest, ""))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil).WithRetry(RetryPolicy{
+		MaxRetries: 5,
+		Sleep:      clock.Sleeper(func(time.Duration) { t.Fatal("slept before a non-retryable failure") }),
+	})
+	err := c.do(http.MethodGet, "/healthz", nil, nil)
+	he, ok := err.(*HTTPError)
+	if !ok || he.Status != http.StatusBadRequest {
+		t.Fatalf("want bare 400 HTTPError, got %v", err)
+	}
+}
+
+// TestClientJitterDeterministic: with a seeded rng the jittered backoff
+// sequence replays exactly.
+func TestClientJitterDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var failures atomic.Int64
+		failures.Store(3)
+		ts := httptest.NewServer(scripted(&failures, http.StatusTooManyRequests, ""))
+		defer ts.Close()
+		var sleeps []time.Duration
+		c := NewClient(ts.URL, nil).WithRetry(RetryPolicy{
+			MaxRetries:  5,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  time.Second,
+			Jitter:      0.5,
+			Rng:         rng.New(99),
+			Sleep:       clock.Sleeper(func(d time.Duration) { sleeps = append(sleeps, d) }),
+		})
+		if err := c.do(http.MethodGet, "/healthz", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		return sleeps
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("sleep counts = %d/%d, want 3", len(a), len(b))
+	}
+	jittered := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sleep %d: %v vs %v — jitter not deterministic under a seeded rng", i, a[i], b[i])
+		}
+		base := time.Millisecond << i
+		if a[i] != base {
+			jittered = true
+		}
+		if a[i] < base || a[i] > base+base/2 {
+			t.Fatalf("sleep %d = %v outside [%v, %v)", i, a[i], base, base+base/2)
+		}
+	}
+	if !jittered {
+		t.Fatal("three jittered draws all landed exactly on the base backoff")
+	}
+}

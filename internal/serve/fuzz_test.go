@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"highorder/internal/data"
+)
+
+// FuzzClassifyRequest feeds arbitrary bytes through the exact decode +
+// validate path of POST /v1/sessions/{id}/classify: strict JSON decoding
+// (DisallowUnknownFields, mirroring Server.decodeBody) followed by
+// decodeRecords over the test schema. The invariants: no panic on any
+// input, and every batch that validation accepts is actually servable —
+// schema-width vectors, finite values, integral in-range nominals — and
+// classifies without panicking on a real session.
+func FuzzClassifyRequest(f *testing.F) {
+	f.Add([]byte(`{"records":[[0,1,2]]}`))
+	f.Add([]byte(`{"records":[[0,1,2],[2,0,0]],"proba":true}`))
+	f.Add([]byte(`{"records":[]}`))
+	f.Add([]byte(`{"records":[[0.5,1,2]]}`))
+	f.Add([]byte(`{"records":[[1e308,0,0]]}`))
+	f.Add([]byte(`{"records":[[-1,0,0]]}`))
+	f.Add([]byte(`{"records":[[0,0]]}`))
+	f.Add([]byte(`{"records":[[0,0,0]],"unknown":1}`))
+	f.Add([]byte(`{"records":null}`))
+	f.Add([]byte(`[[0,1,2]]`))
+	f.Add([]byte(`{`))
+
+	m := testModel()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req ClassifyRequest
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		recs, err := decodeRecords(m.Schema, req.Records, nil)
+		if err != nil {
+			return
+		}
+		if len(recs) == 0 {
+			t.Fatalf("decodeRecords accepted an empty batch: %q", body)
+		}
+		for i, r := range recs {
+			if len(r.Values) != m.Schema.NumAttributes() {
+				t.Fatalf("record %d: accepted width %d, schema wants %d", i, len(r.Values), m.Schema.NumAttributes())
+			}
+			for j, a := range m.Schema.Attributes {
+				x := r.Values[j]
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("record %d attr %d: accepted non-finite %v", i, j, x)
+				}
+				if a.Kind == data.Nominal {
+					idx := int(x)
+					if float64(idx) != x || idx < 0 || idx >= len(a.Values) { //homlint:allow floatcmp -- exact integrality check mirroring decodeRecords
+						t.Fatalf("record %d attr %d: accepted invalid nominal %v", i, j, x)
+					}
+				}
+			}
+		}
+		// Accepted input must serve: run it through a real session.
+		sess := NewLocalSession(m.NewPredictor())
+		resp := sess.Classify(recs, req.Proba)
+		if len(resp.Predictions) != len(recs) {
+			t.Fatalf("%d predictions for %d records", len(resp.Predictions), len(recs))
+		}
+		for i, p := range resp.Predictions {
+			if p < 0 || p >= m.Schema.NumClasses() {
+				t.Fatalf("record %d: prediction %d out of class range", i, p)
+			}
+		}
+		if req.Proba && len(resp.Probabilities) != len(recs) {
+			t.Fatalf("proba requested but %d distributions for %d records", len(resp.Probabilities), len(recs))
+		}
+	})
+}

@@ -24,6 +24,12 @@ type samplers struct {
 	// activeProbs emits every live session's active-probability vector,
 	// one (session id, concept index, probability) triple at a time.
 	activeProbs func(emit func(session string, concept int, p float64))
+	// degraded counts sessions currently serving in degraded mode; nil is
+	// treated as always zero (tests that exercise only the older families).
+	degraded func() int64
+	// faultFired emits the per-point firing counts of the installed fault
+	// injector; nil (or a nil injector) emits nothing.
+	faultFired func(emit func(point string, fired int64))
 }
 
 // metrics is the server's instrument set over a shared obs.Registry. The
@@ -52,6 +58,12 @@ type metrics struct {
 	// session's predictor introspection sink. Series are removed when the
 	// session closes or expires, so cardinality is bounded by live sessions.
 	switches *obs.CounterVec
+
+	// shedTotal counts 503 load-shed refusals (distinct from the 429 path
+	// counted by rejected); deadlineExpiredTotal counts queued tasks
+	// answered 503 because their deadline lapsed before execution.
+	shedTotal            *obs.Counter
+	deadlineExpiredTotal *obs.Counter
 }
 
 func newMetrics(numClasses, numConcepts int, smp samplers) *metrics {
@@ -98,6 +110,26 @@ func newMetrics(numClasses, numConcepts int, smp samplers) *metrics {
 		})
 	m.switches = reg.NewCounterVec("hom_concept_switches_total",
 		"MAP-concept switches observed on the session's labeled stream.", "session")
+	if smp.degraded == nil {
+		smp.degraded = func() int64 { return 0 }
+	}
+	reg.NewGaugeFunc("hom_degraded_sessions",
+		"Sessions serving from last-good state after fault-injected label loss.",
+		smp.degraded)
+	m.shedTotal = reg.NewCounter("hom_shed_total",
+		"Requests refused with 503 because queue depth reached the shed threshold.")
+	m.deadlineExpiredTotal = reg.NewCounter("hom_deadline_expired_total",
+		"Queued tasks answered 503 because their per-request deadline lapsed before execution.")
+	if ff := smp.faultFired; ff != nil {
+		reg.NewGaugeVecFunc("hom_fault_fired",
+			"Fault-point firings of the installed injector (absent series when disabled).",
+			[]string{"point"},
+			func(emit func(values []string, v float64)) {
+				ff(func(point string, fired int64) {
+					emit([]string{point}, float64(fired))
+				})
+			})
+	}
 	return m
 }
 
@@ -107,6 +139,10 @@ func (m *metrics) request(endpoint string, code int, d time.Duration) {
 }
 
 func (m *metrics) reject() { m.rejected.Inc() }
+
+func (m *metrics) shed() { m.shedTotal.Inc() }
+
+func (m *metrics) deadlineExpired() { m.deadlineExpiredTotal.Inc() }
 
 func (m *metrics) observeQueueDepth(depth int) { m.queueMax.SetMax(int64(depth)) }
 

@@ -37,6 +37,7 @@ import (
 	"highorder/internal/clock"
 	"highorder/internal/core"
 	"highorder/internal/data"
+	"highorder/internal/fault"
 	"highorder/internal/obs"
 )
 
@@ -59,6 +60,17 @@ type Options struct {
 	// JanitorInterval is the TTL sweep period; <= 0 selects SessionTTL/4
 	// (bounded below at 1s).
 	JanitorInterval time.Duration
+	// RequestTimeout bounds how long a queued task may wait before
+	// execution: a task dequeued after its deadline is answered 503
+	// without touching the predictor, so the result is never ambiguous —
+	// either the work was applied and acknowledged, or it provably was
+	// not. <= 0 selects 10 seconds.
+	RequestTimeout time.Duration
+	// ShedDepth sheds classify/observe work with 503 + Retry-After before
+	// it is enqueued once the queue holds at least this many tasks —
+	// proactive load shedding, distinct from the 429 answered when the
+	// queue is completely full. 0 disables shedding.
+	ShedDepth int
 	// Clock supplies time for TTL accounting and latency metrics; nil
 	// selects the wall clock. Tests inject a clock.Fake.
 	Clock clock.Clock
@@ -67,6 +79,14 @@ type Options struct {
 	// bounded diagnostic runs (tests, replays, load probes), not for a
 	// long-lived production server. nil disables tracing at zero cost.
 	Trace *obs.Tracer
+	// Fault installs a fault injector on the serving hot paths (request
+	// drop, response delay, queue-overflow pressure, label loss/delay).
+	// nil — the production default — disables every point at the cost of
+	// one pointer check per site and zero allocations.
+	Fault *fault.Injector
+	// Sleep performs injected delays; nil selects the real time.Sleep.
+	// Tests inject a clock.Fake.Sleeper so delay faults are instant.
+	Sleep clock.Sleeper
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +107,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
 	}
 	if o.JanitorInterval <= 0 {
 		o.JanitorInterval = o.SessionTTL / 4
@@ -111,12 +134,18 @@ type task struct {
 	sess      *Session
 	recs      []data.Record
 	withProba bool
-	done      chan taskResult
+	// deadline is checked at dequeue time: an expired task is answered
+	// without touching the predictor, so the caller can safely retry.
+	deadline time.Time
+	done     chan taskResult
 }
 
 type taskResult struct {
 	classify ClassifyResponse
 	observe  ObserveResponse
+	// expired marks a task whose deadline passed while it sat in the
+	// queue; the predictor was not touched.
+	expired bool
 }
 
 // Server serves one immutable model to many concurrent sessions.
@@ -164,6 +193,20 @@ func New(m *core.Model, opts Options) *Server {
 					emit(id, c, p)
 				}
 			}
+		},
+		degraded: func() int64 {
+			var n int64
+			for _, sess := range s.table.list() {
+				if sess.Degraded() {
+					n++
+				}
+			}
+			return n
+		},
+		faultFired: func(emit func(point string, fired int64)) {
+			o.Fault.EachFired(func(p fault.Point, fired int64) {
+				emit(p.String(), fired)
+			})
 		},
 	})
 	// Per-session series die with the session, whether closed or evicted.
@@ -278,18 +321,27 @@ func (s *Server) runBatch(batch []*task) {
 				group = append(group, batch[j])
 			}
 		}
-		sess.runTasks(group, s.metrics, s.opts.Trace)
+		s.runTasks(sess, group)
 	}
 }
 
-// runTasks executes queued tasks for this session under one lock
+// runTasks executes queued tasks for one session under one lock
 // acquisition — the micro-batching fast path. With a tracer configured it
-// records one span per task on the online hot path.
-func (sess *Session) runTasks(tasks []*task, m *metrics, tr *obs.Tracer) {
+// records one span per task on the online hot path. Tasks whose deadline
+// passed in the queue are answered expired before the predictor is
+// touched, so a deadline 503 never leaves ambiguous state.
+func (s *Server) runTasks(sess *Session, tasks []*task) {
+	m, tr := s.metrics, s.opts.Trace
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	for _, t := range tasks {
 		var res taskResult
+		if !t.deadline.IsZero() && s.clk().After(t.deadline) {
+			res.expired = true
+			m.deadlineExpired()
+			t.done <- res
+			continue
+		}
 		switch t.kind {
 		case taskClassify:
 			sp := tr.StartSpan("serve.classify")
@@ -298,11 +350,14 @@ func (sess *Session) runTasks(tasks []*task, m *metrics, tr *obs.Tracer) {
 			sp.End()
 			m.classified(res.classify.Predictions, res.classify.MAPConcept)
 		case taskObserve:
+			if d := s.opts.Fault.Delay(fault.LabelDelay); d > 0 {
+				s.opts.Sleep.Sleep(d)
+			}
 			sp := tr.StartSpan("serve.observe")
-			res.observe = sess.observeLocked(t.recs)
+			res.observe = sess.observeLocked(t.recs, s.opts.Fault)
 			sp.SetArg("records", int64(len(t.recs)))
 			sp.End()
-			m.observed(len(t.recs))
+			m.observed(res.observe.Applied)
 		}
 		t.done <- res
 	}
@@ -317,6 +372,11 @@ func (s *Server) enqueue(t *task) (accepted, serving bool) {
 	if s.qclosed {
 		return false, false
 	}
+	if s.opts.Fault.Fire(fault.QueueOverflow) {
+		// Injected saturation: report the queue full without enqueueing,
+		// exercising the 429 backpressure path end to end.
+		return false, true
+	}
 	select {
 	case s.queue <- t:
 		s.metrics.observeQueueDepth(len(s.queue))
@@ -327,8 +387,18 @@ func (s *Server) enqueue(t *task) (accepted, serving bool) {
 }
 
 // submit queues predictor work and waits for the result. The wait is
-// bounded: the queue is bounded and every queued task is executed.
+// bounded: the queue is bounded, every queued task is executed, and tasks
+// whose per-request deadline lapses in the queue are answered 503 without
+// touching the predictor (retry-safe by construction).
 func (s *Server) submit(t *task) (taskResult, int, error) {
+	if d := s.opts.ShedDepth; d > 0 && len(s.queue) >= d {
+		s.metrics.shed()
+		return taskResult{}, http.StatusServiceUnavailable,
+			fmt.Errorf("overloaded: queue depth %d reached shed threshold %d", len(s.queue), d)
+	}
+	if s.opts.RequestTimeout > 0 {
+		t.deadline = s.clk().Add(s.opts.RequestTimeout)
+	}
 	t.done = make(chan taskResult, 1)
 	accepted, serving := s.enqueue(t)
 	if !serving {
@@ -338,7 +408,12 @@ func (s *Server) submit(t *task) (taskResult, int, error) {
 		s.metrics.reject()
 		return taskResult{}, http.StatusTooManyRequests, fmt.Errorf("queue full (%d tasks)", s.opts.QueueDepth)
 	}
-	return <-t.done, http.StatusOK, nil
+	res := <-t.done
+	if res.expired {
+		return taskResult{}, http.StatusServiceUnavailable,
+			fmt.Errorf("deadline exceeded: task waited longer than %v in queue (not executed)", s.opts.RequestTimeout)
+	}
+	return res, http.StatusOK, nil
 }
 
 // janitor sweeps expired sessions until Close.
@@ -367,14 +442,38 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency tracking.
+// instrument wraps a handler with request counting and latency tracking,
+// plus the transport-level fault points. RequestDrop fires before the
+// handler runs, so a dropped request provably had no effect — the client
+// may retry it without risking a double-applied observe.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.clk()
+		if s.opts.Fault.Fire(fault.RequestDrop) {
+			s.dropConn(w)
+			return
+		}
+		if d := s.opts.Fault.Delay(fault.ResponseDelay); d > 0 {
+			s.opts.Sleep.Sleep(d)
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r)
 		s.metrics.request(endpoint, sw.code, s.clk().Sub(start))
 	}
+}
+
+// dropConn abruptly terminates the client connection (injected fault),
+// producing a transport-level error on the client rather than an HTTP
+// status. Non-hijackable transports fall back to a typed 503 so the
+// request still terminates deterministically.
+func (s *Server) dropConn(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			_ = conn.Close()
+			return
+		}
+	}
+	s.writeError(w, http.StatusServiceUnavailable, "fault injected: request dropped")
 }
 
 // maxBodyBytes bounds request bodies; a classify batch of a few thousand
@@ -389,7 +488,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	if code == http.StatusTooManyRequests {
+	// Both backpressure answers carry a retry hint: 429 (queue full) and
+	// 503 (shed, deadline lapsed, or draining) are transient by contract.
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+time.Second-1)/time.Second)))
 	}
 	s.writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})

@@ -11,6 +11,7 @@ import (
 	"highorder/internal/clock"
 	"highorder/internal/core"
 	"highorder/internal/data"
+	"highorder/internal/fault"
 	"highorder/internal/obs"
 )
 
@@ -34,6 +35,13 @@ type Session struct {
 	// lastUsed is the unix-nano timestamp of the last table access, read
 	// by TTL eviction without taking mu.
 	lastUsed atomic.Int64
+
+	// degraded marks the session as serving from last-good state: at
+	// least one labeled record of its most recent observe batch was lost
+	// (fault-injected label loss), so the active probabilities lag the
+	// client's view of the stream. A fully applied observe batch clears
+	// it. Read lock-free by the hom_degraded_sessions collector.
+	degraded atomic.Bool
 }
 
 // NewLocalSession wraps a predictor for in-process use — cmd/hompredict's
@@ -80,17 +88,41 @@ func (s *Session) classifyLocked(recs []data.Record, withProba bool) ClassifyRes
 func (s *Session) Observe(recs []data.Record) ObserveResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.observeLocked(recs)
+	return s.observeLocked(recs, nil)
 }
 
 // observeLocked is Observe with s.mu already held (see classifyLocked).
-func (s *Session) observeLocked(recs []data.Record) ObserveResponse {
-	for _, r := range recs {
+// With a fault injector installed, each record passes the LabelLoss point
+// before reaching the predictor: dropped records are reported by index in
+// the response and never touch the posterior, so the session keeps
+// answering from its last-good state (degraded mode) rather than from a
+// partially corrupted one. The response's Applied/Dropped bookkeeping is
+// what lets a client reconstruct the exact applied record sequence for
+// bit-identical offline replay.
+func (s *Session) observeLocked(recs []data.Record, inj *fault.Injector) ObserveResponse {
+	var dropped []int
+	for i, r := range recs {
+		if inj.Fire(fault.LabelLoss) {
+			dropped = append(dropped, i)
+			continue
+		}
 		s.p.Observe(r)
 	}
+	s.degraded.Store(len(dropped) > 0)
 	rate, full := s.p.RecentExplainedRate()
-	return ObserveResponse{Observed: s.p.Observed(), ExplainedRate: rate, ExplainedFull: full}
+	return ObserveResponse{
+		Observed:      s.p.Observed(),
+		ExplainedRate: rate,
+		ExplainedFull: full,
+		Applied:       len(recs) - len(dropped),
+		Dropped:       dropped,
+		Degraded:      len(dropped) > 0,
+	}
 }
+
+// Degraded reports whether the session's last observe batch lost labels
+// to fault injection (answers come from last-good active probabilities).
+func (s *Session) Degraded() bool { return s.degraded.Load() }
 
 // Info returns the introspection view of the session.
 func (s *Session) Info() SessionInfo {
@@ -106,6 +138,7 @@ func (s *Session) Info() SessionInfo {
 		CurrentProbability: prob,
 		ExplainedRate:      rate,
 		ExplainedFull:      full,
+		Degraded:           s.degraded.Load(),
 	}
 }
 

@@ -1,0 +1,121 @@
+package transition_test
+
+import (
+	"math"
+	"testing"
+
+	"highorder/internal/cluster"
+	"highorder/internal/core"
+	"highorder/internal/rng"
+	"highorder/internal/synth"
+	"highorder/internal/transition"
+)
+
+// randomOccurrences draws a seeded random occurrence stream: numOccs
+// occurrences with concepts in [0, numConcepts) and lengths in [1, maxLen].
+// Not every concept is guaranteed to appear, which is exactly the
+// degenerate territory the renormalization branches of Eq. 6 must survive.
+func randomOccurrences(r *rng.Source, numOccs, numConcepts, maxLen int) []cluster.Occurrence {
+	occs := make([]cluster.Occurrence, numOccs)
+	pos := 0
+	for i := range occs {
+		l := 1 + r.Intn(maxLen)
+		occs[i] = cluster.Occurrence{Start: pos, End: pos + l, Concept: r.Intn(numConcepts)}
+		pos += l
+	}
+	return occs
+}
+
+// TestChiRowsSumToOne is the stochasticity property of Eq. 6: whatever the
+// occurrence history looks like — skewed concept frequencies, concepts that
+// never occur, single-occurrence streams — every row of χ must be a
+// probability distribution: entries in [0, 1] and summing to 1 within 1e-9.
+func TestChiRowsSumToOne(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		numConcepts := 1 + r.Intn(6)
+		numOccs := 1 + r.Intn(40)
+		occs := randomOccurrences(r, numOccs, numConcepts, 25)
+		m, err := transition.FromOccurrences(occs, numConcepts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i, row := range m.Chi {
+			sum := 0.0
+			for j, v := range row {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("trial %d: Chi[%d][%d] = %v out of [0,1]", trial, i, j, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("trial %d: row %d of Chi sums to %.17g, want 1±1e-9 (concepts=%d occs=%d)", trial, i, sum, numConcepts, numOccs)
+			}
+		}
+	}
+}
+
+// TestEmpiricalLaplaceNeverZero checks the point of Laplace smoothing: with
+// smoothing 1.0 the empirical matrix assigns strictly positive probability
+// to every change transition, even ones never observed, and rows still sum
+// to 1. (The diagonal is 1−1/Len_i, which is legitimately zero for a
+// concept whose occurrences last a single record, so only off-diagonal
+// entries carry the never-zero guarantee.)
+func TestEmpiricalLaplaceNeverZero(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 200; trial++ {
+		numConcepts := 2 + r.Intn(5)
+		numOccs := 1 + r.Intn(40)
+		occs := randomOccurrences(r, numOccs, numConcepts, 25)
+		m, err := transition.FromOccurrences(occs, numConcepts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		chi := m.Empirical(1.0)
+		for i, row := range chi {
+			sum := 0.0
+			for j, v := range row {
+				if j != i && (v <= 0 || math.IsNaN(v)) {
+					t.Fatalf("trial %d: Empirical(1.0)[%d][%d] = %v, want > 0", trial, i, j, v)
+				}
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("trial %d: Empirical(1.0)[%d][%d] = %v out of [0,1]", trial, i, j, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("trial %d: row %d of Empirical(1.0) sums to %.17g, want 1±1e-9", trial, i, sum)
+			}
+		}
+	}
+}
+
+// TestChiWorkerInvariance builds the same seeded Stagger model with one
+// and with four training workers and requires the learned transition
+// matrix to be bit-identical: parallelism must only change wall-clock
+// time, never the estimated change patterns.
+func TestChiWorkerInvariance(t *testing.T) {
+	build := func(workers int) [][]float64 {
+		gen := synth.NewStagger(synth.StaggerConfig{Seed: 5, Lambda: 0.004})
+		hist := synth.TakeDataset(gen, 1800)
+		opts := core.DefaultOptions()
+		opts.Seed = 5
+		opts.Workers = workers
+		m, err := core.Build(hist, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Chi
+	}
+	a, b := build(1), build(4)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("worker runs found %d vs %d concepts", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if math.Float64bits(a[i][j]) != math.Float64bits(b[i][j]) {
+				t.Fatalf("Chi[%d][%d] differs across worker counts: %x vs %x", i, j, math.Float64bits(a[i][j]), math.Float64bits(b[i][j]))
+			}
+		}
+	}
+}

@@ -2,9 +2,10 @@
 # verify.sh — the repository's tier-1 verification gate.
 #
 # Runs, in order: formatting, vet, build, the full test suite under the
-# race detector, short fuzz passes over the CSV parsers, and the
-# repository's own static-analysis suite (cmd/homlint). Every step must
-# pass; the script exits nonzero at the first failure.
+# race detector, short fuzz passes over the CSV parsers and the serving
+# API decoder, a coverage floor on the fault-hardened serving packages,
+# and the repository's own static-analysis suite (cmd/homlint). Every
+# step must pass; the script exits nonzero at the first failure.
 #
 # Usage:  ./verify.sh            # from the module root
 #         FUZZTIME=30s ./verify.sh   # longer fuzz budget
@@ -38,6 +39,31 @@ go test -race ./...
 step "fuzz dataio (${FUZZTIME} each)"
 go test ./internal/dataio -run='^$' -fuzz='^FuzzParseRecord$' -fuzztime="$FUZZTIME"
 go test ./internal/dataio -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIME"
+
+step "fuzz serve classify decoder (${FUZZTIME})"
+go test ./internal/serve -run='^$' -fuzz='^FuzzClassifyRequest$' -fuzztime="$FUZZTIME"
+
+# Coverage floor: the packages that own failure handling — the serving
+# stack and the fault-injection layer — must keep at least 75% statement
+# coverage, so degraded paths (shed, deadline, drop, corruption) stay
+# exercised as they evolve.
+step "coverage floor (internal/serve, internal/fault >= 75%)"
+cov=$(go test -cover ./internal/serve ./internal/fault | tee /dev/stderr)
+echo "$cov" | awk '
+	/^ok/ {
+		for (i = 1; i <= NF; i++) {
+			if ($i == "coverage:") {
+				pct = $(i + 1)
+				sub(/%$/, "", pct)
+				if (pct + 0 < 75.0) {
+					printf "coverage gate: %s at %s%% (< 75%%)\n", $2, pct
+					bad = 1
+				}
+			}
+		}
+	}
+	END { exit bad }
+' >&2
 
 step "homlint ./..."
 go run ./cmd/homlint ./...
