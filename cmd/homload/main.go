@@ -55,8 +55,12 @@ func main() {
 	microBatch := flag.Int("micro-batch", 0, "in-process server micro-batch (0 = default)")
 	maxRetries := flag.Int("max-retries", 100, "429 retries before a request counts as failed")
 	out := flag.String("out", "BENCH_serve.json", "summary output path")
+	maxprocs := flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS for the run (0 keeps the default)")
 	flag.Parse()
 
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
 	if (*addr == "") == (*modelPath == "") {
 		fmt.Fprintln(os.Stderr, "homload: exactly one of -addr or -model is required")
 		os.Exit(2)

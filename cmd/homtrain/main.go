@@ -4,12 +4,21 @@
 // Usage:
 //
 //	homtrain -in history.csv -schema schema.json -o model.gob \
-//	         [-block 10] [-seed 1] [-learner tree|bayes] \
+//	         [-block 10] [-seed 1] [-learner tree|bayes] [-gomaxprocs N] \
 //	         [-trace trace.json] [-bench-out BENCH_pipeline.json]
+//
+//	homtrain -scale [-scale-hist 3000,10000,30000] [-scale-workers 1,2,4,8] \
+//	         [-scale-out BENCH_scale.json] [-block 10] [-seed 1] [-learner tree]
 //
 // -trace writes the offline pipeline's phase spans as Chrome trace-event
 // JSON (load it at https://ui.perfetto.dev). -bench-out writes per-phase
 // wall times and span counts as JSON (the committed BENCH_pipeline.json).
+//
+// -scale skips the CSV input entirely: it sweeps history size × worker
+// count over the synthetic Stagger stream, measuring the agglomeration
+// hot path against the retained naive reference engine and verifying
+// bit-identical per-record assignments, and writes the committed
+// BENCH_scale.json.
 package main
 
 import (
@@ -34,7 +43,39 @@ func main() {
 	learner := flag.String("learner", "tree", "base learner: tree or bayes")
 	tracePath := flag.String("trace", "", "write pipeline phase spans as Chrome trace-event JSON")
 	benchOut := flag.String("bench-out", "", "write per-phase wall times as JSON")
+	maxprocs := flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS for the build (0 keeps the default)")
+	reuse := flag.Float64("reuse", core.DefaultOptions().ReuseRatio, "classifier-reuse ratio (§II-D); 0 disables reuse")
+	earlyStop := flag.Int("earlystop", core.DefaultOptions().EarlyStopMinSize, "early-termination minimum cluster size (§II-D); 0 disables the freeze")
+	scale := flag.Bool("scale", false, "run the scaling sweep over the synthetic Stagger stream instead of building from -in")
+	scaleHist := flag.String("scale-hist", "3000,10000,30000", "comma-separated history sizes for -scale")
+	scaleWorkers := flag.String("scale-workers", "1,2,4,8", "comma-separated worker counts for -scale")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the -scale bench")
 	flag.Parse()
+
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
+	}
+
+	baseOpts := core.DefaultOptions()
+	baseOpts.BlockSize = *block
+	baseOpts.Seed = *seed
+	baseOpts.ReuseRatio = *reuse
+	baseOpts.EarlyStopMinSize = *earlyStop
+	switch *learner {
+	case "tree":
+	case "bayes":
+		baseOpts.Learner = bayes.NewLearner()
+	default:
+		fmt.Fprintf(os.Stderr, "homtrain: unknown learner %q\n", *learner)
+		os.Exit(2)
+	}
+
+	if *scale {
+		if err := runScale(*scaleOut, *block, *seed, *learner, baseOpts, *scaleHist, *scaleWorkers); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	if *in == "" || *schemaPath == "" {
 		fmt.Fprintln(os.Stderr, "homtrain: -in and -schema are required")
@@ -59,17 +100,7 @@ func main() {
 		fail(err)
 	}
 
-	opts := core.DefaultOptions()
-	opts.BlockSize = *block
-	opts.Seed = *seed
-	switch *learner {
-	case "tree":
-	case "bayes":
-		opts.Learner = bayes.NewLearner()
-	default:
-		fmt.Fprintf(os.Stderr, "homtrain: unknown learner %q\n", *learner)
-		os.Exit(2)
-	}
+	opts := baseOpts
 
 	var tracer *obs.Tracer
 	if *tracePath != "" || *benchOut != "" {

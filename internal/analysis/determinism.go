@@ -23,6 +23,11 @@ import (
 //     loop, without a subsequent sort in the same function. Map iteration
 //     order is randomized by the runtime, so such accumulation leaks
 //     nondeterministic order into results or output.
+//  4. Ranging over a map while pushing into a heap or queue (any call to a
+//     function or method named push/Push inside the loop body). Heap pop
+//     order is only independent of push order when the comparator is a
+//     total order, which the analyzer cannot prove; iterate an ordered
+//     list instead, or carry a //homlint:allow with the totality argument.
 type Determinism struct{}
 
 // Name implements Analyzer.
@@ -30,7 +35,7 @@ func (*Determinism) Name() string { return "determinism" }
 
 // Doc implements Analyzer.
 func (*Determinism) Doc() string {
-	return "flags global math/rand use, wall-clock reads, and unsorted map-iteration accumulation"
+	return "flags global math/rand use, wall-clock reads, unsorted map-iteration accumulation, and heap pushes from map iteration"
 }
 
 // globalRandAllowed lists the math/rand package-level identifiers that do
@@ -88,10 +93,10 @@ func (d *Determinism) Run(pass *Pass) {
 }
 
 // checkMapOrder flags `for k := range m { out = append(out, ...) }` where m
-// is a map and no sort call follows in the enclosing function. The heap and
-// channel cases are deliberately out of scope: order-insensitive sinks are
-// common and fine; slice accumulation is the pattern that has bitten
-// stream-mining reproducibility hardest.
+// is a map and no sort call follows in the enclosing function, and any
+// push/Push call inside a map-range body (heap fills whose pop order the
+// analyzer cannot prove independent of push order). Channel sends stay out
+// of scope: order-insensitive sinks are common and fine.
 func (d *Determinism) checkMapOrder(pass *Pass, f *File) {
 	for _, decl := range f.AST.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
@@ -110,11 +115,12 @@ func (d *Determinism) checkMapOrder(pass *Pass, f *File) {
 		}
 		sorted := containsSortCall(fd.Body)
 		for _, rs := range ranges {
-			target := appendTargetOutsideLoop(rs)
-			if target == "" || sorted {
-				continue
+			if target := appendTargetOutsideLoop(rs); target != "" && !sorted {
+				pass.Report(rs.Pos(), "range over map accumulates into %q without a subsequent sort: map order is randomized, so results are nondeterministic", target)
 			}
-			pass.Report(rs.Pos(), "range over map accumulates into %q without a subsequent sort: map order is randomized, so results are nondeterministic", target)
+			if name := pushCallInLoop(rs); name != "" {
+				pass.Report(rs.Pos(), "range over map pushes into a heap via %s: map order is randomized, and pop order is only independent of push order for a provably total comparator — iterate an ordered list instead", name)
+			}
 		}
 	}
 }
@@ -203,6 +209,33 @@ func appendTargetOutsideLoop(rs *ast.RangeStmt) string {
 		return true
 	})
 	return target
+}
+
+// pushCallInLoop returns the rendered name of a push/Push call inside the
+// range body (heap.Push, q.push, ...), or "" when there is none.
+func pushCallInLoop(rs *ast.RangeStmt) string {
+	name := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := call.Fun.(type) {
+		case *ast.Ident:
+			if fn.Name == "push" || fn.Name == "Push" {
+				name = fn.Name
+			}
+		case *ast.SelectorExpr:
+			if fn.Sel.Name == "push" || fn.Sel.Name == "Push" {
+				name = fn.Sel.Name
+				if id, ok := fn.X.(*ast.Ident); ok {
+					name = id.Name + "." + name
+				}
+			}
+		}
+		return true
+	})
+	return name
 }
 
 // containsSortCall reports whether the body calls anything that plausibly

@@ -61,3 +61,20 @@ func slicePrintFine(xs []string) {
 		fmt.Println(x)
 	}
 }
+
+// pq stands in for a priority queue / heap wrapper.
+type pq struct{}
+
+func (*pq) push(int) {}
+
+func mapHeapPush(m map[string]int, q *pq) {
+	for _, v := range m { // want determinism "pushes into a heap"
+		q.push(v)
+	}
+}
+
+func sliceHeapPushFine(xs []int, q *pq) {
+	for _, v := range xs {
+		q.push(v)
+	}
+}

@@ -160,16 +160,34 @@ func (m *Model) GobDecode(b []byte) error {
 	return nil
 }
 
-// Predict returns the maximum-posterior class for r.
+// Predict returns the maximum-posterior class for r. It computes the
+// posterior into a local buffer rather than the model's shared scratch
+// slice, so — unlike PredictProba — it is safe for concurrent use on a
+// fixed model, as the classifier.Classifier contract requires. The
+// arithmetic is identical to PredictProba's, so predictions are
+// bit-for-bit the same on either path.
 func (m *Model) Predict(r data.Record) int {
-	return classifier.ArgMax(m.PredictProba(r))
+	var stack [8]float64
+	var logp []float64
+	if k := len(m.logPrio); k <= len(stack) {
+		logp = stack[:k]
+	} else {
+		logp = make([]float64, k)
+	}
+	return classifier.ArgMax(m.posteriorInto(logp, r))
 }
 
 // PredictProba returns normalized class posteriors. The returned slice is
-// reused across calls.
+// reused across calls, so PredictProba must not be called concurrently on
+// the same model.
 func (m *Model) PredictProba(r data.Record) []float64 {
+	return m.posteriorInto(m.buf, r)
+}
+
+// posteriorInto writes the normalized class posteriors for r into logp
+// (which must have length NumClasses) and returns it.
+func (m *Model) posteriorInto(logp []float64, r data.Record) []float64 {
 	k := len(m.logPrio)
-	logp := m.buf
 	copy(logp, m.logPrio)
 	for a, attr := range m.schema.Attributes {
 		if attr.Kind == data.Nominal {

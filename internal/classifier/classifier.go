@@ -16,7 +16,10 @@ import (
 
 // Classifier is a trained model over a fixed schema.
 type Classifier interface {
-	// Predict returns the predicted class index for r.
+	// Predict returns the predicted class index for r. Predict must be
+	// safe for concurrent use on a fixed model: the concept-clustering
+	// engine evaluates candidate mergers in parallel and may call Predict
+	// on the same classifier from several goroutines at once.
 	Predict(r data.Record) int
 	// PredictProba returns a probability distribution over classes for r.
 	// The returned slice must not be retained or mutated by the caller
@@ -46,6 +49,21 @@ func ErrorRate(c Classifier, d *data.Dataset) float64 {
 		}
 	}
 	return float64(wrong) / float64(d.Len())
+}
+
+// Mistakes returns the number of records in recs misclassified by c.
+// Because the count is an integer, error rates over concatenations can be
+// recombined exactly: summing Mistakes over segments and dividing by the
+// total length is bit-identical to a single scan of the concatenation —
+// the identity the clustering engine's reuse path relies on.
+func Mistakes(c Classifier, recs []data.Record) int {
+	wrong := 0
+	for _, r := range recs {
+		if c.Predict(r) != r.Class {
+			wrong++
+		}
+	}
+	return wrong
 }
 
 // Agreement returns the fraction of the records on which a and b predict

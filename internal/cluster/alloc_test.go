@@ -1,0 +1,74 @@
+//go:build !race
+
+// Allocation ceilings for the agglomeration hot path. AllocsPerRun is
+// meaningless under the race detector (it instruments allocations), so
+// this file is excluded from the -race run; verify.sh runs it in a
+// separate non-race pass.
+
+package cluster
+
+import (
+	"testing"
+
+	"highorder/internal/data"
+	"highorder/internal/synth"
+	"highorder/internal/tree"
+)
+
+// TestSimilarityEdgeAllocs holds the step-2 distance evaluation to its
+// one unavoidable allocation: the returned edge. The comparison loop over
+// the cached prediction arrays must not allocate at all.
+func TestSimilarityEdgeAllocs(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 5})
+	d := synth.TakeDataset(g, 200)
+	u := &node{id: 0, all: data.ViewOf(d), preds: make([]int, 128)}
+	v := &node{id: 1, all: data.ViewOf(d), preds: make([]int, 128)}
+	for i := range u.preds {
+		u.preds[i] = i % 2
+		v.preds[i] = i % 3
+	}
+	e := &engine{}
+	avg := testing.AllocsPerRun(200, func() {
+		_ = e.similarityEdge(u, v)
+	})
+	if avg > 1 {
+		t.Fatalf("similarityEdge allocates %.1f objects per call, ceiling is 1 (the edge itself)", avg)
+	}
+}
+
+// TestMistakesOverViewAllocs holds the view-segment mistake counting —
+// the inner loop of every merged-model validation — to zero allocations.
+func TestMistakesOverViewAllocs(t *testing.T) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 6})
+	a := synth.TakeDataset(g, 300)
+	b := synth.TakeDataset(g, 300)
+	model, err := tree.NewLearner().Train(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := data.ViewOf(a).Concat(data.ViewOf(b))
+	e := &engine{}
+	if e.mistakes(model, v) != e.mistakes(model, v) {
+		t.Fatal("mistakes is not deterministic")
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		_ = e.mistakes(model, v)
+	})
+	if avg > 0 {
+		t.Fatalf("mistakes over a view allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+// BenchmarkSimilarityEdge is the bench-smoke target for the step-2 inner
+// loop.
+func BenchmarkSimilarityEdge(b *testing.B) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: 5})
+	d := synth.TakeDataset(g, 200)
+	u := &node{id: 0, all: data.ViewOf(d), preds: make([]int, 4096)}
+	v := &node{id: 1, all: data.ViewOf(d), preds: make([]int, 4096)}
+	e := &engine{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.similarityEdge(u, v)
+	}
+}

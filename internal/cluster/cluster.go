@@ -60,6 +60,18 @@ type Options struct {
 	// random source. <= 0 selects GOMAXPROCS.
 	Workers int
 
+	// Reference selects the retained naive reference engine (naive.go):
+	// serial candidate evaluation, a full record copy at every merger,
+	// full test rescans even when a classifier is reused, and no
+	// stale-edge pruning. Results are bit-identical to the optimized
+	// engine; only the cost differs. It exists as the equivalence oracle
+	// for the golden tests and as the baseline of the scaling bench.
+	Reference bool
+
+	// mergeLog, when non-nil, receives one record per executed merger in
+	// execution order. Package-private: only equivalence tests hook it.
+	mergeLog *[]mergeRecord
+
 	// Step2DeltaQ makes step 2 order mergers by ΔQ (Eq. 2) instead of the
 	// model-similarity distance (Eq. 3). The paper rejects this because a
 	// complete graph then needs a trained classifier per candidate pair —
@@ -205,6 +217,20 @@ type Stats struct {
 	ModelsTrained int
 	// Mergers counts executed mergers across both steps.
 	Mergers int
+	// EdgesEvaluated counts candidate-merger evaluations — ΔQ trainings
+	// and similarity comparisons — across both steps.
+	EdgesEvaluated int
+	// EdgesPruned counts stale candidate edges dropped from the merge
+	// queue in bulk before they reached the top.
+	EdgesPruned int
+	// ModelsReused counts mergers resolved by the classifier-reuse
+	// optimization (§II-D) instead of a retraining.
+	ModelsReused int
+	// RecordsCopied counts record copies the engine performed: holdout
+	// splits, training-set materializations, and the shared sample build.
+	// The zero-copy dataset views exist to drive this down — the naive
+	// reference engine pays it at every merger.
+	RecordsCopied int
 }
 
 // ClusterConcepts runs both steps on the historical dataset and returns the
@@ -218,7 +244,9 @@ func ClusterConcepts(hist *data.Dataset, opts Options) (*Clustering, error) {
 		return nil, fmt.Errorf("cluster: historical dataset has %d records, need at least %d (two blocks)", hist.Len(), 2*o.BlockSize)
 	}
 	src := rng.New(o.Seed)
-	eng := &engine{opts: o, learner: o.Learner, src: src}
+	eng := &engine{opts: o, learner: o.Learner, src: src, naive: o.Reference}
+	eng.pool = newWorkerPool(eng.workers())
+	defer eng.pool.close()
 
 	// Step 1: adjacent blocks → chunks (concept occurrences). A short tail
 	// block is folded into its predecessor so every node can hold two
@@ -232,6 +260,8 @@ func ClusterConcepts(hist *data.Dataset, opts Options) (*Clustering, error) {
 	step1, err := eng.makeLeaves(blocks)
 	spBlocks.SetArg("blocks", int64(len(blocks)))
 	spBlocks.SetArg("models_trained", eng.modelsTrained.Load())
+	blockMark := eng.counters()
+	spBlocks.SetArg("records_copied", blockMark.copied)
 	spBlocks.End()
 	if err != nil {
 		return nil, err
@@ -260,6 +290,8 @@ func ClusterConcepts(hist *data.Dataset, opts Options) (*Clustering, error) {
 	}
 	spChunk.SetArg("chunks", int64(len(chunkNodes)))
 	spChunk.SetArg("mergers", int64(eng.stats.Mergers))
+	chunkMark := eng.counters()
+	setPhaseWorkArgs(spChunk, blockMark, chunkMark)
 	spChunk.End()
 
 	// Step 2: chunks → concepts, over a complete graph. Chunk nodes carry
@@ -268,14 +300,15 @@ func ClusterConcepts(hist *data.Dataset, opts Options) (*Clustering, error) {
 	step2 := make([]*node, len(chunkNodes))
 	for i, c := range chunkNodes {
 		step2[i] = &node{
-			id:      i,
-			all:     c.all,
-			train:   c.train,
-			test:    c.test,
-			model:   c.model,
-			err:     c.err,
-			errStar: c.err,
-			members: []int{i},
+			id:        i,
+			all:       c.all,
+			train:     c.train,
+			test:      c.test,
+			model:     c.model,
+			err:       c.err,
+			testWrong: c.testWrong,
+			errStar:   c.err,
+			members:   []int{i},
 		}
 	}
 	spConcept := o.Span.StartSpan("concept_merge")
@@ -286,12 +319,18 @@ func ClusterConcepts(hist *data.Dataset, opts Options) (*Clustering, error) {
 	orderByFirstMember(conceptNodes)
 	spConcept.SetArg("concepts", int64(len(conceptNodes)))
 	spConcept.SetArg("models_trained", eng.modelsTrained.Load())
+	finalMark := eng.counters()
+	setPhaseWorkArgs(spConcept, chunkMark, finalMark)
 	spConcept.End()
 
 	cl := &Clustering{Occurrences: occs, Stats: eng.stats}
 	cl.Stats.Blocks = len(blocks)
 	cl.Stats.Chunks = len(chunkNodes)
 	cl.Stats.ModelsTrained = int(eng.modelsTrained.Load())
+	cl.Stats.EdgesEvaluated = int(finalMark.edges)
+	cl.Stats.EdgesPruned = int(finalMark.pruned)
+	cl.Stats.ModelsReused = int(finalMark.reused)
+	cl.Stats.RecordsCopied = int(finalMark.copied)
 	if o.KeepDendrogram {
 		cl.Dendrogram = exportDendrogram(roots2, conceptNodes)
 	}
@@ -304,6 +343,16 @@ func ClusterConcepts(hist *data.Dataset, opts Options) (*Clustering, error) {
 		cl.Concepts = append(cl.Concepts, concept)
 	}
 	return cl, nil
+}
+
+// setPhaseWorkArgs attaches the work-counter deltas between two snapshots
+// to a phase span. All counters are functions of the merge sequence alone,
+// so the recorded args are identical across worker counts.
+func setPhaseWorkArgs(sp *obs.Span, since, now workCounters) {
+	sp.SetArg("edges_evaluated", now.edges-since.edges)
+	sp.SetArg("edges_pruned", now.pruned-since.pruned)
+	sp.SetArg("models_reused", now.reused-since.reused)
+	sp.SetArg("records_copied", now.copied-since.copied)
 }
 
 // memberRange returns the smallest and largest input-node id in the

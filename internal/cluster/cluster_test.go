@@ -312,7 +312,7 @@ func TestCutPrefersChildrenWhenBetter(t *testing.T) {
 	leaf := func(id int, n int, err float64) *node {
 		recs := make([]data.Record, n)
 		ds := &data.Dataset{Schema: staggerSchema(), Records: recs}
-		return &node{id: id, all: ds, err: err, errStar: err, members: []int{id}}
+		return &node{id: id, all: data.ViewOf(ds), err: err, errStar: err, members: []int{id}}
 	}
 	u := leaf(0, 10, 0.1)
 	v := leaf(1, 10, 0.1)
@@ -326,10 +326,10 @@ func TestCutPrefersChildrenWhenBetter(t *testing.T) {
 
 func TestCutKeepsRootWhenOptimal(t *testing.T) {
 	leaf := func(id int) *node {
-		return &node{id: id, all: data.NewDataset(staggerSchema()), err: 0.3, errStar: 0.3, members: []int{id}}
+		return &node{id: id, all: data.ViewOf(data.NewDataset(staggerSchema())), err: 0.3, errStar: 0.3, members: []int{id}}
 	}
 	u, v := leaf(0), leaf(1)
-	root := &node{id: 2, all: data.NewDataset(staggerSchema()), err: 0.1, errStar: 0.1, left: u, right: v, members: []int{0, 1}}
+	root := &node{id: 2, all: data.ViewOf(data.NewDataset(staggerSchema())), err: 0.1, errStar: 0.1, left: u, right: v, members: []int{0, 1}}
 	got := cut([]*node{root}, 0)
 	if len(got) != 1 || got[0] != root {
 		t.Fatalf("cut split an optimal root")
@@ -351,22 +351,23 @@ func TestMajorityLearnerAlsoWorks(t *testing.T) {
 }
 
 func TestEdgeHeapOrdering(t *testing.T) {
-	a := &node{id: 0, all: data.NewDataset(staggerSchema())}
-	b := &node{id: 1, all: data.NewDataset(staggerSchema())}
-	c := &node{id: 2, all: data.NewDataset(staggerSchema())}
-	h := &edgeHeap{}
-	h.push(&edge{u: a, v: b, dist: 5})
-	h.push(&edge{u: b, v: c, dist: 1})
-	h.push(&edge{u: a, v: c, dist: 3})
-	if e := h.popBest(); e.dist != 1 {
+	a := &node{id: 0, all: data.ViewOf(data.NewDataset(staggerSchema()))}
+	b := &node{id: 1, all: data.ViewOf(data.NewDataset(staggerSchema()))}
+	c := &node{id: 2, all: data.ViewOf(data.NewDataset(staggerSchema()))}
+	q := newMergeQueue()
+	q.push(&edge{u: a, v: b, dist: 5})
+	q.push(&edge{u: b, v: c, dist: 1})
+	q.push(&edge{u: a, v: c, dist: 3})
+	if e := q.popBest(); e.dist != 1 {
 		t.Fatalf("popBest dist = %v, want 1", e.dist)
 	}
 	b.dead = true // the remaining edges touching b are now stale
-	e := h.popBest()
+	q.noteDead(b)
+	e := q.popBest()
 	if e == nil || e.u != a || e.v != c {
 		t.Fatal("popBest did not skip stale edges")
 	}
-	if h.popBest() != nil {
+	if q.popBest() != nil {
 		t.Fatal("heap should be exhausted")
 	}
 }

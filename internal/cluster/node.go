@@ -16,16 +16,22 @@ type node struct {
 
 	// all is Du — every record of the cluster. In step 1 the records are
 	// contiguous in stream order; in step 2 they are the concatenation of
-	// the member chunks.
-	all *data.Dataset
+	// the member chunks. The views share the historical dataset's backing
+	// storage, so a merger splices segment headers instead of copying
+	// records.
+	all *data.View
 	// train and test are the holdout halves (§II-B): the model is trained
 	// on train and Err is measured on test.
-	train *data.Dataset
-	test  *data.Dataset
+	train *data.View
+	test  *data.View
 
 	model classifier.Classifier
-	// err is Err_u, the holdout validation error of model.
-	err float64
+	// err is Err_u, the holdout validation error of model, and testWrong
+	// the integer mistake count it was computed from (err = testWrong /
+	// test.Len()). Keeping the count lets merged-cluster errors be
+	// recombined exactly without rescanning the larger test half.
+	err       float64
+	testWrong int
 	// errStar is Err*_u, the error of the locally optimal partition of Du
 	// (§II-C.2).
 	errStar float64
@@ -42,6 +48,10 @@ type node struct {
 	// preds caches the model's predictions on the shared sample list
 	// prefix L[0:len(preds)] used by the step-2 similarity measure.
 	preds []int
+
+	// refs counts edges currently in the merge queue that reference this
+	// node; the queue uses it to bound its stale-edge estimate.
+	refs int
 
 	// members lists the input-node ids contained in this cluster, used to
 	// recover which chunks form each concept.
@@ -82,10 +92,13 @@ type edge struct {
 	index  int // heap bookkeeping
 }
 
-// mergedEval is the precomputed evaluation of a prospective merger.
+// mergedEval is the precomputed evaluation of a prospective merger: the
+// classifier, its validation error on the merged test half, and the
+// integer mistake count behind it.
 type mergedEval struct {
 	model classifier.Classifier
 	err   float64
+	wrong int
 }
 
 // stale reports whether either endpoint has been consumed or frozen since
@@ -129,17 +142,84 @@ func (h *edgeHeap) Pop() any {
 	return e
 }
 
+// mergeQueue wraps the edge heap with stale-edge accounting and periodic
+// pruning. Long step-2 runs would otherwise hold every superseded edge in
+// memory until it happened to reach the top; pruning drops stale edges in
+// bulk once they exceed half the heap. Because the heap's ordering is a
+// total order (dist, then endpoint ids) and pruning only removes edges
+// popBest would discard anyway, the popBest sequence is provably
+// unchanged by pruning — heapPruneInvariant_test asserts it.
+type mergeQueue struct {
+	h edgeHeap
+	// stale is an upper-bound estimate of stale edges in h, maintained
+	// from node refcounts: when a node dies every queued edge touching it
+	// goes stale. Edges whose endpoints both die are counted twice, so
+	// pruning can only trigger early, never late.
+	stale int
+	// minPrune disables pruning below this heap size; tests lower it to
+	// force the prune path.
+	minPrune int
+	// pruned counts edges dropped by pruning, for the build span args.
+	pruned int64
+}
+
+func newMergeQueue() *mergeQueue {
+	return &mergeQueue{minPrune: 64}
+}
+
 // push adds a candidate merger.
-func (h *edgeHeap) push(e *edge) { heap.Push(h, e) }
+func (q *mergeQueue) push(e *edge) {
+	e.u.refs++
+	e.v.refs++
+	heap.Push(&q.h, e)
+}
 
 // popBest removes and returns the non-stale candidate with the smallest
 // distance, or nil when none remain.
-func (h *edgeHeap) popBest() *edge {
-	for h.Len() > 0 {
-		e := heap.Pop(h).(*edge)
+func (q *mergeQueue) popBest() *edge {
+	for q.h.Len() > 0 {
+		e := heap.Pop(&q.h).(*edge)
+		e.u.refs--
+		e.v.refs--
 		if !e.stale() {
 			return e
 		}
+		if q.stale > 0 {
+			q.stale--
+		}
 	}
 	return nil
+}
+
+// noteDead records that n has been merged away (or frozen): every queued
+// edge referencing it is now stale.
+func (q *mergeQueue) noteDead(n *node) {
+	q.stale += n.refs
+}
+
+// maybePrune drops all stale edges and restores the heap invariant when
+// the stale estimate exceeds half the heap. Amortized cost is O(1) per
+// merger: a prune is linear but at least halves the heap.
+func (q *mergeQueue) maybePrune() {
+	if q.h.Len() < q.minPrune || 2*q.stale < q.h.Len() {
+		return
+	}
+	kept := q.h[:0]
+	for _, e := range q.h {
+		if e.stale() {
+			e.u.refs--
+			e.v.refs--
+			q.pruned++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	// Release the dropped tail so pruned edges (and their precomputed
+	// models) become collectible.
+	for i := len(kept); i < len(q.h); i++ {
+		q.h[i] = nil
+	}
+	q.h = kept
+	heap.Init(&q.h)
+	q.stale = 0
 }

@@ -1,0 +1,81 @@
+package cluster
+
+import "sync"
+
+// workerPool is the engine's shared training/evaluation parallelism: a
+// fixed set of goroutines executing indexed tasks. Every unit of work is
+// identified by its index and writes its result into a caller-owned slot,
+// so results are position-deterministic — the caller then consumes them
+// in index order, which is how the engine keeps the clustering bit-
+// identical across worker counts (the contract of parallel_test.go and
+// the homlint determinism analyzer).
+//
+// One pool lives for the whole clustering run and is reused by every
+// phase — leaf training, initial edge builds, per-merger re-evaluations,
+// and prediction caching — instead of spawning a fresh goroutine set per
+// phase.
+type workerPool struct {
+	tasks chan poolTask
+	stop  sync.WaitGroup
+}
+
+type poolTask struct {
+	fn   func(int)
+	i    int
+	done *sync.WaitGroup
+}
+
+// newWorkerPool starts workers goroutines. workers <= 1 creates an
+// inline pool that runs every task on the caller's goroutine — the
+// single-worker path has no channel or scheduling overhead at all.
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{}
+	if workers <= 1 {
+		return p
+	}
+	p.tasks = make(chan poolTask)
+	p.stop.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.stop.Done()
+			for t := range p.tasks {
+				t.fn(t.i)
+				t.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// parallel reports whether the pool dispatches to worker goroutines.
+func (p *workerPool) parallel() bool { return p.tasks != nil }
+
+// run executes fn(0..n-1) and returns when all calls have completed. The
+// assignment of indices to workers is scheduling-dependent, but callers
+// only ever read per-index results after run returns, so outcomes do not
+// depend on it.
+func (p *workerPool) run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if p.tasks == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var done sync.WaitGroup
+	done.Add(n)
+	for i := 0; i < n; i++ {
+		p.tasks <- poolTask{fn: fn, i: i, done: &done}
+	}
+	done.Wait()
+}
+
+// close stops the workers. The pool must not be used afterwards.
+func (p *workerPool) close() {
+	if p.tasks != nil {
+		close(p.tasks)
+		p.stop.Wait()
+	}
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"highorder/internal/data"
+)
+
+// TestHeapPruneInvariant asserts the claim the mergeQueue relies on:
+// because the heap order is total and pruning only drops edges popBest
+// would discard anyway, the popBest sequence with aggressive pruning is
+// identical to the sequence with pruning disabled — under the same
+// schedule of node deaths.
+func TestHeapPruneInvariant(t *testing.T) {
+	const n = 40
+	ds := data.NewDataset(staggerSchema())
+	// Deterministic pseudo-random distances with plenty of duplicates, so
+	// the id tie-break is exercised too.
+	dist := func(i, j int) float64 {
+		return float64((i*2654435761+j*40503)%97) / 7
+	}
+
+	run := func(prune bool) ([]string, int64) {
+		nodes := make([]*node, n)
+		for i := range nodes {
+			nodes[i] = &node{id: i, all: data.ViewOf(ds)}
+		}
+		q := newMergeQueue()
+		if prune {
+			q.minPrune = 8
+		} else {
+			q.minPrune = 1 << 30
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				q.push(&edge{u: nodes[i], v: nodes[j], dist: dist(i, j)})
+			}
+		}
+		var order []string
+		step := 0
+		for {
+			e := q.popBest()
+			if e == nil {
+				break
+			}
+			order = append(order, fmt.Sprintf("%d-%d", e.u.id, e.v.id))
+			// Kill a node every few pops so edges go stale in bulk; the
+			// schedule depends only on the pop sequence, which is exactly
+			// what the invariant says pruning cannot change.
+			if step%3 == 0 {
+				victim := nodes[(step*7)%n]
+				if !victim.dead {
+					victim.dead = true
+					q.noteDead(victim)
+				}
+			}
+			q.maybePrune()
+			step++
+		}
+		return order, q.pruned
+	}
+
+	plainOrder, plainPruned := run(false)
+	prunedOrder, prunedCount := run(true)
+	if plainPruned != 0 {
+		t.Fatalf("prune-disabled queue pruned %d edges", plainPruned)
+	}
+	if prunedCount == 0 {
+		t.Fatal("prune-enabled queue never pruned; the test is vacuous")
+	}
+	if len(plainOrder) != len(prunedOrder) {
+		t.Fatalf("pruning changed the pop count: %d vs %d", len(prunedOrder), len(plainOrder))
+	}
+	for i := range plainOrder {
+		if plainOrder[i] != prunedOrder[i] {
+			t.Fatalf("pop %d: pruned queue returned %s, plain queue %s", i, prunedOrder[i], plainOrder[i])
+		}
+	}
+}
+
+// TestMergeQueueRefCounts checks the refcount bookkeeping pruning relies
+// on: pushes increment, pops and prunes decrement, and a fully drained
+// queue leaves every node at zero.
+func TestMergeQueueRefCounts(t *testing.T) {
+	ds := data.NewDataset(staggerSchema())
+	a := &node{id: 0, all: data.ViewOf(ds)}
+	b := &node{id: 1, all: data.ViewOf(ds)}
+	c := &node{id: 2, all: data.ViewOf(ds)}
+	q := newMergeQueue()
+	q.minPrune = 1
+	q.push(&edge{u: a, v: b, dist: 1})
+	q.push(&edge{u: a, v: c, dist: 2})
+	q.push(&edge{u: b, v: c, dist: 3})
+	if a.refs != 2 || b.refs != 2 || c.refs != 2 {
+		t.Fatalf("refs after push = %d/%d/%d, want 2/2/2", a.refs, b.refs, c.refs)
+	}
+	if e := q.popBest(); e.u != a || e.v != b {
+		t.Fatalf("unexpected first pop %d-%d", e.u.id, e.v.id)
+	}
+	c.dead = true
+	q.noteDead(c)
+	q.maybePrune() // drops both edges touching c
+	if q.pruned != 2 {
+		t.Fatalf("pruned %d edges, want 2", q.pruned)
+	}
+	if a.refs != 0 || b.refs != 0 || c.refs != 0 {
+		t.Fatalf("refs after prune = %d/%d/%d, want 0/0/0", a.refs, b.refs, c.refs)
+	}
+	if q.popBest() != nil {
+		t.Fatal("queue should be empty after pruning")
+	}
+}

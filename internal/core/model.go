@@ -56,6 +56,10 @@ type Options struct {
 	// Step2DeltaQ makes concept clustering's step 2 use the ΔQ merge
 	// strategy instead of model similarity (ablation; see cluster.Options).
 	Step2DeltaQ bool
+	// ReferenceEngine selects the clustering's retained naive reference
+	// engine (see cluster.Options.Reference): bit-identical results at the
+	// pre-optimization cost. Used by the scaling bench as its baseline.
+	ReferenceEngine bool
 	// CutSlack overrides the clustering cut slack (see cluster.Options);
 	// 0 keeps the default.
 	CutSlack float64
@@ -155,6 +159,7 @@ func Build(hist *data.Dataset, opts Options) (*Model, error) {
 		ReuseRatio:       o.ReuseRatio,
 		Workers:          o.Workers,
 		Step2DeltaQ:      o.Step2DeltaQ,
+		Reference:        o.ReferenceEngine,
 		CutSlack:         o.CutSlack,
 		Span:             build,
 	})
@@ -184,11 +189,19 @@ func Build(hist *data.Dataset, opts Options) (*Model, error) {
 		if o.RetrainConcepts {
 			spc := spRetrain.StartSpan("train_concept")
 			spc.SetArg("concept", int64(ci))
-			full := data.NewDataset(hist.Schema)
+			// Gather the concept's records with one sized allocation; the
+			// per-occurrence Concat this replaces reallocated the whole
+			// accumulated prefix at every step.
+			total := 0
+			for _, oi := range c.Occurrences {
+				total += cl.Occurrences[oi].Len()
+			}
+			recs := make([]data.Record, 0, total)
 			for _, oi := range c.Occurrences {
 				occ := cl.Occurrences[oi]
-				full = full.Concat(hist.Slice(occ.Start, occ.End))
+				recs = append(recs, hist.Records[occ.Start:occ.End]...)
 			}
+			full := &data.Dataset{Schema: hist.Schema, Records: recs}
 			spc.SetArg("records", int64(full.Len()))
 			if full.Len() > 0 {
 				if retrained, err := o.Learner.Train(full); err == nil {

@@ -1,0 +1,50 @@
+//go:build !race
+
+package data
+
+import "testing"
+
+// TestViewIterationAllocs is the allocation gate verify.sh enforces on
+// the zero-copy dataset view: walking a multi-segment view through
+// Segments must not allocate at all. The file is excluded under -race
+// because race instrumentation changes allocation behavior.
+func TestViewIterationAllocs(t *testing.T) {
+	s := viewSchema()
+	v := ViewOf(seqDataset(s, 0, 200))
+	for i := 0; i < 6; i++ {
+		v = v.Concat(ViewOf(seqDataset(s, 1000*(i+1), 200)))
+	}
+	sum := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, seg := range v.Segments() {
+			for _, r := range seg {
+				sum += r.Class
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("view iteration allocates %.1f times per pass, want 0", allocs)
+	}
+	if sum == 0 {
+		t.Fatal("iteration was optimized away; gate is vacuous")
+	}
+}
+
+func BenchmarkViewConcat(b *testing.B) {
+	s := viewSchema()
+	parts := make([]*View, 64)
+	for i := range parts {
+		parts[i] = ViewOf(seqDataset(s, i*100, 100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := parts[0]
+		for _, p := range parts[1:] {
+			v = v.Concat(p)
+		}
+		if v.Len() != 6400 {
+			b.Fatal("bad concat")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package data
+
+import "testing"
+
+func viewSchema() *Schema {
+	return &Schema{
+		Attributes: []Attribute{{Name: "x", Kind: Numeric}},
+		Classes:    []string{"a", "b"},
+	}
+}
+
+func seqDataset(schema *Schema, lo, n int) *Dataset {
+	d := NewDataset(schema)
+	for i := 0; i < n; i++ {
+		d.Add(Record{Values: []float64{float64(lo + i)}, Class: (lo + i) % 2})
+	}
+	return d
+}
+
+// flatten collects the view's records via Segments, the hot-loop access
+// path.
+func flatten(v *View) []Record {
+	var out []Record
+	for _, seg := range v.Segments() {
+		out = append(out, seg...)
+	}
+	return out
+}
+
+func TestViewOfSharesRecords(t *testing.T) {
+	d := seqDataset(viewSchema(), 0, 5)
+	v := ViewOf(d)
+	if v.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", v.Len())
+	}
+	// Mutating the source dataset's record is visible through the view:
+	// the storage is shared, not copied.
+	d.Records[2].Class = 1 - d.Records[2].Class
+	if v.At(2).Class != d.Records[2].Class {
+		t.Fatal("view does not share the source dataset's records")
+	}
+}
+
+func TestViewConcatOrderAndLen(t *testing.T) {
+	s := viewSchema()
+	u := ViewOf(seqDataset(s, 0, 3))
+	v := ViewOf(seqDataset(s, 100, 4))
+	w := u.Concat(v)
+	if w.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", w.Len())
+	}
+	want := []float64{0, 1, 2, 100, 101, 102, 103}
+	got := flatten(w)
+	if len(got) != len(want) {
+		t.Fatalf("flattened %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Values[0] != want[i] {
+			t.Fatalf("record %d = %v, want %v", i, r.Values[0], want[i])
+		}
+	}
+	// Concat must not mutate its inputs.
+	if u.Len() != 3 || v.Len() != 4 {
+		t.Fatal("Concat mutated an input view")
+	}
+	if len(flatten(u)) != 3 {
+		t.Fatal("Concat grew an input view's segments")
+	}
+}
+
+func TestViewConcatCoalescesAdjacentSlices(t *testing.T) {
+	d := seqDataset(viewSchema(), 0, 30)
+	blocks := d.Blocks(10)
+	v := ViewOf(blocks[0]).Concat(ViewOf(blocks[1])).Concat(ViewOf(blocks[2]))
+	if got := len(v.Segments()); got != 1 {
+		t.Fatalf("adjacent stream slices produced %d segments, want 1 (coalesced)", got)
+	}
+	if v.Len() != 30 {
+		t.Fatalf("Len = %d, want 30", v.Len())
+	}
+	for i := 0; i < 30; i++ {
+		if v.At(i).Values[0] != float64(i) {
+			t.Fatalf("record %d = %v after coalescing", i, v.At(i).Values[0])
+		}
+	}
+	// Non-adjacent slices of the same array must NOT coalesce.
+	g := ViewOf(blocks[0]).Concat(ViewOf(blocks[2]))
+	if got := len(g.Segments()); got != 2 {
+		t.Fatalf("gap concat produced %d segments, want 2", got)
+	}
+	if g.Len() != 20 || g.At(10).Values[0] != 20 {
+		t.Fatal("gap concat lost records")
+	}
+}
+
+func TestViewMaterializeMatchesAppendTo(t *testing.T) {
+	s := viewSchema()
+	v := ViewOf(seqDataset(s, 0, 4)).Concat(ViewOf(seqDataset(s, 50, 3)))
+	m := v.Materialize()
+	if m.Len() != v.Len() || m.Schema != s {
+		t.Fatalf("materialized %d records, want %d", m.Len(), v.Len())
+	}
+	app := v.AppendTo(nil)
+	for i := range app {
+		if m.Records[i].Values[0] != app[i].Values[0] || m.Records[i].Class != app[i].Class {
+			t.Fatalf("Materialize and AppendTo disagree at record %d", i)
+		}
+	}
+	// The materialized record slice is fresh: appending to it must not
+	// touch the view.
+	m.Add(Record{Values: []float64{-1}, Class: 0})
+	if v.Len() != 7 {
+		t.Fatal("Materialize shares its record slice header with the view")
+	}
+}
+
+func TestViewEmptyDatasets(t *testing.T) {
+	s := viewSchema()
+	e := ViewOf(NewDataset(s))
+	if e.Len() != 0 || len(e.Segments()) != 0 {
+		t.Fatal("empty view not empty")
+	}
+	v := e.Concat(ViewOf(seqDataset(s, 7, 2)))
+	if v.Len() != 2 || v.At(0).Values[0] != 7 {
+		t.Fatal("concat with empty view broken")
+	}
+	if got := v.Concat(e).Len(); got != 2 {
+		t.Fatalf("concat of empty onto view = %d records, want 2", got)
+	}
+}

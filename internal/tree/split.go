@@ -31,6 +31,13 @@ type grower struct {
 	// hot threshold scan.
 	cols    [][]float64
 	classes []int32
+	// counts is the class-count scratch of the most recent makeNode call;
+	// bestSplit reads it for the same node immediately after (grow calls
+	// them back to back, before any child recursion).
+	counts []int
+	// nomBuf is nominalSplit's per-call scratch for branch class counts and
+	// branch sizes, sized card·k+card for the widest nominal attribute.
+	nomBuf []int
 }
 
 func (g *grower) xl2(n int) float64 { return g.xlog2x[n] }
@@ -48,9 +55,26 @@ type nodeData struct {
 func (g *grower) root() *nodeData {
 	n := len(g.records)
 	g.childBuf = make([]int32, n)
-	g.xlog2x = make([]float64, n+1)
-	for i := 2; i <= n; i++ {
-		g.xlog2x[i] = float64(i) * math.Log2(float64(i))
+	g.counts = make([]int, g.schema.NumClasses())
+	maxCard := 0
+	hasNumeric := false
+	for _, attr := range g.schema.Attributes {
+		if attr.Kind == data.Numeric {
+			hasNumeric = true
+		} else if c := attr.Cardinality(); c > maxCard {
+			maxCard = c
+		}
+	}
+	if maxCard > 0 {
+		g.nomBuf = make([]int, maxCard*g.schema.NumClasses()+maxCard)
+	}
+	if hasNumeric {
+		// The x·log₂x table only feeds the numeric threshold scan; an
+		// all-nominal schema skips the n Log2 calls entirely.
+		g.xlog2x = make([]float64, n+1)
+		for i := 2; i <= n; i++ {
+			g.xlog2x[i] = float64(i) * math.Log2(float64(i))
+		}
 	}
 	idx := make([]int32, n)
 	for i := range idx {
@@ -110,7 +134,10 @@ func (g *grower) grow(nd *nodeData, depth int) *Node {
 // makeNode builds a leaf node summarizing the records in idx.
 func (g *grower) makeNode(idx []int32) *Node {
 	k := g.schema.NumClasses()
-	counts := make([]int, k)
+	counts := g.counts
+	for c := range counts {
+		counts[c] = 0
+	}
 	for _, i := range idx {
 		counts[g.classes[i]]++
 	}
@@ -155,14 +182,19 @@ func (g *grower) partition(nd *nodeData, c *candidate) []*nodeData {
 		sizes[b]++
 	}
 	children := make([]*nodeData, branches)
+	// All branches' index lists carve slices out of one backing array; the
+	// append fills below stay within each child's carved capacity.
+	backing := make([]int32, len(nd.idx))
+	off := 0
 	for b := 0; b < branches; b++ {
 		if sizes[b] == 0 {
 			continue
 		}
 		children[b] = &nodeData{
-			idx:    make([]int32, 0, sizes[b]),
+			idx:    backing[off : off : off+sizes[b]],
 			sorted: make([][]int32, len(nd.sorted)),
 		}
+		off += sizes[b]
 	}
 	for _, i := range nd.idx {
 		child := children[g.childBuf[i]]
@@ -172,9 +204,12 @@ func (g *grower) partition(nd *nodeData, c *candidate) []*nodeData {
 		if s == nil {
 			continue
 		}
+		sb := make([]int32, len(s))
+		off = 0
 		for b := 0; b < branches; b++ {
 			if children[b] != nil {
-				children[b].sorted[a] = make([]int32, 0, sizes[b])
+				children[b].sorted[a] = sb[off : off : off+sizes[b]]
+				off += sizes[b]
 			}
 		}
 		for _, i := range s {
@@ -202,7 +237,9 @@ func (g *grower) branchOf(i int32, c *candidate, attr data.Attribute) int {
 // compete on gain ratio, which guards against attributes whose ratio is
 // inflated by a tiny split entropy.
 func (g *grower) bestSplit(nd *nodeData, summary *Node) *candidate {
-	baseEntropy := data.EntropyOfCounts(countsFromDist(summary), summary.N)
+	// g.counts still holds this node's class counts from the makeNode call
+	// in grow immediately before.
+	baseEntropy := data.EntropyOfCounts(g.counts, summary.N)
 	if baseEntropy <= 0 {
 		// Entropy is non-negative; zero means the node is pure.
 		return nil
@@ -240,29 +277,24 @@ func (g *grower) bestSplit(nd *nodeData, summary *Node) *candidate {
 	return best
 }
 
-// countsFromDist reconstructs integer class counts from a summary node.
-func countsFromDist(n *Node) []int {
-	counts := make([]int, len(n.Dist))
-	for c, p := range n.Dist {
-		counts[c] = int(p*float64(n.N) + 0.5)
-	}
-	return counts
-}
-
 // nominalSplit evaluates the multiway split on nominal attribute a.
 func (g *grower) nominalSplit(idx []int32, a int, baseEntropy float64) *candidate {
 	attr := g.schema.Attributes[a]
 	k := g.schema.NumClasses()
 	card := attr.Cardinality()
-	counts := make([][]int, card)
+	// Flat scratch: counts[v*k+c] then sizes[v], zeroed per call.
+	counts := g.nomBuf[:card*k]
+	sizes := g.nomBuf[card*k : card*k+card]
 	for i := range counts {
-		counts[i] = make([]int, k)
+		counts[i] = 0
 	}
-	sizes := make([]int, card)
+	for i := range sizes {
+		sizes[i] = 0
+	}
 	vals := g.cols[a]
 	for _, i := range idx {
 		v := int(vals[i])
-		counts[v][g.classes[i]]++
+		counts[v*k+int(g.classes[i])]++
 		sizes[v]++
 	}
 	// A split must send at least MinLeaf records down at least two branches.
@@ -283,7 +315,7 @@ func (g *grower) nominalSplit(idx []int32, a int, baseEntropy float64) *candidat
 			continue
 		}
 		p := float64(sizes[v]) / float64(total)
-		cond += p * data.EntropyOfCounts(counts[v], sizes[v])
+		cond += p * data.EntropyOfCounts(counts[v*k:(v+1)*k], sizes[v])
 		splitH -= p * math.Log2(p)
 	}
 	gain := baseEntropy - cond

@@ -36,6 +36,15 @@ go build ./...
 step "go test -race ./..."
 go test -race ./...
 
+# The race detector skews allocation counts, so the AllocsPerRun
+# ceilings (similarityEdge, zero-copy view iteration) and the benchmark
+# smoke run without it.
+step "alloc ceilings (internal/cluster, internal/data)"
+go test ./internal/cluster ./internal/data -run Allocs -count=1
+
+step "bench smoke (-benchtime 1x)"
+go test ./internal/cluster ./internal/data -run '^$' -bench . -benchtime 1x >/dev/null
+
 step "fuzz dataio (${FUZZTIME} each)"
 go test ./internal/dataio -run='^$' -fuzz='^FuzzParseRecord$' -fuzztime="$FUZZTIME"
 go test ./internal/dataio -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIME"
@@ -89,5 +98,17 @@ for f in trace.json BENCH_pipeline.json; do
 done
 go run ./cmd/homload -model "$smoketmp/model.gob" -sessions 1 -records 200 \
 	-batch 16 -out "$smoketmp/BENCH_serve.json"
+
+# Scaling-bench smoke: a small sweep through both merge engines. runScale
+# itself fails if the optimized engine's per-record assignments differ
+# from the reference engine's, so this doubles as the cross-engine
+# bit-identity gate.
+step "homtrain -scale smoke (2000 records, workers 1,2)"
+go run ./cmd/homtrain -scale -scale-hist 2000 -scale-workers 1,2 -reuse 1.0 \
+	-scale-out "$smoketmp/BENCH_scale.json" >/dev/null
+if [ ! -s "$smoketmp/BENCH_scale.json" ]; then
+	echo "homtrain -scale produced empty BENCH_scale.json" >&2
+	exit 1
+fi
 
 echo "verify.sh: all gates passed"
