@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -82,5 +83,145 @@ func TestListAnalyzers(t *testing.T) {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s", name)
 		}
+	}
+}
+
+// TestFindsSeededModuleViolations runs the CLI over the flow-aware
+// analyzer fixtures as module trees (the `/...` form that builds the call
+// graph) and checks each seeded violation class fails the run.
+func TestFindsSeededModuleViolations(t *testing.T) {
+	root := moduleRoot(t)
+	cases := []struct {
+		fixture  string
+		analyzer string
+	}{
+		{"lockorder", "lockorder"},
+		{"hotpathalloc", "hotpathalloc"},
+		{"errdrop", "errdrop"},
+		{filepath.Join("snapshotcompat", "unbumped"), "snapshotcompat"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			target := filepath.Join(root, "internal", "analysis", "testdata", tc.fixture) + "/..."
+			var stdout, stderr bytes.Buffer
+			code := run([]string{"-enable", tc.analyzer, target}, &stdout, &stderr)
+			if code != 1 {
+				t.Fatalf("want exit 1 on seeded %s violations, got %d\n%s%s",
+					tc.analyzer, code, stdout.String(), stderr.String())
+			}
+			if !strings.Contains(stdout.String(), "["+tc.analyzer+"]") {
+				t.Errorf("no %s finding in CLI output:\n%s", tc.analyzer, stdout.String())
+			}
+		})
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline over a violating fixture and
+// checks the same run passes against it, while a clean target reports the
+// now-stale entries.
+func TestBaselineRoundTrip(t *testing.T) {
+	root := moduleRoot(t)
+	target := filepath.Join(root, "internal", "analysis", "testdata", "errdrop") + "/..."
+	baseline := filepath.Join(t.TempDir(), "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-enable", "errdrop", "-write-baseline", baseline, target}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exited %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-enable", "errdrop", "-baseline", baseline, target}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined findings should pass, got exit %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+
+	// The same baseline against a clean tree is entirely stale.
+	clean := filepath.Join(root, "internal", "analysis", "testdata", "lockorder") + "/..."
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-enable", "errdrop", "-baseline", baseline, clean}, &stdout, &stderr); code != 0 {
+		t.Fatalf("clean tree with stale baseline should exit 0, got %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "stale") {
+		t.Errorf("stale baseline entries not reported on stderr:\n%s", stderr.String())
+	}
+}
+
+// TestSARIFOutput checks -sarif writes a parseable SARIF log with one
+// result per finding.
+func TestSARIFOutput(t *testing.T) {
+	root := moduleRoot(t)
+	target := filepath.Join(root, "internal", "analysis", "testdata", "errdrop") + "/..."
+	sarif := filepath.Join(t.TempDir(), "out", "homlint.sarif")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-enable", "errdrop", "-sarif", sarif, target}, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1, got %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	raw, err := os.ReadFile(sarif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	if len(log.Runs[0].Results) == 0 {
+		t.Fatal("SARIF log has no results for a violating fixture")
+	}
+	for _, r := range log.Runs[0].Results {
+		if r.RuleID != "errdrop" {
+			t.Errorf("unexpected ruleId %q", r.RuleID)
+		}
+	}
+}
+
+// TestJSONOutput checks -json emits a machine-readable finding list.
+func TestJSONOutput(t *testing.T) {
+	root := moduleRoot(t)
+	target := filepath.Join(root, "internal", "analysis", "testdata", "errdrop") + "/..."
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-enable", "errdrop", "-json", target}, &stdout, &stderr); code != 1 {
+		t.Fatalf("want exit 1, got %d:\n%s%s", code, stdout.String(), stderr.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings in JSON output")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "errdrop" || f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete JSON finding: %+v", f)
+		}
+	}
+}
+
+// TestRepoCleanAgainstCommittedBaseline mirrors the CI invocation exactly:
+// the committed baseline plus parallel module analysis must pass, and the
+// committed baseline must not carry stale entries.
+func TestRepoCleanAgainstCommittedBaseline(t *testing.T) {
+	root := moduleRoot(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-baseline", filepath.Join(root, "lint", "baseline.json"), root + "/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("CI invocation failed (exit %d):\n%s%s", code, stdout.String(), stderr.String())
+	}
+	if strings.Contains(stderr.String(), "stale") {
+		t.Errorf("committed baseline has stale entries:\n%s", stderr.String())
 	}
 }

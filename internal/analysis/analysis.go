@@ -4,13 +4,25 @@
 // transition estimation, active-probability tracking — is only reproducible
 // when every stage is bit-for-bit deterministic under a seed, so the things
 // Go makes easy to get wrong silently (global math/rand state, wall-clock
-// reads, map-iteration order, copied locks, races) are checked mechanically
-// by `go run ./cmd/homlint ./...` rather than by convention.
+// reads, map-iteration order, copied locks, races, lock-order inversions,
+// hot-path allocations, silent snapshot-format drift) are checked
+// mechanically by `go run ./cmd/homlint ./...` rather than by convention.
+//
+// The v2 engine is whole-module and flow-aware. A Loader checks every
+// package of the module in dependency order, so intra-module imports carry
+// complete type information; the Program ties the checked packages to a
+// static call graph (callgraph.go) and a cross-package fact store
+// (facts.go). Per-package analyzers run in parallel across packages and
+// export facts; module analyzers join afterwards, propagating findings
+// across function and package boundaries (lock-order cycles, hot-path
+// reachability, the gob snapshot fingerprint).
 //
 // The framework deliberately mirrors the shape of golang.org/x/tools/go/
 // analysis without depending on it: an Analyzer runs over one package Pass
-// and reports position-tagged Diagnostics. Findings are suppressed with
-// `//homlint:allow <analyzer> -- reason` directives (see directives.go).
+// and reports position-tagged Diagnostics; a ModuleAnalyzer additionally
+// joins over the whole Program. Findings are suppressed with
+// `//homlint:allow <analyzer> -- reason` directives (see directives.go) or
+// recorded in an auditable baseline file (baseline.go).
 package analysis
 
 import (
@@ -19,6 +31,10 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"sync"
+	"time"
+
+	"highorder/internal/clock"
 )
 
 // Diagnostic is one finding, anchored to a source position.
@@ -29,6 +45,20 @@ type Diagnostic struct {
 	Analyzer string
 	// Message describes the violation and, where possible, the fix.
 	Message string
+	// Fix, when non-nil, is a mechanical edit that resolves the finding;
+	// cmd/homlint applies it under -fix.
+	Fix *Fix
+}
+
+// Fix is one mechanical text edit: replace [Start,End) of the file at Path
+// with NewText. Offsets are byte offsets; Start==End inserts. A Fix whose
+// End is -1 replaces the whole file (used for generated artifacts like the
+// snapshot fingerprint).
+type Fix struct {
+	Path    string
+	Start   int
+	End     int
+	NewText string
 }
 
 // String renders the diagnostic in the conventional file:line:col form
@@ -44,8 +74,18 @@ type Analyzer interface {
 	Name() string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc() string
-	// Run inspects the pass and reports findings via pass.Report.
+	// Run inspects the pass and reports findings via pass.Report. For a
+	// ModuleAnalyzer this is the parallel per-package phase, which
+	// typically exports facts rather than reporting.
 	Run(pass *Pass)
+}
+
+// ModuleAnalyzer is an Analyzer that needs the whole program: after every
+// package's Run has completed (and its facts are exported), Join runs once
+// with the assembled Program and reports cross-package findings.
+type ModuleAnalyzer interface {
+	Analyzer
+	Join(prog *Program, report func(Diagnostic))
 }
 
 // File is one parsed source file of a pass.
@@ -58,20 +98,37 @@ type File struct {
 	Test bool
 }
 
-// Pass carries one package's syntax and (best-effort) type information
-// through the analyzers, and collects their diagnostics.
+// Pass carries one package's syntax and type information through the
+// analyzers, and collects their diagnostics.
 type Pass struct {
 	// Fset resolves token positions for every file of the pass.
 	Fset *token.FileSet
 	// Dir is the package directory, relative to the analysis root.
 	Dir string
-	// Files are the package's source files, sorted by path.
+	// Path is the package import path, or "" outside a module.
+	Path string
+	// Name is the package name.
+	Name string
+	// Files are the pass's source files, sorted by path.
 	Files []*File
-	// Info is the result of type-checking the package with full standard-
-	// library resolution but stubbed intra-module imports, so types that
-	// come from other packages of this module may be missing or invalid.
-	// Analyzers must treat it as best-effort and fall back to syntax.
+	// Info is the result of type-checking the pass. Within a module load,
+	// intra-module imports resolve to fully checked packages; imports
+	// outside the module and the standard library are stubbed, so analyzers
+	// must still treat Info as best-effort and fall back to syntax.
 	Info *types.Info
+	// Pkg is the checked package (possibly marked invalid on stub-induced
+	// errors; still usable for qualified naming).
+	Pkg *types.Package
+	// Prog is the owning program.
+	Prog *Program
+	// Canonical marks the non-test pass of a package — the pass the call
+	// graph and module analyzers are built from.
+	Canonical bool
+
+	// testOnly marks a test-augmented re-check of a canonical package:
+	// only diagnostics anchored in test files are kept, the rest being
+	// duplicates of the canonical pass.
+	testOnly bool
 
 	analyzer string
 	diags    []Diagnostic
@@ -86,8 +143,18 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding carrying a mechanical fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *Fix, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer,
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
 // TypeOf returns the type of e, or nil when type-checking could not
-// resolve it (e.g. it involves a stubbed intra-module import).
+// resolve it (e.g. it involves a stubbed import).
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	if p.Info == nil {
 		return nil
@@ -97,6 +164,193 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 		return nil
 	}
 	return t
+}
+
+// Program is one loaded source tree: every pass of every package, the
+// shared fact store, and the lazily built call graph.
+type Program struct {
+	// Fset resolves positions program-wide.
+	Fset *token.FileSet
+	// Root is the directory the program was loaded from.
+	Root string
+	// ModulePath is the module path from go.mod, or "".
+	ModulePath string
+	// Passes is every pass in analysis order (canonical, test-augmented,
+	// external-test per package; packages in dependency order).
+	Passes []*Pass
+	// Canon is the canonical (non-test) passes only, in dependency order —
+	// the program slice module analyzers and the call graph operate on.
+	Canon []*Pass
+	// Facts is the cross-package fact store.
+	Facts *FactStore
+
+	graphOnce sync.Once
+	graph     *CallGraph
+}
+
+// Graph returns the program's call graph, building it on first use.
+func (prog *Program) Graph() *CallGraph {
+	prog.graphOnce.Do(func() { prog.graph = buildCallGraph(prog) })
+	return prog.graph
+}
+
+// AnalyzerTiming is one analyzer's accumulated wall time across the run.
+type AnalyzerTiming struct {
+	Analyzer string
+	Duration time.Duration
+	Findings int
+}
+
+// RunOptions tune a program-wide analysis run.
+type RunOptions struct {
+	// Workers bounds the per-package parallelism; <= 0 selects the number
+	// of passes (fully parallel, the scheduler's cap applies anyway).
+	Workers int
+	// Clock supplies per-analyzer timing; nil selects the wall clock.
+	Clock clock.Clock
+}
+
+// Result is the outcome of a program-wide run.
+type Result struct {
+	// Diagnostics are the findings surviving suppression directives,
+	// sorted by position.
+	Diagnostics []Diagnostic
+	// Timings is the per-analyzer accumulated wall time, in suite order.
+	Timings []AnalyzerTiming
+}
+
+// Run executes the analyzers over every pass of the program — packages in
+// parallel — then runs each ModuleAnalyzer's join, and returns the
+// diagnostics surviving suppression directives, sorted by position.
+// Malformed suppression directives are themselves reported. The output is
+// deterministic for any worker count.
+func (prog *Program) Run(analyzers []Analyzer, opts RunOptions) Result {
+	clk := opts.Clock.OrWall()
+	workers := opts.Workers
+	if workers <= 0 || workers > len(prog.Passes) {
+		workers = len(prog.Passes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		mu      sync.Mutex
+		timings = map[string]*AnalyzerTiming{}
+		sups    = make([]*suppressions, len(prog.Passes))
+		perPass = make([][]Diagnostic, len(prog.Passes))
+	)
+	addTime := func(name string, d time.Duration, findings int) {
+		mu.Lock()
+		t, ok := timings[name]
+		if !ok {
+			t = &AnalyzerTiming{Analyzer: name}
+			timings[name] = t
+		}
+		t.Duration += d
+		t.Findings += findings
+		mu.Unlock()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				pass := prog.Passes[i]
+				sups[i] = collectDirectives(pass)
+				var out []Diagnostic
+				for _, a := range analyzers {
+					pass.analyzer = a.Name()
+					pass.diags = pass.diags[:0]
+					start := clk()
+					a.Run(pass)
+					kept := 0
+					for _, d := range pass.diags {
+						if pass.testOnly && !isTestFile(pass, d.Pos.Filename) {
+							continue
+						}
+						if !sups[i].allows(d) {
+							out = append(out, d)
+							kept++
+						}
+					}
+					addTime(a.Name(), clk().Sub(start), kept)
+				}
+				for _, d := range sups[i].malformed {
+					if pass.testOnly && !isTestFile(pass, d.Pos.Filename) {
+						continue
+					}
+					out = append(out, d)
+				}
+				perPass[i] = out
+			}
+		}()
+	}
+	for i := range prog.Passes {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Malformed-directive findings from test-augmented passes duplicate the
+	// canonical pass for non-test files; the dedup below handles them.
+	var out []Diagnostic
+	for _, ds := range perPass {
+		out = append(out, ds...)
+	}
+
+	// Module joins: suppression is checked against the directives of every
+	// pass, keyed by the diagnostic's file.
+	allows := func(d Diagnostic) bool {
+		for _, s := range sups {
+			if s != nil && s.allows(d) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range analyzers {
+		ma, ok := a.(ModuleAnalyzer)
+		if !ok {
+			continue
+		}
+		start := clk()
+		kept := 0
+		ma.Join(prog, func(d Diagnostic) {
+			d.Analyzer = ma.Name()
+			if !allows(d) {
+				out = append(out, d)
+				kept++
+			}
+		})
+		addTime(a.Name()+"(join)", clk().Sub(start), kept)
+	}
+
+	sortDiagnostics(out)
+	out = dedupDiagnostics(out)
+
+	res := Result{Diagnostics: out}
+	order := append([]Analyzer(nil), analyzers...)
+	for _, a := range order {
+		for _, key := range []string{a.Name(), a.Name() + "(join)"} {
+			if t, ok := timings[key]; ok {
+				res.Timings = append(res.Timings, *t)
+			}
+		}
+	}
+	return res
+}
+
+func isTestFile(pass *Pass, filename string) bool {
+	for _, f := range pass.Files {
+		if f.Path == filename {
+			return f.Test
+		}
+	}
+	return false
 }
 
 // ImportName returns the local name under which file imports path, or ""
@@ -141,8 +395,10 @@ func IsPkgCall(call *ast.CallExpr, pkgName, fn string) (*ast.SelectorExpr, bool)
 	return sel, true
 }
 
-// Run executes the analyzers over the pass and returns the diagnostics that
-// survive suppression directives, sorted by position.
+// Run executes the analyzers over a single pass and returns the
+// diagnostics that survive suppression directives, sorted by position. It
+// is the single-package entry point (fixture tests); ModuleAnalyzer joins
+// do not run — use Program.Run for those.
 func Run(pass *Pass, analyzers []Analyzer) []Diagnostic {
 	sup := collectDirectives(pass)
 	var out []Diagnostic
@@ -174,8 +430,29 @@ func sortDiagnostics(ds []Diagnostic) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
+}
+
+// dedupDiagnostics removes exact duplicates from a sorted slice — the
+// test-augmented pass of a package re-reports malformed directives of
+// non-test files, and suppressed/unsuppressed boundaries can otherwise
+// double findings at one position.
+func dedupDiagnostics(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 {
+			p := ds[i-1]
+			if p.Pos == d.Pos && p.Analyzer == d.Analyzer && p.Message == d.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 // All returns the full analyzer suite in stable order.
@@ -187,6 +464,10 @@ func All() []Analyzer {
 		&SyncMisuse{},
 		&SpanEnd{},
 		&SleepLoop{},
+		&LockOrder{},
+		&HotPathAlloc{},
+		&SnapshotCompat{},
+		&ErrDrop{},
 	}
 }
 

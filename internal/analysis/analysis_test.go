@@ -18,14 +18,23 @@ type want struct {
 
 func loadFixture(t *testing.T, name string) *Pass {
 	t.Helper()
-	passes, err := NewLoader().LoadDir(filepath.Join("testdata", name))
+	prog, err := NewLoader().LoadDir(filepath.Join("testdata", name))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(passes) != 1 {
-		t.Fatalf("fixture %s: want 1 pass, got %d", name, len(passes))
+	if len(prog.Passes) == 0 {
+		t.Fatalf("fixture %s: no passes", name)
 	}
-	return passes[0]
+	// A fixture with in-package test files yields a canonical pass plus a
+	// test-augmented one; the augmented pass holds every file, which is
+	// what the single-pass harness wants.
+	best := prog.Passes[0]
+	for _, p := range prog.Passes[1:] {
+		if len(p.Files) > len(best.Files) {
+			best = p
+		}
+	}
+	return best
 }
 
 func parseWants(t *testing.T, pass *Pass) []want {
@@ -56,6 +65,35 @@ func parseWants(t *testing.T, pass *Pass) []want {
 	return out
 }
 
+// matchWants requires an exact correspondence between diagnostics and
+// want annotations — no misses, no extras.
+func matchWants(t *testing.T, diags []Diagnostic, wants []want) {
+	t.Helper()
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line || d.Analyzer != w.analyzer {
+				continue
+			}
+			if w.substr != "" && !strings.Contains(d.Message, w.substr) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("missing diagnostic: %s:%d [%s] containing %q", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
 // TestAnalyzersOnFixtures runs each analyzer over its violation fixture
 // and requires an exact match between reported diagnostics and the
 // fixture's want annotations — no misses, no extras.
@@ -83,30 +121,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 			if len(wants) == 0 {
 				t.Fatalf("fixture %s has no want annotations", tc.fixture)
 			}
-
-			matched := make([]bool, len(diags))
-			for _, w := range wants {
-				found := false
-				for i, d := range diags {
-					if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line || d.Analyzer != w.analyzer {
-						continue
-					}
-					if w.substr != "" && !strings.Contains(d.Message, w.substr) {
-						continue
-					}
-					matched[i] = true
-					found = true
-					break
-				}
-				if !found {
-					t.Errorf("missing diagnostic: %s:%d [%s] containing %q", w.file, w.line, w.analyzer, w.substr)
-				}
-			}
-			for i, d := range diags {
-				if !matched[i] {
-					t.Errorf("unexpected diagnostic: %s", d)
-				}
-			}
+			matchWants(t, diags, wants)
 		})
 	}
 }

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A baseline is the committed ledger of accepted findings: each entry is
+// one (file, analyzer, message) key with the number of occurrences being
+// tolerated and an auditable reason. Diffing against the baseline lets a
+// new analyzer land with legacy findings grandfathered while every *new*
+// finding still fails CI — and because entries carry reasons and live in
+// version control, each suppression stays reviewable and removable.
+
+// BaselineEntry tolerates Count findings matching the key.
+type BaselineEntry struct {
+	// File is the finding's path, slash-separated, relative to the
+	// analysis root.
+	File string `json:"file"`
+	// Analyzer is the reporting analyzer.
+	Analyzer string `json:"analyzer"`
+	// Message is the exact finding message.
+	Message string `json:"message"`
+	// Count is how many identical findings are tolerated.
+	Count int `json:"count"`
+	// Reason documents why the finding is accepted rather than fixed.
+	Reason string `json:"reason,omitempty"`
+}
+
+// Baseline is the committed findings ledger.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// baselineKey normalizes a diagnostic to its baseline identity.
+func baselineKey(d Diagnostic, root string) BaselineEntry {
+	return BaselineEntry{File: RelPath(root, d.Pos.Filename), Analyzer: d.Analyzer, Message: d.Message}
+}
+
+// Filter splits diagnostics into fresh findings (beyond the baselined
+// counts) and reports the entries that matched nothing — stale entries
+// that can be deleted.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (fresh []Diagnostic, stale []BaselineEntry) {
+	remaining := map[BaselineEntry]int{}
+	used := map[BaselineEntry]bool{}
+	for _, e := range b.Entries {
+		key := BaselineEntry{File: e.File, Analyzer: e.Analyzer, Message: e.Message}
+		remaining[key] += e.Count
+	}
+	for _, d := range diags {
+		key := baselineKey(d, root)
+		if remaining[key] > 0 {
+			remaining[key]--
+			used[key] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		key := BaselineEntry{File: e.File, Analyzer: e.Analyzer, Message: e.Message}
+		if !used[key] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// NewBaseline builds a baseline accepting exactly the given diagnostics.
+func NewBaseline(diags []Diagnostic, root, reason string) *Baseline {
+	counts := map[BaselineEntry]int{}
+	for _, d := range diags {
+		counts[baselineKey(d, root)]++
+	}
+	b := &Baseline{Version: 1, Entries: []BaselineEntry{}}
+	for key, n := range counts {
+		key.Count = n
+		key.Reason = reason
+		b.Entries = append(b.Entries, key)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Encode writes the baseline as indented JSON.
+func (b *Baseline) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// RelPath renders filename relative to root with forward slashes, falling
+// back to the input when it is not under root.
+func RelPath(root, filename string) string {
+	if root == "" {
+		return filepath.ToSlash(filename)
+	}
+	abs, err1 := filepath.Abs(root)
+	file, err2 := filepath.Abs(filename)
+	if err1 != nil || err2 != nil {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(abs, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,634 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EdgeKind classifies how a call edge was resolved. Analyzers choose which
+// kinds to traverse: static and flow edges are high-confidence; interface
+// edges (class-hierarchy analysis) are conservative over-approximations
+// that matter for soundness (lock order) more than precision.
+type EdgeKind int
+
+const (
+	// EdgeStatic is a direct call to a declared function or a concrete
+	// method resolved by the type checker.
+	EdgeStatic EdgeKind = iota
+	// EdgeFlow is a call through a func-typed variable, struct field, or
+	// parameter, resolved by tracing the func values assigned to it
+	// anywhere in the module (e.g. a callback field invoked later).
+	EdgeFlow
+	// EdgeInterface is a call through an interface method, expanded to
+	// every module type implementing the interface (CHA).
+	EdgeInterface
+	// EdgeClosure links a function to the func literals it creates — a
+	// conservative stand-in for "the closure may run where it was built"
+	// when the literal escapes through code the graph cannot follow.
+	EdgeClosure
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeStatic:
+		return "static"
+	case EdgeFlow:
+		return "flow"
+	case EdgeInterface:
+		return "interface"
+	case EdgeClosure:
+		return "closure"
+	}
+	return "?"
+}
+
+// FuncNode is one function of the call graph: a declared function or
+// method, a function literal, or a package's synthetic init node (package-
+// level variable initializers).
+type FuncNode struct {
+	// Obj is the declared function's object; nil for literals and init.
+	Obj *types.Func
+	// Decl is the declaration; nil for literals and init.
+	Decl *ast.FuncDecl
+	// Lit is the literal; nil otherwise.
+	Lit *ast.FuncLit
+	// Pass is the canonical pass the function was loaded from.
+	Pass *Pass
+	// Name is the stable display name: "internal/serve.(*Server).runTasks",
+	// "internal/serve.New$1" for literals, "internal/serve.init" for
+	// package-level initializers.
+	Name string
+	// Calls are the outgoing call sites in source order.
+	Calls []CallSite
+}
+
+// Body returns the function's body block, or nil for init nodes.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Body
+	case n.Lit != nil:
+		return n.Lit.Body
+	}
+	return nil
+}
+
+// Pos returns the function's declaration position.
+func (n *FuncNode) Pos() token.Pos {
+	switch {
+	case n.Decl != nil:
+		return n.Decl.Pos()
+	case n.Lit != nil:
+		return n.Lit.Pos()
+	}
+	return token.NoPos
+}
+
+// CallSite is one resolved outgoing call.
+type CallSite struct {
+	// Pos is the call position.
+	Pos token.Pos
+	// Callee is the resolved target.
+	Callee *FuncNode
+	// Kind records how the edge was resolved.
+	Kind EdgeKind
+}
+
+// CallGraph is the static call graph over a program's canonical passes.
+// It is an approximation with documented edges: direct calls and concrete
+// method calls (static), calls through func values traced by assignment
+// flow (flow), interface dispatch expanded by CHA (interface), and
+// closure-creation links (closure). Calls into the standard library and
+// other non-module code have no edges — those callees have no bodies here.
+type CallGraph struct {
+	// Nodes is every function in deterministic program order.
+	Nodes []*FuncNode
+
+	byObj map[*types.Func]*FuncNode
+	byLit map[*ast.FuncLit]*FuncNode
+}
+
+// NodeOf returns the node for a declared function object, or nil.
+func (g *CallGraph) NodeOf(obj *types.Func) *FuncNode { return g.byObj[obj] }
+
+// NodeOfLit returns the node for a function literal, or nil.
+func (g *CallGraph) NodeOfLit(lit *ast.FuncLit) *FuncNode { return g.byLit[lit] }
+
+// Reachable returns the set of nodes reachable from roots over edges whose
+// kind passes the filter (nil traverses every kind), roots included.
+func (g *CallGraph) Reachable(roots []*FuncNode, follow func(EdgeKind) bool) map[*FuncNode]bool {
+	seen := map[*FuncNode]bool{}
+	var stack []*FuncNode
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range n.Calls {
+			if follow != nil && !follow(c.Kind) {
+				continue
+			}
+			if !seen[c.Callee] {
+				seen[c.Callee] = true
+				stack = append(stack, c.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// flowTarget is one value a func-typed object may hold: a concrete
+// function node, or another object the value was copied from.
+type flowTarget struct {
+	node *FuncNode
+	obj  types.Object
+}
+
+// pendingCall is a call site whose target needs whole-program resolution.
+type pendingCall struct {
+	caller *FuncNode
+	pos    token.Pos
+	// obj is the func-typed variable/field/parameter called (flow edges).
+	obj types.Object
+	// iface + method describe an interface dispatch site (CHA edges).
+	iface  *types.Interface
+	method string
+}
+
+// graphBuilder accumulates state across the canonical passes.
+type graphBuilder struct {
+	prog    *Program
+	g       *CallGraph
+	flows   map[types.Object][]flowTarget
+	pending []pendingCall
+	litSeq  map[*FuncNode]int
+	// named is every module-declared named type, for CHA.
+	named []*types.Named
+	// resolved memoizes flow resolution.
+	resolved map[types.Object][]*FuncNode
+}
+
+// buildCallGraph assembles the program call graph from the canonical
+// passes in dependency order.
+func buildCallGraph(prog *Program) *CallGraph {
+	b := &graphBuilder{
+		prog:     prog,
+		g:        &CallGraph{byObj: map[*types.Func]*FuncNode{}, byLit: map[*ast.FuncLit]*FuncNode{}},
+		flows:    map[types.Object][]flowTarget{},
+		litSeq:   map[*FuncNode]int{},
+		resolved: map[types.Object][]*FuncNode{},
+	}
+	// Phase 1: nodes for every declared function, and the module's named
+	// types for CHA.
+	declNodes := map[*ast.FuncDecl]*FuncNode{}
+	for _, pass := range prog.Canon {
+		for _, f := range pass.Files {
+			for _, decl := range f.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					obj, _ := pass.Info.Defs[d.Name].(*types.Func)
+					n := &FuncNode{Obj: obj, Decl: d, Pass: pass, Name: funcName(prog, pass, d)}
+					b.g.Nodes = append(b.g.Nodes, n)
+					declNodes[d] = n
+					if obj != nil {
+						b.g.byObj[obj] = n
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if tn, ok := pass.Info.Defs[ts.Name].(*types.TypeName); ok {
+							if named, ok := tn.Type().(*types.Named); ok {
+								b.named = append(b.named, named)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	// Phase 2: walk bodies — collect literals, static edges, pending
+	// dynamic/interface calls, and func-value flows.
+	for _, pass := range prog.Canon {
+		var initNode *FuncNode
+		getInit := func() *FuncNode {
+			if initNode == nil {
+				initNode = &FuncNode{Pass: pass, Name: pkgDisplayName(prog, pass) + ".init"}
+				b.g.Nodes = append(b.g.Nodes, initNode)
+			}
+			return initNode
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					b.walk(pass, declNodes[d], d.Body)
+				case *ast.GenDecl:
+					// Package-level var initializers can hold literals and
+					// func-value flows (var handler = func(){...}).
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok || len(vs.Values) == 0 {
+							continue
+						}
+						init := getInit()
+						b.collectValueSpec(pass, init, vs)
+						for _, v := range vs.Values {
+							b.walk(pass, init, v)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Phase 3: resolve pending calls.
+	for _, pc := range b.pending {
+		var targets []*FuncNode
+		kind := EdgeFlow
+		if pc.obj != nil {
+			targets = b.resolve(pc.obj, map[types.Object]bool{})
+		} else if pc.iface != nil {
+			kind = EdgeInterface
+			targets = b.chaTargets(pc.iface, pc.method)
+		}
+		for _, t := range targets {
+			pc.caller.Calls = append(pc.caller.Calls, CallSite{Pos: pc.pos, Callee: t, Kind: kind})
+		}
+	}
+	for _, n := range b.g.Nodes {
+		calls := n.Calls
+		sort.SliceStable(calls, func(i, j int) bool {
+			if calls[i].Pos != calls[j].Pos {
+				return calls[i].Pos < calls[j].Pos
+			}
+			if calls[i].Kind != calls[j].Kind {
+				return calls[i].Kind < calls[j].Kind
+			}
+			return calls[i].Callee.Name < calls[j].Callee.Name
+		})
+	}
+	return b.g
+}
+
+// ensureLit returns the node for a function literal, creating it (named
+// after its owner) on first sight. The body is walked by the tree walker
+// when it reaches the literal, exactly once.
+func (b *graphBuilder) ensureLit(pass *Pass, owner *FuncNode, lit *ast.FuncLit) *FuncNode {
+	if n := b.g.byLit[lit]; n != nil {
+		return n
+	}
+	b.litSeq[owner]++
+	ln := &FuncNode{Lit: lit, Pass: pass, Name: fmt.Sprintf("%s$%d", owner.Name, b.litSeq[owner])}
+	b.g.Nodes = append(b.g.Nodes, ln)
+	b.g.byLit[lit] = ln
+	return ln
+}
+
+// walk traverses one function body (or package-level initializer
+// expression), attributing calls and flows to node n; nested function
+// literals become their own nodes (with an EdgeClosure link from the
+// creator) and are walked recursively.
+func (b *graphBuilder) walk(pass *Pass, n *FuncNode, root ast.Node) {
+	if n == nil || root == nil {
+		return
+	}
+	ast.Inspect(root, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.FuncLit:
+			ln := b.ensureLit(pass, n, v)
+			n.Calls = append(n.Calls, CallSite{Pos: v.Pos(), Callee: ln, Kind: EdgeClosure})
+			b.walk(pass, ln, v.Body)
+			return false
+		case *ast.CallExpr:
+			b.collectCall(pass, n, v)
+			return true
+		case *ast.AssignStmt:
+			b.collectAssign(pass, n, v)
+			return true
+		case *ast.DeclStmt:
+			if gd, ok := v.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						b.collectValueSpec(pass, n, vs)
+					}
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			b.collectCompositeFlows(pass, n, v)
+			return true
+		}
+		return true
+	})
+}
+
+// collectCall records the call's edge (or defers it), plus any func values
+// flowing into the callee's parameters.
+func (b *graphBuilder) collectCall(pass *Pass, n *FuncNode, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	switch fn := fun.(type) {
+	case *ast.FuncLit:
+		// Immediately invoked literal: a direct edge on top of the
+		// EdgeClosure link the walker adds when it reaches the literal.
+		ln := b.ensureLit(pass, n, fn)
+		n.Calls = append(n.Calls, CallSite{Pos: call.Pos(), Callee: ln, Kind: EdgeStatic})
+	case *ast.Ident:
+		switch o := pass.Info.Uses[fn].(type) {
+		case *types.Func:
+			if callee := b.g.byObj[o]; callee != nil {
+				n.Calls = append(n.Calls, CallSite{Pos: call.Pos(), Callee: callee, Kind: EdgeStatic})
+			}
+		case *types.Var:
+			b.pending = append(b.pending, pendingCall{caller: n, pos: call.Pos(), obj: o})
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fn]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				recv := sel.Recv()
+				if types.IsInterface(recv) {
+					if iface, ok := recv.Underlying().(*types.Interface); ok {
+						b.pending = append(b.pending, pendingCall{caller: n, pos: call.Pos(), iface: iface, method: fn.Sel.Name})
+					}
+				} else if m, ok := sel.Obj().(*types.Func); ok {
+					if callee := b.g.byObj[m]; callee != nil {
+						n.Calls = append(n.Calls, CallSite{Pos: call.Pos(), Callee: callee, Kind: EdgeStatic})
+					}
+				}
+			case types.FieldVal:
+				if fv, ok := sel.Obj().(*types.Var); ok {
+					b.pending = append(b.pending, pendingCall{caller: n, pos: call.Pos(), obj: fv})
+				}
+			}
+		} else if o, ok := pass.Info.Uses[fn.Sel].(*types.Func); ok {
+			// Package-qualified call pkg.F(...).
+			if callee := b.g.byObj[o]; callee != nil {
+				n.Calls = append(n.Calls, CallSite{Pos: call.Pos(), Callee: callee, Kind: EdgeStatic})
+			}
+		}
+	}
+	// Func values passed as arguments flow into the callee's parameters
+	// when the callee is a module function with a known signature.
+	b.collectArgFlows(pass, n, call)
+}
+
+// collectArgFlows maps func-valued arguments onto the parameters of a
+// statically known module callee, so calls through those parameters
+// resolve (e.g. a collect callback stored by a registry constructor).
+func (b *graphBuilder) collectArgFlows(pass *Pass, n *FuncNode, call *ast.CallExpr) {
+	var callee *types.Func
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee, _ = pass.Info.Uses[fn].(*types.Func)
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fn]; ok && sel.Kind() == types.MethodVal {
+			callee, _ = sel.Obj().(*types.Func)
+		} else {
+			callee, _ = pass.Info.Uses[fn.Sel].(*types.Func)
+		}
+	}
+	if callee == nil || b.g.byObj[callee] == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() {
+			break // variadic tail: one param object for many args — skip
+		}
+		if tgt := b.flowValue(pass, n, arg); tgt != nil {
+			b.addFlow(params.At(i), *tgt)
+		}
+	}
+}
+
+func (b *graphBuilder) collectAssign(pass *Pass, n *FuncNode, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		tgt := b.flowValue(pass, n, as.Rhs[i])
+		if tgt == nil {
+			continue
+		}
+		if obj := lhsObject(pass, as.Lhs[i]); obj != nil {
+			b.addFlow(obj, *tgt)
+		}
+	}
+}
+
+func (b *graphBuilder) collectValueSpec(pass *Pass, n *FuncNode, vs *ast.ValueSpec) {
+	if len(vs.Names) != len(vs.Values) {
+		return
+	}
+	for i, name := range vs.Names {
+		tgt := b.flowValue(pass, n, vs.Values[i])
+		if tgt == nil {
+			continue
+		}
+		if obj := pass.Info.Defs[name]; obj != nil {
+			b.addFlow(obj, *tgt)
+		}
+	}
+}
+
+// collectCompositeFlows records func values assigned to struct fields in
+// composite literals (keyed and positional).
+func (b *graphBuilder) collectCompositeFlows(pass *Pass, n *FuncNode, cl *ast.CompositeLit) {
+	t := pass.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i, elt := range cl.Elts {
+		var field types.Object
+		var value ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			field = pass.Info.Uses[key]
+			value = kv.Value
+		} else if i < st.NumFields() {
+			field = st.Field(i)
+			value = elt
+		}
+		if field == nil || value == nil {
+			continue
+		}
+		if tgt := b.flowValue(pass, n, value); tgt != nil {
+			b.addFlow(field, *tgt)
+		}
+	}
+}
+
+// flowValue resolves an expression to a func-value flow target, or nil
+// when the expression cannot yield a function the graph knows about.
+func (b *graphBuilder) flowValue(pass *Pass, n *FuncNode, e ast.Expr) *flowTarget {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return &flowTarget{node: b.ensureLit(pass, n, v)}
+	case *ast.Ident:
+		switch o := pass.Info.Uses[v].(type) {
+		case *types.Func:
+			if fn := b.g.byObj[o]; fn != nil {
+				return &flowTarget{node: fn}
+			}
+		case *types.Var:
+			if _, ok := o.Type().Underlying().(*types.Signature); ok {
+				return &flowTarget{obj: o}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[v]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				if m, ok := sel.Obj().(*types.Func); ok {
+					if fn := b.g.byObj[m]; fn != nil {
+						return &flowTarget{node: fn}
+					}
+				}
+			case types.FieldVal:
+				if fv, ok := sel.Obj().(*types.Var); ok {
+					if _, ok := fv.Type().Underlying().(*types.Signature); ok {
+						return &flowTarget{obj: fv}
+					}
+				}
+			}
+		} else if o, ok := pass.Info.Uses[v.Sel].(*types.Func); ok {
+			if fn := b.g.byObj[o]; fn != nil {
+				return &flowTarget{node: fn}
+			}
+		}
+	}
+	return nil
+}
+
+func lhsObject(pass *Pass, lhs ast.Expr) types.Object {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Defs[v]; obj != nil {
+			return obj
+		}
+		return pass.Info.Uses[v]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+		return pass.Info.Uses[v.Sel]
+	}
+	return nil
+}
+
+func (b *graphBuilder) addFlow(obj types.Object, tgt flowTarget) {
+	if obj == nil || (tgt.node == nil && tgt.obj == nil) {
+		return
+	}
+	b.flows[obj] = append(b.flows[obj], tgt)
+}
+
+// resolve returns every concrete function a func-typed object may hold,
+// following copies through other objects with cycle protection.
+func (b *graphBuilder) resolve(obj types.Object, visiting map[types.Object]bool) []*FuncNode {
+	if cached, ok := b.resolved[obj]; ok {
+		return cached
+	}
+	if visiting[obj] {
+		return nil
+	}
+	visiting[obj] = true
+	seen := map[*FuncNode]bool{}
+	var out []*FuncNode
+	for _, tgt := range b.flows[obj] {
+		switch {
+		case tgt.node != nil:
+			if !seen[tgt.node] {
+				seen[tgt.node] = true
+				out = append(out, tgt.node)
+			}
+		case tgt.obj != nil:
+			for _, fn := range b.resolve(tgt.obj, visiting) {
+				if !seen[fn] {
+					seen[fn] = true
+					out = append(out, fn)
+				}
+			}
+		}
+	}
+	delete(visiting, obj)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	b.resolved[obj] = out
+	return out
+}
+
+// chaTargets returns the module methods implementing the interface method,
+// in deterministic order.
+func (b *graphBuilder) chaTargets(iface *types.Interface, method string) []*FuncNode {
+	var out []*FuncNode
+	seen := map[*FuncNode]bool{}
+	for _, named := range b.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, named.Obj().Pkg(), method)
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if n := b.g.byObj[m]; n != nil && !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// pkgDisplayName renders the short package prefix for node names.
+func pkgDisplayName(prog *Program, pass *Pass) string {
+	pkg := pass.Path
+	if prog.ModulePath != "" {
+		pkg = strings.TrimPrefix(strings.TrimPrefix(pkg, prog.ModulePath), "/")
+	}
+	if pkg == "" {
+		pkg = pass.Name
+	}
+	return pkg
+}
+
+// funcName renders the stable display name of a declared function.
+func funcName(prog *Program, pass *Pass, d *ast.FuncDecl) string {
+	pkg := pkgDisplayName(prog, pass)
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return pkg + "." + d.Name.Name
+	}
+	recv := types.ExprString(d.Recv.List[0].Type)
+	return fmt.Sprintf("%s.(%s).%s", pkg, recv, d.Name.Name)
+}

@@ -17,6 +17,14 @@ import (
 // sit on its own line above). <analyzer> may be "all". The "-- reason" tail
 // is required: an unexplained suppression is itself reported by the runner
 // via CheckDirectives.
+//
+// One marker directive exists besides the allow family:
+//
+//	//homlint:hotpath                           function doc comment
+//
+// It takes no arguments and declares the function a hot-path root for the
+// hotpathalloc analyzer: allocation sources in the function, or in anything
+// reachable from it through the call graph, become findings.
 
 const directivePrefix = "//homlint:"
 
@@ -61,6 +69,10 @@ func parseDirective(text string) (kind, analyzer, reason string, ok, malformed b
 		body = strings.TrimSpace(rest)
 	}
 	fields := strings.Fields(body)
+	if len(fields) == 1 && fields[0] == "hotpath" {
+		// Marker directive: no analyzer argument, reason optional.
+		return "hotpath", "", reason, true, false
+	}
 	if len(fields) != 2 {
 		return "", "", "", true, true
 	}
@@ -74,6 +86,20 @@ func parseDirective(text string) (kind, analyzer, reason string, ok, malformed b
 		return "", "", "", true, true
 	}
 	return kind, analyzer, reason, true, false
+}
+
+// HasHotPathDirective reports whether the comment group carries the
+// //homlint:hotpath marker.
+func HasHotPathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if kind, _, _, ok, malformed := parseDirective(c.Text); ok && !malformed && kind == "hotpath" {
+			return true
+		}
+	}
+	return false
 }
 
 // collectDirectives gathers every homlint directive in the pass.
@@ -129,7 +155,7 @@ func collectDirectives(pass *Pass) *suppressions {
 					s.malformed = append(s.malformed, Diagnostic{
 						Pos:      pos,
 						Analyzer: "directives",
-						Message:  "malformed homlint directive; want //homlint:(allow|func-allow|file-allow) <analyzer> -- <reason>",
+						Message:  "malformed homlint directive; want //homlint:(allow|func-allow|file-allow) <analyzer> -- <reason> or //homlint:hotpath",
 					})
 					continue
 				}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirective hammers the //homlint: directive grammar. The parser
+// feeds CI gating (a malformed directive is a finding; a silently
+// mis-parsed one would un-suppress or over-suppress), so the invariants
+// are strict:
+//
+//   - anything starting with the directive prefix must be recognized
+//     (ok=true), anything else must not be
+//   - a well-formed result is internally consistent: known kind, analyzer
+//     and reason present exactly when the kind requires them
+//   - the parser never panics
+func FuzzParseDirective(f *testing.F) {
+	f.Add("//homlint:allow determinism -- wall clock is sanctioned here")
+	f.Add("//homlint:func-allow all -- generated code")
+	f.Add("//homlint:file-allow lockorder -- fixture")
+	f.Add("//homlint:hotpath")
+	f.Add("//homlint:hotpath -- serve classify loop")
+	f.Add("//homlint:allow")
+	f.Add("//homlint:allow determinism")
+	f.Add("//homlint:bogus x -- y")
+	f.Add("// not a directive")
+	f.Add("//homlint:")
+	f.Add("//homlint:allow a b c -- d")
+	f.Add("//homlint:allow\tall --\t tabs ")
+	f.Fuzz(func(t *testing.T, text string) {
+		kind, analyzer, reason, ok, malformed := parseDirective(text)
+		if strings.HasPrefix(text, directivePrefix) != ok {
+			t.Fatalf("prefix %v but ok=%v for %q", strings.HasPrefix(text, directivePrefix), ok, text)
+		}
+		if !ok {
+			if kind != "" || analyzer != "" || reason != "" || malformed {
+				t.Fatalf("non-directive %q returned data: kind=%q analyzer=%q reason=%q malformed=%v",
+					text, kind, analyzer, reason, malformed)
+			}
+			return
+		}
+		if malformed {
+			if kind != "" || analyzer != "" {
+				t.Fatalf("malformed directive %q still returned kind=%q analyzer=%q", text, kind, analyzer)
+			}
+			return
+		}
+		switch kind {
+		case "allow", "func-allow", "file-allow":
+			if analyzer == "" || reason == "" {
+				t.Fatalf("well-formed %s directive %q missing analyzer (%q) or reason (%q)", kind, text, analyzer, reason)
+			}
+			if strings.ContainsAny(analyzer, " \t") {
+				t.Fatalf("analyzer %q contains whitespace (from %q)", analyzer, text)
+			}
+		case "hotpath":
+			if analyzer != "" {
+				t.Fatalf("hotpath directive %q returned analyzer %q", text, analyzer)
+			}
+		default:
+			t.Fatalf("unknown well-formed kind %q from %q", kind, text)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags silently discarded error results on the serve and dataio
+// paths: a call used as a bare statement (or behind go/defer) whose last
+// result is an error throws the error away without even acknowledging it.
+// An explicit `_ =` assignment is the sanctioned way to discard — it is
+// visible in review and greppable — so the analyzer ships a -fix that
+// rewrites `f()` into `_ = f()` (with the arity-matched blanks).
+//
+// The check is scoped to internal/serve and internal/dataio (and to
+// non-module fixture loads): those are the paths where a swallowed error
+// corrupts sessions or snapshots. Calls into package fmt and methods of
+// strings.Builder/bytes.Buffer are exempt — their error results are
+// documented to be always nil or unactionable.
+type ErrDrop struct{}
+
+// Name implements Analyzer.
+func (*ErrDrop) Name() string { return "errdrop" }
+
+// Doc implements Analyzer.
+func (*ErrDrop) Doc() string {
+	return "flag silently discarded error results on serve/dataio paths; -fix inserts an explicit `_ =`"
+}
+
+// Run implements Analyzer.
+func (a *ErrDrop) Run(pass *Pass) {
+	if !errDropScope(pass) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := v.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if blanks, ok := droppedErrArity(pass, call); ok {
+					fix := &Fix{
+						Path:    pass.Fset.Position(call.Pos()).Filename,
+						Start:   pass.Fset.Position(call.Pos()).Offset,
+						End:     pass.Fset.Position(call.Pos()).Offset,
+						NewText: strings.Repeat("_, ", blanks-1) + "_ = ",
+					}
+					pass.ReportFix(call.Pos(), fix, "error result silently discarded; assign to _ to make the discard explicit")
+				}
+			case *ast.GoStmt:
+				if _, ok := droppedErrArity(pass, v.Call); ok {
+					pass.Report(v.Call.Pos(), "error result discarded by go statement; wrap the call to handle or log the error")
+				}
+			case *ast.DeferStmt:
+				if _, ok := droppedErrArity(pass, v.Call); ok {
+					pass.Report(v.Call.Pos(), "error result discarded by defer statement; wrap the call to handle or log the error")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// errDropScope limits the analyzer to serve/dataio packages; fixture
+// loads (no module path) are always in scope.
+func errDropScope(pass *Pass) bool {
+	if pass.Path == "" {
+		return true
+	}
+	return strings.Contains(pass.Path, "internal/serve") || strings.Contains(pass.Path, "internal/dataio")
+}
+
+// droppedErrArity reports whether the call returns an error (alone or as
+// the last of a tuple) that the statement drops, returning the number of
+// results, and false for exempt callees.
+func droppedErrArity(pass *Pass, call *ast.CallExpr) (int, bool) {
+	if errDropExempt(pass, call) {
+		return 0, false
+	}
+	t := pass.TypeOf(call)
+	if t == nil {
+		return 0, false
+	}
+	switch v := t.(type) {
+	case *types.Tuple:
+		if v.Len() == 0 {
+			return 0, false
+		}
+		if isErrorType(v.At(v.Len() - 1).Type()) {
+			return v.Len(), true
+		}
+	default:
+		if isErrorType(t) {
+			return 1, true
+		}
+	}
+	return 0, false
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// errDropExempt exempts callees whose error results are conventionally
+// meaningless: package fmt, and the never-failing strings.Builder /
+// bytes.Buffer writers.
+func errDropExempt(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil && named.Obj().Pkg() != nil {
+			owner := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			switch owner {
+			case "strings.Builder", "bytes.Buffer":
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ApplyFixes applies every mechanical fix carried by the diagnostics and
+// returns how many were applied plus the diagnostics that had no fix.
+// Edits within one file are applied back-to-front so earlier offsets stay
+// valid; whole-file fixes (End == -1) replace or create the target.
+func ApplyFixes(diags []Diagnostic) (applied int, remaining []Diagnostic, err error) {
+	type edit struct{ fix *Fix }
+	byFile := map[string][]edit{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			remaining = append(remaining, d)
+			continue
+		}
+		byFile[d.Fix.Path] = append(byFile[d.Fix.Path], edit{fix: d.Fix})
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		edits := byFile[path]
+		// A whole-file fix supersedes everything else targeting the file.
+		var whole *Fix
+		for _, e := range edits {
+			if e.fix.End == -1 {
+				whole = e.fix
+				break
+			}
+		}
+		if whole != nil {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return applied, remaining, fmt.Errorf("analysis: applying fix: %w", err)
+			}
+			if err := os.WriteFile(path, []byte(whole.NewText), 0o644); err != nil {
+				return applied, remaining, fmt.Errorf("analysis: applying fix: %w", err)
+			}
+			applied += len(edits)
+			continue
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return applied, remaining, fmt.Errorf("analysis: applying fix: %w", err)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].fix.Start > edits[j].fix.Start })
+		for _, e := range edits {
+			f := e.fix
+			if f.Start < 0 || f.End > len(src) || f.Start > f.End {
+				return applied, remaining, fmt.Errorf("analysis: fix out of range in %s [%d,%d)", path, f.Start, f.End)
+			}
+			src = append(src[:f.Start:f.Start], append([]byte(f.NewText), src[f.End:]...)...)
+			applied++
+		}
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			return applied, remaining, fmt.Errorf("analysis: applying fix: %w", err)
+		}
+	}
+	return applied, remaining, nil
+}

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotPathAlloc flags allocation sources in functions marked with a
+// //homlint:hotpath doc-comment directive, and in everything reachable
+// from them through the call graph. It backs the ≥1M records/s zero-alloc
+// serve goal: AllocsPerRun ceilings catch regressions on the benchmarked
+// entry points, this analyzer catches them at the source line, in every
+// function the hot path can reach.
+//
+// Reported allocation classes:
+//
+//   - calls into package fmt (Sprintf and friends always allocate)
+//   - growing append (x = append(x, ...)), which may reallocate the
+//     backing array
+//   - concrete non-pointer values boxed into interface-typed parameters
+//   - function literals that are not immediately invoked (closure
+//     allocation; the literal's own body is analyzed as its own node)
+//
+// The per-package phase records each function's allocation sites and the
+// hotpath roots as facts; the join walks the call graph (static, flow,
+// interface, and closure edges — conservative on purpose) and reports the
+// sites of every reachable function, attributed to the nearest root in
+// deterministic order.
+type HotPathAlloc struct{}
+
+// Name implements Analyzer.
+func (*HotPathAlloc) Name() string { return "hotpathalloc" }
+
+// Doc implements Analyzer.
+func (*HotPathAlloc) Doc() string {
+	return "flag allocation sources in //homlint:hotpath functions and everything reachable from them"
+}
+
+// hotRootFact marks a function as a declared hot-path root.
+type hotRootFact struct{ pos token.Pos }
+
+// AFact implements Fact.
+func (*hotRootFact) AFact() {}
+
+// allocSite is one local allocation source.
+type allocSite struct {
+	pos  token.Pos
+	what string
+}
+
+// allocFact carries one function's allocation sites.
+type allocFact struct{ sites []allocSite }
+
+// AFact implements Fact.
+func (*allocFact) AFact() {}
+
+// Run exports hotpath roots and per-function allocation sites as facts.
+func (a *HotPathAlloc) Run(pass *Pass) {
+	if !pass.Canonical {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			if HasHotPathDirective(fd.Doc) {
+				pass.Prog.Facts.Export(a.Name(), obj, &hotRootFact{pos: fd.Pos()})
+			}
+			if sites := collectAllocSites(pass, fd.Body); len(sites) > 0 {
+				pass.Prog.Facts.Export(a.Name(), obj, &allocFact{sites: sites})
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					if sites := collectAllocSites(pass, lit.Body); len(sites) > 0 {
+						pass.Prog.Facts.Export(a.Name(), lit, &allocFact{sites: sites})
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// collectAllocSites scans one body for allocation sources, treating
+// nested function literals as opaque (they carry their own facts) except
+// for the closure-allocation site they induce in this body.
+func collectAllocSites(pass *Pass, body *ast.BlockStmt) []allocSite {
+	var sites []allocSite
+	// Immediately invoked literals execute inline and allocate nothing for
+	// the closure itself when they do not escape.
+	invoked := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if !invoked[v] {
+				sites = append(sites, allocSite{pos: v.Pos(), what: "closure allocation (func literal escapes)"})
+			}
+			return false // its body is its own node
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				if i >= len(v.Lhs) {
+					break
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isGrowingAppend(pass, v.Lhs[i], call) {
+					sites = append(sites, allocSite{pos: call.Pos(), what: "growing append may reallocate"})
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if name, ok := fmtCallName(pass, v); ok {
+				sites = append(sites, allocSite{pos: v.Pos(), what: fmt.Sprintf("call to fmt.%s allocates", name)})
+				return true // args feed fmt anyway; no extra boxing reports
+			}
+			sites = append(sites, boxingSites(pass, v)...)
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	sort.Slice(sites, func(i, j int) bool {
+		if sites[i].pos != sites[j].pos {
+			return sites[i].pos < sites[j].pos
+		}
+		return sites[i].what < sites[j].what
+	})
+	return sites
+}
+
+// isGrowingAppend reports whether call is append whose first argument is
+// the assignment target itself — the x = append(x, ...) growth pattern.
+func isGrowingAppend(pass *Pass, lhs ast.Expr, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return types.ExprString(ast.Unparen(call.Args[0])) == types.ExprString(ast.Unparen(lhs))
+}
+
+// fmtCallName matches calls to package fmt and returns the function name.
+func fmtCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// boxingSites reports arguments whose concrete non-pointer value is
+// converted to an interface-typed parameter — each such conversion can
+// heap-allocate the boxed copy.
+func boxingSites(pass *Pass, call *ast.CallExpr) []allocSite {
+	sig, ok := funcSig(pass, call)
+	if !ok || call.Ellipsis.IsValid() {
+		return nil
+	}
+	var sites []allocSite
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Signature, *types.Map, *types.Chan, *types.Slice:
+			// Pointer-shaped: the interface data word holds the pointer; no
+			// extra allocation for the value itself (slices box a header, but
+			// that is three words of the same cost class — still flag? No:
+			// keep the check focused on value copies).
+			continue
+		}
+		if bt, ok := at.Underlying().(*types.Basic); ok && bt.Kind() == types.UntypedNil {
+			continue
+		}
+		sites = append(sites, allocSite{
+			pos:  arg.Pos(),
+			what: fmt.Sprintf("%s value boxed into interface argument", types.TypeString(at, types.RelativeTo(pass.Pkg))),
+		})
+	}
+	return sites
+}
+
+// funcSig resolves the callee signature, rejecting conversions and
+// builtins.
+func funcSig(pass *Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return nil, false
+		}
+	}
+	if pass.Info != nil {
+		if tv, ok := pass.Info.Types[fun]; ok && tv.IsType() {
+			return nil, false // conversion
+		}
+	}
+	t := pass.TypeOf(fun)
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// Join walks the call graph from the hotpath roots and reports every
+// reachable allocation site.
+func (a *HotPathAlloc) Join(prog *Program, report func(Diagnostic)) {
+	g := prog.Graph()
+
+	factKeyOf := func(n *FuncNode) any {
+		switch {
+		case n.Obj != nil:
+			return n.Obj
+		case n.Lit != nil:
+			return n.Lit
+		}
+		return nil
+	}
+	isRoot := func(n *FuncNode) bool {
+		key := factKeyOf(n)
+		if key == nil {
+			return false
+		}
+		for _, f := range prog.Facts.Import(a.Name(), key) {
+			if _, ok := f.(*hotRootFact); ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	var roots []*FuncNode
+	for _, n := range g.Nodes {
+		if isRoot(n) {
+			roots = append(roots, n)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Name < roots[j].Name })
+
+	// Attribute each reachable node to the first root (in name order) that
+	// reaches it, so messages are stable and actionable.
+	rootOf := map[*FuncNode]*FuncNode{}
+	for _, r := range roots {
+		for n := range g.Reachable([]*FuncNode{r}, nil) {
+			if _, ok := rootOf[n]; !ok {
+				rootOf[n] = r
+			}
+		}
+	}
+	// Map iteration order does not matter: diagnostics are position-sorted
+	// by the runner, and attribution above is deterministic.
+	for n, r := range rootOf {
+		key := factKeyOf(n)
+		if key == nil {
+			continue
+		}
+		for _, f := range prog.Facts.Import(a.Name(), key) {
+			af, ok := f.(*allocFact)
+			if !ok {
+				continue
+			}
+			for _, site := range af.sites {
+				msg := "hot path: " + site.what
+				if n != r {
+					msg = fmt.Sprintf("hot path (%s, reachable from %s): %s", n.Name, r.Name, site.what)
+				}
+				report(Diagnostic{Pos: prog.Fset.Position(site.pos), Message: msg})
+			}
+		}
+	}
+}

@@ -10,20 +10,32 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 // Loader parses and type-checks packages for analysis. A single Loader
 // shares a FileSet and an import cache across packages, so repeated
 // standard-library imports are resolved once.
+//
+// The v2 loader is module-aware: LoadModule type-checks every package of a
+// module in dependency order, so imports of sibling packages resolve to
+// their real, fully checked types instead of empty stubs. Analyzers
+// therefore see complete type information for intra-module calls — the
+// foundation the call graph and the cross-package fact store build on.
 type Loader struct {
 	fset *token.FileSet
 	// std resolves standard-library imports from $GOROOT source, giving the
 	// analyzers real types for sync.Mutex, time.Time, math/rand, etc.
 	std types.Importer
+	// modulePath is the module path from go.mod ("" outside a module);
+	// imports underneath it resolve through checked.
+	modulePath string
+	// checked caches fully type-checked module packages by import path.
+	checked map[string]*types.Package
 	// stubs caches the empty placeholder packages handed out for imports the
-	// source importer cannot resolve (intra-module paths, chiefly), so the
-	// type checker degrades gracefully instead of failing the whole package.
+	// importer cannot resolve, so the type checker degrades gracefully
+	// instead of failing the whole package.
 	stubs map[string]*types.Package
 }
 
@@ -31,24 +43,37 @@ type Loader struct {
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
 	return &Loader{
-		fset:  fset,
-		std:   importer.ForCompiler(fset, "source", nil),
-		stubs: map[string]*types.Package{},
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		checked: map[string]*types.Package{},
+		stubs:   map[string]*types.Package{},
 	}
 }
 
 // Fset returns the loader's shared FileSet.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
 
-// Import implements types.Importer: standard-library packages resolve
-// fully; anything else gets an empty stub so selector expressions on it
+// Import implements types.Importer. Module-internal paths resolve to the
+// fully checked package when it has already been checked (LoadModule
+// guarantees dependency order); standard-library packages resolve from
+// source; anything else gets an empty stub so selector expressions on it
 // simply have no type information.
 func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.modulePath != "" && (path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")) {
+		if pkg, ok := l.checked[path]; ok {
+			return pkg, nil
+		}
+		return l.stub(path), nil
+	}
 	if pkg, err := l.std.Import(path); err == nil {
 		return pkg, nil
 	}
+	return l.stub(path), nil
+}
+
+func (l *Loader) stub(path string) *types.Package {
 	if pkg, ok := l.stubs[path]; ok {
-		return pkg, nil
+		return pkg
 	}
 	name := path
 	if i := strings.LastIndex(path, "/"); i >= 0 {
@@ -57,19 +82,126 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	pkg := types.NewPackage(path, name)
 	pkg.MarkComplete()
 	l.stubs[path] = pkg
-	return pkg, nil
+	return pkg
 }
 
-// LoadDir parses every .go file directly inside dir (no recursion) and
-// returns one Pass per package clause found there (a directory can hold a
-// package and its _test variant, or package main next to a library in
-// malformed trees; each is checked independently).
-func (l *Loader) LoadDir(dir string) ([]*Pass, error) {
+// unit is one parsed directory before type-checking: the canonical
+// (non-test) files of one package clause plus its test variants.
+type unit struct {
+	dir     string
+	path    string // import path ("" outside a module)
+	name    string // package name (without _test suffix)
+	files   []*File
+	inTest  []*File // package <name> _test.go files
+	extTest []*File // package <name>_test files
+	imports []string
+}
+
+// LoadModule loads the whole source tree rooted at root as one Program.
+// When root holds a go.mod, import paths are derived from the module path
+// and every intra-module import resolves to its fully checked package;
+// without one (fixture trees), packages are checked independently with
+// stubbed non-standard imports. The walk skips testdata, vendor, hidden
+// and underscore-prefixed directories.
+func (l *Loader) LoadModule(root string) (*Program, error) {
+	return l.load(root, true)
+}
+
+// LoadDir loads the single directory dir as a Program without recursion —
+// the fixture-package entry point. Each package clause found in the
+// directory becomes its own canonical pass.
+func (l *Loader) LoadDir(dir string) (*Program, error) {
+	return l.load(dir, false)
+}
+
+func (l *Loader) load(root string, recurse bool) (*Program, error) {
+	l.modulePath = readModulePath(filepath.Join(root, "go.mod"))
+
+	dirs := []string{root}
+	if recurse {
+		dirs = nil
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			dirs = append(dirs, path)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		sort.Strings(dirs)
+	}
+
+	var units []*unit
+	for _, dir := range dirs {
+		us, err := l.parseDir(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+
+	ordered := topoSort(units)
+
+	prog := &Program{
+		Fset:       l.fset,
+		Root:       root,
+		ModulePath: l.modulePath,
+		Facts:      newFactStore(),
+	}
+	for _, u := range ordered {
+		canonical := l.check(u, u.files)
+		canonical.Canonical = true
+		if u.path != "" {
+			l.checked[u.path] = canonical.Pkg
+		}
+		prog.Canon = append(prog.Canon, canonical)
+		prog.Passes = append(prog.Passes, canonical)
+		if len(u.inTest) > 0 {
+			// Re-check the package with its in-package test files so test
+			// code gets real types too; only test-file diagnostics are kept
+			// (the canonical pass already covers the rest).
+			aug := l.check(u, append(append([]*File{}, u.files...), u.inTest...))
+			aug.testOnly = true
+			prog.Passes = append(prog.Passes, aug)
+		}
+		if len(u.extTest) > 0 {
+			ext := l.check(&unit{dir: u.dir, path: u.path, name: u.name + "_test"}, u.extTest)
+			prog.Passes = append(prog.Passes, ext)
+		}
+	}
+	for _, p := range prog.Passes {
+		p.Prog = prog
+	}
+	return prog, nil
+}
+
+// parseDir parses every .go file directly inside dir and groups the files
+// into units: one per non-test package clause, with in-package and
+// external test files attached to their package's unit. A directory whose
+// only files are test files still yields a unit (with no canonical files).
+func (l *Loader) parseDir(root, dir string) ([]*unit, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: %w", err)
 	}
-	byPkg := map[string][]*File{}
+	byName := map[string]*unit{}
+	get := func(name string) *unit {
+		u, ok := byName[name]
+		if !ok {
+			u = &unit{dir: dir, name: name, path: importPath(l.modulePath, root, dir)}
+			byName[name] = u
+		}
+		return u
+	}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
@@ -84,37 +216,53 @@ func (l *Loader) LoadDir(dir string) ([]*Pass, error) {
 		if err != nil {
 			return nil, fmt.Errorf("analysis: parsing %s: %w", path, err)
 		}
-		pkgName := f.Name.Name
-		byPkg[pkgName] = append(byPkg[pkgName], &File{
-			Path: path,
-			AST:  f,
-			Test: strings.HasSuffix(name, "_test.go"),
-		})
+		file := &File{Path: path, AST: f, Test: strings.HasSuffix(name, "_test.go")}
+		pkg := f.Name.Name
+		switch {
+		case file.Test && strings.HasSuffix(pkg, "_test"):
+			u := get(strings.TrimSuffix(pkg, "_test"))
+			u.extTest = append(u.extTest, file)
+		case file.Test:
+			u := get(pkg)
+			u.inTest = append(u.inTest, file)
+		default:
+			u := get(pkg)
+			u.files = append(u.files, file)
+			for _, imp := range f.Imports {
+				if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+					u.imports = append(u.imports, p)
+				}
+			}
+		}
 	}
-	pkgNames := make([]string, 0, len(byPkg))
-	for name := range byPkg {
-		pkgNames = append(pkgNames, name)
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
 	}
-	sort.Strings(pkgNames)
-
-	var passes []*Pass
-	for _, name := range pkgNames {
-		files := byPkg[name]
-		sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
-		passes = append(passes, l.check(dir, name, files))
+	sort.Strings(names)
+	var units []*unit
+	for _, name := range names {
+		u := byName[name]
+		for _, fs := range [][]*File{u.files, u.inTest, u.extTest} {
+			sort.Slice(fs, func(i, j int) bool { return fs[i].Path < fs[j].Path })
+		}
+		units = append(units, u)
 	}
-	return passes, nil
+	return units, nil
 }
 
-// check type-checks one package best-effort and assembles its Pass. Type
-// errors are expected (stubbed imports guarantee some) and ignored; the
-// analyzers fall back to syntax where Info has gaps.
-func (l *Loader) check(dir, name string, files []*File) *Pass {
+// check type-checks one file set of a unit and assembles its Pass. Type
+// errors are tolerated (imports outside the module and the standard
+// library are stubbed by design); the analyzers fall back to syntax where
+// Info has gaps.
+func (l *Loader) check(u *unit, files []*File) *Pass {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{
 		Importer:    l,
@@ -125,61 +273,97 @@ func (l *Loader) check(dir, name string, files []*File) *Pass {
 	for i, f := range files {
 		asts[i] = f.AST
 	}
+	checkPath := u.path
+	if checkPath == "" {
+		checkPath = u.dir + ":" + u.name
+	}
 	// The returned error only repeats what conf.Error already swallowed.
-	_, _ = conf.Check(dir+":"+name, l.fset, asts, info)
-	return &Pass{Fset: l.fset, Dir: dir, Files: files, Info: info}
+	pkg, _ := conf.Check(checkPath, l.fset, asts, info)
+	return &Pass{
+		Fset:  l.fset,
+		Dir:   u.dir,
+		Path:  u.path,
+		Name:  u.name,
+		Files: files,
+		Info:  info,
+		Pkg:   pkg,
+	}
 }
 
-// LoadTree walks root recursively and loads every package directory,
-// skipping testdata, vendor, hidden directories, and .git. Returned passes
-// are ordered by directory then package name.
-func (l *Loader) LoadTree(root string) ([]*Pass, error) {
-	var dirs []string
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-			return filepath.SkipDir
-		}
-		dirs = append(dirs, path)
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("analysis: %w", err)
-	}
-	sort.Strings(dirs)
-	var passes []*Pass
-	for _, dir := range dirs {
-		hasGo, err := dirHasGoFiles(dir)
-		if err != nil {
-			return nil, err
-		}
-		if !hasGo {
+// topoSort orders units so every unit follows the module units it imports,
+// breaking ties (and any accidental cycles) by import path then directory.
+func topoSort(units []*unit) []*unit {
+	byPath := map[string]*unit{}
+	for _, u := range units {
+		if u.path == "" {
 			continue
 		}
-		ps, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
+		// Prefer importable (non-main) packages when a directory holds both.
+		if prev, ok := byPath[u.path]; !ok || prev.name == "main" {
+			byPath[u.path] = u
 		}
-		passes = append(passes, ps...)
 	}
-	return passes, nil
+	var (
+		out     []*unit
+		visited = map[*unit]int{} // 0 new, 1 visiting, 2 done
+		visit   func(u *unit)
+	)
+	visit = func(u *unit) {
+		if visited[u] != 0 {
+			return
+		}
+		visited[u] = 1
+		deps := append([]string(nil), u.imports...)
+		sort.Strings(deps)
+		for _, imp := range deps {
+			if dep, ok := byPath[imp]; ok && dep != u && visited[dep] != 1 {
+				visit(dep)
+			}
+		}
+		visited[u] = 2
+		out = append(out, u)
+	}
+	sorted := append([]*unit(nil), units...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].dir != sorted[j].dir {
+			return sorted[i].dir < sorted[j].dir
+		}
+		return sorted[i].name < sorted[j].name
+	})
+	for _, u := range sorted {
+		visit(u)
+	}
+	return out
 }
 
-func dirHasGoFiles(dir string) (bool, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return false, fmt.Errorf("analysis: %w", err)
+// importPath maps dir (under root) to its import path within the module,
+// or "" outside a module.
+func importPath(modulePath, root, dir string) string {
+	if modulePath == "" {
+		return ""
 	}
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasPrefix(e.Name(), ".") {
-			return true, nil
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return ""
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		return modulePath
+	}
+	return modulePath + "/" + rel
+}
+
+// readModulePath extracts the module path from a go.mod file, or "".
+func readModulePath(gomod string) string {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
 		}
 	}
-	return false, nil
+	return ""
 }

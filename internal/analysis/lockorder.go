@@ -1,0 +1,563 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder derives the mutex-acquisition order across the module and
+// flags call paths that can acquire locks in conflicting order — the
+// deadlock guard behind serve's sessionTable/session locking and any
+// future multi-replica routing layer.
+//
+// Locks are abstracted to classes named by owning type and field
+// ("serve.sessionTable.mu"), so two instances of one struct share a class.
+// The per-package phase records, for every function, which classes it
+// acquires directly (and which classes were already held at that point)
+// and every call site made while holding a lock. The join resolves call
+// sites through the program call graph — including func-value flow edges,
+// so callbacks like sessionTable.onRemove are followed — computes each
+// function's transitive acquisition set, builds the class-level
+// "held → acquired" graph, and reports every edge participating in a
+// cycle, plus same-class re-acquisition (a self-deadlock for sync.Mutex
+// unless the instances provably differ).
+//
+// The analysis flattens control flow (branches are treated as executed in
+// sequence), which over-approximates held sets; use
+// //homlint:allow lockorder for reviewed false positives.
+type LockOrder struct{}
+
+// Name implements Analyzer.
+func (*LockOrder) Name() string { return "lockorder" }
+
+// Doc implements Analyzer.
+func (*LockOrder) Doc() string {
+	return "derive module-wide lock-acquisition order and flag cyclic (deadlock-prone) orderings"
+}
+
+// lockAcq is one direct acquisition: the class taken and the classes
+// already held at that point.
+type lockAcq struct {
+	class string
+	pos   token.Pos
+	held  []string
+}
+
+// lockCall is a call site executed while holding at least one lock.
+type lockCall struct {
+	pos  token.Pos
+	held []string
+}
+
+// lockFact is one function's local locking behavior.
+type lockFact struct {
+	acquires []lockAcq
+	calls    []lockCall
+}
+
+// AFact implements Fact.
+func (*lockFact) AFact() {}
+
+// Run records each function's direct acquisitions and under-lock call
+// sites as facts; all ordering reasoning happens in Join.
+func (a *LockOrder) Run(pass *Pass) {
+	if !pass.Canonical {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			if fact := scanLocks(pass, fd.Body); fact != nil {
+				pass.Prog.Facts.Export(a.Name(), obj, fact)
+			}
+			// Nested literals get their own facts, keyed by the literal,
+			// analyzed with an empty held set: a closure runs where it is
+			// called, not where it is created.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					if fact := scanLocks(pass, lit.Body); fact != nil {
+						pass.Prog.Facts.Export(a.Name(), lit, fact)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// scanLocks walks one body, flattening control flow, and returns the
+// lockFact, or nil when the function neither locks nor calls under a lock.
+func scanLocks(pass *Pass, body *ast.BlockStmt) *lockFact {
+	s := &lockScanner{pass: pass, fact: &lockFact{}}
+	s.stmts(body.List)
+	if len(s.fact.acquires) == 0 && len(s.fact.calls) == 0 {
+		return nil
+	}
+	return s.fact
+}
+
+type lockScanner struct {
+	pass *Pass
+	held []string
+	fact *lockFact
+}
+
+func (s *lockScanner) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		s.stmt(st)
+	}
+}
+
+func (s *lockScanner) stmt(st ast.Stmt) {
+	switch v := st.(type) {
+	case *ast.BlockStmt:
+		s.stmts(v.List)
+	case *ast.IfStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		s.expr(v.Cond)
+		s.stmt(v.Body)
+		if v.Else != nil {
+			s.stmt(v.Else)
+		}
+	case *ast.ForStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		if v.Cond != nil {
+			s.expr(v.Cond)
+		}
+		s.stmt(v.Body)
+		if v.Post != nil {
+			s.stmt(v.Post)
+		}
+	case *ast.RangeStmt:
+		s.expr(v.X)
+		s.stmt(v.Body)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		if v.Tag != nil {
+			s.expr(v.Tag)
+		}
+		s.stmt(v.Body)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			s.stmt(v.Init)
+		}
+		s.stmt(v.Assign)
+		s.stmt(v.Body)
+	case *ast.SelectStmt:
+		s.stmt(v.Body)
+	case *ast.CaseClause:
+		s.stmts(v.Body)
+	case *ast.CommClause:
+		if v.Comm != nil {
+			s.stmt(v.Comm)
+		}
+		s.stmts(v.Body)
+	case *ast.LabeledStmt:
+		s.stmt(v.Stmt)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end — exactly
+		// what leaving the class in the held set models. Other deferred
+		// calls run at exit, almost always with the same held set.
+		if class, op, ok := mutexOp(s.pass, v.Call); ok {
+			if strings.HasSuffix(op, "Unlock") {
+				return // held until end: no removal
+			}
+			s.acquire(class, v.Call.Pos())
+			return
+		}
+		s.call(v.Call.Pos())
+		for _, arg := range v.Call.Args {
+			s.expr(arg)
+		}
+	case *ast.GoStmt:
+		// The goroutine does not inherit the spawner's held locks; its own
+		// acquisitions are covered by the callee's fact. Only argument
+		// evaluation happens here.
+		for _, arg := range v.Call.Args {
+			s.expr(arg)
+		}
+	case *ast.ExprStmt:
+		s.expr(v.X)
+	case *ast.AssignStmt:
+		for _, e := range v.Rhs {
+			s.expr(e)
+		}
+		for _, e := range v.Lhs {
+			s.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range v.Results {
+			s.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						s.expr(e)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		s.expr(v.Chan)
+		s.expr(v.Value)
+	case *ast.IncDecStmt:
+		s.expr(v.X)
+	}
+}
+
+// expr records lock operations and call sites inside one expression.
+// Function literals are opaque here: they have their own facts.
+func (s *lockScanner) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if class, op, ok := mutexOp(s.pass, v); ok {
+				if strings.HasSuffix(op, "Unlock") {
+					s.release(class)
+				} else {
+					s.acquire(class, v.Pos())
+				}
+				return true
+			}
+			s.call(v.Pos())
+		}
+		return true
+	})
+}
+
+func (s *lockScanner) acquire(class string, pos token.Pos) {
+	s.fact.acquires = append(s.fact.acquires, lockAcq{
+		class: class,
+		pos:   pos,
+		held:  append([]string(nil), s.held...),
+	})
+	s.held = append(s.held, class)
+}
+
+func (s *lockScanner) release(class string) {
+	for i := len(s.held) - 1; i >= 0; i-- {
+		if s.held[i] == class {
+			s.held = append(s.held[:i], s.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *lockScanner) call(pos token.Pos) {
+	if len(s.held) == 0 {
+		return
+	}
+	s.fact.calls = append(s.fact.calls, lockCall{pos: pos, held: append([]string(nil), s.held...)})
+}
+
+// mutexOp recognizes <recv>.Lock/RLock/TryLock/Unlock/RUnlock calls on
+// sync mutexes and returns the receiver's lock class.
+func mutexOp(pass *Pass, call *ast.CallExpr) (class, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	return lockClass(pass, sel.X), sel.Sel.Name, true
+}
+
+// lockClass names the lock abstractly: "pkg.Type.field" for struct-field
+// mutexes, "pkg.var" for package-level ones, falling back to the receiver
+// expression text.
+func lockClass(pass *Pass, recv ast.Expr) string {
+	recv = ast.Unparen(recv)
+	switch v := recv.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[v]; ok && sel.Kind() == types.FieldVal {
+			if owner := namedOf(sel.Recv()); owner != nil {
+				return ownerName(owner) + "." + v.Sel.Name
+			}
+		}
+		if obj := pass.Info.Uses[v.Sel]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + v.Sel.Name
+		}
+	case *ast.Ident:
+		if obj := pass.Info.Uses[v]; obj != nil {
+			if named := namedOf(obj.Type()); named != nil && obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + v.Name
+			}
+		}
+	}
+	return pass.Name + "." + types.ExprString(recv)
+}
+
+// namedOf unwraps pointers to the underlying named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func ownerName(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// lockEdge is one observed "acquired to while holding from" relation with
+// a representative position and description.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	detail   string
+}
+
+// Join builds the class-level ordering graph over the call graph and
+// reports cyclic orderings and same-class re-acquisition.
+func (a *LockOrder) Join(prog *Program, report func(Diagnostic)) {
+	g := prog.Graph()
+
+	factOf := func(n *FuncNode) *lockFact {
+		var key any
+		switch {
+		case n.Obj != nil:
+			key = n.Obj
+		case n.Lit != nil:
+			key = n.Lit
+		default:
+			return nil
+		}
+		for _, f := range prog.Facts.Import(a.Name(), key) {
+			if lf, ok := f.(*lockFact); ok {
+				return lf
+			}
+		}
+		return nil
+	}
+
+	// Transitive acquisition sets, memoized over the call graph.
+	transAcq := map[*FuncNode]map[string]bool{}
+	var acqOf func(n *FuncNode, visiting map[*FuncNode]bool) map[string]bool
+	acqOf = func(n *FuncNode, visiting map[*FuncNode]bool) map[string]bool {
+		if got, ok := transAcq[n]; ok {
+			return got
+		}
+		if visiting[n] {
+			return nil
+		}
+		visiting[n] = true
+		out := map[string]bool{}
+		if lf := factOf(n); lf != nil {
+			for _, acq := range lf.acquires {
+				out[acq.class] = true
+			}
+		}
+		for _, cs := range n.Calls {
+			for c := range acqOf(cs.Callee, visiting) {
+				out[c] = true
+			}
+		}
+		delete(visiting, n)
+		transAcq[n] = out
+		return out
+	}
+
+	// Class-level edges. First detail per (from,to) pair wins; node order
+	// is deterministic, so output is too.
+	edges := map[[2]string]*lockEdge{}
+	addEdge := func(from, to string, pos token.Pos, detail string) {
+		key := [2]string{from, to}
+		if _, ok := edges[key]; !ok {
+			edges[key] = &lockEdge{from: from, to: to, pos: pos, detail: detail}
+		}
+	}
+	for _, n := range g.Nodes {
+		lf := factOf(n)
+		if lf == nil {
+			continue
+		}
+		for _, acq := range lf.acquires {
+			for _, h := range acq.held {
+				addEdge(h, acq.class, acq.pos,
+					fmt.Sprintf("%s acquires %s while holding %s", n.Name, acq.class, h))
+			}
+		}
+		if len(lf.calls) == 0 {
+			continue
+		}
+		// Resolve each under-lock call site to its graph targets by position.
+		targets := map[token.Pos][]*CallSite{}
+		for i := range n.Calls {
+			cs := &n.Calls[i]
+			targets[cs.Pos] = append(targets[cs.Pos], cs)
+		}
+		for _, call := range lf.calls {
+			for _, cs := range targets[call.pos] {
+				for to := range acqOf(cs.Callee, map[*FuncNode]bool{}) {
+					for _, h := range call.held {
+						addEdge(h, to, call.pos,
+							fmt.Sprintf("%s calls %s (%s edge) which acquires %s while holding %s",
+								n.Name, cs.Callee.Name, cs.Kind, to, h))
+					}
+				}
+			}
+		}
+	}
+
+	// Same-class re-acquisition is a deadlock on its own for sync.Mutex.
+	var keys [][2]string
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	adj := map[string][]string{}
+	for _, k := range keys {
+		if k[0] == k[1] {
+			e := edges[k]
+			report(Diagnostic{
+				Pos: prog.Fset.Position(e.pos),
+				Message: fmt.Sprintf("lock class %s may be re-acquired while already held (%s); sync mutexes are not reentrant",
+					e.from, e.detail),
+			})
+			continue
+		}
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+
+	// Report every edge inside a strongly connected component of size > 1:
+	// those are the orderings that can invert.
+	for _, scc := range sccs(adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		inSCC := map[string]bool{}
+		for _, c := range scc {
+			inSCC[c] = true
+		}
+		sort.Strings(scc)
+		cycle := strings.Join(scc, " <-> ")
+		for _, k := range keys {
+			if k[0] == k[1] || !inSCC[k[0]] || !inSCC[k[1]] {
+				continue
+			}
+			e := edges[k]
+			report(Diagnostic{
+				Pos: prog.Fset.Position(e.pos),
+				Message: fmt.Sprintf("lock-order inversion: %s; conflicting orders exist between {%s}",
+					e.detail, cycle),
+			})
+		}
+	}
+}
+
+// sccs returns the strongly connected components of the class graph
+// (iterative Tarjan), deterministically ordered.
+func sccs(adj map[string][]string) [][]string {
+	var nodes []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	var froms []string
+	for f := range adj {
+		froms = append(froms, f)
+	}
+	sort.Strings(froms)
+	for _, f := range froms {
+		add(f)
+		for _, t := range adj[f] {
+			add(t)
+		}
+	}
+	sort.Strings(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var out [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			out = append(out, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	return out
+}

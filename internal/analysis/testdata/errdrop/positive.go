@@ -1,0 +1,31 @@
+// Package errdrop seeds silently discarded errors for the errdrop
+// analyzer.
+package errdrop
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func drops(path string) {
+	os.Remove(path)       // want errdrop "silently discarded"
+	os.Open(path)         // want errdrop "silently discarded"
+	go os.Remove(path)    // want errdrop "go statement"
+	defer os.Remove(path) // want errdrop "defer statement"
+	_ = os.Remove(path)   // explicit discard: fine
+	f, err := os.Open(path)
+	_, _ = f, err
+}
+
+// exempt callees: fmt and strings.Builder error results are meaningless.
+func exemptCalls() {
+	fmt.Println("hello")
+	var b strings.Builder
+	b.WriteString("x")
+	_ = b.String()
+}
+
+func suppressed(path string) {
+	os.Remove(path) //homlint:allow errdrop -- fixture: best-effort cleanup
+}

@@ -1,0 +1,31 @@
+package hotpathalloc
+
+import "fmt"
+
+// cold is not marked and not reachable from any hot root: its
+// allocations are fine.
+func cold() string {
+	var out []string
+	out = append(out, fmt.Sprintf("%d", 1))
+	return out[0]
+}
+
+// hotClean is a hot root whose body avoids every flagged allocation
+// class: preallocated writes, pointer-shaped arguments, and an
+// immediately invoked literal.
+//
+//homlint:hotpath
+func hotClean(dst []int, xs []int) int {
+	n := 0
+	for i, x := range xs {
+		if i < len(dst) {
+			dst[i] = x
+			n++
+		}
+	}
+	ptrSink(&n)
+	func() { n++ }()
+	return n
+}
+
+func ptrSink(v *int) { _ = v }

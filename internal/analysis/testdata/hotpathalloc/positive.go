@@ -1,0 +1,31 @@
+// Package hotpathalloc seeds allocation sources on and off the declared
+// hot path for the hotpathalloc analyzer.
+package hotpathalloc
+
+import "fmt"
+
+// hot is the annotated hot-path root.
+//
+//homlint:hotpath
+func hot(xs []int) string {
+	s := fmt.Sprintf("%d", len(xs)) // want hotpathalloc "fmt.Sprintf"
+	helper(xs)
+	return s
+}
+
+// helper is reachable from hot, so its allocation sources count too.
+func helper(xs []int) {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want hotpathalloc "growing append"
+	}
+	sink(out[0])       // want hotpathalloc "boxed into interface"
+	cb := func() int { // want hotpathalloc "closure allocation"
+		return len(out)
+	}
+	use(cb)
+}
+
+func sink(v any) { _ = v }
+
+func use(f func() int) { _ = f() }

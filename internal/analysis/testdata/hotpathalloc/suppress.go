@@ -1,0 +1,15 @@
+package hotpathalloc
+
+import "fmt"
+
+// hotSuppressed reaches a reviewed allocation carrying an allow
+// directive.
+//
+//homlint:hotpath
+func hotSuppressed() {
+	allowed()
+}
+
+func allowed() {
+	_ = fmt.Sprintf("once per rebuild, off the steady-state path") //homlint:allow hotpathalloc -- fixture: reviewed cold branch
+}

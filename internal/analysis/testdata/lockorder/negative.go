@@ -1,0 +1,47 @@
+package lockorder
+
+import "sync"
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+var (
+	e E
+	f F
+)
+
+// ef and efAgain acquire E.mu before F.mu consistently: a clean order.
+func ef() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+func efAgain() {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// releaseBeforeNext drops E.mu before taking F.mu in the reverse order —
+// no two locks are ever held together, so no edge exists.
+func releaseBeforeNext() {
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+// spawned acquires F.mu inside a goroutine while E.mu is held by the
+// spawner; the goroutine does not inherit the held set, so no edge.
+func spawned() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		f.mu.Lock()
+		f.mu.Unlock()
+	}()
+}

@@ -1,0 +1,82 @@
+// Package lockorder seeds lock-order inversions for the lockorder
+// analyzer: direct two-mutex inversions, an inversion threaded through a
+// func-value callback, and a same-class re-acquisition.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// ab establishes the order A.mu before B.mu.
+func ab() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want lockorder "lock-order inversion"
+	defer b.mu.Unlock()
+}
+
+// ba acquires the same two locks in the conflicting order.
+func ba() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want lockorder "lock-order inversion"
+	defer a.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+var (
+	c C
+	d D
+)
+
+// cd establishes C.mu before D.mu.
+func cd() {
+	c.mu.Lock()
+	d.mu.Lock() // want lockorder "lock-order inversion"
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+var hook func()
+
+func setHook() { hook = lockC }
+
+func lockC() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// dViaHook inverts the order through a func-value flow edge: hook holds
+// lockC, which acquires C.mu while D.mu is held.
+func dViaHook() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	hook() // want lockorder "lock-order inversion"
+}
+
+type R struct{ mu sync.Mutex }
+
+var r R
+
+func lockR() {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// reacquire calls lockR with R.mu already held — a self-deadlock, since
+// sync mutexes are not reentrant.
+func reacquire() {
+	r.mu.Lock()
+	lockR() // want lockorder "re-acquired"
+	r.mu.Unlock()
+}

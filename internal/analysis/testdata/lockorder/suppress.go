@@ -1,0 +1,28 @@
+package lockorder
+
+import "sync"
+
+type G struct{ mu sync.Mutex }
+
+type H struct{ mu sync.Mutex }
+
+var (
+	g G
+	h H
+)
+
+// gh and hg invert each other, but both edges carry reviewed allow
+// directives, so neither is reported.
+func gh() {
+	g.mu.Lock()
+	h.mu.Lock() //homlint:allow lockorder -- fixture: reviewed intentional inversion
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func hg() {
+	h.mu.Lock()
+	g.mu.Lock() //homlint:allow lockorder -- fixture: reviewed intentional inversion
+	g.mu.Unlock()
+	h.mu.Unlock()
+}

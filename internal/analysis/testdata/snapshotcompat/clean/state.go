@@ -1,0 +1,31 @@
+// Package snapclean is the snapshotcompat negative fixture: the committed
+// fingerprint matches the current struct set, so the analyzer is silent.
+package snapclean
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// ModelVersion guards the snapshot wire format.
+const ModelVersion = 1
+
+// State is the gob-encoded snapshot payload.
+type State struct {
+	Active   []float64
+	Observed int
+	Inner    Nested
+}
+
+// Nested rides along inside State.
+type Nested struct {
+	Labels []string
+}
+
+func roundTrip(s *State) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return err
+	}
+	return gob.NewDecoder(&buf).Decode(s)
+}

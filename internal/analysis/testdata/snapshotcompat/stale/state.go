@@ -1,0 +1,27 @@
+// Package snapstale is the snapshotcompat -fix fixture: the struct set
+// changed and ModelVersion was bumped, but the committed fingerprint was
+// not regenerated — a finding that carries a mechanical fix.
+package snapstale
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// ModelVersion guards the snapshot wire format.
+const ModelVersion = 2 // want snapshotcompat "stale after a ModelVersion change"
+
+// State is the gob-encoded snapshot payload.
+type State struct {
+	Active   []float64
+	Observed int
+	Extra    bool
+}
+
+func roundTrip(s *State) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return err
+	}
+	return gob.NewDecoder(&buf).Decode(s)
+}

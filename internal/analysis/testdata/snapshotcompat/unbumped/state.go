@@ -1,0 +1,27 @@
+// Package snapbad is the snapshotcompat positive fixture: the committed
+// fingerprint was taken before the Extra field existed, and ModelVersion
+// was not bumped — a hard finding.
+package snapbad
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// ModelVersion guards the snapshot wire format.
+const ModelVersion = 1 // want snapshotcompat "without a ModelVersion bump"
+
+// State is the gob-encoded snapshot payload.
+type State struct {
+	Active   []float64
+	Observed int
+	Extra    bool
+}
+
+func roundTrip(s *State) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return err
+	}
+	return gob.NewDecoder(&buf).Decode(s)
+}

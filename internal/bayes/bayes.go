@@ -35,7 +35,7 @@ func (l *Learner) Name() string { return "naive-bayes" }
 // Train estimates the model parameters from d.
 func (l *Learner) Train(d *data.Dataset) (classifier.Classifier, error) {
 	if d.Len() == 0 {
-		return nil, fmt.Errorf("bayes: cannot train on empty dataset")
+		return nil, fmt.Errorf("bayes: cannot train on empty dataset") //homlint:allow hotpathalloc -- error construction on the failure path only
 	}
 	smooth := l.Smoothing
 	if smooth <= 0 {

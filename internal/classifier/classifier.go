@@ -149,7 +149,7 @@ type MajorityLearner struct{}
 // Train returns a Majority classifier for d's majority class.
 func (MajorityLearner) Train(d *data.Dataset) (Classifier, error) {
 	if d.Len() == 0 {
-		return nil, fmt.Errorf("classifier: cannot train on empty dataset")
+		return nil, fmt.Errorf("classifier: cannot train on empty dataset") //homlint:allow hotpathalloc -- error construction on the failure path only
 	}
 	return NewMajority(d.MajorityClass(), d.ClassDistribution()), nil
 }

@@ -107,7 +107,7 @@ func (e *engine) makeLeaves(blocks []*data.Dataset) ([]*node, error) {
 		e.recordsCopied.Add(int64(blocks[i].Len()))
 		model, err := e.train(train)
 		if err != nil {
-			errs[i] = fmt.Errorf("cluster: step 1 leaf %d: %w", i, err)
+			errs[i] = fmt.Errorf("cluster: step 1 leaf %d: %w", i, err) //homlint:allow hotpathalloc -- error construction on the failure path only
 			return
 		}
 		wrong := classifier.Mistakes(model, test.Records)
@@ -168,6 +168,8 @@ func (e *engine) prepareSamples(nodes []*node) {
 // slot is written with the same value whatever the parallelism. It must
 // only be called from the sequential orchestration loop (it dispatches
 // pool work and touches the buffer free list).
+//
+//homlint:hotpath -- per-sample prediction caching inside the merge loop
 func (e *engine) cachePreds(n *node) {
 	k := n.test.Len()
 	if k > len(e.sample) {
@@ -177,7 +179,7 @@ func (e *engine) cachePreds(n *node) {
 	const grain = 512
 	if e.pool.parallel() && k >= 2*grain {
 		chunks := (k + grain - 1) / grain
-		e.pool.run(chunks, func(ci int) {
+		e.pool.run(chunks, func(ci int) { //homlint:allow hotpathalloc -- one dispatch closure amortized over >=1024 predictions
 			lo := ci * grain
 			hi := lo + grain
 			if hi > k {
@@ -200,6 +202,8 @@ func (e *engine) cachePreds(n *node) {
 // model, deterministic Predict), so only the tail up to w's larger test
 // length is computed. The pre-optimization engine re-predicted the whole
 // prefix; the reference path keeps doing so.
+//
+//homlint:hotpath -- merge-loop prediction-cache reuse
 func (e *engine) inheritPreds(w, from *node) {
 	k := w.test.Len()
 	if k > len(e.sample) {
@@ -214,7 +218,7 @@ func (e *engine) inheritPreds(w, from *node) {
 	} else {
 		preds = e.predsBuf(k)
 		copy(preds, old)
-		e.predsFree = append(e.predsFree, old)
+		e.predsFree = append(e.predsFree, old) //homlint:allow hotpathalloc -- free-list push, amortized and off the per-sample loop
 	}
 	for i := done; i < k; i++ {
 		preds[i] = w.model.Predict(e.sample[i])
@@ -456,6 +460,8 @@ func (e *engine) deltaQEdge(u, v *node) *edge {
 // Eq. 3: (|Du|+|Dv|)·(1 − sim(Mu, Mv)), where sim is the agreement of the
 // two models on the shared sample prefix (Eq. 4). It only reads the
 // cached prediction arrays, so it is safe to evaluate concurrently.
+//
+//homlint:hotpath -- O(n²) candidate-edge evaluation in the merge loop
 func (e *engine) similarityEdge(u, v *node) *edge {
 	e.edgesEvaluated.Add(1)
 	k := len(u.preds)
@@ -498,7 +504,7 @@ func (e *engine) evalMerged(u, v *node) *mergedEval {
 	if err != nil {
 		// Training on a merged non-empty dataset cannot fail for the
 		// learners in this repository; treat it as a programming error.
-		panic(fmt.Sprintf("cluster: training merged cluster: %v", err))
+		panic(fmt.Sprintf("cluster: training merged cluster: %v", err)) //homlint:allow hotpathalloc -- panic message on a cannot-happen path
 	}
 	wrong := e.mistakes(model, big.test) + e.mistakes(model, small.test)
 	return &mergedEval{model: model, err: errorRate(wrong, testLen), wrong: wrong}

@@ -43,8 +43,10 @@ type Predictor struct {
 	priorValid bool
 
 	// order caches concept indices sorted by decreasing prior for the
-	// pruned prediction loop.
-	order []int
+	// pruned prediction loop; sorter wraps it as a reusable sort.Interface
+	// so the per-record Predict path allocates no comparator closure.
+	order  []int
+	sorter priorOrder
 	// acc accumulates the weighted class distribution.
 	acc []float64
 
@@ -94,6 +96,7 @@ func (m *Model) NewPredictorWithOptions(opts PredictorOptions) *Predictor {
 		lastMAP:   -1,
 		driftMark: -1,
 	}
+	p.sorter = priorOrder{order: p.order, prior: p.prior}
 	for c := range p.post {
 		p.post[c] = 1 / float64(n)
 	}
@@ -326,9 +329,7 @@ func (p *Predictor) Predict(x data.Record) int {
 	for i := range p.order {
 		p.order[i] = i
 	}
-	sort.Slice(p.order, func(i, j int) bool {
-		return p.prior[p.order[i]] > p.prior[p.order[j]]
-	})
+	sort.Sort(&p.sorter)
 	for l := range p.acc {
 		p.acc[l] = 0
 	}
@@ -371,4 +372,22 @@ func topTwo(v []float64) (best, second int) {
 		second = best
 	}
 	return best, second
+}
+
+// priorOrder sorts concept indices by decreasing prior, ties broken by
+// index. It implements sort.Interface as a named type so the per-record
+// prediction path pays no comparator-closure allocation.
+type priorOrder struct {
+	order []int
+	prior []float64
+}
+
+func (s *priorOrder) Len() int      { return len(s.order) }
+func (s *priorOrder) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
+func (s *priorOrder) Less(i, j int) bool {
+	a, b := s.order[i], s.order[j]
+	if s.prior[a] != s.prior[b] { //homlint:allow floatcmp -- exact tie detection; ties fall through to the index tie-break
+		return s.prior[a] > s.prior[b]
+	}
+	return a < b
 }

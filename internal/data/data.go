@@ -290,9 +290,9 @@ func (d *Dataset) SplitHoldout(s Shuffler) (train, test *Dataset) {
 	trainRecs := make([]Record, 0, n-nTest)
 	for i, p := range perm {
 		if i < nTest {
-			testRecs = append(testRecs, d.Records[p])
+			testRecs = append(testRecs, d.Records[p]) //homlint:allow hotpathalloc -- appends into exact-capacity preallocation
 		} else {
-			trainRecs = append(trainRecs, d.Records[p])
+			trainRecs = append(trainRecs, d.Records[p]) //homlint:allow hotpathalloc -- appends into exact-capacity preallocation
 		}
 	}
 	return &Dataset{Schema: d.Schema, Records: trainRecs},

@@ -56,13 +56,13 @@ func (v *View) At(i int) Record {
 // count at one instead of growing per merge.
 func (v *View) Concat(o *View) *View {
 	segs := make([][]Record, 0, len(v.segs)+len(o.segs))
-	segs = append(segs, v.segs...)
+	segs = append(segs, v.segs...) //homlint:allow hotpathalloc -- appends into exact-capacity preallocation
 	for _, seg := range o.segs {
 		if n := len(segs); n > 0 && contiguous(segs[n-1], seg) {
 			segs[n-1] = segs[n-1][:len(segs[n-1])+len(seg)]
 			continue
 		}
-		segs = append(segs, seg)
+		segs = append(segs, seg) //homlint:allow hotpathalloc -- appends into exact-capacity preallocation
 	}
 	return &View{schema: v.schema, segs: segs, n: v.n + o.n}
 }
@@ -82,7 +82,7 @@ func contiguous(a, b []Record) bool {
 // extended slice — the one place a View's records are copied.
 func (v *View) AppendTo(dst []Record) []Record {
 	for _, seg := range v.segs {
-		dst = append(dst, seg...)
+		dst = append(dst, seg...) //homlint:allow hotpathalloc -- callers preallocate dst to the view length
 	}
 	return dst
 }

@@ -171,7 +171,7 @@ func SaveModel(path string, m *core.Model) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer f.Close() //homlint:allow errdrop -- safety net; the success path returns f.Close() explicitly below
 	if err := WriteModel(f, m); err != nil {
 		return err
 	}
@@ -197,7 +197,7 @@ func LoadModel(path string) (*core.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //homlint:allow errdrop -- read-only file; a close error cannot corrupt anything
 	m, err := ReadModel(f, os.Stderr)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)

@@ -191,7 +191,7 @@ func (c *Client) doOnce(method, path string, in, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //homlint:allow errdrop -- response body close errors are unactionable
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		he := &HTTPError{Status: resp.StatusCode}
 		var eresp ErrorResponse
@@ -251,7 +251,7 @@ func (c *Client) Metrics() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //homlint:allow errdrop -- response body close errors are unactionable
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return "", err

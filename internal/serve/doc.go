@@ -1,0 +1,57 @@
+// Package serve turns a trained high-order model into a concurrent online
+// prediction service. The paper's split — expensive offline mining, cheap
+// online probability-weighted lookups (§III) — is exactly the shape of a
+// model server: one immutable core.Model shared read-only by every client,
+// and one small piece of mutable per-client state (the active-probability
+// vector) held in a session.
+//
+// Architecture:
+//
+//   - Each client stream owns a Session wrapping one core.Predictor; a
+//     per-session mutex serializes predictor access (the Predictor is
+//     single-goroutine by contract). Sessions live in a table with TTL
+//     eviction driven by the injectable clock.
+//   - Classify and observe work flows through one bounded queue drained by
+//     a worker pool. A full queue answers 429 with Retry-After — explicit
+//     backpressure instead of unbounded goroutine pileup.
+//   - Workers micro-batch: each wakeup drains up to MicroBatch queued
+//     tasks and runs same-session tasks under a single lock acquisition.
+//   - Shutdown is graceful: the listener stops accepting, in-flight
+//     handlers drain through the queue, then workers exit.
+//   - GET /metrics exposes Prometheus-format counters, latency histograms,
+//     queue depth, live sessions, and per-concept prediction counts.
+//
+// # Lock order
+//
+// The serving stack holds three locks of its own — Server.qmu (queue
+// close guard), sessionTable.mu (session map), and Session.mu (predictor
+// serialization) — plus the locks inside internal/obs (Registry.mu,
+// per-family series locks, Histogram.mu, Tracer.mu). The derived
+// acquisition order, verified by homlint's lockorder analyzer over the
+// whole-module call graph, is:
+//
+//	Server.qmu | sessionTable.mu | Session.mu  →  obs locks
+//
+// Concretely:
+//
+//   - The three serve locks never nest with each other. Handlers resolve
+//     a session under sessionTable.mu, release, then enqueue; workers take
+//     Session.mu only after the dequeue. The metrics samplers snapshot the
+//     session list under sessionTable.mu (sessionTable.list) and release
+//     it before touching any Session.mu, and TTL accounting (lastUsed) is
+//     atomic so sweeps never need a session's lock.
+//   - obs locks are acquired after serve locks, never before:
+//     sessionTable.dropLocked fires onRemove under sessionTable.mu, which
+//     removes per-session metric series (family lock), and workers record
+//     counters and histograms while holding Session.mu.
+//   - obs never calls back into serve while holding one of its own locks:
+//     Registry.WriteText snapshots the family list under Registry.mu and
+//     releases it before rendering, so func-backed gauges (queue depth,
+//     live sessions, per-session active probabilities) may take
+//     sessionTable.mu and Session.mu without inverting the order.
+//
+// Any new code must follow the same direction: nothing may acquire a
+// serve lock while holding an obs lock, and nothing may acquire a second
+// serve lock while holding one. CI enforces this — a conflicting-order
+// path is a lockorder finding.
+package serve

@@ -1,25 +1,3 @@
-// Package serve turns a trained high-order model into a concurrent online
-// prediction service. The paper's split — expensive offline mining, cheap
-// online probability-weighted lookups (§III) — is exactly the shape of a
-// model server: one immutable core.Model shared read-only by every client,
-// and one small piece of mutable per-client state (the active-probability
-// vector) held in a session.
-//
-// Architecture:
-//
-//   - Each client stream owns a Session wrapping one core.Predictor; a
-//     per-session mutex serializes predictor access (the Predictor is
-//     single-goroutine by contract). Sessions live in a table with TTL
-//     eviction driven by the injectable clock.
-//   - Classify and observe work flows through one bounded queue drained by
-//     a worker pool. A full queue answers 429 with Retry-After — explicit
-//     backpressure instead of unbounded goroutine pileup.
-//   - Workers micro-batch: each wakeup drains up to MicroBatch queued
-//     tasks and runs same-session tasks under a single lock acquisition.
-//   - Shutdown is graceful: the listener stops accepting, in-flight
-//     handlers drain through the queue, then workers exit.
-//   - GET /metrics exposes Prometheus-format counters, latency histograms,
-//     queue depth, live sessions, and per-concept prediction counts.
 package serve
 
 import (

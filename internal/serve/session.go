@@ -65,6 +65,8 @@ func (s *Session) Classify(recs []data.Record, withProba bool) ClassifyResponse 
 // classifyLocked is Classify with s.mu already held — the worker pool's
 // micro-batching path calls it directly to amortize one lock acquisition
 // over several queued tasks.
+//
+//homlint:hotpath -- per-record serve classify loop
 func (s *Session) classifyLocked(recs []data.Record, withProba bool) ClassifyResponse {
 	out := ClassifyResponse{Predictions: make([]int, len(recs))}
 	out.MAPConcept, _ = s.p.CurrentConcept()

@@ -97,7 +97,7 @@ func (g *grower) root() *nodeData {
 		}
 		s := make([]int32, n)
 		copy(s, idx)
-		sort.SliceStable(s, func(i, j int) bool { return vals[s[i]] < vals[s[j]] })
+		sort.SliceStable(s, func(i, j int) bool { return vals[s[i]] < vals[s[j]] }) //homlint:allow hotpathalloc -- one comparator per node build, amortized over n log n
 		nd.sorted[a] = s
 	}
 	return nd
@@ -198,7 +198,7 @@ func (g *grower) partition(nd *nodeData, c *candidate) []*nodeData {
 	}
 	for _, i := range nd.idx {
 		child := children[g.childBuf[i]]
-		child.idx = append(child.idx, i)
+		child.idx = append(child.idx, i) //homlint:allow hotpathalloc -- appends into exact-capacity three-index backing
 	}
 	for a, s := range nd.sorted {
 		if s == nil {
@@ -214,7 +214,7 @@ func (g *grower) partition(nd *nodeData, c *candidate) []*nodeData {
 		}
 		for _, i := range s {
 			child := children[g.childBuf[i]]
-			child.sorted[a] = append(child.sorted[a], i)
+			child.sorted[a] = append(child.sorted[a], i) //homlint:allow hotpathalloc -- appends into exact-capacity three-index backing
 		}
 	}
 	return children
@@ -253,7 +253,7 @@ func (g *grower) bestSplit(nd *nodeData, summary *Node) *candidate {
 			c = g.nominalSplit(nd.idx, a, baseEntropy)
 		}
 		if c != nil && c.gain > 1e-12 {
-			cands = append(cands, *c)
+			cands = append(cands, *c) //homlint:allow hotpathalloc -- bounded by attribute count, off the per-record loop
 		}
 	}
 	if len(cands) == 0 {

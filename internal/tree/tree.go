@@ -52,7 +52,7 @@ func (l *Learner) Name() string { return "c4.5" }
 // Train grows and prunes a tree from d.
 func (l *Learner) Train(d *data.Dataset) (classifier.Classifier, error) {
 	if d.Len() == 0 {
-		return nil, fmt.Errorf("tree: cannot train on empty dataset")
+		return nil, fmt.Errorf("tree: cannot train on empty dataset") //homlint:allow hotpathalloc -- error construction on the failure path only
 	}
 	opts := l.Opts.withDefaults()
 	g := &grower{

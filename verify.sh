@@ -2,10 +2,12 @@
 # verify.sh — the repository's tier-1 verification gate.
 #
 # Runs, in order: formatting, vet, build, the full test suite under the
-# race detector, short fuzz passes over the CSV parsers and the serving
-# API decoder, a coverage floor on the fault-hardened serving packages,
-# and the repository's own static-analysis suite (cmd/homlint). Every
-# step must pass; the script exits nonzero at the first failure.
+# race detector, short fuzz passes over the CSV parsers, the serving API
+# decoder, and the homlint directive grammar, a coverage floor on the
+# fault-hardened serving packages, and the repository's own whole-module
+# static-analysis suite (cmd/homlint, checked against the committed
+# baseline with a SARIF report written to results/). Every step must
+# pass; the script exits nonzero at the first failure.
 #
 # Usage:  ./verify.sh            # from the module root
 #         FUZZTIME=30s ./verify.sh   # longer fuzz budget
@@ -52,6 +54,9 @@ go test ./internal/dataio -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIM
 step "fuzz serve classify decoder (${FUZZTIME})"
 go test ./internal/serve -run='^$' -fuzz='^FuzzClassifyRequest$' -fuzztime="$FUZZTIME"
 
+step "fuzz homlint directive grammar (${FUZZTIME})"
+go test ./internal/analysis -run='^$' -fuzz='^FuzzParseDirective$' -fuzztime="$FUZZTIME"
+
 # Coverage floor: the packages that own failure handling — the serving
 # stack and the fault-injection layer — must keep at least 75% statement
 # coverage, so degraded paths (shed, deadline, drop, corruption) stay
@@ -74,8 +79,11 @@ echo "$cov" | awk '
 	END { exit bad }
 ' >&2
 
-step "homlint ./..."
-go run ./cmd/homlint ./...
+# The committed baseline (lint/baseline.json) is the CI contract: any
+# finding not recorded there fails the gate, and the SARIF report lands
+# in results/ for archiving alongside the benchmark artifacts.
+step "homlint -baseline lint/baseline.json -sarif results/homlint.sarif ./..."
+go run ./cmd/homlint -baseline lint/baseline.json -sarif results/homlint.sarif ./...
 
 # Serving smoke: train a small model through the real pipeline — with
 # phase tracing on, exercising the obs tracer end to end — and push one
