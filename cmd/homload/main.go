@@ -14,11 +14,21 @@
 // exercised) and drains it gracefully at the end — the mode verify.sh's
 // smoke step and the committed BENCH_serve.json use.
 //
+// Fleet mode (-fleet, with -model) boots N replicas behind an in-process
+// gate.Gateway instead and drives every session through the gateway: it
+// can force a mid-run rebalance (-fleet-churn), crash a replica
+// (-fleet-kill), hand capacity to the metrics-driven autoscaler
+// (-fleet-autoscale min:max), or sweep replica counts (-fleet-sweep
+// 1,2,4), while checking each served session bit-for-bit against an
+// offline twin predictor. Fleet runs write BENCH_gate.json.
+//
 // Usage:
 //
 //	homload -model model.gob -sessions 8 -records 1000 [-batch 16]
 //	        [-stream stagger] [-seed 1] [-out BENCH_serve.json]
 //	homload -addr http://127.0.0.1:8080 ...
+//	homload -model model.gob -fleet 3 -fleet-churn [-fleet-service-delay 2ms]
+//	homload -model model.gob -fleet-sweep 1,2,4 -fleet-service-delay 5ms
 package main
 
 import (
@@ -56,14 +66,18 @@ func main() {
 	maxRetries := flag.Int("max-retries", 100, "429 retries before a request counts as failed")
 	out := flag.String("out", "BENCH_serve.json", "summary output path")
 	maxprocs := flag.Int("gomaxprocs", 0, "set runtime.GOMAXPROCS for the run (0 keeps the default)")
+	fleetN := flag.Int("fleet", 0, "fleet mode: boot N replicas behind an in-process gateway (needs -model; 0 = off)")
+	fleetChurn := flag.Bool("fleet-churn", false, "fleet mode: join a replica at 1/3 progress and gracefully retire one at 2/3")
+	fleetKill := flag.Bool("fleet-kill", false, "fleet mode: crash a replica at 1/2 progress; clients recreate lost sessions")
+	fleetAutoscale := flag.String("fleet-autoscale", "", `fleet mode: autoscale bounds "min:max" (boots min replicas)`)
+	fleetScaleInterval := flag.Duration("fleet-scale-interval", 300*time.Millisecond, "fleet mode: autoscaler tick period")
+	fleetSweep := flag.String("fleet-sweep", "", `fleet mode: comma-separated replica counts to sweep, e.g. "1,2,4"`)
+	fleetServiceDelay := flag.Duration("fleet-service-delay", 0, "fleet mode: injected per-observe service delay so replicas are latency-bound")
+	fleetVerify := flag.Bool("fleet-verify", true, "fleet mode: check every served session bit-for-bit against an offline twin")
 	flag.Parse()
 
 	if *maxprocs > 0 {
 		runtime.GOMAXPROCS(*maxprocs)
-	}
-	if (*addr == "") == (*modelPath == "") {
-		fmt.Fprintln(os.Stderr, "homload: exactly one of -addr or -model is required")
-		os.Exit(2)
 	}
 	if *sessions < 1 || *records < 1 || *batch < 1 {
 		fmt.Fprintln(os.Stderr, "homload: -sessions, -records, and -batch must be positive")
@@ -72,6 +86,55 @@ func main() {
 
 	clk := clock.Clock(nil).OrWall()
 	slp := clock.Sleeper(nil).OrReal()
+
+	if *fleetN > 0 || *fleetSweep != "" || *fleetAutoscale != "" {
+		if *modelPath == "" || *addr != "" {
+			fmt.Fprintln(os.Stderr, "homload: fleet mode needs -model (and no -addr)")
+			os.Exit(2)
+		}
+		sweep, err := parseSweep(*fleetSweep)
+		if err != nil {
+			fail(err)
+		}
+		fo := fleetOptions{
+			replicas:      *fleetN,
+			churn:         *fleetChurn,
+			kill:          *fleetKill,
+			autoscale:     *fleetAutoscale,
+			scaleInterval: *fleetScaleInterval,
+			sweep:         sweep,
+			serviceDelay:  *fleetServiceDelay,
+			verify:        *fleetVerify,
+		}
+		if fo.autoscale != "" {
+			// The autoscaler owns capacity: start from the lower bound and
+			// let the load grow the fleet.
+			minR, _, err := parseBounds(fo.autoscale)
+			if err != nil {
+				fail(err)
+			}
+			fo.replicas = minR
+		}
+		if fo.replicas < 1 {
+			fo.replicas = 1
+		}
+		outPath := *out
+		if outPath == "BENCH_serve.json" && !flagWasSet("out") {
+			outPath = "BENCH_gate.json"
+		}
+		w := fleetWorkload{
+			sessions: *sessions, records: *records, batch: *batch, maxRetries: *maxRetries,
+			stream: *stream, lambda: *lambda, seed: *seed,
+			queue: *queue, workers: *workers,
+		}
+		runFleet(clk, slp, *modelPath, outPath, w, fo)
+		return
+	}
+
+	if (*addr == "") == (*modelPath == "") {
+		fmt.Fprintln(os.Stderr, "homload: exactly one of -addr or -model is required")
+		os.Exit(2)
+	}
 	base := *addr
 	var shutdown func() error
 	if *modelPath != "" {
@@ -372,6 +435,18 @@ func writeSummary(path string, s *summary) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// flagWasSet reports whether the named flag appeared on the command
+// line (as opposed to holding its default).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fail(err error) {

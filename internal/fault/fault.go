@@ -53,6 +53,17 @@ const (
 	ModelCorrupt
 	// ClockSkew jumps an injected clock forward by up to the rule's Skew.
 	ClockSkew
+	// ReplicaCrash hard-kills one serving replica in a gateway fleet: the
+	// listener closes abruptly, in-memory session state is lost, and the
+	// gateway sees connection errors until its health checker notices. The
+	// fleet harness (internal/gate) consults the point between workload
+	// steps.
+	ReplicaCrash
+	// MigrationInterrupt aborts a session migration after the snapshot has
+	// been pulled from the source but before the restore lands on the
+	// target, forcing the migrator's recovery path (restore back to the
+	// source) so the session still ends whole on exactly one replica.
+	MigrationInterrupt
 
 	// NumPoints is the number of defined fault points.
 	NumPoints
@@ -62,6 +73,7 @@ const (
 var pointNames = [NumPoints]string{
 	"request_drop", "response_delay", "queue_overflow",
 	"label_loss", "label_delay", "model_corrupt", "clock_skew",
+	"replica_crash", "migration_interrupt",
 }
 
 // String returns the point's snake_case name (used as a metric label).

@@ -1,0 +1,248 @@
+package gate
+
+import (
+	"math"
+	"testing"
+
+	"highorder/internal/data"
+	"highorder/internal/fault"
+	"highorder/internal/serve"
+)
+
+// countOwners returns how many live replicas hold the session, asking
+// each replica directly (not the gateway's route table) — the ground
+// truth for the single-ownership invariant.
+func countOwners(t *testing.T, g *Gateway, session string) int {
+	t.Helper()
+	owners := 0
+	for _, rep := range g.reg.list() {
+		ls, err := rep.client.ListSessions()
+		if err != nil {
+			continue // dead replica holds nothing
+		}
+		for _, s := range ls.Sessions {
+			if s.ID == session {
+				owners++
+			}
+		}
+	}
+	return owners
+}
+
+// TestChaosMigrationInterruptRestoresToSource: with the seeded
+// MigrationInterrupt point firing, a migration aborts inside the
+// single-copy window and recovery restores the session back to its
+// source — no acknowledged label is lost and exactly one replica holds
+// the session throughout.
+func TestChaosMigrationInterruptRestoresToSource(t *testing.T) {
+	inj := fault.New(11, fault.Plan{fault.MigrationInterrupt: {Prob: 1}})
+	g, _, c := testFleet(t, 2, Config{Fault: inj})
+
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+	twin := fleetModel().NewPredictor()
+	vectors, classes := staggerWire(13, 80)
+	if _, err := c.Observe(id, vectors[:40], classes[:40]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		twin.Observe(data.Record{Values: vectors[i], Class: classes[i]})
+	}
+
+	from, _ := g.SessionHome(id)
+	var to string
+	for _, ri := range g.Replicas() {
+		if ri.ID != from {
+			to = ri.ID
+		}
+	}
+	if err := g.MigrateSession(id, to); err == nil {
+		t.Fatal("interrupted migration reported success")
+	}
+	if home, _ := g.SessionHome(id); home != from {
+		t.Fatalf("session on %s after interrupted migration, want source %s", home, from)
+	}
+	if n := countOwners(t, g, id); n != 1 {
+		t.Fatalf("%d replicas hold the session, want exactly 1", n)
+	}
+
+	// The session continues from exactly where the acknowledged labels
+	// left it.
+	if _, err := c.Observe(id, vectors[40:], classes[40:]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < len(vectors); i++ {
+		twin.Observe(data.Record{Values: vectors[i], Class: classes[i]})
+	}
+	info, err := c.Info(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := twin.Snapshot()
+	if info.Observed != want.Observed {
+		t.Fatalf("observed %d, want %d", info.Observed, want.Observed)
+	}
+	for i := range want.Active {
+		if math.Float64bits(info.Active[i]) != math.Float64bits(want.Active[i]) {
+			t.Fatalf("active[%d] diverged after interrupt recovery", i)
+		}
+	}
+
+	text := gatewayMetrics(t, g)
+	if v, _ := serve.MetricValue(text, "hom_gate_sessions_lost_total"); v != 0 {
+		t.Fatalf("hom_gate_sessions_lost_total = %v, want 0", v)
+	}
+	if v, _ := serve.MetricValue(text, "hom_gate_migration_failures_total"); v < 1 {
+		t.Fatalf("hom_gate_migration_failures_total = %v, want >= 1", v)
+	}
+}
+
+// TestChaosReplicaKillMidMigration is the hard case: the seeded
+// ReplicaCrash point kills the source replica inside the window where
+// the snapshot has been pulled (source already forgot the session) and
+// the MigrationInterrupt point simultaneously aborts the restore to the
+// intended target. Recovery must land the only copy on some healthy
+// replica: single ownership, every acknowledged label intact.
+func TestChaosReplicaKillMidMigration(t *testing.T) {
+	inj := fault.New(17, fault.Plan{
+		fault.MigrationInterrupt: {Prob: 1},
+		fault.ReplicaCrash:       {Prob: 1},
+	})
+	g, fleet, c := testFleet(t, 3, Config{Fault: inj})
+	g.afterSnapshot = func(session, from string) {
+		if inj.Fire(fault.ReplicaCrash) {
+			if err := fleet.Kill(from); err != nil {
+				t.Errorf("kill %s: %v", from, err)
+			}
+		}
+	}
+
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+	twin := fleetModel().NewPredictor()
+	vectors, classes := staggerWire(19, 120)
+	if _, err := c.Observe(id, vectors[:60], classes[:60]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		twin.Observe(data.Record{Values: vectors[i], Class: classes[i]})
+	}
+
+	from, _ := g.SessionHome(id)
+	var to string
+	for _, ri := range g.Replicas() {
+		if ri.ID != from {
+			to = ri.ID
+			break
+		}
+	}
+
+	// The migration is interrupted AND its source dies: err is expected,
+	// but the session must survive somewhere.
+	_ = g.MigrateSession(id, to)
+
+	home, ok := g.SessionHome(id)
+	if !ok {
+		t.Fatal("session dropped from routing after mid-migration crash")
+	}
+	if home == from {
+		t.Fatalf("session routed to the killed replica %s", from)
+	}
+	if n := countOwners(t, g, id); n != 1 {
+		t.Fatalf("%d replicas hold the session, want exactly 1", n)
+	}
+	if v, _ := serve.MetricValue(gatewayMetrics(t, g), "hom_gate_sessions_lost_total"); v != 0 {
+		t.Fatalf("hom_gate_sessions_lost_total = %v, want 0", v)
+	}
+
+	// Quarantine the corpse (two failed probes) and keep streaming: the
+	// acknowledged prefix plus the new suffix must replay bit-identically.
+	g.HealthCheck()
+	g.HealthCheck()
+	if _, err := c.Observe(id, vectors[60:], classes[60:]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 60; i < len(vectors); i++ {
+		twin.Observe(data.Record{Values: vectors[i], Class: classes[i]})
+	}
+	info, err := c.Info(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := twin.Snapshot()
+	if info.Observed != want.Observed {
+		t.Fatalf("observed %d after crash recovery, want %d — acknowledged labels lost", info.Observed, want.Observed)
+	}
+	for i := range want.Active {
+		if math.Float64bits(info.Active[i]) != math.Float64bits(want.Active[i]) {
+			t.Fatalf("active[%d] diverged after crash recovery", i)
+		}
+	}
+}
+
+// TestChaosHealthCheckDropsDeadReplica: a replica killed outside any
+// migration is quarantined after consecutive probe failures; its
+// sessions are reported lost (their memory died with it) and the rest of
+// the fleet keeps serving.
+func TestChaosHealthCheckDropsDeadReplica(t *testing.T) {
+	g, fleet, c := testFleet(t, 2, Config{HealthFails: 2})
+
+	// Pin one session per replica.
+	var sessions []string
+	for len(sessions) < 2 {
+		created, err := c.CreateSession(serve.CreateSessionRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, created.ID)
+		homes := make(map[string]bool)
+		for _, s := range sessions {
+			h, _ := g.SessionHome(s)
+			homes[h] = true
+		}
+		if len(homes) == 2 {
+			break
+		}
+		if len(sessions) > 20 {
+			t.Fatal("could not land sessions on both replicas")
+		}
+	}
+
+	victim, _ := g.SessionHome(sessions[0])
+	if err := fleet.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	g.HealthCheck()
+	g.HealthCheck()
+
+	// Routes on the corpse are gone; survivors answer.
+	lostAny := false
+	for _, s := range sessions {
+		home, ok := g.SessionHome(s)
+		if !ok {
+			lostAny = true
+			continue
+		}
+		if home == victim {
+			t.Fatalf("session %q still routed to dead replica", s)
+		}
+		if _, err := c.Info(s); err != nil {
+			t.Fatalf("surviving session %q unreachable: %v", s, err)
+		}
+	}
+	if !lostAny {
+		t.Fatal("expected the dead replica's session to be dropped")
+	}
+	if v, _ := serve.MetricValue(gatewayMetrics(t, g), "hom_gate_sessions_lost_total"); v < 1 {
+		t.Fatalf("hom_gate_sessions_lost_total = %v, want >= 1", v)
+	}
+	if v, _ := serve.MetricValue(gatewayMetrics(t, g), "hom_gate_replicas_healthy"); v != 1 {
+		t.Fatalf("hom_gate_replicas_healthy = %v, want 1", v)
+	}
+}

@@ -1,0 +1,41 @@
+// Package gate is the session-routing gateway that turns a set of
+// homserve replicas into one horizontally scaled serving surface. The
+// paper's predictor is deliberately tiny — a per-session posterior over
+// mined concepts (Eqs. 5–7) — so a fleet scales by partitioning sessions,
+// not by sharding the model: every replica loads the same immutable
+// model, and the gateway owns which replica serves which session.
+//
+// Four mechanisms compose:
+//
+//   - A consistent-hash ring (ring.go) maps session ids onto replicas
+//     through fixed-count virtual nodes, so a replica joining or leaving
+//     re-homes only ~1/N of the sessions instead of reshuffling all of
+//     them.
+//   - A replica registry (registry.go) tracks base URLs, typed clients,
+//     and liveness, with a health loop that probes /healthz on the
+//     injectable clock and quarantines replicas after consecutive
+//     failures.
+//   - A migrator (migrate.go) moves one session between replicas without
+//     dropping requests: new requests for the session park on a condition
+//     variable, in-flight ones drain, the source yields its state through
+//     GET /admin/snapshot/{id}?remove=true (at which instant the gateway
+//     holds the only live copy), the target restores it, and routing
+//     flips atomically before the parked requests continue. Recovery
+//     restores the snapshot back to the source — or to any healthy
+//     replica in ring order — so a mid-migration crash never strands or
+//     duplicates a session.
+//   - An autoscaler (autoscaler.go) sizes the replica set from scraped
+//     exposition metrics (queue depth, shed/reject rate, p99 latency)
+//     with hysteresis — separate high/low thresholds, consecutive-tick
+//     requirements, and a post-action cooldown — so bursty load changes
+//     the fleet monotonically instead of flapping it.
+//
+// Lock order: Gateway.mu is the package's root lock and is never held
+// across a network call — request forwarding, snapshot pulls, and
+// restores all happen between critical sections, with the per-session
+// route's moving flag (guarded by Gateway.mu, awaited through its
+// condition variable) standing in for a long-held lock. registry.mu and
+// Fleet.mu are leaves: no code acquires another package lock while
+// holding either, and neither nests with Gateway.mu. obs locks order
+// after all gate locks, as they do after serve locks.
+package gate

@@ -1,0 +1,597 @@
+package gate
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"highorder/internal/clock"
+	"highorder/internal/fault"
+	"highorder/internal/serve"
+)
+
+// Config tunes a Gateway. The zero value is usable.
+type Config struct {
+	// Vnodes is the virtual-node count per replica; <= 0 selects
+	// DefaultVnodes (128).
+	Vnodes int
+	// HealthInterval is the period of the health-probe loop; <= 0 selects
+	// 1 second.
+	HealthInterval time.Duration
+	// HealthFails is how many consecutive probe failures quarantine a
+	// replica; <= 0 selects 2.
+	HealthFails int
+	// Retry is the retry policy installed on every replica client. A nil
+	// Sleep inside it sleeps for real; tests inject a fake.
+	Retry *serve.RetryPolicy
+	// Clock supplies time for routing-latency metrics; nil selects the
+	// wall clock.
+	Clock clock.Clock
+	// Fault installs seeded fault injection (MigrationInterrupt). nil — the
+	// production default — disables every point.
+	Fault *fault.Injector
+	// HTTPClient performs forwarded requests; nil selects a client that
+	// never follows redirects (the replicas issue none).
+	HTTPClient *http.Client
+}
+
+// route is the gateway's record of where one session lives. All fields
+// are guarded by Gateway.mu; cond shares that mutex.
+type route struct {
+	replica  string
+	inflight int
+	// moving parks new requests: set by the migrator before draining,
+	// cleared (with a broadcast) after the routing flip.
+	moving bool
+	cond   *sync.Cond
+}
+
+// Gateway routes per-session traffic onto a homserve replica fleet. See
+// the package documentation for the mechanism inventory and lock order.
+type Gateway struct {
+	cfg     Config
+	clock   clock.Clock
+	fault   *fault.Injector
+	reg     *registry
+	metrics *metrics
+	http    *http.Client
+	mux     *http.ServeMux
+
+	nextSession atomic.Int64
+
+	// afterSnapshot, when non-nil, runs between a migration's snapshot
+	// pull and its restore — the chaos suite's hook for crashing replicas
+	// inside the single-copy window. Never set in production.
+	afterSnapshot func(session, from string)
+
+	mu     sync.Mutex
+	ring   *Ring
+	routes map[string]*route
+}
+
+// New builds a gateway with no replicas. Add them with Join.
+func New(cfg Config) *Gateway {
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = time.Second
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{
+			CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+		}
+	}
+	g := &Gateway{
+		cfg:    cfg,
+		clock:  cfg.Clock.OrWall(),
+		fault:  cfg.Fault,
+		reg:    newRegistry(cfg.HealthFails),
+		http:   hc,
+		ring:   NewRing(cfg.Vnodes),
+		routes: make(map[string]*route),
+	}
+	g.metrics = newMetrics(
+		func() int64 { return int64(g.reg.size()) },
+		func() int64 { return g.healthyCount() },
+		func() int64 {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return int64(len(g.routes))
+		},
+	)
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("POST /v1/sessions", g.handleCreateSession)
+	g.mux.HandleFunc("GET /v1/sessions", g.handleListSessions)
+	g.mux.HandleFunc("GET /v1/sessions/{id}", g.proxySession)
+	g.mux.HandleFunc("GET /v1/sessions/{id}/state", g.proxySession)
+	g.mux.HandleFunc("POST /v1/sessions/{id}/classify", g.proxySession)
+	g.mux.HandleFunc("POST /v1/sessions/{id}/observe", g.proxySession)
+	g.mux.HandleFunc("DELETE /v1/sessions/{id}", g.handleCloseSession)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /admin/replicas", g.handleListReplicas)
+	g.mux.HandleFunc("POST /admin/replicas", g.handleJoinReplica)
+	g.mux.HandleFunc("DELETE /admin/replicas/{id}", g.handleLeaveReplica)
+	g.mux.HandleFunc("POST /admin/migrate", g.handleMigrate)
+	return g
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Registry exposes the gateway's metric registry (for embedding its
+// exposition elsewhere).
+func (g *Gateway) Registry() interface{ WriteText(io.Writer) } { return g.metrics.reg }
+
+func (g *Gateway) healthyCount() int64 {
+	var n int64
+	for _, r := range g.reg.list() {
+		if g.reg.isHealthy(r.id) {
+			n++
+		}
+	}
+	return n
+}
+
+// newClient builds the typed client the gateway uses against one replica.
+func (g *Gateway) newClient(baseURL string) *serve.Client {
+	c := serve.NewClient(baseURL, g.http)
+	if g.cfg.Retry != nil {
+		c = c.WithRetry(*g.cfg.Retry)
+	}
+	return c
+}
+
+// Join registers a replica, probes it once, places it on the ring, and
+// re-homes every session whose ring ownership changed.
+func (g *Gateway) Join(id, baseURL string) error {
+	client := g.newClient(baseURL)
+	if _, err := client.Healthz(); err != nil {
+		return err
+	}
+	if _, err := g.reg.add(id, baseURL, client); err != nil {
+		return err
+	}
+	g.metrics.replicaHealthy.With(id).Set(1)
+	g.mu.Lock()
+	g.ring.Add(id)
+	g.mu.Unlock()
+	g.rebalance()
+	return nil
+}
+
+// Leave gracefully decommissions a replica: it is marked draining (so it
+// refuses new sessions while the gateway empties it), removed from the
+// ring, its sessions are migrated to their new owners, and the registry
+// entry is dropped.
+func (g *Gateway) Leave(id string) error {
+	rep, ok := g.reg.get(id)
+	if !ok {
+		return errUnknownReplica(id)
+	}
+	// Best effort: a crashed replica cannot acknowledge the drain, and the
+	// per-session migrations below surface any real trouble.
+	_, _ = rep.client.SetDraining(true)
+	g.mu.Lock()
+	g.ring.Remove(id)
+	g.mu.Unlock()
+	g.rebalance()
+	g.reg.remove(id)
+	g.metrics.replicaHealthy.Remove(id)
+	return nil
+}
+
+// Replicas reports the registry with per-replica session counts.
+func (g *Gateway) Replicas() []ReplicaInfo {
+	counts := make(map[string]int)
+	g.mu.Lock()
+	for _, r := range g.routes {
+		counts[r.replica]++
+	}
+	g.mu.Unlock()
+	var out []ReplicaInfo
+	for _, r := range g.reg.list() {
+		out = append(out, ReplicaInfo{
+			ID:       r.id,
+			URL:      r.base.String(),
+			Healthy:  g.reg.isHealthy(r.id),
+			Sessions: counts[r.id],
+		})
+	}
+	return out
+}
+
+// SessionCount returns the number of sessions the gateway routes.
+func (g *Gateway) SessionCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.routes)
+}
+
+// SessionHome returns the replica a session is routed to.
+func (g *Gateway) SessionHome(session string) (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.routes[session]
+	if !ok {
+		return "", false
+	}
+	return r.replica, true
+}
+
+// HealthLoop probes every replica each HealthInterval until stop closes.
+// Run it in its own goroutine; tests call HealthCheck directly instead.
+func (g *Gateway) HealthLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(g.cfg.HealthInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			g.HealthCheck()
+		}
+	}
+}
+
+// HealthCheck probes every replica once. A replica that crosses the
+// consecutive-failure threshold is quarantined: it leaves the ring and
+// its sessions — whose in-memory state died with it — are dropped and
+// counted as lost. A quarantined replica that answers again rejoins the
+// ring and picks up its ring-owned share at the next rebalance.
+func (g *Gateway) HealthCheck() {
+	for _, rep := range g.reg.list() {
+		_, err := rep.client.Healthz()
+		flipped, nowHealthy := g.reg.observe(rep.id, err == nil)
+		if !flipped {
+			continue
+		}
+		if nowHealthy {
+			g.metrics.replicaHealthy.With(rep.id).Set(1)
+			g.mu.Lock()
+			g.ring.Add(rep.id)
+			g.mu.Unlock()
+			g.rebalance()
+		} else {
+			g.metrics.replicaHealthy.With(rep.id).Set(0)
+			g.dropReplicaRoutes(rep.id)
+		}
+	}
+}
+
+// dropReplicaRoutes removes a dead replica from the ring and forgets the
+// sessions homed on it (their state is unrecoverable). Mid-migration
+// sessions are left to their migrator, whose recovery path already
+// handles a dead endpoint.
+func (g *Gateway) dropReplicaRoutes(id string) {
+	lost := 0
+	g.mu.Lock()
+	g.ring.Remove(id)
+	for sess, r := range g.routes {
+		if r.replica == id && !r.moving {
+			delete(g.routes, sess)
+			lost++
+		}
+	}
+	g.mu.Unlock()
+	if lost > 0 {
+		g.metrics.sessionsLost.Add(int64(lost))
+	}
+}
+
+// acquire parks while the session is mid-migration, then pins its route
+// with one in-flight request and returns the owning replica id.
+func (g *Gateway) acquire(session string) (string, bool) {
+	g.mu.Lock()
+	r, ok := g.routes[session]
+	if !ok {
+		g.mu.Unlock()
+		return "", false
+	}
+	for r.moving {
+		g.metrics.parked.Inc()
+		r.cond.Wait()
+	}
+	r.inflight++
+	replica := r.replica
+	g.mu.Unlock()
+	return replica, true
+}
+
+// release unpins one in-flight request and wakes a waiting migrator when
+// the route drains.
+func (g *Gateway) release(session string) {
+	g.mu.Lock()
+	if r, ok := g.routes[session]; ok {
+		r.inflight--
+		if r.inflight == 0 {
+			r.cond.Broadcast()
+		}
+	}
+	g.mu.Unlock()
+}
+
+// Canned hot-path error bodies: the proxy path writes fixed bytes instead
+// of formatting responses.
+var (
+	bodyUnknownSession = []byte(`{"error":"unknown session"}`)
+	bodyNoReplica      = []byte(`{"error":"replica unavailable"}`)
+)
+
+// proxySession forwards a per-session request to the replica that owns
+// the session, parking first if the session is mid-migration.
+//
+//homlint:hotpath -- per-request gateway forwarding
+func (g *Gateway) proxySession(w http.ResponseWriter, r *http.Request) {
+	start := g.clock()
+	session := r.PathValue("id")
+	repID, ok := g.acquire(session)
+	if !ok {
+		writeBytes(w, http.StatusNotFound, bodyUnknownSession)
+		return
+	}
+	rep, ok := g.reg.get(repID)
+	if !ok {
+		g.release(session)
+		writeBytes(w, http.StatusBadGateway, bodyNoReplica)
+		return
+	}
+	g.forward(w, r, rep)
+	g.release(session)
+	g.metrics.routeLatency.Observe(g.clock().Sub(start).Seconds())
+}
+
+// forward relays the request to the replica and streams the response
+// back. It never runs while Gateway.mu is held.
+//
+//homlint:hotpath -- replica round trip on the per-request path
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, rep *replica) {
+	out := r.Clone(r.Context())
+	out.URL.Scheme = rep.base.Scheme
+	out.URL.Host = rep.base.Host
+	out.RequestURI = ""
+	out.Host = ""
+	resp, err := g.http.Do(out)
+	if err != nil {
+		writeBytes(w, http.StatusBadGateway, bodyNoReplica)
+		return
+	}
+	h := w.Header()
+	for k, vv := range resp.Header {
+		h[k] = vv
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	_ = resp.Body.Close()
+}
+
+// writeBytes writes a canned JSON body without formatting.
+func writeBytes(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(body)
+}
+
+// writeJSON encodes v (control-plane paths only; the hot path uses
+// writeBytes).
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// httpError writes a serve-shaped error body.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}
+
+// relayError maps a replica-client failure onto this response, keeping
+// the replica's status and Retry-After hint when present.
+func relayError(w http.ResponseWriter, err error) {
+	if he, ok := err.(*serve.HTTPError); ok {
+		if he.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(he.RetryAfter/time.Second)))
+		}
+		httpError(w, he.Status, he.Message)
+		return
+	}
+	httpError(w, http.StatusBadGateway, err.Error())
+}
+
+// handleCreateSession places a new session: the gateway allocates a
+// fleet-unique id (unless the caller requested one), homes it on its ring
+// owner, and creates it there by requested id.
+func (g *Gateway) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req serve.CreateSessionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.ID == "" {
+		req.ID = "g" + strconv.FormatInt(g.nextSession.Add(1), 10)
+	}
+
+	g.mu.Lock()
+	owner, ok := g.ring.Owner(req.ID)
+	if !ok {
+		g.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "no replicas joined")
+		return
+	}
+	if _, exists := g.routes[req.ID]; exists {
+		g.mu.Unlock()
+		httpError(w, http.StatusConflict, "session id already routed")
+		return
+	}
+	// Pin the new route with one in-flight request so a concurrent
+	// rebalance waits for the create to land before moving it.
+	rt := &route{replica: owner, inflight: 1}
+	rt.cond = sync.NewCond(&g.mu)
+	g.routes[req.ID] = rt
+	g.mu.Unlock()
+
+	rep, ok := g.reg.get(owner)
+	if !ok {
+		g.forgetRoute(req.ID)
+		httpError(w, http.StatusServiceUnavailable, "owner replica missing")
+		return
+	}
+	resp, err := rep.client.CreateSession(req)
+	if err != nil {
+		g.forgetRoute(req.ID)
+		relayError(w, err)
+		return
+	}
+	g.release(req.ID)
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+// forgetRoute removes a failed route outright, waking anything parked.
+func (g *Gateway) forgetRoute(session string) {
+	g.mu.Lock()
+	if r, ok := g.routes[session]; ok {
+		delete(g.routes, session)
+		r.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// handleCloseSession forwards the delete and drops the route on success.
+func (g *Gateway) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	session := r.PathValue("id")
+	repID, ok := g.acquire(session)
+	if !ok {
+		writeBytes(w, http.StatusNotFound, bodyUnknownSession)
+		return
+	}
+	rep, ok := g.reg.get(repID)
+	if !ok {
+		g.release(session)
+		writeBytes(w, http.StatusBadGateway, bodyNoReplica)
+		return
+	}
+	err := rep.client.CloseSession(session)
+	g.release(session)
+	if err != nil {
+		relayError(w, err)
+		return
+	}
+	g.forgetRoute(session)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleListSessions reports the gateway's routing table: session ids and
+// their current homes (session detail lives on the replicas).
+func (g *Gateway) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID      string `json:"id"`
+		Replica string `json:"replica"`
+	}
+	g.mu.Lock()
+	entries := make([]entry, 0, len(g.routes))
+	for sess, rt := range g.routes {
+		entries = append(entries, entry{ID: sess, Replica: rt.replica})
+	}
+	g.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	writeJSON(w, http.StatusOK, struct {
+		Sessions []entry `json:"sessions"`
+	}{Sessions: entries})
+}
+
+// handleMetrics renders the gateway's Prometheus exposition.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g.metrics.reg.WriteText(w)
+}
+
+// GateHealth is the response of the gateway's GET /healthz.
+type GateHealth struct {
+	Status          string `json:"status"`
+	Replicas        int    `json:"replicas"`
+	HealthyReplicas int    `json:"healthy_replicas"`
+	Sessions        int    `json:"sessions"`
+}
+
+// handleHealthz reports fleet shape: ok with at least one healthy
+// replica, degraded otherwise.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	healthy := int(g.healthyCount())
+	status := "ok"
+	if healthy == 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, GateHealth{
+		Status:          status,
+		Replicas:        g.reg.size(),
+		HealthyReplicas: healthy,
+		Sessions:        g.SessionCount(),
+	})
+}
+
+// JoinRequest is the body of POST /admin/replicas.
+type JoinRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+func (g *Gateway) handleListReplicas(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Replicas []ReplicaInfo `json:"replicas"`
+	}{Replicas: g.Replicas()})
+}
+
+func (g *Gateway) handleJoinReplica(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if req.ID == "" || req.URL == "" {
+		httpError(w, http.StatusBadRequest, "id and url are required")
+		return
+	}
+	if err := g.Join(req.ID, req.URL); err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, struct {
+		ID string `json:"id"`
+	}{ID: req.ID})
+}
+
+func (g *Gateway) handleLeaveReplica(w http.ResponseWriter, r *http.Request) {
+	if err := g.Leave(r.PathValue("id")); err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// MigrateRequest is the body of POST /admin/migrate.
+type MigrateRequest struct {
+	Session string `json:"session"`
+	To      string `json:"to"`
+}
+
+func (g *Gateway) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if err := g.MigrateSession(req.Session, req.To); err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Session string `json:"session"`
+		To      string `json:"to"`
+	}{Session: req.Session, To: req.To})
+}

@@ -1,0 +1,254 @@
+package gate
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"highorder/internal/clock"
+	"highorder/internal/serve"
+)
+
+// TestGatewayHTTPLifecycle drives the full session surface over HTTP:
+// requested ids echo back, conflicts are refused at the gateway and
+// relayed from the replica, the routing table lists homes, and closing a
+// session drops its route.
+func TestGatewayHTTPLifecycle(t *testing.T) {
+	g, fleet, c := testFleet(t, 2, Config{})
+
+	created, err := c.CreateSession(serve.CreateSessionRequest{ID: "gwanted"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID != "gwanted" {
+		t.Fatalf("requested id came back as %q", created.ID)
+	}
+	// A second create of a routed id is refused by the gateway itself.
+	if _, err := c.CreateSession(serve.CreateSessionRequest{ID: "gwanted"}); err == nil {
+		t.Fatal("duplicate routed id accepted")
+	} else if he := asHTTPError(t, err); he.Status != http.StatusConflict {
+		t.Fatalf("duplicate routed id status %d, want 409", he.Status)
+	}
+
+	// A conflict the gateway cannot see — the id exists on the replica but
+	// not in the routing table — is relayed from the replica with its
+	// original status (the relayError path).
+	const shadow = "gshadow"
+	owner, ok := g.ringOwner(shadow)
+	if !ok {
+		t.Fatal("ring owner lookup failed")
+	}
+	url, ok := fleet.URL(owner)
+	if !ok {
+		t.Fatalf("fleet has no URL for %s", owner)
+	}
+	direct := serve.NewClient(url, nil)
+	if _, err := direct.CreateSession(serve.CreateSessionRequest{ID: shadow}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(serve.CreateSessionRequest{ID: shadow}); err == nil {
+		t.Fatal("replica-side duplicate accepted")
+	} else if he := asHTTPError(t, err); he.Status != http.StatusConflict {
+		t.Fatalf("relayed duplicate status %d, want 409", he.Status)
+	}
+
+	// The gateway's session listing is its routing table.
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/sessions", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"gwanted"`) {
+		t.Fatalf("session listing missing the route: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Close drops the route; the id becomes unknown to the gateway.
+	if err := c.CloseSession("gwanted"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Info("gwanted"); err == nil {
+		t.Fatal("closed session still routed")
+	} else if he := asHTTPError(t, err); he.Status != http.StatusNotFound {
+		t.Fatalf("closed session status %d, want 404", he.Status)
+	}
+	if err := c.CloseSession("never-existed"); err == nil {
+		t.Fatal("closing an unknown session succeeded")
+	}
+}
+
+func asHTTPError(t *testing.T, err error) *serve.HTTPError {
+	t.Helper()
+	var he *serve.HTTPError
+	if !errors.As(err, &he) {
+		t.Fatalf("error %v is not an HTTPError", err)
+	}
+	return he
+}
+
+// TestGatewayAdminErrors covers the admin plane's refusal paths: bad
+// JSON, duplicate joins, unknown leaves and migrates.
+func TestGatewayAdminErrors(t *testing.T) {
+	g, _, _ := testFleet(t, 1, Config{})
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		g.Handler().ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := do(http.MethodPost, "/admin/replicas", "{nope"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad join JSON -> %d, want 400", rec.Code)
+	}
+	if rec := do(http.MethodPost, "/admin/replicas", `{"id":"r1","url":"http://127.0.0.1:1"}`); rec.Code < 400 {
+		t.Fatalf("duplicate join -> %d, want an error", rec.Code)
+	}
+	if rec := do(http.MethodGet, "/admin/replicas", ""); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"r1"`) {
+		t.Fatalf("replica listing -> %d %s", rec.Code, rec.Body.String())
+	}
+	if rec := do(http.MethodDelete, "/admin/replicas/zzz", ""); rec.Code < 400 {
+		t.Fatalf("leaving unknown replica -> %d, want an error", rec.Code)
+	}
+	if rec := do(http.MethodPost, "/admin/migrate", "{nope"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad migrate JSON -> %d, want 400", rec.Code)
+	}
+	if rec := do(http.MethodPost, "/admin/migrate", `{"session":"nope","to":"r1"}`); rec.Code < 400 {
+		t.Fatalf("migrating unknown session -> %d, want an error", rec.Code)
+	}
+}
+
+// TestMigrateEdgeCases: unknown session, unknown target, no-op to the
+// current home, and a busy route.
+func TestMigrateEdgeCases(t *testing.T) {
+	g, _, c := testFleet(t, 2, Config{})
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+	home, _ := g.SessionHome(id)
+
+	if err := g.MigrateSession("ghost", home); err == nil {
+		t.Fatal("migrating an unknown session succeeded")
+	}
+	if err := g.MigrateSession(id, "zzz"); err == nil {
+		t.Fatal("migrating to an unknown replica succeeded")
+	}
+	if err := g.MigrateSession(id, home); err != nil {
+		t.Fatalf("no-op migration to the current home errored: %v", err)
+	}
+	if v, _ := serve.MetricValue(gatewayMetrics(t, g), "hom_gate_migrations_total"); v != 0 {
+		t.Fatalf("no-op migration counted: %v", v)
+	}
+
+	// A route already mid-migration refuses a second migrator.
+	g.mu.Lock()
+	g.routes[id].moving = true
+	g.mu.Unlock()
+	var to string
+	for _, ri := range g.Replicas() {
+		if ri.ID != home {
+			to = ri.ID
+		}
+	}
+	if err := g.MigrateSession(id, to); !errors.Is(err, ErrMigrationBusy) {
+		t.Fatalf("busy route -> %v, want ErrMigrationBusy", err)
+	}
+	g.mu.Lock()
+	g.routes[id].moving = false
+	g.routes[id].cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// TestGatewayHealthLoopQuarantines: the background probe loop notices a
+// killed replica without explicit HealthCheck calls.
+func TestGatewayHealthLoopQuarantines(t *testing.T) {
+	g, fleet, _ := testFleet(t, 2, Config{HealthInterval: 10 * time.Millisecond, HealthFails: 2})
+	stop := make(chan struct{})
+	defer close(stop)
+	go g.HealthLoop(stop)
+
+	victim := g.Replicas()[0].ID
+	if err := fleet.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	slp := clock.Sleeper(nil).OrReal()
+	clk := clock.Clock(nil).OrWall()
+	deadline := clk().Add(5 * time.Second)
+	for g.healthyCount() != 1 {
+		if !clk().Before(deadline) {
+			t.Fatalf("health loop never quarantined %s", victim)
+		}
+		slp.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAutoscalerRealScrape exercises the exposition-parsing scrape and
+// the background Run loop against real replicas (signals stay in band, so
+// the fleet holds).
+func TestAutoscalerRealScrape(t *testing.T) {
+	g, fleet, c := testFleet(t, 1, Config{})
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors, classes := staggerWire(31, 8)
+	if _, err := c.Classify(created.ID, vectors, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Observe(created.ID, vectors, classes); err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewAutoscaler(g, fleet, AutoscalerConfig{Min: 1, Max: 2, HighQueue: 1e9, Interval: 5 * time.Millisecond})
+	stats := a.scrapeReplicas()
+	if len(stats) != 1 {
+		t.Fatalf("scraped %d replicas, want 1", len(stats))
+	}
+	if stats[0].Sessions != 1 {
+		t.Fatalf("scraped sessions %v, want 1", stats[0].Sessions)
+	}
+
+	stop := make(chan struct{})
+	go a.Run(stop, nil)
+	slp := clock.Sleeper(nil).OrReal()
+	slp.Sleep(50 * time.Millisecond)
+	close(stop)
+	if n := len(g.Replicas()); n != 1 {
+		t.Fatalf("in-band signals scaled the fleet to %d", n)
+	}
+}
+
+// TestSmallSurfaces pins the remaining small accessors: the metrics
+// registry writer, ring size, fleet URL lookups, and autoscaler config
+// defaulting.
+func TestSmallSurfaces(t *testing.T) {
+	g, fleet, _ := testFleet(t, 1, Config{})
+	var buf bytes.Buffer
+	g.Registry().WriteText(&buf)
+	if !strings.Contains(buf.String(), "hom_gate_replicas") {
+		t.Fatal("registry exposition missing gateway families")
+	}
+
+	r := NewRing(4)
+	if r.Size() != 0 {
+		t.Fatal("empty ring has members")
+	}
+	r.Add("a")
+	r.Add("b")
+	if r.Size() != 2 {
+		t.Fatalf("ring size %d, want 2", r.Size())
+	}
+
+	if _, ok := fleet.URL("zzz"); ok {
+		t.Fatal("unknown fleet member has a URL")
+	}
+
+	cfg := AutoscalerConfig{Min: 5, Max: 2, HighQueue: 10, LowQueue: 50}.withDefaults()
+	if cfg.Max != 5 {
+		t.Fatalf("Max not clamped to Min: %d", cfg.Max)
+	}
+	if cfg.LowQueue >= cfg.HighQueue {
+		t.Fatalf("LowQueue %v not re-derived below HighQueue %v", cfg.LowQueue, cfg.HighQueue)
+	}
+}

@@ -1,0 +1,393 @@
+package gate
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"highorder/internal/classifier"
+	"highorder/internal/core"
+	"highorder/internal/data"
+	"highorder/internal/serve"
+	"highorder/internal/synth"
+)
+
+// fleetModel hand-builds the two-concept Stagger-schema model the serve
+// unit tests use: cheap, deterministic, and enough to exercise routing
+// and state transfer.
+func fleetModel() *core.Model {
+	return &core.Model{
+		Schema: &data.Schema{
+			Attributes: []data.Attribute{
+				{Name: "color", Kind: data.Nominal, Values: []string{"green", "blue", "red"}},
+				{Name: "shape", Kind: data.Nominal, Values: []string{"triangle", "circle", "rectangle"}},
+				{Name: "size", Kind: data.Nominal, Values: []string{"small", "medium", "large"}},
+			},
+			Classes: []string{"neg", "pos"},
+		},
+		Concepts: []core.Concept{
+			{Model: classifier.NewMajority(0, []float64{0.8, 0.2}), Err: 0.2, Len: 100, Freq: 0.5, Size: 100},
+			{Model: classifier.NewMajority(1, []float64{0.3, 0.7}), Err: 0.3, Len: 100, Freq: 0.5, Size: 100},
+		},
+		Chi: [][]float64{{0.95, 0.05}, {0.05, 0.95}},
+	}
+}
+
+// staggerWire drains n labeled Stagger records into wire form.
+func staggerWire(seed int64, n int) (vectors [][]float64, classes []int) {
+	g := synth.NewStagger(synth.StaggerConfig{Seed: seed})
+	d := synth.TakeDataset(g, n)
+	vectors = make([][]float64, len(d.Records))
+	classes = make([]int, len(d.Records))
+	for i, r := range d.Records {
+		vectors[i] = r.Values
+		classes[i] = r.Class
+	}
+	return vectors, classes
+}
+
+// testFleet boots a gateway over n in-process replicas and returns the
+// pieces plus a client against the gateway's own HTTP surface.
+func testFleet(t *testing.T, n int, cfg Config) (*Gateway, *Fleet, *serve.Client) {
+	t.Helper()
+	fleet := NewFleet(fleetModel(), serve.Options{QueueDepth: 64, Workers: 2})
+	t.Cleanup(fleet.Close)
+	g := New(cfg)
+	for i := 0; i < n; i++ {
+		id, url, err := fleet.ScaleUp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Join(id, url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return g, fleet, serve.NewClient(ts.URL, nil)
+}
+
+// serveClientFor returns a typed client speaking to the gateway's data
+// plane over a fresh loopback listener.
+func serveClientFor(t *testing.T, g *Gateway) *serve.Client {
+	t.Helper()
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return serve.NewClient(ts.URL, nil)
+}
+
+// gatewayMetrics scrapes the gateway's exposition through its handler.
+func gatewayMetrics(t *testing.T, g *Gateway) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	return rec.Body.String()
+}
+
+// TestGatewayRoutesAndCreates: sessions land on their ring owners, ids
+// are fleet-unique, and per-session traffic reaches the right replica.
+func TestGatewayRoutesAndCreates(t *testing.T) {
+	g, _, c := testFleet(t, 3, Config{})
+
+	vectors, classes := staggerWire(3, 8)
+	seen := make(map[string]bool)
+	for i := 0; i < 12; i++ {
+		created, err := c.CreateSession(serve.CreateSessionRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[created.ID] {
+			t.Fatalf("duplicate gateway session id %q", created.ID)
+		}
+		seen[created.ID] = true
+		home, ok := g.SessionHome(created.ID)
+		if !ok {
+			t.Fatalf("no route for %q", created.ID)
+		}
+		if owner, _ := g.ringOwner(created.ID); owner != home {
+			t.Fatalf("session %q homed on %s, ring owner %s", created.ID, home, owner)
+		}
+		if _, err := c.Observe(created.ID, vectors, classes); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Classify(created.ID, vectors, false); err != nil {
+			t.Fatal(err)
+		}
+		info, err := c.Info(created.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Observed != len(vectors) {
+			t.Fatalf("session %q observed %d, want %d", created.ID, info.Observed, len(vectors))
+		}
+	}
+	// All three replicas should hold at least one of 12 sessions with
+	// overwhelming probability (and deterministically for this id set).
+	byReplica := make(map[string]int)
+	for _, ri := range g.Replicas() {
+		byReplica[ri.ID] = ri.Sessions
+	}
+	total := 0
+	for _, n := range byReplica {
+		total += n
+	}
+	if total != 12 {
+		t.Fatalf("replicas report %d sessions, want 12", total)
+	}
+}
+
+// ringOwner exposes ring lookup to tests.
+func (g *Gateway) ringOwner(key string) (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ring.Owner(key)
+}
+
+// TestGatewayMigrationBitIdentity is the headline proof: a session
+// streamed through the gateway survives an explicit mid-stream migration
+// and a join-triggered rebalance with its state bit-identical to an
+// offline twin that never moved, while concurrent traffic keeps flowing
+// (requests park, none drop).
+func TestGatewayMigrationBitIdentity(t *testing.T) {
+	g, fleet, c := testFleet(t, 2, Config{})
+
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+	twin := fleetModel().NewPredictor()
+	vectors, classes := staggerWire(7, 300)
+	feed := func(lo, hi int) {
+		if _, err := c.Observe(id, vectors[lo:hi], classes[lo:hi]); err != nil {
+			t.Fatalf("observe [%d:%d): %v", lo, hi, err)
+		}
+		for i := lo; i < hi; i++ {
+			twin.Observe(data.Record{Values: vectors[i], Class: classes[i]})
+		}
+	}
+
+	feed(0, 100)
+
+	// Explicit migration to the other replica, with concurrent requests in
+	// flight: they must park and complete, never fail.
+	from, _ := g.SessionHome(id)
+	var to string
+	for _, ri := range g.Replicas() {
+		if ri.ID != from {
+			to = ri.ID
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var reqErr error
+	var reqMu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Classify(id, vectors[:1], false); err != nil {
+				reqMu.Lock()
+				reqErr = err
+				reqMu.Unlock()
+				return
+			}
+		}
+	}()
+	if err := g.MigrateSession(id, to); err != nil {
+		t.Fatalf("migrate %s -> %s: %v", from, to, err)
+	}
+	close(stop)
+	wg.Wait()
+	reqMu.Lock()
+	if reqErr != nil {
+		t.Fatalf("request failed during migration: %v", reqErr)
+	}
+	reqMu.Unlock()
+	if home, _ := g.SessionHome(id); home != to {
+		t.Fatalf("after migration session lives on %s, want %s", home, to)
+	}
+
+	feed(100, 200)
+
+	// Join a third replica: the rebalance may or may not move this
+	// session (ownership is hash-determined), but state must survive
+	// either way.
+	rid, url, err := fleet.ScaleUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(rid, url); err != nil {
+		t.Fatal(err)
+	}
+
+	feed(200, 300)
+
+	info, err := c.Info(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := twin.Snapshot()
+	if info.Observed != want.Observed {
+		t.Fatalf("observed %d, want %d", info.Observed, want.Observed)
+	}
+	if len(info.Active) != len(want.Active) {
+		t.Fatalf("active length %d, want %d", len(info.Active), len(want.Active))
+	}
+	for i := range want.Active {
+		if math.Float64bits(info.Active[i]) != math.Float64bits(want.Active[i]) {
+			t.Fatalf("active[%d] %x differs from twin %x after migration+rebalance",
+				i, math.Float64bits(info.Active[i]), math.Float64bits(want.Active[i]))
+		}
+	}
+	if v, ok := serve.MetricValue(gatewayMetrics(t, g), "hom_gate_migrations_total"); !ok || v < 1 {
+		t.Fatalf("hom_gate_migrations_total = %v, want >= 1", v)
+	}
+}
+
+// TestGatewayRebalanceMovesOnlyRingDelta: with many sessions live, a
+// join re-homes exactly the sessions whose ring owner changed.
+func TestGatewayRebalanceMovesOnlyRingDelta(t *testing.T) {
+	g, fleet, c := testFleet(t, 2, Config{})
+
+	vectors, classes := staggerWire(5, 4)
+	const sessions = 30
+	for i := 0; i < sessions; i++ {
+		created, err := c.CreateSession(serve.CreateSessionRequest{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Observe(created.ID, vectors, classes); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Predict the ring delta before joining.
+	g.mu.Lock()
+	before := make(map[string]string)
+	for sess := range g.routes {
+		before[sess], _ = g.ring.Owner(sess)
+	}
+	g.mu.Unlock()
+
+	rid, url, err := fleet.ScaleUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Join(rid, url); err != nil {
+		t.Fatal(err)
+	}
+
+	moved := 0
+	for sess, oldOwner := range before {
+		newOwner, _ := g.ringOwner(sess)
+		home, ok := g.SessionHome(sess)
+		if !ok {
+			t.Fatalf("session %q lost during rebalance", sess)
+		}
+		if home != newOwner {
+			t.Fatalf("session %q homed on %s, ring owner %s", sess, home, newOwner)
+		}
+		if newOwner != oldOwner {
+			moved++
+			if newOwner != rid {
+				t.Fatalf("session %q moved to %s, not the joiner", sess, newOwner)
+			}
+		}
+	}
+	if v, _ := serve.MetricValue(gatewayMetrics(t, g), "hom_gate_rebalance_moved"); int(v) != moved {
+		t.Fatalf("hom_gate_rebalance_moved = %v, ring delta was %d", v, moved)
+	}
+	// Every moved session must still answer with full state.
+	for sess := range before {
+		info, err := c.Info(sess)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Observed != len(vectors) {
+			t.Fatalf("session %q observed %d after rebalance, want %d", sess, info.Observed, len(vectors))
+		}
+	}
+}
+
+// TestGatewayAdminHTTP drives join/leave/migrate through the HTTP admin
+// surface (what cmd/homgate exposes to operators).
+func TestGatewayAdminHTTP(t *testing.T) {
+	g, fleet, c := testFleet(t, 1, Config{})
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Join a second replica over HTTP.
+	rid, url, err := fleet.ScaleUp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(JoinRequest{ID: rid, URL: url})
+	resp, err := http.Post(ts.URL+"/admin/replicas", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("join status %d", resp.StatusCode)
+	}
+
+	// Force a migration over HTTP to wherever the session is not.
+	home, _ := g.SessionHome(created.ID)
+	target := "r1"
+	if home == "r1" {
+		target = rid
+	}
+	body, _ = json.Marshal(MigrateRequest{Session: created.ID, To: target})
+	resp, err = http.Post(ts.URL+"/admin/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate status %d", resp.StatusCode)
+	}
+	if newHome, _ := g.SessionHome(created.ID); newHome != target {
+		t.Fatalf("session on %s after admin migrate, want %s", newHome, target)
+	}
+
+	// Leave the original replica; its sessions must survive on the rest.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/admin/replicas/"+home, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("leave status %d", resp.StatusCode)
+	}
+	if _, err := c.Info(created.ID); err != nil {
+		t.Fatalf("session unreachable after leave: %v", err)
+	}
+	var health GateHealth
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if health.Replicas != 1 || health.Sessions != 1 {
+		t.Fatalf("health after leave = %+v, want 1 replica, 1 session", health)
+	}
+}

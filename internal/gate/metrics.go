@@ -1,0 +1,62 @@
+package gate
+
+import "highorder/internal/obs"
+
+// routeBuckets are the routing-latency histogram bounds (seconds): the
+// gateway adds one loopback hop over the replica's own latency, so the
+// range sits below serve's request buckets.
+var routeBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// metrics holds the gateway's metric families on one obs.Registry.
+// Counters and histograms touched on the proxy hot path are resolved to
+// direct pointers at construction — vec lookups stay off that path.
+type metrics struct {
+	reg *obs.Registry
+
+	replicaHealthy *obs.GaugeVec
+	routeLatency   *obs.Histogram
+	parked         *obs.Counter
+
+	migrations        *obs.Counter
+	migrationFailures *obs.Counter
+	rebalanceMoved    *obs.Counter
+	sessionsLost      *obs.Counter
+
+	autoscale *obs.CounterVec
+}
+
+// newMetrics registers the gateway families. replicas and sessions are
+// sampled from the gateway at render time so they can never drift from
+// the route table.
+func newMetrics(replicas, healthyReplicas, sessions func() int64) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+	reg.NewGaugeFunc("hom_gate_replicas",
+		"Registered replicas behind the gateway.", replicas)
+	reg.NewGaugeFunc("hom_gate_replicas_healthy",
+		"Registered replicas currently passing health probes.", healthyReplicas)
+	m.replicaHealthy = reg.NewGaugeVec("hom_gate_replica_healthy",
+		"Per-replica health (1 healthy, 0 quarantined); series removed when a replica leaves.", "replica")
+	reg.NewGaugeFunc("hom_gate_sessions",
+		"Sessions the gateway is routing.", sessions)
+	m.routeLatency = reg.NewHistogram("hom_gate_route_seconds",
+		"Gateway routing latency: park wait plus replica round trip.", routeBuckets)
+	m.parked = reg.NewCounter("hom_gate_parked_total",
+		"Requests parked because their session was mid-migration.")
+	m.migrations = reg.NewCounter("hom_gate_migrations_total",
+		"Session migrations that changed the session's home replica.")
+	m.migrationFailures = reg.NewCounter("hom_gate_migration_failures_total",
+		"Migrations that could not land on the requested target.")
+	m.rebalanceMoved = reg.NewCounter("hom_gate_rebalance_moved",
+		"Sessions re-homed by ring membership changes.")
+	m.sessionsLost = reg.NewCounter("hom_gate_sessions_lost_total",
+		"Sessions whose state could not be restored on any replica.")
+	m.autoscale = reg.NewCounterVec("hom_gate_autoscale_total",
+		"Autoscaler actions by direction.", "direction")
+	m.autoscale.Preset("up")
+	m.autoscale.Preset("down")
+	return m
+}

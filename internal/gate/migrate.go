@@ -1,0 +1,183 @@
+package gate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"highorder/internal/fault"
+	"highorder/internal/serve"
+)
+
+// errUnknownReplica names a replica id the registry does not hold.
+func errUnknownReplica(id string) error {
+	return fmt.Errorf("gate: unknown replica %q", id)
+}
+
+// ErrMigrationBusy is returned when the session is already mid-migration.
+var ErrMigrationBusy = errors.New("gate: session is already migrating")
+
+// MigrateSession moves one session from its current replica to the named
+// target without dropping a request:
+//
+//  1. The route is marked moving, parking every new request, and the
+//     migrator waits for in-flight requests to drain.
+//  2. The source yields the session through snapshot-with-remove. From
+//     this instant the pulled snapshot is the only live copy — a source
+//     crash afterwards loses nothing.
+//  3. The snapshot is restored on the target and the route flips to it
+//     before the parked requests continue.
+//
+// If the restore cannot land on the target (the seeded MigrationInterrupt
+// fault point, a crashed target), recovery restores the snapshot back to
+// the source; if the source is gone too, onto any healthy replica in ring
+// order. Only when no replica will accept it is the session dropped and
+// counted in hom_gate_sessions_lost_total — at every step there is at
+// most one live copy.
+func (g *Gateway) MigrateSession(session, to string) error {
+	target, ok := g.reg.get(to)
+	if !ok {
+		return errUnknownReplica(to)
+	}
+
+	g.mu.Lock()
+	rt, ok := g.routes[session]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("gate: unknown session %q", session)
+	}
+	if rt.moving {
+		g.mu.Unlock()
+		return ErrMigrationBusy
+	}
+	if rt.replica == to {
+		g.mu.Unlock()
+		return nil
+	}
+	rt.moving = true
+	for rt.inflight > 0 {
+		rt.cond.Wait()
+	}
+	from := rt.replica
+	g.mu.Unlock()
+
+	final, err := g.transfer(session, from, target)
+
+	g.mu.Lock()
+	if final == "" {
+		delete(g.routes, session)
+		rt.cond.Broadcast() // wake parked requests; they answer 404
+	} else {
+		rt.replica = final
+		rt.moving = false
+		rt.cond.Broadcast()
+	}
+	g.mu.Unlock()
+
+	switch {
+	case final == "":
+		g.metrics.sessionsLost.Inc()
+	case final != from:
+		g.metrics.migrations.Inc()
+	}
+	if final != to {
+		g.metrics.migrationFailures.Inc()
+	}
+	return err
+}
+
+// transfer performs the unlocked snapshot/restore leg of a migration and
+// returns the replica the session finally lives on ("" when it was lost
+// everywhere).
+func (g *Gateway) transfer(session, from string, target *replica) (string, error) {
+	source, ok := g.reg.get(from)
+	if !ok {
+		return "", errUnknownReplica(from)
+	}
+	snap, err := source.client.Snapshot(session, true)
+	if err != nil {
+		// Nothing was removed: the session still lives on the source.
+		return from, fmt.Errorf("gate: snapshot %q from %s: %w", session, from, err)
+	}
+	if g.afterSnapshot != nil {
+		// Chaos seam: the suite crashes replicas inside the window where
+		// the gateway holds the only copy of the session.
+		g.afterSnapshot(session, from)
+	}
+
+	if g.fault.Fire(fault.MigrationInterrupt) {
+		// The seeded interrupt aborts between snapshot and restore — the
+		// window where the gateway holds the only copy. Recovery puts the
+		// session back where it came from (or wherever will take it).
+		final := g.restoreAnywhere(snap, from, target.id)
+		return final, fmt.Errorf("gate: migration of %q interrupted after snapshot", session)
+	}
+
+	if err := target.client.RestoreSnapshot(snap); err != nil {
+		final := g.restoreAnywhere(snap, from, target.id)
+		return final, fmt.Errorf("gate: restore %q on %s: %w", session, target.id, err)
+	}
+	return target.id, nil
+}
+
+// restoreAnywhere lands a snapshot on the first replica that will take
+// it: the original source first, then every healthy replica in sorted
+// order. Returns the replica id, or "" when every restore failed.
+func (g *Gateway) restoreAnywhere(snap serve.SessionSnapshot, from, skip string) string {
+	if src, ok := g.reg.get(from); ok {
+		if err := src.client.RestoreSnapshot(snap); err == nil {
+			return from
+		}
+	}
+	for _, rep := range g.reg.list() {
+		if rep.id == from || rep.id == skip || !g.reg.isHealthy(rep.id) {
+			continue
+		}
+		if err := rep.client.RestoreSnapshot(snap); err == nil {
+			return rep.id
+		}
+	}
+	// Last resort: the intended target (it may have refused only
+	// transiently, and it is better than losing the session).
+	if skip != from {
+		if tgt, ok := g.reg.get(skip); ok {
+			if err := tgt.client.RestoreSnapshot(snap); err == nil {
+				return skip
+			}
+		}
+	}
+	return ""
+}
+
+// rebalance re-homes every settled session whose ring owner differs from
+// its current replica, and reports how many moved. Join, Leave, and
+// health transitions call it after changing ring membership, so the moved
+// set is exactly the ring-delta ownership change (minimal disruption).
+func (g *Gateway) rebalance() int {
+	type move struct{ session, to string }
+	var moves []move
+	g.mu.Lock()
+	for sess, rt := range g.routes {
+		if rt.moving {
+			continue
+		}
+		owner, ok := g.ring.Owner(sess)
+		if ok && owner != rt.replica {
+			moves = append(moves, move{session: sess, to: owner})
+		}
+	}
+	g.mu.Unlock()
+	// Deterministic order keeps fault schedules and logs reproducible.
+	sort.Slice(moves, func(i, j int) bool { return moves[i].session < moves[j].session })
+
+	moved := 0
+	for _, mv := range moves {
+		if err := g.MigrateSession(mv.session, mv.to); err == nil {
+			moved++
+		}
+	}
+	if moved > 0 {
+		g.metrics.rebalanceMoved.Add(int64(moved))
+	}
+	return moved
+}

@@ -1,0 +1,133 @@
+package gate
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"sync"
+
+	"highorder/internal/serve"
+)
+
+// ReplicaInfo is one registry entry as reported to admin callers.
+type ReplicaInfo struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Sessions is the number of gateway routes currently homed on the
+	// replica (filled in by the Gateway, which owns the route table).
+	Sessions int `json:"sessions"`
+}
+
+// replica is the registry's record of one homserve backend.
+type replica struct {
+	id     string
+	base   *url.URL
+	client *serve.Client
+
+	// healthy/fails are guarded by registry.mu. A replica starts healthy
+	// (it answered the join-time probe) and is quarantined after
+	// consecutive probe failures reach the registry's threshold.
+	healthy bool
+	fails   int
+}
+
+// registry tracks the live replica set. Its mutex is a leaf in the
+// package lock order (see doc.go): methods never call out of the package
+// while holding it.
+type registry struct {
+	maxFails int
+
+	mu       sync.Mutex
+	replicas map[string]*replica
+}
+
+// newRegistry returns an empty registry quarantining replicas after
+// maxFails consecutive health failures (<= 0 selects 2).
+func newRegistry(maxFails int) *registry {
+	if maxFails <= 0 {
+		maxFails = 2
+	}
+	return &registry{maxFails: maxFails, replicas: make(map[string]*replica)}
+}
+
+// add registers a replica under id. The base URL must parse and the id
+// must be new.
+func (rg *registry) add(id, baseURL string, client *serve.Client) (*replica, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("gate: replica %q has invalid base URL %q", id, baseURL)
+	}
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if _, ok := rg.replicas[id]; ok {
+		return nil, fmt.Errorf("gate: replica %q already registered", id)
+	}
+	r := &replica{id: id, base: u, client: client, healthy: true}
+	rg.replicas[id] = r
+	return r, nil
+}
+
+// remove forgets a replica. Removing an absent id is a no-op.
+func (rg *registry) remove(id string) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	delete(rg.replicas, id)
+}
+
+// get returns the replica registered under id.
+func (rg *registry) get(id string) (*replica, bool) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	r, ok := rg.replicas[id]
+	return r, ok
+}
+
+// healthy reports whether id is registered and currently healthy.
+func (rg *registry) isHealthy(id string) bool {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	r, ok := rg.replicas[id]
+	return ok && r.healthy
+}
+
+// list returns every replica in sorted id order.
+func (rg *registry) list() []*replica {
+	rg.mu.Lock()
+	out := make([]*replica, 0, len(rg.replicas))
+	for _, r := range rg.replicas {
+		out = append(out, r)
+	}
+	rg.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// size returns the number of registered replicas.
+func (rg *registry) size() int {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	return len(rg.replicas)
+}
+
+// observe folds one health-probe result into the replica's state and
+// reports whether the probe flipped it between healthy and quarantined.
+func (rg *registry) observe(id string, ok bool) (flipped, nowHealthy bool) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	r, present := rg.replicas[id]
+	if !present {
+		return false, false
+	}
+	was := r.healthy
+	if ok {
+		r.fails = 0
+		r.healthy = true
+	} else {
+		r.fails++
+		if r.fails >= rg.maxFails {
+			r.healthy = false
+		}
+	}
+	return r.healthy != was, r.healthy
+}

@@ -1,0 +1,145 @@
+package gate
+
+import (
+	"strconv"
+	"testing"
+)
+
+// ringKeys generates n session-style keys derived from a seed, so each
+// property run sees a distinct but reproducible key population.
+func ringKeys(seed int64, n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = "g" + strconv.FormatInt(seed, 10) + "-" + strconv.Itoa(i)
+	}
+	return keys
+}
+
+// TestRingBalance: with 128 vnodes per replica, every replica's key share
+// stays within 15% of uniform across replica counts and key populations.
+func TestRingBalance(t *testing.T) {
+	const keysPerRun = 20000
+	for _, replicas := range []int{2, 3, 4, 8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			r := NewRing(DefaultVnodes)
+			for i := 1; i <= replicas; i++ {
+				r.Add("r" + strconv.Itoa(i))
+			}
+			counts := make(map[string]int)
+			for _, k := range ringKeys(seed, keysPerRun) {
+				owner, ok := r.Owner(k)
+				if !ok {
+					t.Fatal("owner lookup failed on a populated ring")
+				}
+				counts[owner]++
+			}
+			uniform := float64(keysPerRun) / float64(replicas)
+			for _, id := range r.Members() {
+				share := float64(counts[id])
+				if dev := (share - uniform) / uniform; dev < -0.15 || dev > 0.15 {
+					t.Errorf("replicas=%d seed=%d: %s owns %.0f keys, %.1f%% off uniform %.0f",
+						replicas, seed, id, share, 100*dev, uniform)
+				}
+			}
+		}
+	}
+}
+
+// TestRingMinimalDisruptionOnJoin: adding a replica moves exactly the
+// keys the new replica now owns — every moved key lands on the joiner,
+// and every unmoved key keeps its owner.
+func TestRingMinimalDisruptionOnJoin(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		keys := ringKeys(seed, 5000)
+		r := NewRing(DefaultVnodes)
+		for i := 1; i <= 3; i++ {
+			r.Add("r" + strconv.Itoa(i))
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k], _ = r.Owner(k)
+		}
+		r.Add("r4")
+		moved := 0
+		for _, k := range keys {
+			after, _ := r.Owner(k)
+			if after != before[k] {
+				moved++
+				if after != "r4" {
+					t.Fatalf("seed %d: key %q moved %s->%s, not to the joiner", seed, k, before[k], after)
+				}
+			}
+		}
+		// The joiner's expected share is 1/4; allow the same 15% slack as
+		// the balance test plus discreteness.
+		if lo, hi := 0.85*5000/4, 1.15*5000/4; float64(moved) < lo || float64(moved) > hi {
+			t.Errorf("seed %d: join moved %d keys, want ~%d (1/N)", seed, moved, 5000/4)
+		}
+	}
+}
+
+// TestRingMinimalDisruptionOnLeave: removing a replica moves exactly the
+// keys it owned — its keys redistribute, everyone else's stay put.
+func TestRingMinimalDisruptionOnLeave(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		keys := ringKeys(seed, 5000)
+		r := NewRing(DefaultVnodes)
+		for i := 1; i <= 4; i++ {
+			r.Add("r" + strconv.Itoa(i))
+		}
+		before := make(map[string]string, len(keys))
+		for _, k := range keys {
+			before[k], _ = r.Owner(k)
+		}
+		r.Remove("r2")
+		for _, k := range keys {
+			after, _ := r.Owner(k)
+			if before[k] == "r2" {
+				if after == "r2" {
+					t.Fatalf("seed %d: key %q still owned by removed replica", seed, k)
+				}
+			} else if after != before[k] {
+				t.Fatalf("seed %d: key %q moved %s->%s though its owner never left",
+					seed, k, before[k], after)
+			}
+		}
+	}
+}
+
+// TestRingDeterminism: ownership is a pure function of membership — two
+// rings built in different insertion orders agree on every key.
+func TestRingDeterminism(t *testing.T) {
+	a, b := NewRing(DefaultVnodes), NewRing(DefaultVnodes)
+	for _, id := range []string{"r1", "r2", "r3"} {
+		a.Add(id)
+	}
+	for _, id := range []string{"r3", "r1", "r2"} {
+		b.Add(id)
+	}
+	for _, k := range ringKeys(9, 2000) {
+		ao, _ := a.Owner(k)
+		bo, _ := b.Owner(k)
+		if ao != bo {
+			t.Fatalf("key %q: owner %s vs %s across insertion orders", k, ao, bo)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle: an empty ring owns nothing; a single replica
+// owns everything.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("g1"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("r1")
+	for _, k := range ringKeys(2, 100) {
+		if owner, ok := r.Owner(k); !ok || owner != "r1" {
+			t.Fatalf("single-replica ring routed %q to %q", k, owner)
+		}
+	}
+	r.Remove("r1")
+	if _, ok := r.Owner("g1"); ok {
+		t.Fatal("emptied ring still claims an owner")
+	}
+}

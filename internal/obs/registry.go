@@ -314,6 +314,11 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 // closes, so per-session cardinality stays bounded by live sessions).
 func (v *CounterVec) Remove(values ...string) { v.f.removeSeries(values) }
 
+// Remove drops the series for the given label values (e.g. when a gateway
+// replica leaves the fleet, so per-replica cardinality stays bounded by
+// the live replica set).
+func (v *GaugeVec) Remove(values ...string) { v.f.removeSeries(values) }
+
 // seriesFor fetches or creates the series stored under the label values.
 func (f *family) seriesFor(values []string, mk func() any) any {
 	if len(values) != len(f.labels) {

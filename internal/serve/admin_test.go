@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"highorder/internal/core"
+	"highorder/internal/data"
+)
+
+// recFromWire mirrors the server's decodeRecords for a single labeled
+// vector, so the offline twin sees byte-identical records.
+func recFromWire(v []float64, class int) data.Record {
+	return data.Record{Values: v, Class: class}
+}
+
+// startTestServer boots a worker-backed server over the cheap hand-built
+// model and returns it with a client against a loopback listener.
+func startTestServer(t *testing.T, m *core.Model) (*Server, *Client) {
+	t.Helper()
+	s := New(m, Options{QueueDepth: 32, Workers: 2})
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, NewClient(ts.URL, nil)
+}
+
+// TestCreateSessionRequestedID: a client-supplied id is honored verbatim,
+// collides with 409, and malformed ids are rejected before touching the
+// table.
+func TestCreateSessionRequestedID(t *testing.T) {
+	_, c := startTestServer(t, testModel())
+
+	created, err := c.CreateSession(CreateSessionRequest{ID: "g7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID != "g7" {
+		t.Fatalf("created id = %q, want g7", created.ID)
+	}
+	// Interleaved server-assigned ids must not collide with requested ones.
+	auto, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.ID == "g7" {
+		t.Fatal("server-assigned id collided with the requested one")
+	}
+
+	_, err = c.CreateSession(CreateSessionRequest{ID: "g7"})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusConflict {
+		t.Fatalf("duplicate id: want 409, got %v", err)
+	}
+	for _, bad := range []string{"a/b", "with space", "\x01", string(make([]byte, 65))} {
+		_, err = c.CreateSession(CreateSessionRequest{ID: bad})
+		if !errors.As(err, &he) || he.Status != http.StatusBadRequest {
+			t.Fatalf("id %q: want 400, got %v", bad, err)
+		}
+	}
+}
+
+// TestDrainRejectsOnlyNewSessions: drain mode must refuse session creation
+// (and inbound restores) with 503 + Retry-After while existing sessions
+// keep observing and classifying — the gateway empties a replica through
+// exactly this window.
+func TestDrainRejectsOnlyNewSessions(t *testing.T) {
+	_, c := startTestServer(t, testModel())
+
+	created, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.SetDraining(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Draining || resp.Sessions != 1 {
+		t.Fatalf("drain response = %+v, want draining with 1 session", resp)
+	}
+
+	// New sessions: refused, retryable, with a backoff hint.
+	_, err = c.CreateSession(CreateSessionRequest{})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("create while draining: want 503, got %v", err)
+	}
+	if !he.Retryable() || he.RetryAfter <= 0 {
+		t.Fatalf("draining 503 must carry Retry-After, got %+v", he)
+	}
+	// Inbound restores: also refused (the replica is being emptied).
+	err = c.RestoreSnapshot(SessionSnapshot{ID: "gx", State: core.PredictorState{Active: []float64{0.5, 0.5}}})
+	if !errors.As(err, &he) || he.Status != http.StatusServiceUnavailable {
+		t.Fatalf("restore while draining: want 503, got %v", err)
+	}
+
+	// Existing sessions: still flushing queued records and answering.
+	recs := [][]float64{{0, 1, 2}, {2, 0, 0}}
+	if _, err := c.Observe(created.ID, recs, []int{0, 1}); err != nil {
+		t.Fatalf("observe while draining: %v", err)
+	}
+	if _, err := c.Classify(created.ID, recs, false); err != nil {
+		t.Fatalf("classify while draining: %v", err)
+	}
+	if h, err := c.Healthz(); err != nil || !h.Draining || h.Status != "draining" {
+		t.Fatalf("healthz = %+v/%v, want draining", h, err)
+	}
+
+	// Undrain restores creation.
+	if _, err := c.SetDraining(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(CreateSessionRequest{}); err != nil {
+		t.Fatalf("create after undrain: %v", err)
+	}
+}
+
+// TestAdminSnapshotRestoreRoundTrip moves a session between two live
+// servers over the JSON snapshot-transfer format and proves the moved
+// session continues bit-identically with an offline twin that never moved.
+func TestAdminSnapshotRestoreRoundTrip(t *testing.T) {
+	m := testModel()
+	_, src := startTestServer(t, m)
+	_, dst := startTestServer(t, m)
+
+	created, err := src.CreateSession(CreateSessionRequest{ID: "g1", MAPOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin := m.NewPredictorWithOptions(core.PredictorOptions{MAPOnly: true})
+	recs := [][]float64{{0, 1, 2}, {2, 0, 0}, {1, 1, 1}}
+	classes := []int{0, 1, 1}
+	if _, err := src.Observe(created.ID, recs, classes); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range recs {
+		twin.Observe(recFromWire(v, classes[i]))
+	}
+
+	snap, err := src.Snapshot("g1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != "g1" || !snap.Options.MAPOnly {
+		t.Fatalf("snapshot = %+v, want id g1 with MAPOnly", snap)
+	}
+	// remove=true: the source forgot the session the instant the snapshot
+	// was captured — exactly one owner at every step.
+	if _, err := src.Info("g1"); err == nil {
+		t.Fatal("source still serves g1 after snapshot-with-remove")
+	}
+	if err := dst.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring the same id twice is dual ownership; must be refused.
+	err = dst.RestoreSnapshot(snap)
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusConflict {
+		t.Fatalf("second restore: want 409, got %v", err)
+	}
+
+	// The moved session continues bit-identically with the twin.
+	if _, err := dst.Observe("g1", recs, classes); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range recs {
+		twin.Observe(recFromWire(v, classes[i]))
+	}
+	info, err := dst.Info("g1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := twin.Snapshot()
+	if info.Observed != want.Observed {
+		t.Fatalf("observed = %d, want %d", info.Observed, want.Observed)
+	}
+	for i := range want.Active {
+		if math.Float64bits(info.Active[i]) != math.Float64bits(want.Active[i]) {
+			t.Fatalf("active[%d]: moved %x, twin %x", i, math.Float64bits(info.Active[i]), math.Float64bits(want.Active[i]))
+		}
+	}
+}

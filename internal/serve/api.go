@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"highorder/internal/core"
 	"highorder/internal/data"
 )
 
@@ -16,6 +17,13 @@ import (
 // CreateSessionRequest opens a new client session. The zero value selects
 // the paper's defaults (pruned weighted-ensemble prediction).
 type CreateSessionRequest struct {
+	// ID, when non-empty, requests a specific session id instead of the
+	// server-assigned sequential one. The session-routing gateway
+	// (internal/gate) uses this to keep one id namespace across a fleet of
+	// replicas: the gateway allocates the id, consistent-hashes it to a
+	// replica, and creates the session there under the same name. Creating
+	// an id that already exists answers 409.
+	ID string `json:"id,omitempty"`
 	// MAPOnly selects single most-probable-concept prediction (the §III-C
 	// ablation) instead of the weighted ensemble.
 	MAPOnly bool `json:"map_only,omitempty"`
@@ -114,6 +122,47 @@ type HealthResponse struct {
 	Status   string `json:"status"`
 	Sessions int    `json:"sessions"`
 	Concepts int    `json:"concepts"`
+	// Draining reports the server is refusing new sessions (503 +
+	// Retry-After) while still serving and flushing existing ones — the
+	// state a gateway puts a replica in before removing it from the ring.
+	Draining bool `json:"draining,omitempty"`
+}
+
+// SessionOptions is the wire form of the predictor options a session was
+// created with, carried inside a SessionSnapshot so the restoring replica
+// rebuilds an identically configured predictor.
+type SessionOptions struct {
+	MAPOnly        bool `json:"map_only,omitempty"`
+	DisablePruning bool `json:"disable_pruning,omitempty"`
+}
+
+// SessionSnapshot is the snapshot-transfer wire format: everything needed
+// to move one session between replicas serving the same model. It is
+// plain JSON (GET /admin/snapshot/{id} -> POST /admin/restore); the
+// float64 active probabilities survive the round trip bit-exactly because
+// encoding/json renders them with strconv's shortest-round-trip format.
+// The model itself never travels — both replicas must already serve the
+// same homgob model file, which the versioned model header (dataio
+// ModelVersion) and the snapshotcompat lint gate keep honest.
+type SessionSnapshot struct {
+	// ID is the session id, identical on source and target.
+	ID string `json:"id"`
+	// Options re-create the predictor configuration.
+	Options SessionOptions `json:"options"`
+	// State is the portable predictor state (core.Predictor.Snapshot):
+	// active probabilities, observed count, explained window.
+	State core.PredictorState `json:"state"`
+}
+
+// DrainRequest toggles drain mode (POST /admin/drain).
+type DrainRequest struct {
+	Draining bool `json:"draining"`
+}
+
+// DrainResponse reports the server's drain state and live session count.
+type DrainResponse struct {
+	Draining bool `json:"draining"`
+	Sessions int  `json:"sessions"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

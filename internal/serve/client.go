@@ -73,9 +73,22 @@ type RetryPolicy struct {
 	MaxRetries int
 	// BaseBackoff is the first retry's backoff; <= 0 selects 50ms.
 	BaseBackoff time.Duration
-	// MaxBackoff caps both the doubling backoff and the server's
-	// Retry-After hint; <= 0 selects 2s.
+	// MaxBackoff caps the wait of every attempt — the doubled backoff, the
+	// server's Retry-After hint, and the jitter on top are all clamped to
+	// it per attempt, so no single hop in a retry chain ever waits longer
+	// than MaxBackoff. <= 0 selects 2s.
 	MaxBackoff time.Duration
+	// MaxElapsed bounds the total backoff the whole retry chain may
+	// accumulate: once the sum of waits would exceed it, the client stops
+	// with *RetryExhaustedError instead of sleeping. In a layered
+	// deployment (client -> gateway -> replica) each hop retries
+	// independently, so per-attempt caps alone still compound
+	// multiplicatively; the elapsed budget is the hop-level bound that
+	// keeps chains finite. The budget is accounted from the waits the
+	// policy itself imposes (deterministic under an injected Sleeper), not
+	// from wall-clock reads. 0 disables the budget (MaxRetries still
+	// bounds the chain).
+	MaxElapsed time.Duration
 	// Jitter adds a uniform fraction in [0, Jitter) of the backoff on top
 	// of it, drawn from Rng; <= 0 (or Rng nil) disables jitter.
 	Jitter float64
@@ -134,6 +147,7 @@ func (c *Client) do(method, path string, in, out any) error {
 	if maxBackoff <= 0 {
 		maxBackoff = 2 * time.Second
 	}
+	var elapsed time.Duration
 	for attempt := 0; ; attempt++ {
 		err := c.doOnce(method, path, in, out)
 		if err == nil {
@@ -155,13 +169,19 @@ func (c *Client) do(method, path string, in, out any) error {
 		if attempt >= maxRetries {
 			return &RetryExhaustedError{Attempts: attempt + 1, Last: err}
 		}
-		if wait > maxBackoff {
-			wait = maxBackoff
-		}
 		if p.Jitter > 0 && p.Rng != nil {
 			wait += time.Duration(p.Rng.Float64() * p.Jitter * float64(wait))
 		}
+		// The cap applies per attempt and after jitter: every hop of the
+		// chain waits at most MaxBackoff, whatever the server hinted.
+		if wait > maxBackoff {
+			wait = maxBackoff
+		}
+		if p.MaxElapsed > 0 && elapsed+wait > p.MaxElapsed {
+			return &RetryExhaustedError{Attempts: attempt + 1, Last: err}
+		}
 		p.Sleep.Sleep(wait)
+		elapsed += wait
 		backoff *= 2
 		if backoff > maxBackoff {
 			backoff = maxBackoff
@@ -242,6 +262,46 @@ func (c *Client) Observe(id string, records [][]float64, classes []int) (Observe
 func (c *Client) Info(id string) (SessionInfo, error) {
 	var resp SessionInfo
 	err := c.do(http.MethodGet, "/v1/sessions/"+id, nil, &resp)
+	return resp, err
+}
+
+// ListSessions fetches every live session's introspection view.
+func (c *Client) ListSessions() (ListSessionsResponse, error) {
+	var resp ListSessionsResponse
+	err := c.do(http.MethodGet, "/v1/sessions", nil, &resp)
+	return resp, err
+}
+
+// Healthz fetches the server's liveness view.
+func (c *Client) Healthz() (HealthResponse, error) {
+	var resp HealthResponse
+	err := c.do(http.MethodGet, "/healthz", nil, &resp)
+	return resp, err
+}
+
+// Snapshot pulls a session's transferable snapshot; with remove the
+// source atomically forgets the session once captured (the migration
+// hand-off — see Server.handleAdminSnapshot for the ownership contract).
+func (c *Client) Snapshot(id string, remove bool) (SessionSnapshot, error) {
+	var resp SessionSnapshot
+	path := "/admin/snapshot/" + id
+	if remove {
+		path += "?remove=true"
+	}
+	err := c.do(http.MethodGet, path, nil, &resp)
+	return resp, err
+}
+
+// RestoreSnapshot recreates a session from a snapshot on this server (the
+// receiving half of a migration).
+func (c *Client) RestoreSnapshot(snap SessionSnapshot) error {
+	return c.do(http.MethodPost, "/admin/restore", snap, nil)
+}
+
+// SetDraining toggles the server's drain mode.
+func (c *Client) SetDraining(v bool) (DrainResponse, error) {
+	var resp DrainResponse
+	err := c.do(http.MethodPost, "/admin/drain", DrainRequest{Draining: v}, &resp)
 	return resp, err
 }
 

@@ -115,6 +115,87 @@ func TestClientNoRetryOnHardFailure(t *testing.T) {
 	}
 }
 
+// TestClientPerAttemptCapIncludesJitter: MaxBackoff bounds every single
+// attempt's wait — base, Retry-After hint, and jitter included. Before the
+// gateway era the jitter was added after the cap, so a hinted wait could
+// exceed MaxBackoff by up to Jitter×MaxBackoff on every hop of a
+// client → gate → replica chain.
+func TestClientPerAttemptCapIncludesJitter(t *testing.T) {
+	var failures atomic.Int64
+	failures.Store(4)
+	ts := httptest.NewServer(scripted(&failures, http.StatusTooManyRequests, "30"))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	c := NewClient(ts.URL, nil).WithRetry(RetryPolicy{
+		MaxRetries:  6,
+		BaseBackoff: 4 * time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Jitter:      1.0, // up to +100% of the pre-cap wait
+		Rng:         rng.New(7),
+		Sleep:       clock.Sleeper(func(d time.Duration) { sleeps = append(sleeps, d) }),
+	})
+	if err := c.do(http.MethodGet, "/healthz", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(sleeps) != 4 {
+		t.Fatalf("%d sleeps, want 4", len(sleeps))
+	}
+	for i, d := range sleeps {
+		if d > 5*time.Millisecond {
+			t.Fatalf("sleep %d = %v exceeds the 5ms per-attempt cap (jitter escaped the clamp)", i, d)
+		}
+	}
+}
+
+// TestClientMaxElapsedBudget: the elapsed budget is a hard boundary — a
+// wait that fits exactly is taken, the first wait that would cross it is
+// not slept and the chain ends in *RetryExhaustedError.
+func TestClientMaxElapsedBudget(t *testing.T) {
+	run := func(budget time.Duration) (total time.Duration, nsleeps int, err error) {
+		var failures atomic.Int64
+		failures.Store(1 << 30)
+		ts := httptest.NewServer(scripted(&failures, http.StatusServiceUnavailable, ""))
+		defer ts.Close()
+		c := NewClient(ts.URL, nil).WithRetry(RetryPolicy{
+			MaxRetries:  100,
+			BaseBackoff: 4 * time.Millisecond,
+			MaxBackoff:  4 * time.Millisecond, // constant 4ms waits
+			MaxElapsed:  budget,
+			Sleep: clock.Sleeper(func(d time.Duration) {
+				total += d
+				nsleeps++
+			}),
+		})
+		err = c.do(http.MethodGet, "/healthz", nil, nil)
+		return total, nsleeps, err
+	}
+
+	// 12ms budget over constant 4ms waits: exactly three sleeps fit
+	// (4+4+4 = 12 ≤ 12); the fourth would cross and must not happen.
+	total, nsleeps, err := run(12 * time.Millisecond)
+	var re *RetryExhaustedError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RetryExhaustedError, got %v", err)
+	}
+	if nsleeps != 3 || total != 12*time.Millisecond {
+		t.Fatalf("slept %d times for %v, want exactly 3 sleeps totalling the 12ms budget", nsleeps, total)
+	}
+	if re.Attempts != 4 {
+		t.Fatalf("attempts = %d, want 4 (initial + one per sleep)", re.Attempts)
+	}
+
+	// A budget below the first wait: no sleep at all, but the first
+	// attempt still ran.
+	total, nsleeps, err = run(3 * time.Millisecond)
+	if !errors.As(err, &re) || nsleeps != 0 || total != 0 {
+		t.Fatalf("sub-wait budget: slept %d/%v err %v; want zero sleeps and exhaustion", nsleeps, total, err)
+	}
+	if re.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", re.Attempts)
+	}
+}
+
 // TestClientJitterDeterministic: with a seeded rng the jittered backoff
 // sequence replays exactly.
 func TestClientJitterDeterministic(t *testing.T) {

@@ -39,7 +39,7 @@ func TestSessionTableTTLEviction(t *testing.T) {
 	tab := newSessionTable(fake.Clock(), time.Minute, 10)
 	m := testModel()
 
-	s1, err := tab.create(m, core.PredictorOptions{})
+	s1, err := tab.create(m, core.PredictorOptions{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,17 +70,17 @@ func TestSessionTableSweepFreesCapacity(t *testing.T) {
 	tab := newSessionTable(fake.Clock(), time.Minute, 2)
 	m := testModel()
 	for i := 0; i < 2; i++ {
-		if _, err := tab.create(m, core.PredictorOptions{}); err != nil {
+		if _, err := tab.create(m, core.PredictorOptions{}, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := tab.create(m, core.PredictorOptions{}); err == nil {
+	if _, err := tab.create(m, core.PredictorOptions{}, ""); err == nil {
 		t.Fatal("create above the session limit succeeded")
 	}
 	// Once the old sessions expire, create must succeed again without an
 	// explicit sweep call.
 	fake.Advance(2 * time.Minute)
-	if _, err := tab.create(m, core.PredictorOptions{}); err != nil {
+	if _, err := tab.create(m, core.PredictorOptions{}, ""); err != nil {
 		t.Fatalf("create after TTL expiry: %v", err)
 	}
 }
@@ -88,8 +88,8 @@ func TestSessionTableSweepFreesCapacity(t *testing.T) {
 func TestSessionIDsAreSequential(t *testing.T) {
 	tab := newSessionTable(nil, time.Hour, 10)
 	m := testModel()
-	a, _ := tab.create(m, core.PredictorOptions{})
-	b, _ := tab.create(m, core.PredictorOptions{})
+	a, _ := tab.create(m, core.PredictorOptions{}, "")
+	b, _ := tab.create(m, core.PredictorOptions{}, "")
 	if a.ID() != "s1" || b.ID() != "s2" {
 		t.Fatalf("ids = %q, %q; want s1, s2", a.ID(), b.ID())
 	}
@@ -142,8 +142,8 @@ func TestBackpressure(t *testing.T) {
 func TestMicroBatchGroupsBySession(t *testing.T) {
 	m := testModel()
 	s := New(m, Options{})
-	a, _ := s.table.create(m, core.PredictorOptions{})
-	b, _ := s.table.create(m, core.PredictorOptions{})
+	a, _ := s.table.create(m, core.PredictorOptions{}, "")
+	b, _ := s.table.create(m, core.PredictorOptions{}, "")
 
 	rec := data.Record{Values: []float64{0, 0, 0}, Class: 1}
 	var batch []*task

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"highorder/internal/clock"
@@ -145,6 +146,13 @@ type Server struct {
 	startOnce  sync.Once
 	closeOnce  sync.Once
 	mux        *http.ServeMux
+
+	// draining, when set, refuses *new* sessions (create and admin
+	// restore) with 503 + Retry-After while existing sessions keep
+	// classifying and flushing queued observes — the state a gateway puts
+	// a replica in before migrating its sessions away and removing it
+	// from the ring. Toggled by POST /admin/drain or SetDraining.
+	draining atomic.Bool
 }
 
 // New builds a server over m. Call Start to launch the worker pool, then
@@ -199,6 +207,11 @@ func New(m *core.Model, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/observe", s.instrument("observe", s.handleObserve))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Admin surface: session transfer and drain control, used by the
+	// gateway (internal/gate) for live migration and replica removal.
+	s.mux.HandleFunc("GET /admin/snapshot/{id}", s.instrument("admin_snapshot", s.handleAdminSnapshot))
+	s.mux.HandleFunc("POST /admin/restore", s.instrument("admin_restore", s.handleAdminRestore))
+	s.mux.HandleFunc("POST /admin/drain", s.instrument("admin_drain", s.handleAdminDrain))
 	return s
 }
 
@@ -254,6 +267,15 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 
 // Model returns the served model (read-only by convention).
 func (s *Server) Model() *core.Model { return s.model }
+
+// SetDraining toggles drain mode: while draining the server answers new
+// session creations (and admin restores) with 503 + Retry-After but keeps
+// serving and flushing work for existing sessions. In-process equivalent
+// of POST /admin/drain.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is refusing new sessions.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // worker drains the queue until Close. Each wakeup takes one task and
 // opportunistically up to MicroBatch-1 more without blocking, then runs
@@ -496,7 +518,27 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool
 	return sess, true
 }
 
+// validSessionID bounds client-requested session ids: non-empty printable
+// ASCII without path separators or spaces, at most 64 bytes, so ids embed
+// safely in URL paths and metric label values.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c <= ' ' || c > '~' || c == '/' || c == '\\' || c == '"' {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining: not accepting new sessions")
+		return
+	}
 	var req CreateSessionRequest
 	// An empty body is allowed: default options.
 	if r.ContentLength != 0 {
@@ -504,13 +546,21 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.ID != "" && !validSessionID(req.ID) {
+		s.writeError(w, http.StatusBadRequest, "invalid session id %q", req.ID)
+		return
+	}
 	sess, err := s.table.create(s.model, core.PredictorOptions{
 		MAPOnly:        req.MAPOnly,
 		DisablePruning: req.DisablePruning,
-	})
+	}, req.ID)
 	if err != nil {
 		if errors.Is(err, ErrSessionLimit) {
 			s.writeError(w, http.StatusTooManyRequests, "%v", err)
+			return
+		}
+		if errors.Is(err, ErrSessionExists) {
+			s.writeError(w, http.StatusConflict, "%v", err)
 			return
 		}
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
@@ -609,9 +659,98 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	s.writeJSON(w, http.StatusOK, HealthResponse{
-		Status:   "ok",
+		Status:   status,
 		Sessions: s.table.live(),
 		Concepts: s.model.NumConcepts(),
+		Draining: s.draining.Load(),
+	})
+}
+
+// handleAdminSnapshot renders the session's transferable snapshot
+// (SessionSnapshot). With ?remove=true the session is atomically dropped
+// from the table after the state is captured, so exactly one live copy of
+// the session exists at every instant of a migration: here until the
+// response is written, then only in the snapshot the caller holds. The
+// caller owns the drain contract — it must stop routing the session's
+// traffic to this replica first (the gateway parks requests before
+// pulling); a request racing the removal is answered 404 and is safe to
+// retry against the session's new owner.
+func (s *Server) handleAdminSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	opts := sess.Options()
+	snap := SessionSnapshot{
+		ID:      sess.ID(),
+		Options: SessionOptions{MAPOnly: opts.MAPOnly, DisablePruning: opts.DisablePruning},
+		State:   sess.State(),
+	}
+	if r.URL.Query().Get("remove") == "true" {
+		s.table.remove(sess.ID())
+	}
+	s.writeJSON(w, http.StatusOK, snap)
+}
+
+// handleAdminRestore creates a session under the snapshot's id and
+// overwrites its predictor state from the snapshot — the receiving half of
+// a live migration. Refused while draining (a replica being removed must
+// not accept inbound migrations) and with 409 when the id is already live
+// (dual-ownership guard).
+func (s *Server) handleAdminRestore(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "draining: not accepting restored sessions")
+		return
+	}
+	var snap SessionSnapshot
+	if !s.decodeBody(w, r, &snap) {
+		return
+	}
+	if !validSessionID(snap.ID) {
+		s.writeError(w, http.StatusBadRequest, "invalid session id %q", snap.ID)
+		return
+	}
+	sess, err := s.table.create(s.model, core.PredictorOptions{
+		MAPOnly:        snap.Options.MAPOnly,
+		DisablePruning: snap.Options.DisablePruning,
+	}, snap.ID)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrSessionExists):
+			s.writeError(w, http.StatusConflict, "%v", err)
+		case errors.Is(err, ErrSessionLimit):
+			s.writeError(w, http.StatusTooManyRequests, "%v", err)
+		default:
+			s.writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	if err := sess.RestoreState(snap.State); err != nil {
+		// The fresh session never served traffic; drop it so a bad
+		// snapshot leaves no half-restored state behind.
+		s.table.remove(sess.ID())
+		s.writeError(w, http.StatusBadRequest, "restore: %v", err)
+		return
+	}
+	sess.setSink(s.metrics.switchSink(sess.ID()))
+	s.metrics.sessionCreated()
+	s.writeJSON(w, http.StatusOK, sess.Info())
+}
+
+// handleAdminDrain toggles drain mode (see SetDraining).
+func (s *Server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	var req DrainRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	s.draining.Store(req.Draining)
+	s.writeJSON(w, http.StatusOK, DrainResponse{
+		Draining: s.draining.Load(),
+		Sessions: s.table.live(),
 	})
 }

@@ -19,6 +19,10 @@ import (
 // would exceed the configured maximum.
 var ErrSessionLimit = errors.New("serve: session limit reached")
 
+// ErrSessionExists is returned when creating a session under a requested id
+// that is already live (the gateway's one-id-one-owner invariant).
+var ErrSessionExists = errors.New("serve: session id already exists")
+
 // Session owns one core.Predictor and the lock that serializes access to
 // it. The predictor's active probabilities are per-client-stream state
 // (§III-B): every client stream gets its own session, and all predictor
@@ -28,6 +32,10 @@ var ErrSessionLimit = errors.New("serve: session limit reached")
 // single-goroutine contract is enforced.
 type Session struct {
 	id string
+	// opts records the predictor configuration the session was created
+	// with, so a migration snapshot can rebuild an identical predictor on
+	// another replica. Immutable after creation.
+	opts core.PredictorOptions
 
 	mu sync.Mutex
 	p  *core.Predictor
@@ -53,6 +61,9 @@ func NewLocalSession(p *core.Predictor) *Session {
 
 // ID returns the session's identifier.
 func (s *Session) ID() string { return s.id }
+
+// Options returns the predictor options the session was created with.
+func (s *Session) Options() core.PredictorOptions { return s.opts }
 
 // Classify predicts every record in recs (labels ignored), in order, and
 // reports the posterior-MAP concept at the time of the call.
@@ -208,19 +219,31 @@ func newSessionTable(clk clock.Clock, ttl time.Duration, max int) *sessionTable 
 }
 
 // create opens a new session. Expired sessions are evicted first, so a
-// full table of dead sessions does not refuse live clients.
-func (t *sessionTable) create(m *core.Model, opts core.PredictorOptions) (*Session, error) {
+// full table of dead sessions does not refuse live clients. A non-empty id
+// requests that exact session id (the gateway's cross-replica namespace);
+// an empty id selects the next sequential server-local one. Creating an id
+// that is already live fails with ErrSessionExists.
+func (t *sessionTable) create(m *core.Model, opts core.PredictorOptions, id string) (*Session, error) {
 	now := t.clk()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.sweepLocked(now)
+	if id != "" {
+		if _, live := t.sessions[id]; live {
+			return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+		}
+	}
 	if t.max > 0 && len(t.sessions) >= t.max {
 		return nil, fmt.Errorf("%w (%d live)", ErrSessionLimit, len(t.sessions))
 	}
-	t.nextID++
+	if id == "" {
+		t.nextID++
+		id = fmt.Sprintf("s%d", t.nextID)
+	}
 	s := &Session{
-		id: fmt.Sprintf("s%d", t.nextID),
-		p:  m.NewPredictorWithOptions(opts),
+		id:   id,
+		opts: opts,
+		p:    m.NewPredictorWithOptions(opts),
 	}
 	s.touch(now)
 	t.sessions[s.id] = s

@@ -58,11 +58,11 @@ step "fuzz homlint directive grammar (${FUZZTIME})"
 go test ./internal/analysis -run='^$' -fuzz='^FuzzParseDirective$' -fuzztime="$FUZZTIME"
 
 # Coverage floor: the packages that own failure handling — the serving
-# stack and the fault-injection layer — must keep at least 75% statement
-# coverage, so degraded paths (shed, deadline, drop, corruption) stay
-# exercised as they evolve.
-step "coverage floor (internal/serve, internal/fault >= 75%)"
-cov=$(go test -cover ./internal/serve ./internal/fault | tee /dev/stderr)
+# stack, the gateway, and the fault-injection layer — must keep at least
+# 75% statement coverage, so degraded paths (shed, deadline, drop,
+# corruption, interrupted migration) stay exercised as they evolve.
+step "coverage floor (internal/serve, internal/gate, internal/fault >= 75%)"
+cov=$(go test -cover ./internal/serve ./internal/gate ./internal/fault | tee /dev/stderr)
 echo "$cov" | awk '
 	/^ok/ {
 		for (i = 1; i <= NF; i++) {
@@ -106,6 +106,33 @@ for f in trace.json BENCH_pipeline.json; do
 done
 go run ./cmd/homload -model "$smoketmp/model.gob" -sessions 1 -records 200 \
 	-batch 16 -out "$smoketmp/BENCH_serve.json"
+
+# Gateway fleet smoke: three replicas behind an in-process gate.Gateway,
+# with a forced mid-run rebalance (a fourth replica joins at 1/3, one
+# retires gracefully at 2/3). homload exits nonzero on any failed or
+# unaccounted request and on any served-vs-offline bit-identity mismatch;
+# the migration counter below proves sessions actually moved live.
+step "homgate fleet smoke (3 replicas, churn, bit-identity)"
+go run ./cmd/homload -model "$smoketmp/model.gob" -fleet 3 -fleet-churn \
+	-sessions 6 -records 200 -batch 10 -out "$smoketmp/BENCH_gate.json"
+migrations=$(sed -n 's/.*"migrations_total": \([0-9]*\).*/\1/p' "$smoketmp/BENCH_gate.json")
+if [ -z "$migrations" ] || [ "$migrations" -eq 0 ]; then
+	echo "fleet smoke: hom_gate_migrations_total is ${migrations:-missing}, want > 0" >&2
+	exit 1
+fi
+
+# Autoscale smoke: the fleet starts at the lower bound and capacity
+# decisions come only from the replicas' exported metrics. The decisions
+# array must show at least one scale-up; sessions survive every move.
+step "homgate autoscale smoke (1:2 bounds, metrics-driven)"
+go run ./cmd/homload -model "$smoketmp/model.gob" -fleet-autoscale 1:2 \
+	-sessions 8 -records 300 -batch 4 -workers 1 \
+	-fleet-service-delay 4ms -fleet-scale-interval 150ms \
+	-out "$smoketmp/BENCH_gate_scale.json"
+if ! grep -q '"up r' "$smoketmp/BENCH_gate_scale.json"; then
+	echo "autoscale smoke: no scale-up decision recorded" >&2
+	exit 1
+fi
 
 # Scaling-bench smoke: a small sweep through both merge engines. runScale
 # itself fails if the optimized engine's per-record assignments differ
