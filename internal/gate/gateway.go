@@ -2,10 +2,13 @@ package gate
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -164,6 +167,11 @@ func (g *Gateway) Join(id, baseURL string) error {
 	return nil
 }
 
+// ErrLeaveIncomplete reports a Leave that could not migrate every
+// session off the replica. The registry entry is kept so those sessions
+// stay reachable; retrying the Leave finishes the drain.
+var ErrLeaveIncomplete = errors.New("gate: leave incomplete")
+
 // Leave gracefully decommissions a replica: it is marked draining (so it
 // refuses new sessions while the gateway empties it), removed from the
 // ring, its sessions are migrated to their new owners, and the registry
@@ -180,6 +188,23 @@ func (g *Gateway) Leave(id string) error {
 	g.ring.Remove(id)
 	g.mu.Unlock()
 	g.rebalance()
+	// A per-session migration can fail (a snapshot error, interrupt
+	// recovery landing the session back on its source). Deregistering
+	// anyway would strand those sessions on a replica the proxy can no
+	// longer reach, so the leave aborts instead: the replica stays
+	// registered — off the ring and draining — and keeps serving them
+	// until a retried Leave moves the rest.
+	g.mu.Lock()
+	stranded := 0
+	for _, rt := range g.routes {
+		if rt.replica == id {
+			stranded++
+		}
+	}
+	g.mu.Unlock()
+	if stranded > 0 {
+		return fmt.Errorf("%w: %d sessions still homed on %q", ErrLeaveIncomplete, stranded, id)
+	}
 	g.reg.remove(id)
 	g.metrics.replicaHealthy.Remove(id)
 	return nil
@@ -287,19 +312,27 @@ func (g *Gateway) dropReplicaRoutes(id string) {
 // with one in-flight request and returns the owning replica id.
 func (g *Gateway) acquire(session string) (string, bool) {
 	g.mu.Lock()
-	r, ok := g.routes[session]
-	if !ok {
-		g.mu.Unlock()
-		return "", false
-	}
-	for r.moving {
+	for {
+		r, ok := g.routes[session]
+		if !ok {
+			g.mu.Unlock()
+			return "", false
+		}
+		if !r.moving {
+			r.inflight++
+			replica := r.replica
+			g.mu.Unlock()
+			return replica, true
+		}
 		g.metrics.parked.Inc()
-		r.cond.Wait()
+		for r.moving {
+			r.cond.Wait()
+		}
+		// Re-look the session up: the route may have been deleted (a
+		// migration that lost the session, forgetRoute) or replaced while
+		// this request was parked, and the orphaned struct must not be
+		// trusted after a wakeup.
 	}
-	r.inflight++
-	replica := r.replica
-	g.mu.Unlock()
-	return replica, true
 }
 
 // release unpins one in-flight request and wakes a waiting migrator when
@@ -360,13 +393,44 @@ func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, rep *replica) 
 		writeBytes(w, http.StatusBadGateway, bodyNoReplica)
 		return
 	}
-	h := w.Header()
-	for k, vv := range resp.Header {
-		h[k] = vv
-	}
+	copyHeaders(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
 	_ = resp.Body.Close()
+}
+
+// hopByHop is the RFC 7230 §6.1 connection-scoped header set a proxy
+// must not relay (keys in canonical form).
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+// copyHeaders relays upstream headers minus the hop-by-hop set: those
+// describe the gateway-to-replica connection, not the client one, and
+// forwarding them (Connection, Transfer-Encoding, ...) corrupts the
+// client connection's framing.
+func copyHeaders(dst, src http.Header) {
+	for k, vv := range src {
+		if hopByHop[k] {
+			continue
+		}
+		dst[k] = vv
+	}
+	// Anything the upstream named in Connection is hop-by-hop too.
+	for _, f := range src.Values("Connection") {
+		for _, tok := range strings.Split(f, ",") {
+			if tok = strings.TrimSpace(tok); tok != "" {
+				dst.Del(tok)
+			}
+		}
+	}
 }
 
 // writeBytes writes a canned JSON body without formatting.
@@ -457,6 +521,12 @@ func (g *Gateway) forgetRoute(session string) {
 	g.mu.Lock()
 	if r, ok := g.routes[session]; ok {
 		delete(g.routes, session)
+		// Reset the drain state before waking: a migrator waiting for
+		// inflight to reach zero and requests parked on moving both re-check
+		// the route table after a wakeup, and would otherwise wait forever
+		// on the orphaned struct.
+		r.inflight = 0
+		r.moving = false
 		r.cond.Broadcast()
 	}
 	g.mu.Unlock()
@@ -568,7 +638,11 @@ func (g *Gateway) handleJoinReplica(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleLeaveReplica(w http.ResponseWriter, r *http.Request) {
 	if err := g.Leave(r.PathValue("id")); err != nil {
-		httpError(w, http.StatusNotFound, err.Error())
+		code := http.StatusNotFound
+		if errors.Is(err, ErrLeaveIncomplete) {
+			code = http.StatusConflict
+		}
+		httpError(w, code, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

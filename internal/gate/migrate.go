@@ -58,6 +58,13 @@ func (g *Gateway) MigrateSession(session, to string) error {
 	for rt.inflight > 0 {
 		rt.cond.Wait()
 	}
+	if cur, ok := g.routes[session]; !ok || cur != rt {
+		// The route was forgotten while draining (a failed create, a
+		// close): there is nothing left to move. forgetRoute already woke
+		// anything parked on the orphaned struct.
+		g.mu.Unlock()
+		return fmt.Errorf("gate: session %q disappeared while draining", session)
+	}
 	from := rt.replica
 	g.mu.Unlock()
 
@@ -66,7 +73,11 @@ func (g *Gateway) MigrateSession(session, to string) error {
 	g.mu.Lock()
 	if final == "" {
 		delete(g.routes, session)
-		rt.cond.Broadcast() // wake parked requests; they answer 404
+		// Clear moving before waking the parked requests or they would
+		// re-wait on the orphaned struct forever; after waking they re-look
+		// the session up, miss, and answer 404.
+		rt.moving = false
+		rt.cond.Broadcast()
 	} else {
 		rt.replica = final
 		rt.moving = false

@@ -1,0 +1,228 @@
+package gate
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"highorder/internal/clock"
+	"highorder/internal/serve"
+)
+
+// waitFor polls cond until it holds or a 5s deadline lapses.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	slp := clock.Sleeper(nil).OrReal()
+	clk := clock.Clock(nil).OrWall()
+	deadline := clk().Add(5 * time.Second)
+	for !cond() {
+		if !clk().Before(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		slp.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestGatewayLostMigrationUnparksRequests: when a migration loses the
+// session everywhere (no replica will accept the snapshot), requests
+// parked on the route must wake and answer 404 — not re-wait forever on
+// the orphaned route struct. Also pins hom_gate_parked_total counting
+// parked requests, not condition-variable wakeups.
+func TestGatewayLostMigrationUnparksRequests(t *testing.T) {
+	g, fleet, c := testFleet(t, 2, Config{})
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+	vectors, classes := staggerWire(23, 10)
+	if _, err := c.Observe(id, vectors, classes); err != nil {
+		t.Fatal(err)
+	}
+
+	from, _ := g.SessionHome(id)
+	var to string
+	for _, ri := range g.Replicas() {
+		if ri.ID != from {
+			to = ri.ID
+		}
+	}
+
+	// Inside the single-copy window: park one request against the moving
+	// route, then kill every replica so recovery has nowhere to land the
+	// snapshot and the session is lost.
+	parked := make(chan error, 1)
+	g.afterSnapshot = func(string, string) {
+		go func() {
+			_, err := c.Classify(id, vectors[:1], false)
+			parked <- err
+		}()
+		waitFor(t, "request to park", func() bool {
+			v, _ := serve.MetricValue(gatewayMetrics(t, g), "hom_gate_parked_total")
+			return v >= 1
+		})
+		if err := fleet.Kill(from); err != nil {
+			t.Fatal(err)
+		}
+		if err := fleet.Kill(to); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := g.MigrateSession(id, to); err == nil {
+		t.Fatal("migration that lost the session reported success")
+	}
+
+	select {
+	case err := <-parked:
+		if err == nil {
+			t.Fatal("parked request on a lost session succeeded")
+		}
+		if he := asHTTPError(t, err); he.Status != http.StatusNotFound {
+			t.Fatalf("parked request status %d, want 404", he.Status)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked request hung after the session was lost")
+	}
+	if _, ok := g.SessionHome(id); ok {
+		t.Fatal("lost session still routed")
+	}
+	text := gatewayMetrics(t, g)
+	if v, _ := serve.MetricValue(text, "hom_gate_sessions_lost_total"); v != 1 {
+		t.Fatalf("hom_gate_sessions_lost_total = %v, want 1", v)
+	}
+	if v, _ := serve.MetricValue(text, "hom_gate_parked_total"); v != 1 {
+		t.Fatalf("hom_gate_parked_total = %v, want 1 (one parked request, however many wakeups)", v)
+	}
+}
+
+// TestGatewayLeaveIncompleteKeepsReplica: a Leave whose per-session
+// migrations fail (here: the replica died, so snapshot pulls fail) must
+// not deregister the replica — that would strand its sessions on an
+// endpoint the proxy can no longer resolve, answering 502 forever with
+// no loss accounting. Instead the leave aborts with ErrLeaveIncomplete
+// (409 over HTTP); the health checker is the authority that eventually
+// drops the routes and counts them lost, after which the leave finishes.
+func TestGatewayLeaveIncompleteKeepsReplica(t *testing.T) {
+	g, fleet, c := testFleet(t, 2, Config{HealthFails: 2})
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+	victim, _ := g.SessionHome(id)
+
+	// Kill the replica out from under the gateway: Leave's snapshot pulls
+	// fail, so its sessions cannot be migrated off.
+	if err := fleet.Kill(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Leave(victim); !errors.Is(err, ErrLeaveIncomplete) {
+		t.Fatalf("leave of a dead replica = %v, want ErrLeaveIncomplete", err)
+	}
+	if _, ok := g.reg.get(victim); !ok {
+		t.Fatal("incomplete leave deregistered the replica")
+	}
+	if home, ok := g.SessionHome(id); !ok || home != victim {
+		t.Fatalf("incomplete leave re-homed the route to %q", home)
+	}
+
+	// The operator sees the conflict, not a silent success.
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodDelete, "/admin/replicas/"+victim, nil))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("incomplete leave over HTTP -> %d, want 409", rec.Code)
+	}
+
+	// Quarantine drops the dead replica's routes with loss accounting;
+	// a retried leave then completes.
+	g.HealthCheck()
+	g.HealthCheck()
+	if v, _ := serve.MetricValue(gatewayMetrics(t, g), "hom_gate_sessions_lost_total"); v < 1 {
+		t.Fatalf("hom_gate_sessions_lost_total = %v, want >= 1 after quarantine", v)
+	}
+	if err := g.Leave(victim); err != nil {
+		t.Fatalf("leave after quarantine: %v", err)
+	}
+	if _, ok := g.reg.get(victim); ok {
+		t.Fatal("replica still registered after completed leave")
+	}
+}
+
+// TestForgetRouteUnblocksDrainingMigrator: forgetRoute on a route whose
+// migrator is waiting for in-flight requests to drain (the create-failure
+// path holds exactly this shape) must wake the migrator and make it
+// abort, not leave it blocked forever on the orphaned struct.
+func TestForgetRouteUnblocksDrainingMigrator(t *testing.T) {
+	g, _, c := testFleet(t, 2, Config{})
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+	home, _ := g.SessionHome(id)
+	var to string
+	for _, ri := range g.Replicas() {
+		if ri.ID != home {
+			to = ri.ID
+		}
+	}
+
+	// Pin the route as one in-flight request would.
+	g.mu.Lock()
+	rt := g.routes[id]
+	rt.inflight = 1
+	g.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() { done <- g.MigrateSession(id, to) }()
+	waitFor(t, "migrator to start draining", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return rt.moving
+	})
+
+	g.forgetRoute(id)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("migration of a forgotten route reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("migrator still draining after forgetRoute dropped the route")
+	}
+	if _, ok := g.SessionHome(id); ok {
+		t.Fatal("forgotten route still present")
+	}
+}
+
+// TestCopyHeadersStripsHopByHop: the proxy must not relay RFC 7230 §6.1
+// connection-scoped headers — nor anything the upstream named in
+// Connection — while end-to-end headers pass through untouched.
+func TestCopyHeadersStripsHopByHop(t *testing.T) {
+	src := http.Header{
+		"Content-Type":       {"application/json"},
+		"X-Model-Version":    {"7"},
+		"Connection":         {"keep-alive, X-Session-Affinity"},
+		"Keep-Alive":         {"timeout=5"},
+		"Transfer-Encoding":  {"chunked"},
+		"Upgrade":            {"h2c"},
+		"Trailer":            {"X-Checksum"},
+		"X-Session-Affinity": {"r1"},
+	}
+	dst := http.Header{}
+	copyHeaders(dst, src)
+	for _, k := range []string{
+		"Connection", "Keep-Alive", "Transfer-Encoding", "Upgrade",
+		"Trailer", "X-Session-Affinity",
+	} {
+		if _, ok := dst[k]; ok {
+			t.Errorf("hop-by-hop header %s relayed to the client", k)
+		}
+	}
+	if dst.Get("Content-Type") != "application/json" || dst.Get("X-Model-Version") != "7" {
+		t.Fatalf("end-to-end headers lost: %v", dst)
+	}
+}
