@@ -28,6 +28,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -42,6 +44,7 @@ import (
 
 	"highorder/internal/dataio"
 	"highorder/internal/gate"
+	"highorder/internal/obs"
 	"highorder/internal/serve"
 )
 
@@ -94,6 +97,9 @@ func main() {
 	highP99 := flag.Duration("scale-high-p99", 0, "scale up when any replica's classify p99 reaches this (0 = off)")
 	queue := flag.Int("queue", 0, "self-hosted replica queue depth (0 = default)")
 	workers := flag.Int("workers", 0, "self-hosted replica workers (0 = GOMAXPROCS)")
+	flightSample := flag.Uint64("flight-sample", 0, "flight recorder: keep ~1 in N traces on the gateway and self-hosted replicas (0 = off)")
+	flightSlots := flag.Int("flight-slots", 0, "flight recorder ring capacity in spans (0 = default 4096)")
+	flightDir := flag.String("flight-dir", "", "write fault-triggered flight dumps into this directory (with -flight-sample)")
 	flag.Parse()
 
 	if (*modelPath != "") == (len(replicas) != 0) {
@@ -105,10 +111,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	var gateRec *obs.Recorder
+	if *flightSample > 0 {
+		if *flightDir != "" {
+			if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+				fail(err)
+			}
+		}
+		gateRec = newFlightRecorder("gate", *flightSample, *flightSlots, *flightDir)
+		fmt.Printf("homgate: flight recorder on (1 in %d)\n", *flightSample)
+	}
+
 	g := gate.New(gate.Config{
 		Vnodes:         *vnodes,
 		HealthInterval: *healthInterval,
 		HealthFails:    *healthFails,
+		Recorder:       gateRec,
 	})
 
 	var fleet *gate.Fleet
@@ -121,6 +139,13 @@ func main() {
 			fail(errors.New("-fleet must be at least 1"))
 		}
 		fleet = gate.NewFleet(m, serve.Options{QueueDepth: *queue, Workers: *workers})
+		if *flightSample > 0 {
+			sample, slots, dir := *flightSample, *flightSlots, *flightDir
+			fleet.ReplicaOptions = func(id string, opts serve.Options) serve.Options {
+				opts.Recorder = newFlightRecorder(id, sample, slots, dir)
+				return opts
+			}
+		}
 		defer fleet.Close()
 		for i := 0; i < *fleetN; i++ {
 			id, url, err := fleet.ScaleUp()
@@ -189,6 +214,26 @@ func main() {
 		fail(err)
 	}
 	fmt.Println("homgate: drained, bye")
+}
+
+// newFlightRecorder builds one process's flight recorder, persisting
+// fault-triggered dumps into dir when set. Best-effort writes: a full disk
+// must never take routing down.
+func newFlightRecorder(proc string, sample uint64, slots int, dir string) *obs.Recorder {
+	rec := obs.NewRecorder(obs.FlightConfig{Proc: proc, Slots: slots, SampleOneIn: sample})
+	if dir != "" {
+		rec.OnTrigger(func(d obs.FlightDump) {
+			name := fmt.Sprintf("%s-%s-%d.json", d.Proc, d.Reason, d.CapturedNS)
+			b, err := json.MarshalIndent(d, "", " ")
+			if err == nil {
+				err = os.WriteFile(filepath.Join(dir, name), b, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "homgate: flight dump: %v\n", err)
+			}
+		})
+	}
+	return rec
 }
 
 func fail(err error) {

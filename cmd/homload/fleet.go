@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -32,6 +33,7 @@ import (
 	"highorder/internal/dataio"
 	"highorder/internal/fault"
 	"highorder/internal/gate"
+	"highorder/internal/obs"
 	"highorder/internal/rng"
 	"highorder/internal/serve"
 )
@@ -46,6 +48,7 @@ type fleetOptions struct {
 	sweep         []int
 	serviceDelay  time.Duration
 	verify        bool
+	flightDir     string // write per-process flight dumps here (empty = off)
 }
 
 // fleetWorkload is the per-run workload shape shared by the main run and
@@ -115,7 +118,7 @@ func sessionLost(err error) bool {
 // recovery from a crashed replica by recreating the session and resetting
 // the twin, so the verdict stays valid for recreated sessions too.
 func runFleetSession(clk clock.Clock, slp clock.Sleeper, base string, w fleetWorkload, seed int64,
-	model *core.Model, allowLoss bool, progress *atomic.Int64) *fleetSessionResult {
+	model *core.Model, allowLoss bool, rec *obs.Recorder, progress *atomic.Int64) *fleetSessionResult {
 	r := &fleetSessionResult{}
 	g, err := newStream(w.stream, w.lambda, seed)
 	if err != nil {
@@ -125,6 +128,9 @@ func runFleetSession(clk clock.Clock, slp clock.Sleeper, base string, w fleetWor
 		return r
 	}
 	c := serve.NewClient(base, nil)
+	if rec != nil {
+		c = c.WithRecorder(rec)
+	}
 
 	var twin *core.Predictor
 	if model != nil {
@@ -285,7 +291,35 @@ func runFleetOnce(clk clock.Clock, slp clock.Sleeper, m *core.Model, replicas in
 	}
 	fleet := gate.NewFleet(m, opts)
 	defer fleet.Close()
-	g := gate.New(gate.Config{HealthInterval: 250 * time.Millisecond})
+
+	// Flight recording: one recorder per process (client, gate, every
+	// replica), all sampling every trace, dumped to -flight-dir at the end
+	// so homtrace can merge the whole fleet's view of the run.
+	var flight struct {
+		sync.Mutex
+		recs []*obs.Recorder
+	}
+	newRec := func(proc string) *obs.Recorder {
+		rec := obs.NewRecorder(obs.FlightConfig{Proc: proc, SampleOneIn: 1})
+		flight.Lock()
+		flight.recs = append(flight.recs, rec)
+		flight.Unlock()
+		return rec
+	}
+	var clientRec, gateRec *obs.Recorder
+	if fo.flightDir != "" {
+		if err := os.MkdirAll(fo.flightDir, 0o755); err != nil {
+			return nil, err
+		}
+		clientRec = newRec("client")
+		gateRec = newRec("gate")
+		fleet.ReplicaOptions = func(id string, opts serve.Options) serve.Options {
+			opts.Recorder = newRec(id)
+			return opts
+		}
+	}
+
+	g := gate.New(gate.Config{HealthInterval: 250 * time.Millisecond, Recorder: gateRec})
 	for i := 0; i < replicas; i++ {
 		id, url, err := fleet.ScaleUp()
 		if err != nil {
@@ -425,7 +459,7 @@ func runFleetOnce(clk clock.Clock, slp clock.Sleeper, m *core.Model, replicas in
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			run.results[i] = runFleetSession(clk, slp, base, w, seeds[i], verifyModel, fo.kill, &progress)
+			run.results[i] = runFleetSession(clk, slp, base, w, seeds[i], verifyModel, fo.kill, clientRec, &progress)
 		}(i)
 	}
 	wg.Wait()
@@ -449,7 +483,31 @@ func runFleetOnce(clk clock.Clock, slp clock.Sleeper, m *core.Model, replicas in
 	if run.replicasEnd > run.maxReplicas {
 		run.maxReplicas = run.replicasEnd
 	}
+
+	if fo.flightDir != "" {
+		flight.Lock()
+		recs := append([]*obs.Recorder(nil), flight.recs...)
+		flight.Unlock()
+		for _, rec := range recs {
+			if err := writeFlightDump(fo.flightDir, rec); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return run, nil
+}
+
+// writeFlightDump persists one process's end-of-run ring snapshot.
+func writeFlightDump(dir string, rec *obs.Recorder) error {
+	f, err := os.Create(filepath.Join(dir, rec.Proc()+".json"))
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteDump(f, "end_of_run"); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // firstHealthy returns the lowest-id healthy replica, or "".

@@ -74,6 +74,7 @@ func main() {
 	fleetSweep := flag.String("fleet-sweep", "", `fleet mode: comma-separated replica counts to sweep, e.g. "1,2,4"`)
 	fleetServiceDelay := flag.Duration("fleet-service-delay", 0, "fleet mode: injected per-observe service delay so replicas are latency-bound")
 	fleetVerify := flag.Bool("fleet-verify", true, "fleet mode: check every served session bit-for-bit against an offline twin")
+	flightDir := flag.String("flight-dir", "", "fleet mode: record every trace on client, gateway, and replicas; write per-process flight dumps here at end of run")
 	flag.Parse()
 
 	if *maxprocs > 0 {
@@ -105,6 +106,7 @@ func main() {
 			sweep:         sweep,
 			serviceDelay:  *fleetServiceDelay,
 			verify:        *fleetVerify,
+			flightDir:     *flightDir,
 		}
 		if fo.autoscale != "" {
 			// The autoscaler owns capacity: start from the lower bound and

@@ -11,6 +11,13 @@
 //	         [-micro-batch 8] [-ttl 15m] [-max-sessions 10000]
 //	         [-request-timeout 10s] [-shed-depth 0]
 //	         [-debug-addr 127.0.0.1:6060]
+//	         [-flight-sample N] [-flight-slots 4096] [-flight-dir dumps/]
+//
+// -flight-sample enables the always-on flight recorder: spans for ~1 in N
+// traces land in a fixed-size in-memory ring, dumpable on demand via
+// POST /admin/flightdump and automatically on deadline-expiry, shed, and
+// injected faults (written to -flight-dir when set). See cmd/homtrace for
+// merging dumps across the fleet.
 //
 // -debug-addr starts a second listener with net/http/pprof profiles under
 // /debug/pprof/ and expvar runtime counters under /debug/vars. It is off
@@ -32,6 +39,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -40,10 +48,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"highorder/internal/dataio"
+	"highorder/internal/obs"
 	"highorder/internal/serve"
 )
 
@@ -58,11 +68,31 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request queue deadline; expired tasks answer 503 without running (0 = default 10s)")
 	shedDepth := flag.Int("shed-depth", 0, "queue depth at which new work is shed with 503 before the queue is full (0 = disabled)")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for /debug/pprof/* and /debug/vars (off when empty)")
+	flightSample := flag.Uint64("flight-sample", 0, "flight recorder: keep ~1 in N traces (0 = recorder off, 1 = every trace)")
+	flightSlots := flag.Int("flight-slots", 0, "flight recorder ring capacity in spans (0 = default 4096)")
+	flightDir := flag.String("flight-dir", "", "write fault-triggered flight dumps into this directory (with -flight-sample)")
+	flightProc := flag.String("flight-proc", "homserve", "process name stamped on flight dumps")
 	flag.Parse()
 
 	m, err := dataio.LoadModel(*modelPath)
 	if err != nil {
 		fail(err)
+	}
+	var rec *obs.Recorder
+	if *flightSample > 0 {
+		rec = obs.NewRecorder(obs.FlightConfig{
+			Proc:        *flightProc,
+			Slots:       *flightSlots,
+			SampleOneIn: *flightSample,
+		})
+		if *flightDir != "" {
+			if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+				fail(err)
+			}
+			dir := *flightDir
+			rec.OnTrigger(func(d obs.FlightDump) { writeTriggeredDump(dir, d) })
+		}
+		fmt.Printf("homserve: flight recorder on (1 in %d, %s)\n", *flightSample, *flightProc)
 	}
 	s := serve.New(m, serve.Options{
 		QueueDepth:     *queue,
@@ -72,6 +102,7 @@ func main() {
 		MaxSessions:    *maxSessions,
 		RequestTimeout: *requestTimeout,
 		ShedDepth:      *shedDepth,
+		Recorder:       rec,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -110,6 +141,19 @@ func serveDebug(l net.Listener) {
 	mux.Handle("/debug/vars", expvar.Handler())
 	if err := http.Serve(l, mux); err != nil {
 		fmt.Fprintf(os.Stderr, "homserve: debug listener: %v\n", err)
+	}
+}
+
+// writeTriggeredDump persists a fault-triggered flight dump. Best-effort:
+// a full disk must never take the serving path down.
+func writeTriggeredDump(dir string, d obs.FlightDump) {
+	name := fmt.Sprintf("%s-%s-%d.json", d.Proc, d.Reason, d.CapturedNS)
+	b, err := json.MarshalIndent(d, "", " ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(dir, name), b, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "homserve: flight dump: %v\n", err)
 	}
 }
 

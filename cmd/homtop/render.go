@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"highorder/internal/clock"
+	"highorder/internal/gate"
+	"highorder/internal/serve"
+)
+
+// snapshot is one poll of the whole fleet: the gateway's exposition, its
+// replica listing, and every reachable replica's exposition.
+type snapshot struct {
+	at       time.Time
+	gateText string
+	replicas []gate.ReplicaInfo
+	repText  map[string]string // replica id -> exposition ("" when down)
+}
+
+// fetch polls the gateway and every replica it advertises.
+func fetch(clk clock.Clock, base string) (*snapshot, error) {
+	s := &snapshot{at: clk.OrWall()(), repText: map[string]string{}}
+	text, err := httpGet(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("gateway metrics: %w", err)
+	}
+	s.gateText = text
+	body, err := httpGet(base + "/admin/replicas")
+	if err != nil {
+		return nil, fmt.Errorf("replica listing: %w", err)
+	}
+	if err := json.Unmarshal([]byte(body), &s.replicas); err != nil {
+		return nil, fmt.Errorf("replica listing: %w", err)
+	}
+	for _, r := range s.replicas {
+		if text, err := httpGet(r.URL + "/metrics"); err == nil {
+			s.repText[r.ID] = text
+		}
+	}
+	return s, nil
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	return sb.String(), nil
+}
+
+// sumMetric sums every series of a family (labeled or not) in exposition
+// text — e.g. homserve_requests_total across endpoint/code.
+func sumMetric(text, name string) float64 {
+	var sum float64
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name)
+		if !ok {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(rest, " "):
+			// unlabeled
+		case strings.HasPrefix(rest, "{"):
+			end := strings.Index(rest, "} ")
+			if end < 0 {
+				continue
+			}
+			rest = rest[end+1:]
+		default:
+			continue // a longer family name sharing the prefix
+		}
+		if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// labeledValue extracts one series value by exact label match.
+func labeledValue(text, name string, labels map[string]string) (float64, bool) {
+	series := name + renderLabels(labels) + " "
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+func renderLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// ANSI styling, disabled wholesale when color is off.
+type style struct{ on bool }
+
+func (s style) paint(code, txt string) string {
+	if !s.on {
+		return txt
+	}
+	return "\x1b[" + code + "m" + txt + "\x1b[0m"
+}
+
+func (s style) green(t string) string { return s.paint("32", t) }
+func (s style) red(t string) string   { return s.paint("31", t) }
+func (s style) bold(t string) string  { return s.paint("1", t) }
+func (s style) dim(t string) string   { return s.paint("2", t) }
+
+// render draws one dashboard frame from the current snapshot, using prev
+// (the previous poll) for counter-delta rates. Pure: all inputs explicit,
+// deterministic output, so CI snapshots it byte-for-byte.
+func render(prev, cur *snapshot, elapsed time.Duration, color bool) string {
+	st := style{on: color}
+	var b strings.Builder
+
+	gv := func(name string) float64 {
+		v, _ := serve.MetricValue(cur.gateText, name)
+		return v
+	}
+	up, _ := labeledValue(cur.gateText, "hom_gate_autoscale_total", map[string]string{"direction": "up"})
+	down, _ := labeledValue(cur.gateText, "hom_gate_autoscale_total", map[string]string{"direction": "down"})
+	routeP99 := "-"
+	if qs, ok := serve.HistogramQuantiles(cur.gateText, "hom_gate_route_seconds", nil, 0.99); ok {
+		routeP99 = fmtSeconds(qs[0])
+	}
+
+	fmt.Fprintf(&b, "%s  replicas %s  sessions %s  route p99 %s\n",
+		st.bold("homtop"),
+		fmt.Sprintf("%d/%d", int(gv("hom_gate_replicas_healthy")), int(gv("hom_gate_replicas"))),
+		fmt.Sprintf("%d", int(gv("hom_gate_sessions"))),
+		routeP99)
+	fmt.Fprintf(&b, "migrations %d (failed %d)  parked %d  lost %d  autoscale +%d/-%d\n\n",
+		int(gv("hom_gate_migrations_total")), int(gv("hom_gate_migration_failures_total")),
+		int(gv("hom_gate_parked_total")), int(gv("hom_gate_sessions_lost_total")),
+		int(up), int(down))
+
+	fmt.Fprintf(&b, "%s\n", st.dim(fmt.Sprintf("%-8s %-8s %8s %8s %8s %8s %8s %8s",
+		"REPLICA", "HEALTH", "SESSIONS", "LIVE", "QPS", "QUEUE", "P99", "SHED")))
+
+	reps := append([]gate.ReplicaInfo(nil), cur.replicas...)
+	sort.Slice(reps, func(i, j int) bool { return reps[i].ID < reps[j].ID })
+	for _, r := range reps {
+		// Pad before painting: ANSI escapes would otherwise count against
+		// the column width.
+		health := fmt.Sprintf("%-8s", "up")
+		if r.Healthy {
+			health = st.green(health)
+		} else {
+			health = st.red(fmt.Sprintf("%-8s", "DOWN"))
+		}
+		text := cur.repText[r.ID]
+		if text == "" {
+			fmt.Fprintf(&b, "%-8s %s %8d %8s %8s %8s %8s %8s\n",
+				r.ID, health, r.Sessions, "-", "-", "-", "-", "-")
+			continue
+		}
+		live, _ := serve.MetricValue(text, "homserve_sessions_live")
+		queue, _ := serve.MetricValue(text, "homserve_queue_depth")
+		shed, _ := serve.MetricValue(text, "hom_shed_total")
+		qps := "-"
+		if prev != nil && elapsed > 0 {
+			if ptext := prev.repText[r.ID]; ptext != "" {
+				d := sumMetric(text, "homserve_requests_total") - sumMetric(ptext, "homserve_requests_total")
+				qps = fmt.Sprintf("%.1f", d/elapsed.Seconds())
+			}
+		}
+		p99 := "-"
+		if qs, ok := serve.HistogramQuantiles(text, "homserve_request_seconds", nil, 0.99); ok {
+			p99 = fmtSeconds(qs[0])
+		}
+		fmt.Fprintf(&b, "%-8s %s %8d %8d %8s %8d %8s %8d\n",
+			r.ID, health, r.Sessions, int(live), qps, int(queue), p99, int(shed))
+	}
+	return b.String()
+}
+
+// fmtSeconds renders a latency in the friendliest unit.
+func fmtSeconds(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"highorder/internal/gate"
+)
+
+const gateExpo = `hom_gate_replicas 3
+hom_gate_replicas_healthy 2
+hom_gate_sessions 12
+hom_gate_parked_total 4
+hom_gate_migrations_total 7
+hom_gate_migration_failures_total 1
+hom_gate_sessions_lost_total 2
+hom_gate_autoscale_total{direction="up"} 3
+hom_gate_autoscale_total{direction="down"} 1
+hom_gate_route_seconds_bucket{le="0.001"} 90
+hom_gate_route_seconds_bucket{le="0.01"} 99
+hom_gate_route_seconds_bucket{le="+Inf"} 100
+hom_gate_route_seconds_sum 0.8
+hom_gate_route_seconds_count 100
+`
+
+const r0Expo = `homserve_sessions_live 5
+homserve_queue_depth 3
+hom_shed_total 2
+homserve_requests_total{endpoint="classify",code="200"} 300
+homserve_requests_total{endpoint="observe",code="200"} 100
+homserve_request_seconds_bucket{le="0.005"} 50
+homserve_request_seconds_bucket{le="0.05"} 99
+homserve_request_seconds_bucket{le="+Inf"} 100
+homserve_request_seconds_sum 1.2
+homserve_request_seconds_count 100
+`
+
+const r0Prev = `homserve_sessions_live 5
+homserve_queue_depth 1
+hom_shed_total 2
+homserve_requests_total{endpoint="classify",code="200"} 200
+homserve_requests_total{endpoint="observe",code="200"} 80
+`
+
+// r-2 is reachable but freshly started: no prev poll, empty histogram.
+const r2Expo = `homserve_sessions_live 1
+homserve_queue_depth 0
+hom_shed_total 0
+homserve_requests_total{endpoint="classify",code="200"} 40
+`
+
+func testSnapshots() (prev, cur *snapshot) {
+	replicas := []gate.ReplicaInfo{
+		{ID: "r-0", URL: "http://r0", Healthy: true, Sessions: 5},
+		{ID: "r-1", URL: "http://r1", Healthy: false, Sessions: 0},
+		{ID: "r-2", URL: "http://r2", Healthy: true, Sessions: 7},
+	}
+	prev = &snapshot{
+		gateText: gateExpo,
+		replicas: replicas,
+		repText:  map[string]string{"r-0": r0Prev},
+	}
+	cur = &snapshot{
+		gateText: gateExpo,
+		replicas: replicas,
+		repText:  map[string]string{"r-0": r0Expo, "r-2": r2Expo},
+	}
+	return prev, cur
+}
+
+// TestRenderGoldenFrame pins the no-color dashboard byte-for-byte: canned
+// expositions in, exact frame out. Regenerate with UPDATE_GOLDEN=1.
+func TestRenderGoldenFrame(t *testing.T) {
+	prev, cur := testSnapshots()
+	got := render(prev, cur, 2*time.Second, false)
+
+	golden := filepath.Join("testdata", "frame.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("frame drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderFirstFrame covers the no-previous-poll path: rates render as
+// dashes, nothing panics on missing metrics.
+func TestRenderFirstFrame(t *testing.T) {
+	_, cur := testSnapshots()
+	got := render(nil, cur, time.Second, false)
+	if got == "" {
+		t.Fatal("empty frame")
+	}
+	for _, want := range []string{"replicas 2/3", "sessions 12", "DOWN", "r-2"} {
+		if !containsLine(got, want) {
+			t.Fatalf("frame missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRenderColorAlignment checks that ANSI codes don't shift columns: the
+// color and no-color frames must match after stripping escapes.
+func TestRenderColorAlignment(t *testing.T) {
+	prev, cur := testSnapshots()
+	plain := render(prev, cur, 2*time.Second, false)
+	colored := render(prev, cur, 2*time.Second, true)
+	if stripped := stripANSI(colored); stripped != plain {
+		t.Fatalf("color frame misaligned after stripping escapes:\n--- stripped ---\n%s--- plain ---\n%s", stripped, plain)
+	}
+}
+
+func containsLine(s, sub string) bool {
+	return len(s) > 0 && (len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func stripANSI(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x1b && i+1 < len(s) && s[i+1] == '[' {
+			j := i + 2
+			for j < len(s) && s[j] != 'm' {
+				j++
+			}
+			i = j
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+func TestSumMetric(t *testing.T) {
+	if got := sumMetric(r0Expo, "homserve_requests_total"); got != 400 {
+		t.Fatalf("sumMetric = %v, want 400", got)
+	}
+	// Must not absorb longer family names sharing the prefix.
+	if got := sumMetric(gateExpo, "hom_gate_route_seconds"); got != 0 {
+		t.Fatalf("prefix family leaked into sum: %v", got)
+	}
+	if got := sumMetric("m 1\nm{a=\"b\"} 2\n", "m"); got != 3 {
+		t.Fatalf("labeled+unlabeled sum = %v, want 3", got)
+	}
+}

@@ -1,0 +1,109 @@
+// Command homtrace merges flight-recorder dumps from every fleet process
+// (gateway, replicas, load client) into one clock-aligned Perfetto/Chrome
+// trace, so a single request's gate→replica→predictor causal chain renders
+// as one tree on one timeline.
+//
+// Dumps are the JSON written by POST /admin/flightdump or homload's
+// -flight-dir; pass them as arguments or point -dir at a directory of
+// them. Clock alignment uses cross-process parent→child span edges: a
+// child span observed to start before its parent has its whole process
+// shifted forward by the deficit, so skewed process clocks (or fake test
+// clocks started apart) still produce a causally ordered merge.
+//
+// Queries:
+//
+//	-grep session=s42     keep only traces touching session s42
+//	-grep name=gate.route keep traces containing a span name
+//	-slower-than 5ms      keep traces whose slowest span is >= 5ms
+//	-assert-span NAME     (repeatable) exit 1 unless one trace has every NAME
+//
+// Usage:
+//
+//	homtrace [-o trace.json] [-dir dumps/] [-grep k=v] [-slower-than d]
+//	         [-assert-span name]... [dump.json ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint([]string(*s)) }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "output Chrome trace JSON path (default stdout)")
+	dir := flag.String("dir", "", "directory of *.json flight dumps to merge")
+	grep := flag.String("grep", "", "trace filter key=value; keys: session, name, trace, proc")
+	slower := flag.Duration("slower-than", 0, "keep only traces containing a span at least this slow")
+	var asserts stringList
+	flag.Var(&asserts, "assert-span", "require one trace to contain every named span (repeatable; exit 1 otherwise)")
+	flag.Parse()
+
+	paths := flag.Args()
+	if *dir != "" {
+		dp, err := dumpPaths(*dir)
+		if err != nil {
+			fail(err)
+		}
+		paths = append(paths, dp...)
+	}
+	if len(paths) == 0 {
+		fail(fmt.Errorf("no dumps: pass files or -dir"))
+	}
+	dumps, err := loadDumps(paths)
+	if err != nil {
+		fail(err)
+	}
+
+	merged := merge(dumps)
+	if *grep != "" {
+		merged, err = merged.grep(*grep)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *slower > 0 {
+		merged = merged.slowerThan(*slower)
+	}
+	if len(asserts) > 0 {
+		if tid, ok := merged.findTraceWith(asserts); ok {
+			fmt.Fprintf(os.Stderr, "homtrace: trace %s contains all of %v\n", tid, []string(asserts))
+		} else {
+			fmt.Fprintf(os.Stderr, "homtrace: no trace contains all of %v\n", []string(asserts))
+			os.Exit(1)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+		w = f
+	}
+	if err := merged.writeChrome(w); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "homtrace: %d processes, %d spans, %d traces\n",
+		len(merged.procs), len(merged.spans), merged.traceCount())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "homtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"highorder/internal/obs"
+)
+
+// testDumps builds a two-process fleet trace: the gate's route span
+// parents a forward span, which parents the replica's classify span — but
+// the replica clock runs 5s behind, so its raw timestamps predate the
+// gate's.
+func testDumps() []obs.FlightDump {
+	const skew = int64(5 * time.Second)
+	gateBase := int64(1_000_000_000_000)
+	return []obs.FlightDump{
+		{
+			Proc: "gate",
+			Spans: []obs.FlightSpanRecord{
+				{Trace: "aaaa", Span: "g1", Name: "gate.route", Session: "s1", StartNS: gateBase, DurNS: 8_000_000},
+				{Trace: "aaaa", Span: "g2", Parent: "g1", Name: "gate.forward", StartNS: gateBase + 1_000_000, DurNS: 6_000_000},
+				{Trace: "bbbb", Span: "g3", Name: "gate.route", Session: "s2", StartNS: gateBase + 20_000_000, DurNS: 500_000},
+			},
+		},
+		{
+			Proc: "r1",
+			Spans: []obs.FlightSpanRecord{
+				{Trace: "aaaa", Span: "r1a", Parent: "g2", Name: "serve.classify", Session: "s1",
+					StartNS: gateBase + 2_000_000 - skew, DurNS: 3_000_000},
+			},
+		},
+	}
+}
+
+func TestMergeAlignsSkewedClocks(t *testing.T) {
+	m := merge(testDumps())
+	if len(m.spans) != 4 {
+		t.Fatalf("merged %d spans, want 4", len(m.spans))
+	}
+	if m.offset["gate"] != 0 {
+		t.Fatalf("gate offset = %d, want 0", m.offset["gate"])
+	}
+	if m.offset["r1"] <= 0 {
+		t.Fatalf("skewed replica not shifted forward: offset = %d", m.offset["r1"])
+	}
+	// After alignment the classify child must not start before its
+	// forward parent.
+	var parent, child span
+	for _, s := range m.spans {
+		switch s.Span {
+		case "g2":
+			parent = s
+		case "r1a":
+			child = s
+		}
+	}
+	if m.aligned(child) < m.aligned(parent) {
+		t.Fatalf("child starts at %d before parent at %d after alignment",
+			m.aligned(child), m.aligned(parent))
+	}
+}
+
+func TestGrepSelectsWholeTraces(t *testing.T) {
+	m := merge(testDumps())
+	got, err := m.grep("session=s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace aaaa has three spans; only two carry the session label, but
+	// the whole trace survives the filter.
+	if len(got.spans) != 3 {
+		t.Fatalf("grep session=s1 kept %d spans, want 3", len(got.spans))
+	}
+	got, err = m.grep("proc=r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.spans) != 3 || got.traceCount() != 1 {
+		t.Fatalf("grep proc=r1 kept %d spans / %d traces, want 3 / 1", len(got.spans), got.traceCount())
+	}
+	if _, err := m.grep("nonsense"); err == nil {
+		t.Fatal("malformed grep accepted")
+	}
+	if _, err := m.grep("color=red"); err == nil {
+		t.Fatal("unknown grep key accepted")
+	}
+}
+
+func TestSlowerThanAndAssert(t *testing.T) {
+	m := merge(testDumps())
+	slow := m.slowerThan(5 * time.Millisecond)
+	if slow.traceCount() != 1 {
+		t.Fatalf("slower-than 5ms kept %d traces, want 1", slow.traceCount())
+	}
+	if id, ok := m.findTraceWith([]string{"gate.route", "gate.forward", "serve.classify"}); !ok || id != "aaaa" {
+		t.Fatalf("findTraceWith = %q, %v; want aaaa, true", id, ok)
+	}
+	if _, ok := m.findTraceWith([]string{"gate.route", "no.such.span"}); ok {
+		t.Fatal("findTraceWith matched a missing span name")
+	}
+}
+
+func TestWriteChromeSchema(t *testing.T) {
+	m := merge(testDumps())
+	var buf bytes.Buffer
+	if err := m.writeChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	// 2 process_name metadata + 4 spans.
+	if len(out.TraceEvents) != 6 {
+		t.Fatalf("%d events, want 6", len(out.TraceEvents))
+	}
+	meta, complete := 0, 0
+	minTs := -1.0
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if minTs < 0 || ev.Ts < minTs {
+				minTs = ev.Ts
+			}
+			if ev.Pid < 1 || ev.Tid < 1 {
+				t.Fatalf("event %+v lacks pid/tid", ev)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 4 {
+		t.Fatalf("meta=%d complete=%d, want 2/4", meta, complete)
+	}
+	if minTs != 0 {
+		t.Fatalf("timestamps not normalized: min ts = %v", minTs)
+	}
+}

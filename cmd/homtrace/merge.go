@@ -1,0 +1,297 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"highorder/internal/obs"
+)
+
+// span is one dumped span plus its process of origin and the process's
+// alignment offset applied at render time.
+type span struct {
+	obs.FlightSpanRecord
+	proc string
+}
+
+// merged is the cross-process merge: every span, the process list, and
+// per-process clock offsets (nanoseconds to add to that process's
+// timestamps).
+type merged struct {
+	spans  []span
+	procs  []string         // sorted process names
+	offset map[string]int64 // proc -> ns shift
+}
+
+// dumpPaths lists the *.json dumps under dir, sorted.
+func dumpPaths(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no *.json dumps in %s", dir)
+	}
+	return paths, nil
+}
+
+// loadDumps reads flight dumps from disk.
+func loadDumps(paths []string) ([]obs.FlightDump, error) {
+	var dumps []obs.FlightDump
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var d obs.FlightDump
+		if err := json.Unmarshal(b, &d); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps, nil
+}
+
+// merge combines dumps into one aligned view. Duplicate span ids (the
+// same ring snapshotted twice) keep the first occurrence.
+func merge(dumps []obs.FlightDump) *merged {
+	m := &merged{offset: map[string]int64{}}
+	seen := map[string]bool{}
+	procSet := map[string]bool{}
+	for _, d := range dumps {
+		proc := d.Proc
+		if proc == "" {
+			proc = "?"
+		}
+		procSet[proc] = true
+		for _, s := range d.Spans {
+			if seen[s.Span] {
+				continue
+			}
+			seen[s.Span] = true
+			m.spans = append(m.spans, span{FlightSpanRecord: s, proc: proc})
+		}
+	}
+	for p := range procSet {
+		m.procs = append(m.procs, p)
+		m.offset[p] = 0
+	}
+	sort.Strings(m.procs)
+	sort.Slice(m.spans, func(i, j int) bool {
+		if m.spans[i].StartNS != m.spans[j].StartNS {
+			return m.spans[i].StartNS < m.spans[j].StartNS
+		}
+		return m.spans[i].Span < m.spans[j].Span
+	})
+	m.align()
+	return m
+}
+
+// align shifts process clocks so no child span starts before its parent on
+// a cross-process edge. Offsets only ever grow (a process is shifted
+// forward by its worst observed deficit), and the relaxation loop runs
+// until stable — processes synced by a shared clock (tests) or one
+// machine's wall clock keep offset 0.
+func (m *merged) align() {
+	bySpan := map[string]span{}
+	for _, s := range m.spans {
+		bySpan[s.Span] = s
+	}
+	for iter := 0; iter < len(m.procs)+1; iter++ {
+		changed := false
+		for _, child := range m.spans {
+			if child.Parent == "" {
+				continue
+			}
+			parent, ok := bySpan[child.Parent]
+			if !ok || parent.proc == child.proc {
+				continue
+			}
+			deficit := (parent.StartNS + m.offset[parent.proc]) - (child.StartNS + m.offset[child.proc])
+			if deficit > 0 {
+				m.offset[child.proc] += deficit
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// aligned returns the span's clock-aligned start.
+func (m *merged) aligned(s span) int64 { return s.StartNS + m.offset[s.proc] }
+
+// traceCount counts distinct trace ids.
+func (m *merged) traceCount() int {
+	ids := map[string]bool{}
+	for _, s := range m.spans {
+		ids[s.Trace] = true
+	}
+	return len(ids)
+}
+
+// keepTraces filters to the spans of traces for which keep reported true
+// on at least one span — queries select whole traces, never lone spans.
+func (m *merged) keepTraces(keep func(span) bool) *merged {
+	hit := map[string]bool{}
+	for _, s := range m.spans {
+		if keep(s) {
+			hit[s.Trace] = true
+		}
+	}
+	out := &merged{procs: m.procs, offset: m.offset}
+	for _, s := range m.spans {
+		if hit[s.Trace] {
+			out.spans = append(out.spans, s)
+		}
+	}
+	return out
+}
+
+// grep filters traces by a key=value query.
+func (m *merged) grep(q string) (*merged, error) {
+	key, val, ok := strings.Cut(q, "=")
+	if !ok {
+		return nil, fmt.Errorf("bad -grep %q: want key=value", q)
+	}
+	var field func(span) string
+	switch key {
+	case "session":
+		field = func(s span) string { return s.Session }
+	case "name":
+		field = func(s span) string { return s.Name }
+	case "trace":
+		field = func(s span) string { return s.Trace }
+	case "proc":
+		field = func(s span) string { return s.proc }
+	default:
+		return nil, fmt.Errorf("bad -grep key %q: want session, name, trace, or proc", key)
+	}
+	return m.keepTraces(func(s span) bool { return field(s) == val }), nil
+}
+
+// slowerThan keeps traces containing at least one span of duration >= d.
+func (m *merged) slowerThan(d time.Duration) *merged {
+	return m.keepTraces(func(s span) bool { return s.DurNS >= int64(d) })
+}
+
+// findTraceWith reports a trace id whose span set contains every name.
+func (m *merged) findTraceWith(names []string) (string, bool) {
+	byTrace := map[string]map[string]bool{}
+	for _, s := range m.spans {
+		set, ok := byTrace[s.Trace]
+		if !ok {
+			set = map[string]bool{}
+			byTrace[s.Trace] = set
+		}
+		set[s.Name] = true
+	}
+	var ids []string
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		all := true
+		for _, n := range names {
+			if !byTrace[id][n] {
+				all = false
+			}
+		}
+		if all {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// chromeEvent is one Chrome trace-event JSON object (the subset Perfetto
+// renders: X complete events and M metadata).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts,omitempty"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// writeChrome renders the merged spans as a Chrome trace: one pid per
+// process, spans packed greedily onto tids so overlapping spans of one
+// process get distinct lanes, timestamps normalized to the earliest
+// aligned span.
+func (m *merged) writeChrome(w io.Writer) error {
+	pid := map[string]int{}
+	events := make([]chromeEvent, 0, len(m.spans)+len(m.procs))
+	for i, p := range m.procs {
+		pid[p] = i + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: i + 1,
+			Args: map[string]any{"name": p},
+		})
+	}
+	var t0 int64
+	for i, s := range m.spans {
+		if at := m.aligned(s); i == 0 || at < t0 {
+			t0 = at
+		}
+	}
+	// laneEnd[proc] tracks each lane's occupied-until time for greedy
+	// lane assignment.
+	laneEnd := map[string][]int64{}
+	for _, s := range m.spans {
+		start := m.aligned(s)
+		end := start + s.DurNS
+		lanes := laneEnd[s.proc]
+		tid := -1
+		for li, le := range lanes {
+			if le <= start {
+				tid = li
+				break
+			}
+		}
+		if tid == -1 {
+			tid = len(lanes)
+			lanes = append(lanes, 0)
+		}
+		lanes[tid] = end
+		laneEnd[s.proc] = lanes
+
+		args := map[string]any{"trace": s.Trace, "span": s.Span}
+		if s.Parent != "" {
+			args["parent"] = s.Parent
+		}
+		if s.Session != "" {
+			args["session"] = s.Session
+		}
+		if s.Arg != 0 {
+			args["arg"] = s.Arg
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(start-t0) / 1e3,
+			Dur: float64(s.DurNS) / 1e3,
+			Pid: pid[s.proc], Tid: tid + 1,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

@@ -463,6 +463,7 @@ func All() []Analyzer {
 		&FloatCmp{},
 		&SyncMisuse{},
 		&SpanEnd{},
+		&TraceCtx{},
 		&SleepLoop{},
 		&LockOrder{},
 		&HotPathAlloc{},

@@ -107,6 +107,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"floatcmp", []string{"floatcmp"}},
 		{"syncmisuse", []string{"syncmisuse"}},
 		{"spanend", []string{"spanend"}},
+		{"tracectx", []string{"tracectx"}},
 		{"sleeploop", []string{"sleeploop"}},
 	}
 	for _, tc := range cases {

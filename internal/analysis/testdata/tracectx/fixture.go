@@ -1,0 +1,70 @@
+// Package tracectx seeds outbound requests that drop the distributed
+// trace context for the tracectx analyzer.
+package tracectx
+
+import (
+	"net/http"
+)
+
+// TraceHeader stands in for obs.TraceHeader; the analyzer matches the
+// identifier name however it is qualified.
+const TraceHeader = "X-Hom-Trace"
+
+var hc = &http.Client{}
+
+func droppedOnBuild(url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil) // want tracectx "without trace propagation"
+	if err != nil {
+		return err
+	}
+	_, err = hc.Do(req)
+	return err
+}
+
+func droppedOnProxy(w http.ResponseWriter, r *http.Request, target string) {
+	out := r.Clone(r.Context()) // want tracectx "without trace propagation"
+	out.URL.Host = target
+	resp, err := hc.Do(out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	_ = resp.Body.Close()
+}
+
+func propagatesDirectly(url, header string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(TraceHeader, header)
+	_, err = hc.Do(req)
+	return err
+}
+
+func injectTrace(req *http.Request) { req.Header.Set("X-Hom-Trace", "x") }
+
+func propagatesViaHelper(url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	injectTrace(req)
+	_, err = hc.Do(req)
+	return err
+}
+
+// cloneWithoutSend copies a request for inspection, never sends it: not a
+// proxy hop, so no finding.
+func cloneWithoutSend(r *http.Request) *http.Request {
+	return r.Clone(r.Context())
+}
+
+func suppressed(url string) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil) //homlint:allow tracectx -- fixture: probe with no trace to forward
+	if err != nil {
+		return err
+	}
+	_, err = hc.Do(req)
+	return err
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// TraceCtx flags functions that build an outbound HTTP request to a fleet
+// peer without propagating the distributed-trace context. A hop that
+// forgets to inject the X-Hom-Trace header silently severs the causal
+// chain: the downstream process starts a fresh head trace and homtrace can
+// never join the two halves, which is exactly the kind of regression that
+// only shows up when someone is debugging an incident.
+//
+// The check is syntactic, keyed on the two ways this codebase constructs
+// peer requests: http.NewRequest / http.NewRequestWithContext in files
+// importing net/http, and the proxy pattern of cloning an inbound
+// *http.Request (req.Clone) and sending it with .Do in the same function.
+// A constructing function passes if it references the TraceHeader
+// constant (however qualified) or calls a helper whose name mentions
+// Trace — delegation to a named injector is visible hand-off. Test files
+// are exempt; callers with no trace context to forward suppress with
+// //homlint:allow tracectx.
+type TraceCtx struct{}
+
+// Name implements Analyzer.
+func (*TraceCtx) Name() string { return "tracectx" }
+
+// Doc implements Analyzer.
+func (*TraceCtx) Doc() string {
+	return "flags outbound fleet requests built without trace-context propagation (TraceHeader)"
+}
+
+// Run implements Analyzer.
+func (tc *TraceCtx) Run(pass *Pass) {
+	for _, f := range pass.Files {
+		if f.Test {
+			continue
+		}
+		httpName := ImportName(f.AST, "net/http")
+		if httpName == "" {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			tc.checkFunc(pass, fn.Body, httpName)
+		}
+	}
+}
+
+// checkFunc judges one top-level function, nested literals included —
+// a proxy often builds the request in a closure but injects the header
+// through a helper visible in the same declaration.
+func (tc *TraceCtx) checkFunc(pass *Pass, body *ast.BlockStmt, httpName string) {
+	var built []token.Pos  // http.NewRequest* call sites
+	var cloned []token.Pos // <req>.Clone(...) call sites
+	sends := false         // a .Do(...) call exists in this function
+	propagates := false    // TraceHeader referenced or Trace-helper called
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.Ident:
+			if v.Name == "TraceHeader" {
+				propagates = true
+			}
+		case *ast.CallExpr:
+			switch fun := v.Fun.(type) {
+			case *ast.Ident:
+				if strings.Contains(fun.Name, "Trace") {
+					propagates = true
+				}
+			case *ast.SelectorExpr:
+				switch fun.Sel.Name {
+				case "NewRequest", "NewRequestWithContext":
+					if id, ok := fun.X.(*ast.Ident); ok && id.Name == httpName {
+						built = append(built, v.Pos())
+					}
+				case "Clone":
+					cloned = append(cloned, v.Pos())
+				case "Do":
+					sends = true
+				}
+				if strings.Contains(fun.Sel.Name, "Trace") {
+					propagates = true
+				}
+			}
+		}
+		return true
+	})
+	if propagates {
+		return
+	}
+	// A built request is an outbound hop whether sent here or returned to
+	// the caller; a clone is only a proxy hop when this function also
+	// sends it.
+	sites := built
+	if sends {
+		sites = append(sites, cloned...)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	for _, pos := range sites {
+		pass.Report(pos, "outbound request without trace propagation: set TraceHeader (obs.TraceHeader) or delegate to a Trace-named helper")
+	}
+}

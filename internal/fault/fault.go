@@ -108,6 +108,9 @@ type Injector struct {
 	fired  [NumPoints]atomic.Int64
 	// skew accumulates the injected clock offset (nanoseconds).
 	skew atomic.Int64
+	// observer, when set, is called with each fired point — the flight
+	// recorder's dump-on-fault hook.
+	observer atomic.Pointer[func(Point)]
 }
 
 // New builds an injector with the given seed and plan.
@@ -157,7 +160,20 @@ func (i *Injector) Fire(p Point) bool {
 		return false
 	}
 	i.fired[p].Add(1)
+	if fn := i.observer.Load(); fn != nil {
+		(*fn)(p)
+	}
 	return true
+}
+
+// SetObserver installs a hook called with each fired point (after the
+// firing is counted, before the caller acts on it). One observer is live
+// at a time; nil receiver is a no-op.
+func (i *Injector) SetObserver(fn func(Point)) {
+	if i == nil {
+		return
+	}
+	i.observer.Store(&fn)
 }
 
 // Delay returns the stall to inject for p at this invocation, or 0 when

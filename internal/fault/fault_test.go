@@ -280,3 +280,21 @@ func TestWrapClock(t *testing.T) {
 		t.Fatal("p=0.5 skew over 50 reads never fired")
 	}
 }
+
+func TestObserverSeesFirings(t *testing.T) {
+	inj := New(3, Plan{RequestDrop: {Prob: 1}, LabelLoss: {Prob: 0}})
+	var got []Point
+	inj.SetObserver(func(p Point) { got = append(got, p) })
+	if !inj.Fire(RequestDrop) {
+		t.Fatal("Prob 1 point did not fire")
+	}
+	if inj.Fire(LabelLoss) {
+		t.Fatal("Prob 0 point fired")
+	}
+	if len(got) != 1 || got[0] != RequestDrop {
+		t.Fatalf("observer saw %v, want [RequestDrop]", got)
+	}
+	var nilInj *Injector
+	nilInj.SetObserver(func(Point) { t.Fatal("nil injector called observer") })
+	_ = nilInj.Fire(RequestDrop)
+}

@@ -21,6 +21,12 @@ type Fleet struct {
 	model *core.Model
 	opts  serve.Options
 
+	// ReplicaOptions, when non-nil, customizes each new replica's options
+	// from the shared template — e.g. giving every replica a flight
+	// recorder named after its id. Called once per ScaleUp, before the
+	// replica's Server is built. Set before the first ScaleUp.
+	ReplicaOptions func(id string, opts serve.Options) serve.Options
+
 	mu      sync.Mutex
 	next    int
 	members map[string]*fleetMember
@@ -56,7 +62,11 @@ func (f *Fleet) ScaleUp() (string, string, error) {
 	if err != nil {
 		return "", "", err
 	}
-	srv := serve.New(f.model, f.opts)
+	opts := f.opts
+	if f.ReplicaOptions != nil {
+		opts = f.ReplicaOptions(id, opts)
+	}
+	srv := serve.New(f.model, opts)
 	srv.Start()
 	m := &fleetMember{
 		id:   id,

@@ -1,0 +1,123 @@
+package gate
+
+import (
+	"strings"
+	"testing"
+
+	"highorder/internal/obs"
+	"highorder/internal/serve"
+)
+
+// TestFlightTracePropagation: one classify request through the gateway
+// produces gate.route and gate.forward spans in the gateway's flight
+// recorder and a serve.classify span in the owning replica's recorder,
+// all under one trace id, with the replica span parented on the forward
+// span — the cross-process causal chain homtrace merges.
+func TestFlightTracePropagation(t *testing.T) {
+	gateRec := obs.NewRecorder(obs.FlightConfig{Proc: "gate", Seed: 6, Slots: 128})
+	repRecs := map[string]*obs.Recorder{}
+	fleet := NewFleet(fleetModel(), serve.Options{QueueDepth: 64, Workers: 2})
+	fleet.ReplicaOptions = func(id string, opts serve.Options) serve.Options {
+		rec := obs.NewRecorder(obs.FlightConfig{Proc: id, Seed: 6, Slots: 128})
+		repRecs[id] = rec
+		opts.Recorder = rec
+		return opts
+	}
+	t.Cleanup(fleet.Close)
+	g := New(Config{Recorder: gateRec})
+	for i := 0; i < 2; i++ {
+		id, url, err := fleet.ScaleUp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Join(id, url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The client is the trace head: default sampling records every trace.
+	c := serveClientFor(t, g).WithRecorder(obs.NewRecorder(obs.FlightConfig{Proc: "client", Seed: 6, Slots: 64}))
+
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors, _ := staggerWire(11, 4)
+	if _, err := c.Classify(created.ID, vectors, false); err != nil {
+		t.Fatal(err)
+	}
+
+	gd := gateRec.Snapshot("test")
+	var routeTrace, forwardSpan string
+	for _, sp := range gd.Spans {
+		switch sp.Name {
+		case "gate.route":
+			if sp.Session == created.ID {
+				routeTrace = sp.Trace
+			}
+		case "gate.forward":
+			forwardSpan = sp.Span
+		}
+	}
+	if routeTrace == "" || forwardSpan == "" {
+		t.Fatalf("gateway dump lacks route/forward spans: %+v", gd.Spans)
+	}
+
+	home, ok := g.SessionHome(created.ID)
+	if !ok {
+		t.Fatalf("no home for %q", created.ID)
+	}
+	rd := repRecs[home].Snapshot("test")
+	for _, sp := range rd.Spans {
+		if sp.Name == "serve.classify" && sp.Trace == routeTrace && sp.Parent == forwardSpan {
+			if sp.Session != created.ID {
+				t.Fatalf("classify span carries session %q, want %q", sp.Session, created.ID)
+			}
+			return
+		}
+	}
+	t.Fatalf("replica %s has no serve.classify under trace %s parent %s: %+v", home, routeTrace, forwardSpan, rd.Spans)
+}
+
+// TestFlightMigrationSpan: a migration records a gate.migrate span on a
+// forced trace, whatever the sample rate.
+func TestFlightMigrationSpan(t *testing.T) {
+	gateRec := obs.NewRecorder(obs.FlightConfig{Proc: "gate", Seed: 3, Slots: 128, SampleOneIn: 1 << 40})
+	fleet := NewFleet(fleetModel(), serve.Options{QueueDepth: 64, Workers: 2})
+	t.Cleanup(fleet.Close)
+	g := New(Config{Recorder: gateRec})
+	ids := []string{}
+	for i := 0; i < 2; i++ {
+		id, url, err := fleet.ScaleUp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if err := g.Join(id, url); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := serveClientFor(t, g)
+	created, err := c.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, _ := g.SessionHome(created.ID)
+	to := ids[0]
+	if to == from {
+		to = ids[1]
+	}
+	if err := g.MigrateSession(created.ID, to); err != nil {
+		t.Fatal(err)
+	}
+	d := gateRec.Snapshot("test")
+	for _, sp := range d.Spans {
+		if sp.Name == "gate.migrate" && sp.Session == created.ID {
+			return
+		}
+	}
+	names := []string{}
+	for _, sp := range d.Spans {
+		names = append(names, sp.Name)
+	}
+	t.Fatalf("no gate.migrate span for %q in [%s]", created.ID, strings.Join(names, " "))
+}

@@ -15,6 +15,7 @@ import (
 
 	"highorder/internal/clock"
 	"highorder/internal/fault"
+	"highorder/internal/obs"
 	"highorder/internal/serve"
 )
 
@@ -38,6 +39,11 @@ type Config struct {
 	// Fault installs seeded fault injection (MigrationInterrupt). nil — the
 	// production default — disables every point.
 	Fault *fault.Injector
+	// Recorder is the always-on flight recorder: per-session requests
+	// adopt the inbound X-Hom-Trace context, route/park/forward/migrate
+	// record on it, and lost sessions or fired faults trigger automatic
+	// ring dumps. nil disables recording at zero cost.
+	Recorder *obs.Recorder
 	// HTTPClient performs forwarded requests; nil selects a client that
 	// never follows redirects (the replicas issue none).
 	HTTPClient *http.Client
@@ -60,6 +66,7 @@ type Gateway struct {
 	cfg     Config
 	clock   clock.Clock
 	fault   *fault.Injector
+	rec     *obs.Recorder
 	reg     *registry
 	metrics *metrics
 	http    *http.Client
@@ -92,6 +99,7 @@ func New(cfg Config) *Gateway {
 		cfg:    cfg,
 		clock:  cfg.Clock.OrWall(),
 		fault:  cfg.Fault,
+		rec:    cfg.Recorder,
 		reg:    newRegistry(cfg.HealthFails),
 		http:   hc,
 		ring:   NewRing(cfg.Vnodes),
@@ -120,7 +128,41 @@ func New(cfg Config) *Gateway {
 	g.mux.HandleFunc("POST /admin/replicas", g.handleJoinReplica)
 	g.mux.HandleFunc("DELETE /admin/replicas/{id}", g.handleLeaveReplica)
 	g.mux.HandleFunc("POST /admin/migrate", g.handleMigrate)
+	g.mux.HandleFunc("POST /admin/flightdump", g.handleFlightDump)
+	if cfg.Fault != nil && cfg.Recorder != nil {
+		rec := cfg.Recorder
+		cfg.Fault.SetObserver(func(p fault.Point) { rec.Trigger(gateFaultReasons[p]) })
+	}
 	return g
+}
+
+// Flight-recorder span names, interned once.
+var (
+	gateRoute       = obs.InternName("gate.route")
+	gatePark        = obs.InternName("gate.park")
+	gateForward     = obs.InternName("gate.forward")
+	gateMigrate     = obs.InternName("gate.migrate")
+	gateSessionLost = obs.InternName("gate.session_lost")
+)
+
+// gateFaultReasons pre-renders trigger reason strings so the fault
+// observer allocates nothing per firing.
+var gateFaultReasons = func() [fault.NumPoints]string {
+	var rs [fault.NumPoints]string
+	for p := fault.Point(0); p < fault.NumPoints; p++ {
+		rs[p] = "fault_" + p.String()
+	}
+	return rs
+}()
+
+// handleFlightDump snapshots the flight recorder ring on demand.
+func (g *Gateway) handleFlightDump(w http.ResponseWriter, r *http.Request) {
+	if g.rec == nil {
+		writeBytes(w, http.StatusNotFound, []byte(`{"error":"flight recorder not enabled"}`))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = g.rec.WriteDump(w, "manual")
 }
 
 // Handler returns the gateway's HTTP handler.
@@ -145,6 +187,9 @@ func (g *Gateway) newClient(baseURL string) *serve.Client {
 	c := serve.NewClient(baseURL, g.http)
 	if g.cfg.Retry != nil {
 		c = c.WithRetry(*g.cfg.Retry)
+	}
+	if g.rec != nil {
+		c = c.WithRecorder(g.rec)
 	}
 	return c
 }
@@ -305,26 +350,33 @@ func (g *Gateway) dropReplicaRoutes(id string) {
 	g.mu.Unlock()
 	if lost > 0 {
 		g.metrics.sessionsLost.Add(int64(lost))
+		// Lost state is exactly what the flight recorder exists for:
+		// capture the ring around the event, on a forced trace so the
+		// marker survives any sample rate.
+		g.rec.Instant(g.rec.ForceTrace(), gateSessionLost, int64(lost))
+		g.rec.Trigger("sessions_lost")
 	}
 }
 
 // acquire parks while the session is mid-migration, then pins its route
-// with one in-flight request and returns the owning replica id.
-func (g *Gateway) acquire(session string) (string, bool) {
+// with one in-flight request and returns the owning replica id. parked
+// reports whether the request waited out a migration on the way.
+func (g *Gateway) acquire(session string) (repID string, parked, ok bool) {
 	g.mu.Lock()
 	for {
-		r, ok := g.routes[session]
-		if !ok {
+		r, routed := g.routes[session]
+		if !routed {
 			g.mu.Unlock()
-			return "", false
+			return "", parked, false
 		}
 		if !r.moving {
 			r.inflight++
 			replica := r.replica
 			g.mu.Unlock()
-			return replica, true
+			return replica, parked, true
 		}
 		g.metrics.parked.Inc()
+		parked = true
 		for r.moving {
 			r.cond.Wait()
 		}
@@ -362,19 +414,28 @@ var (
 func (g *Gateway) proxySession(w http.ResponseWriter, r *http.Request) {
 	start := g.clock()
 	session := r.PathValue("id")
-	repID, ok := g.acquire(session)
+	tc := g.rec.Adopt(r.Header.Get(obs.TraceHeader))
+	rsp := g.rec.Start(tc, gateRoute)
+	rsp.SetSession(session)
+	repID, parked, ok := g.acquire(session)
+	if parked {
+		g.rec.Instant(rsp.Context(), gatePark, 0)
+	}
 	if !ok {
+		rsp.End()
 		writeBytes(w, http.StatusNotFound, bodyUnknownSession)
 		return
 	}
-	rep, ok := g.reg.get(repID)
-	if !ok {
+	rep, found := g.reg.get(repID)
+	if !found {
 		g.release(session)
+		rsp.End()
 		writeBytes(w, http.StatusBadGateway, bodyNoReplica)
 		return
 	}
-	g.forward(w, r, rep)
+	g.forward(w, r, rep, rsp.Context())
 	g.release(session)
+	rsp.End()
 	g.metrics.routeLatency.Observe(g.clock().Sub(start).Seconds())
 }
 
@@ -382,13 +443,20 @@ func (g *Gateway) proxySession(w http.ResponseWriter, r *http.Request) {
 // back. It never runs while Gateway.mu is held.
 //
 //homlint:hotpath -- replica round trip on the per-request path
-func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, rep *replica) {
+func (g *Gateway) forward(w http.ResponseWriter, r *http.Request, rep *replica, tc obs.TraceContext) {
 	out := r.Clone(r.Context())
 	out.URL.Scheme = rep.base.Scheme
 	out.URL.Host = rep.base.Host
 	out.RequestURI = ""
 	out.Host = ""
+	// On a sampled trace the replica-bound hop carries the forward span
+	// as parent; otherwise the clone relays any inbound header untouched.
+	fsp := g.rec.Start(tc, gateForward)
+	if fsp.Recording() {
+		out.Header.Set(obs.TraceHeader, fsp.Context().HeaderValue())
+	}
 	resp, err := g.http.Do(out)
+	fsp.End()
 	if err != nil {
 		writeBytes(w, http.StatusBadGateway, bodyNoReplica)
 		return
@@ -535,7 +603,7 @@ func (g *Gateway) forgetRoute(session string) {
 // handleCloseSession forwards the delete and drops the route on success.
 func (g *Gateway) handleCloseSession(w http.ResponseWriter, r *http.Request) {
 	session := r.PathValue("id")
-	repID, ok := g.acquire(session)
+	repID, _, ok := g.acquire(session)
 	if !ok {
 		writeBytes(w, http.StatusNotFound, bodyUnknownSession)
 		return

@@ -68,7 +68,12 @@ func (g *Gateway) MigrateSession(session, to string) error {
 	from := rt.replica
 	g.mu.Unlock()
 
+	// Migrations are rare and diagnosable after the fact, so the span
+	// rides a forced trace: it records whatever the sample rate.
+	msp := g.rec.Start(g.rec.ForceTrace(), gateMigrate)
+	msp.SetSession(session)
 	final, err := g.transfer(session, from, target)
+	msp.End()
 
 	g.mu.Lock()
 	if final == "" {

@@ -17,6 +17,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -273,15 +274,42 @@ func (r *Registry) NewGaugeVecFunc(name, help string, labels []string, collect f
 }
 
 // NewHistogram registers an unlabeled histogram family with the given
-// cumulative bucket upper bounds.
+// cumulative bucket upper bounds. Bounds are normalized (sorted ascending,
+// de-duplicated, non-finite bounds dropped) so exposition parsers that
+// re-assemble cumulative buckets never mis-bin.
 func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
-	f := r.register(&family{name: name, help: help, kind: kindHistogram, buckets: buckets})
-	return f.seriesFor(nil, func() any { return newHistogram(buckets) }).(*Histogram)
+	f := r.register(&family{name: name, help: help, kind: kindHistogram, buckets: normalizeBuckets(buckets)})
+	return f.seriesFor(nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
 }
 
-// NewHistogramVec registers a labeled histogram family.
+// NewHistogramVec registers a labeled histogram family. Bounds are
+// normalized as in NewHistogram.
 func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
-	return &HistogramVec{r.register(&family{name: name, help: help, kind: kindHistogram, buckets: buckets, labels: labels})}
+	return &HistogramVec{r.register(&family{name: name, help: help, kind: kindHistogram, buckets: normalizeBuckets(buckets), labels: labels})}
+}
+
+// normalizeBuckets sorts the upper bounds ascending, drops duplicates, and
+// strips non-finite bounds (+Inf is implicit: every histogram renders a
+// final le="+Inf" bucket). Observe's linear scan and writeTo's cumulative
+// rendering both assume sorted distinct bounds.
+func normalizeBuckets(buckets []float64) []float64 {
+	out := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			continue
+		}
+		out = append(out, b)
+	}
+	sort.Float64s(out)
+	n := 0
+	for i, b := range out {
+		if i == 0 || b != out[n-1] { //homlint:allow floatcmp -- dedup of identical bound values wants exact equality
+
+			out[n] = b
+			n++
+		}
+	}
+	return out[:n]
 }
 
 func newHistogram(buckets []float64) *Histogram {

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketNormalization: bounds given out of order, with
+// duplicates and non-finite entries, must render sorted and de-duplicated
+// le labels — exposition parsers (homload, autoscaler, homtop) re-bin on
+// the rendered order.
+func TestHistogramBucketNormalization(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("t_norm_seconds", "Unsorted input.",
+		[]float64{0.5, 0.01, math.Inf(1), 0.1, 0.01, math.NaN(), 0.001})
+	h.Observe(0.0005) // le=0.001
+	h.Observe(0.05)   // le=0.1
+	h.Observe(9)      // +Inf
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	want := `# HELP t_norm_seconds Unsorted input.
+# TYPE t_norm_seconds histogram
+t_norm_seconds_bucket{le="0.001"} 1
+t_norm_seconds_bucket{le="0.01"} 1
+t_norm_seconds_bucket{le="0.1"} 2
+t_norm_seconds_bucket{le="0.5"} 2
+t_norm_seconds_bucket{le="+Inf"} 3
+t_norm_seconds_sum 9.0505
+t_norm_seconds_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramVecBucketNormalization: the labeled constructor shares the
+// normalization, and every series created from the family observes into
+// the normalized bounds (the With closure must capture the family's
+// buckets, not the caller's raw slice).
+func TestHistogramVecBucketNormalization(t *testing.T) {
+	raw := []float64{2, 1, 2, math.Inf(-1)}
+	r := NewRegistry()
+	v := r.NewHistogramVec("t_vnorm_seconds", "Vec.", raw, "ep")
+	v.With("a").Observe(1.5)
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	got := sb.String()
+	for _, line := range []string{
+		`t_vnorm_seconds_bucket{ep="a",le="1"} 0`,
+		`t_vnorm_seconds_bucket{ep="a",le="2"} 1`,
+		`t_vnorm_seconds_bucket{ep="a",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, got)
+		}
+	}
+	if strings.Count(got, `le="2"`) != 1 {
+		t.Errorf("duplicate bound survived normalization:\n%s", got)
+	}
+}
+
+// TestLabelValueEscaping: Prometheus text exposition requires quotes,
+// backslashes, and newlines in label values to be escaped.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("t_esc_total", "Escaping.", "path")
+	v.With(`a"b`).Inc()
+	v.With(`c\d`).Inc()
+	v.With("e\nf").Inc()
+
+	var sb strings.Builder
+	r.WriteText(&sb)
+	got := sb.String()
+	for _, line := range []string{
+		`t_esc_total{path="a\"b"} 1`,
+		`t_esc_total{path="c\\d"} 1`,
+		`t_esc_total{path="e\nf"} 1`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, got)
+		}
+	}
+	if strings.Count(got, "\n") != strings.Count(got, "} 1\n")+2 {
+		t.Errorf("raw newline leaked into a label value:\n%q", got)
+	}
+}
+
+// TestBucketQuantileEdgeCases pins the exported estimator's behavior on
+// degenerate inputs clients can produce from real expositions.
+func TestBucketQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: no observations means no estimate.
+	if got := BucketQuantile(nil, nil, 0, 0, 0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	if got := BucketQuantile([]float64{1, 2}, []int64{0, 0}, 0, 0, 0.5); got != 0 {
+		t.Errorf("zero-count histogram quantile = %v, want 0", got)
+	}
+	// Single bucket: every quantile interpolates within [0, bound].
+	if got := BucketQuantile([]float64{10}, []int64{4}, 0, 4, 0.5); got != 5 {
+		t.Errorf("single-bucket median = %v, want 5", got)
+	}
+	if got := BucketQuantile([]float64{10}, []int64{4}, 0, 4, 1); got != 10 {
+		t.Errorf("single-bucket p100 = %v, want 10", got)
+	}
+	// +Inf-only mass: report the largest finite bound, or 0 when there are
+	// no finite bounds at all.
+	if got := BucketQuantile([]float64{1, 2}, []int64{0, 0}, 7, 7, 0.99); got != 2 {
+		t.Errorf("+Inf-mass quantile = %v, want last finite bound 2", got)
+	}
+	if got := BucketQuantile(nil, nil, 3, 3, 0.5); got != 0 {
+		t.Errorf("no-finite-bounds quantile = %v, want 0", got)
+	}
+}

@@ -110,6 +110,7 @@ type Client struct {
 	base  string
 	hc    *http.Client
 	retry *RetryPolicy
+	rec   *obs.Recorder
 }
 
 // NewClient returns a client for the server at base (e.g.
@@ -129,10 +130,33 @@ func (c *Client) WithRetry(p RetryPolicy) *Client {
 	return c
 }
 
-// do runs one JSON round trip, retrying under the installed policy.
+// WithRecorder attaches a flight recorder: the client becomes a trace
+// head, deciding sampling once per logical request and injecting the same
+// X-Hom-Trace context into every retry attempt of it.
+func (c *Client) WithRecorder(rec *obs.Recorder) *Client {
+	c.rec = rec
+	return c
+}
+
+// flightClientReq names one client attempt in flight dumps.
+var flightClientReq = obs.InternName("client.request")
+
+// do runs one JSON round trip, retrying under the installed policy. The
+// body is marshaled once and every attempt re-sends it from the buffer
+// under one trace context, so a retried request is byte-identical to the
+// first attempt and all attempts share one trace id.
 func (c *Client) do(method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = b
+	}
+	tc := c.rec.StartTrace()
 	if c.retry == nil {
-		return c.doOnce(method, path, in, out)
+		return c.doOnce(method, path, body, out, tc)
 	}
 	p := c.retry
 	maxRetries := p.MaxRetries
@@ -149,7 +173,7 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	var elapsed time.Duration
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(method, path, in, out)
+		err := c.doOnce(method, path, body, out, tc)
 		if err == nil {
 			return nil
 		}
@@ -189,25 +213,26 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 }
 
-// doOnce runs one JSON round trip. in nil sends no body; out nil discards
-// the response body.
-func (c *Client) doOnce(method, path string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		b, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(b)
+// doOnce runs one JSON round trip. body nil sends no body; out nil
+// discards the response body.
+func (c *Client) doOnce(method, path string, body []byte, out any, tc obs.TraceContext) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	req, err := http.NewRequest(method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tc.Sampled {
+		req.Header.Set(obs.TraceHeader, tc.HeaderValue())
+	}
+	sp := c.rec.Start(tc, flightClientReq)
 	resp, err := c.hc.Do(req)
+	sp.End()
 	if err != nil {
 		return err
 	}

@@ -2,13 +2,16 @@ package serve
 
 import (
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"highorder/internal/clock"
+	"highorder/internal/obs"
 	"highorder/internal/rng"
 )
 
@@ -237,5 +240,66 @@ func TestClientJitterDeterministic(t *testing.T) {
 	}
 	if !jittered {
 		t.Fatal("three jittered draws all landed exactly on the base backoff")
+	}
+}
+
+// TestClientRetryOneTraceAndBody: every retry attempt of one logical
+// request re-sends the identical buffered body and carries the same
+// X-Hom-Trace context, so the fleet sees N attempts of one trace, not N
+// disconnected traces.
+func TestClientRetryOneTraceAndBody(t *testing.T) {
+	var failures atomic.Int64
+	failures.Store(2)
+	var mu sync.Mutex
+	var traces, bodies []string
+	inner := scripted(&failures, http.StatusServiceUnavailable, "")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		traces = append(traces, r.Header.Get(obs.TraceHeader))
+		bodies = append(bodies, string(b))
+		mu.Unlock()
+		inner(w, r)
+	}))
+	defer ts.Close()
+
+	rec := obs.NewRecorder(obs.FlightConfig{Proc: "client", Seed: 5, Slots: 64})
+	c := NewClient(ts.URL, nil).
+		WithRetry(RetryPolicy{
+			MaxRetries:  4,
+			BaseBackoff: time.Millisecond,
+			Sleep:       clock.Sleeper(func(time.Duration) {}),
+		}).
+		WithRecorder(rec)
+	var out HealthResponse
+	if err := c.do(http.MethodPost, "/healthz", CreateSessionRequest{ID: "s1"}, &out); err != nil {
+		t.Fatalf("retried request failed: %v", err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(traces))
+	}
+	tc0, ok := obs.ParseTraceContext(traces[0])
+	if !ok || !tc0.Sampled {
+		t.Fatalf("attempt 0 header %q not a sampled trace context", traces[0])
+	}
+	for i := 1; i < 3; i++ {
+		tc, ok := obs.ParseTraceContext(traces[i])
+		if !ok || tc.TraceID != tc0.TraceID {
+			t.Fatalf("attempt %d header %q: trace id differs from attempt 0 (%q)", i, traces[i], traces[0])
+		}
+		if bodies[i] != bodies[0] || bodies[i] == "" {
+			t.Fatalf("attempt %d body %q differs from attempt 0 %q", i, bodies[i], bodies[0])
+		}
+	}
+	// Each attempt recorded a client.request span on the shared trace.
+	d := rec.Snapshot("test")
+	n := 0
+	for _, s := range d.Spans {
+		if s.Name == "client.request" {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("recorded %d client.request spans, want 3: %+v", n, d.Spans)
 	}
 }

@@ -58,6 +58,12 @@ type Options struct {
 	// bounded diagnostic runs (tests, replays, load probes), not for a
 	// long-lived production server. nil disables tracing at zero cost.
 	Trace *obs.Tracer
+	// Recorder is the always-on flight recorder: classify/observe work
+	// attaches to the request's X-Hom-Trace context, and notable events
+	// (deadline expiry, shed, fired faults) trigger automatic ring dumps.
+	// nil — the production default unless tracing is enabled — costs one
+	// pointer check per site and zero allocations.
+	Recorder *obs.Recorder
 	// Fault installs a fault injector on the serving hot paths (request
 	// drop, response delay, queue-overflow pressure, label loss/delay).
 	// nil — the production default — disables every point at the cost of
@@ -107,12 +113,34 @@ const (
 	taskObserve
 )
 
+// Flight-recorder span names, interned once.
+var (
+	flightClassify = obs.InternName("serve.classify")
+	flightObserve  = obs.InternName("serve.observe")
+	flightDeadline = obs.InternName("serve.deadline_expired")
+	flightShed     = obs.InternName("serve.shed")
+	flightSwitch   = obs.InternName("serve.concept_switch")
+)
+
+// faultReasons pre-renders trigger reason strings so the fault observer
+// allocates nothing per firing.
+var faultReasons = func() [fault.NumPoints]string {
+	var rs [fault.NumPoints]string
+	for p := fault.Point(0); p < fault.NumPoints; p++ {
+		rs[p] = "fault_" + p.String()
+	}
+	return rs
+}()
+
 // task is one unit of queued predictor work plus its reply channel.
 type task struct {
 	kind      taskKind
 	sess      *Session
 	recs      []data.Record
 	withProba bool
+	// tc is the request's trace context (adopted from X-Hom-Trace), so
+	// the span recorded at execution time joins the caller's trace.
+	tc obs.TraceContext
 	// deadline is checked at dequeue time: an expired task is answered
 	// without touching the predictor, so the caller can safely retry.
 	deadline time.Time
@@ -212,7 +240,47 @@ func New(m *core.Model, opts Options) *Server {
 	s.mux.HandleFunc("GET /admin/snapshot/{id}", s.instrument("admin_snapshot", s.handleAdminSnapshot))
 	s.mux.HandleFunc("POST /admin/restore", s.instrument("admin_restore", s.handleAdminRestore))
 	s.mux.HandleFunc("POST /admin/drain", s.instrument("admin_drain", s.handleAdminDrain))
+	s.mux.HandleFunc("POST /admin/flightdump", s.handleFlightDump)
+	if o.Fault != nil && o.Recorder != nil {
+		// Every fired fault point requests a (rate-limited) flight dump,
+		// so the ring around an injected incident is preserved.
+		rec := o.Recorder
+		o.Fault.SetObserver(func(p fault.Point) { rec.Trigger(faultReasons[p]) })
+	}
 	return s
+}
+
+// sessionSink composes the per-session switch counter with a
+// flight-recorder instant, so a concept switch is both counted and visible
+// on the trace of the observe batch that caused it. The sink runs inside
+// Observe under the session lock, where curTC is the executing task's
+// context.
+func (s *Server) sessionSink(sess *Session) obs.PredictorSink {
+	base := s.metrics.switchSink(sess.ID())
+	rec := s.opts.Recorder
+	if rec == nil {
+		return base
+	}
+	return obs.FuncSink(func(ev obs.PredictorEvent) {
+		base.ObserveEvent(ev)
+		if ev.Switched {
+			sp := rec.Start(sess.curTC, flightSwitch)
+			sp.SetSession(sess.id)
+			sp.SetArg(int64(ev.MAP))
+			sp.End()
+		}
+	})
+}
+
+// handleFlightDump snapshots the flight recorder's ring on demand.
+func (s *Server) handleFlightDump(w http.ResponseWriter, r *http.Request) {
+	rec := s.opts.Recorder
+	if rec == nil {
+		s.writeError(w, http.StatusNotFound, "flight recorder not enabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = rec.WriteDump(w, "manual")
 }
 
 // Start launches the worker pool and the TTL janitor. Idempotent.
@@ -331,7 +399,7 @@ func (s *Server) runBatch(batch []*task) {
 // passed in the queue are answered expired before the predictor is
 // touched, so a deadline 503 never leaves ambiguous state.
 func (s *Server) runTasks(sess *Session, tasks []*task) {
-	m, tr := s.metrics, s.opts.Trace
+	m, tr, rec := s.metrics, s.opts.Trace, s.opts.Recorder
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	for _, t := range tasks {
@@ -339,26 +407,40 @@ func (s *Server) runTasks(sess *Session, tasks []*task) {
 		if !t.deadline.IsZero() && s.clk().After(t.deadline) {
 			res.expired = true
 			m.deadlineExpired()
+			// Capture the ring around the incident: the expired request's
+			// own spans (recorded upstream on its trace) are still in it.
+			rec.Instant(t.tc, flightDeadline, 0)
+			rec.Trigger("deadline_expired")
 			t.done <- res
 			continue
 		}
+		sess.curTC = t.tc
 		switch t.kind {
 		case taskClassify:
 			sp := tr.StartSpan("serve.classify")
+			fsp := rec.Start(t.tc, flightClassify)
 			res.classify = sess.classifyLocked(t.recs, t.withProba)
 			sp.SetArg("records", int64(len(t.recs)))
 			sp.End()
+			fsp.SetSession(sess.ID())
+			fsp.SetArg(int64(len(t.recs)))
+			fsp.End()
 			m.classified(res.classify.Predictions, res.classify.MAPConcept)
 		case taskObserve:
 			if d := s.opts.Fault.Delay(fault.LabelDelay); d > 0 {
 				s.opts.Sleep.Sleep(d)
 			}
 			sp := tr.StartSpan("serve.observe")
+			fsp := rec.Start(t.tc, flightObserve)
 			res.observe = sess.observeLocked(t.recs, s.opts.Fault)
 			sp.SetArg("records", int64(len(t.recs)))
 			sp.End()
+			fsp.SetSession(sess.ID())
+			fsp.SetArg(int64(len(t.recs)))
+			fsp.End()
 			m.observed(res.observe.Applied)
 		}
+		sess.curTC = obs.TraceContext{}
 		t.done <- res
 	}
 }
@@ -393,6 +475,8 @@ func (s *Server) enqueue(t *task) (accepted, serving bool) {
 func (s *Server) submit(t *task) (taskResult, int, error) {
 	if d := s.opts.ShedDepth; d > 0 && len(s.queue) >= d {
 		s.metrics.shed()
+		s.opts.Recorder.Instant(t.tc, flightShed, int64(len(s.queue)))
+		s.opts.Recorder.Trigger("shed")
 		return taskResult{}, http.StatusServiceUnavailable,
 			fmt.Errorf("overloaded: queue depth %d reached shed threshold %d", len(s.queue), d)
 	}
@@ -566,7 +650,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	sess.setSink(s.metrics.switchSink(sess.ID()))
+	sess.setSink(s.sessionSink(sess))
 	s.metrics.sessionCreated()
 	s.writeJSON(w, http.StatusCreated, CreateSessionResponse{
 		ID:       sess.ID(),
@@ -623,7 +707,8 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, code, err := s.submit(&task{kind: taskClassify, sess: sess, recs: recs, withProba: req.Proba})
+	tc := s.opts.Recorder.Adopt(r.Header.Get(obs.TraceHeader))
+	res, code, err := s.submit(&task{kind: taskClassify, sess: sess, recs: recs, withProba: req.Proba, tc: tc})
 	if err != nil {
 		s.writeError(w, code, "%v", err)
 		return
@@ -645,7 +730,8 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, code, err := s.submit(&task{kind: taskObserve, sess: sess, recs: recs})
+	tc := s.opts.Recorder.Adopt(r.Header.Get(obs.TraceHeader))
+	res, code, err := s.submit(&task{kind: taskObserve, sess: sess, recs: recs, tc: tc})
 	if err != nil {
 		s.writeError(w, code, "%v", err)
 		return
@@ -737,7 +823,7 @@ func (s *Server) handleAdminRestore(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "restore: %v", err)
 		return
 	}
-	sess.setSink(s.metrics.switchSink(sess.ID()))
+	sess.setSink(s.sessionSink(sess))
 	s.metrics.sessionCreated()
 	s.writeJSON(w, http.StatusOK, sess.Info())
 }

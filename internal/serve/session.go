@@ -39,6 +39,11 @@ type Session struct {
 
 	mu sync.Mutex
 	p  *core.Predictor
+	// curTC is the trace context of the task currently executing under
+	// mu, so predictor sink events (concept switches) fired inside
+	// observeLocked attach to the request's trace. Written and read only
+	// under mu.
+	curTC obs.TraceContext
 
 	// lastUsed is the unix-nano timestamp of the last table access, read
 	// by TTL eviction without taking mu.

@@ -39,10 +39,12 @@ step "go test -race ./..."
 go test -race ./...
 
 # The race detector skews allocation counts, so the AllocsPerRun
-# ceilings (similarityEdge, zero-copy view iteration) and the benchmark
-# smoke run without it.
-step "alloc ceilings (internal/cluster, internal/data)"
+# ceilings (similarityEdge, zero-copy view iteration, and the flight
+# recorder's disabled/unsampled 0-alloc paths) and the benchmark smoke
+# run without it.
+step "alloc ceilings (internal/cluster, internal/data, internal/obs)"
 go test ./internal/cluster ./internal/data -run Allocs -count=1
+go test ./internal/obs -run Allocs -count=1
 
 step "bench smoke (-benchtime 1x)"
 go test ./internal/cluster ./internal/data -run '^$' -bench . -benchtime 1x >/dev/null
@@ -112,14 +114,37 @@ go run ./cmd/homload -model "$smoketmp/model.gob" -sessions 1 -records 200 \
 # retires gracefully at 2/3). homload exits nonzero on any failed or
 # unaccounted request and on any served-vs-offline bit-identity mismatch;
 # the migration counter below proves sessions actually moved live.
-step "homgate fleet smoke (3 replicas, churn, bit-identity)"
+step "homgate fleet smoke (3 replicas, churn, bit-identity, flight-recorded)"
 go run ./cmd/homload -model "$smoketmp/model.gob" -fleet 3 -fleet-churn \
-	-sessions 6 -records 200 -batch 10 -out "$smoketmp/BENCH_gate.json"
+	-sessions 6 -records 200 -batch 10 -out "$smoketmp/BENCH_gate.json" \
+	-flight-dir "$smoketmp/flight"
 migrations=$(sed -n 's/.*"migrations_total": \([0-9]*\).*/\1/p' "$smoketmp/BENCH_gate.json")
 if [ -z "$migrations" ] || [ "$migrations" -eq 0 ]; then
 	echo "fleet smoke: hom_gate_migrations_total is ${migrations:-missing}, want > 0" >&2
 	exit 1
 fi
+
+# Fleet trace gate: merge the per-process flight dumps the smoke just
+# wrote and require one trace to hold the client hop, the gateway's
+# route+forward, and the replica's classify — proof the X-Hom-Trace
+# header survived every hop. The churn above makes the run include a
+# live migration, whose ForceTrace span must also be present.
+step "homtrace fleet merge (one trace across client, gate, replica)"
+go run ./cmd/homtrace -dir "$smoketmp/flight" -o "$smoketmp/fleet_trace.json" \
+	-assert-span client.request -assert-span gate.route \
+	-assert-span gate.forward -assert-span serve.classify
+go run ./cmd/homtrace -dir "$smoketmp/flight" -grep name=gate.migrate \
+	-assert-span gate.migrate >/dev/null
+if [ ! -s "$smoketmp/fleet_trace.json" ]; then
+	echo "homtrace produced empty fleet_trace.json" >&2
+	exit 1
+fi
+
+# homtop gate: the dashboard renderer is pinned byte-for-byte against
+# testdata/frame.golden (already covered by the race run above, but a
+# frame drift should name itself in the verify log).
+step "homtop golden frame"
+go test ./cmd/homtop -run TestRenderGoldenFrame -count=1
 
 # Autoscale smoke: the fleet starts at the lower bound and capacity
 # decisions come only from the replicas' exported metrics. The decisions
