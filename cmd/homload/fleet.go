@@ -49,6 +49,9 @@ type fleetOptions struct {
 	serviceDelay  time.Duration
 	verify        bool
 	flightDir     string // write per-process flight dumps here (empty = off)
+	spillDir      string // tiered replicas: per-replica spill subtrees here (empty = off)
+	hotSessions   int
+	wal           bool
 }
 
 // fleetWorkload is the per-run workload shape shared by the main run and
@@ -276,6 +279,14 @@ type fleetRun struct {
 	decisions   []gate.Decision
 	maxReplicas int
 	replicasEnd int
+	store       fleetStoreTotals
+}
+
+// fleetStoreTotals sums the tiered-store counters scraped from every
+// replica still alive at the end of the run (killed replicas take their
+// counters with them).
+type fleetStoreTotals struct {
+	hot, cold, spills, hydrates, walReplayed int
 }
 
 // runFleetOnce boots replicas + gateway, drives the workload, applies the
@@ -315,6 +326,26 @@ func runFleetOnce(clk clock.Clock, slp clock.Sleeper, m *core.Model, replicas in
 		gateRec = newRec("gate")
 		fleet.ReplicaOptions = func(id string, opts serve.Options) serve.Options {
 			opts.Recorder = newRec(id)
+			return opts
+		}
+	}
+	if fo.spillDir != "" {
+		// Tiered replicas: each gets its own spill subtree so segment and
+		// WAL files never collide across the fleet. Chained after the
+		// flight hook so both customizations compose.
+		if err := os.MkdirAll(fo.spillDir, 0o755); err != nil {
+			return nil, err
+		}
+		inner := fleet.ReplicaOptions
+		fleet.ReplicaOptions = func(id string, opts serve.Options) serve.Options {
+			if inner != nil {
+				opts = inner(id, opts)
+			}
+			opts.Tier = serve.TierOptions{
+				SpillDir:    filepath.Join(fo.spillDir, id),
+				HotSessions: fo.hotSessions,
+				WAL:         fo.wal,
+			}
 			return opts
 		}
 	}
@@ -479,6 +510,27 @@ func runFleetOnce(clk clock.Clock, slp clock.Sleeper, m *core.Model, replicas in
 	var buf bytes.Buffer
 	g.Registry().WriteText(&buf)
 	run.metricsText = buf.String()
+	if fo.spillDir != "" {
+		for _, id := range fleet.IDs() {
+			url, ok := fleet.URL(id)
+			if !ok {
+				continue
+			}
+			text, err := serve.NewClient(url, nil).Metrics()
+			if err != nil {
+				continue
+			}
+			mv := func(name string) int {
+				v, _ := serve.MetricValue(text, name)
+				return int(v)
+			}
+			run.store.hot += mv("hom_sessions_hot")
+			run.store.cold += mv("hom_sessions_cold")
+			run.store.spills += mv("hom_spill_total")
+			run.store.hydrates += mv("hom_hydrate_total")
+			run.store.walReplayed += mv("hom_wal_replayed_records_total")
+		}
+	}
 	run.replicasEnd = len(g.Replicas())
 	if run.replicasEnd > run.maxReplicas {
 		run.maxReplicas = run.replicasEnd
@@ -562,6 +614,16 @@ type fleetSummary struct {
 		SessionsLost      int `json:"sessions_lost"`
 		ReplicasEnd       int `json:"replicas_end"`
 	} `json:"gate"`
+	Store struct {
+		Enabled      bool `json:"enabled"`
+		HotSessions  int  `json:"hot_sessions"`
+		WAL          bool `json:"wal"`
+		HotEnd       int  `json:"hot_end"`
+		ColdEnd      int  `json:"cold_end"`
+		SpillTotal   int  `json:"spill_total"`
+		HydrateTotal int  `json:"hydrate_total"`
+		WALReplayed  int  `json:"wal_replayed_records"`
+	} `json:"store"`
 	Verify struct {
 		Checked      bool `json:"checked"`
 		Sessions     int  `json:"sessions"`
@@ -650,6 +712,15 @@ func fleetSummarize(run *fleetRun, replicas int, w fleetWorkload, fo fleetOption
 	s.Gate.ParkedTotal = gv("hom_gate_parked_total")
 	s.Gate.SessionsLost = gv("hom_gate_sessions_lost_total")
 	s.Gate.ReplicasEnd = run.replicasEnd
+
+	s.Store.Enabled = fo.spillDir != ""
+	s.Store.HotSessions = fo.hotSessions
+	s.Store.WAL = fo.wal
+	s.Store.HotEnd = run.store.hot
+	s.Store.ColdEnd = run.store.cold
+	s.Store.SpillTotal = run.store.spills
+	s.Store.HydrateTotal = run.store.hydrates
+	s.Store.WALReplayed = run.store.walReplayed
 
 	s.Autoscale.Enabled = fo.autoscale != ""
 	s.Autoscale.MaxReplicas = run.maxReplicas

@@ -22,6 +22,15 @@
 // 1,2,4), while checking each served session bit-for-bit against an
 // offline twin predictor. Fleet runs write BENCH_gate.json.
 //
+// With -spill-dir the in-process server (or every fleet replica, each
+// under its own subdirectory) runs the tiered session store: a bounded
+// hot set (-hot-sessions) over disk spill segments, with -wal adding a
+// fsync'd write-ahead label log. Store-bench mode (-store-bench N, with
+// -model) populates N concurrent sessions through a tiered server —
+// far more than fit hot — then revisits the coldest and writes a
+// BENCH_store.json hydration profile from the server's own
+// hom_session_hydrate_seconds histogram.
+//
 // Usage:
 //
 //	homload -model model.gob -sessions 8 -records 1000 [-batch 16]
@@ -29,6 +38,7 @@
 //	homload -addr http://127.0.0.1:8080 ...
 //	homload -model model.gob -fleet 3 -fleet-churn [-fleet-service-delay 2ms]
 //	homload -model model.gob -fleet-sweep 1,2,4 -fleet-service-delay 5ms
+//	homload -model model.gob -store-bench 100000 -hot-sessions 4096 -wal
 package main
 
 import (
@@ -75,6 +85,12 @@ func main() {
 	fleetServiceDelay := flag.Duration("fleet-service-delay", 0, "fleet mode: injected per-observe service delay so replicas are latency-bound")
 	fleetVerify := flag.Bool("fleet-verify", true, "fleet mode: check every served session bit-for-bit against an offline twin")
 	flightDir := flag.String("flight-dir", "", "fleet mode: record every trace on client, gateway, and replicas; write per-process flight dumps here at end of run")
+	spillDir := flag.String("spill-dir", "", "tiered session store: spill directory for the in-process server or fleet replicas (empty = tiering off; the store bench defaults to a temp dir)")
+	hotSessions := flag.Int("hot-sessions", 0, "tiered session store: in-memory hot-set bound (0 = default; needs -spill-dir or -store-bench)")
+	wal := flag.Bool("wal", false, "tiered session store: fsync a write-ahead label log so acknowledged observes survive a crash")
+	storeBench := flag.Int("store-bench", 0, "store bench: populate N concurrent sessions through a tiered in-process server, revisit cold ones, and write a hydration profile (needs -model; 0 = off)")
+	storeRecords := flag.Int("store-records", 3, "store bench: labeled records observed per session")
+	storeRevisits := flag.Int("store-revisits", 0, "store bench: cold sessions revisited to measure hydration (0 = sessions/10, capped at 10000)")
 	flag.Parse()
 
 	if *maxprocs > 0 {
@@ -87,6 +103,24 @@ func main() {
 
 	clk := clock.Clock(nil).OrWall()
 	slp := clock.Sleeper(nil).OrReal()
+
+	if *storeBench > 0 {
+		if *modelPath == "" || *addr != "" {
+			fmt.Fprintln(os.Stderr, "homload: -store-bench needs -model (and no -addr)")
+			os.Exit(2)
+		}
+		outPath := *out
+		if outPath == "BENCH_serve.json" && !flagWasSet("out") {
+			outPath = "BENCH_store.json"
+		}
+		runStoreBench(clk, slp, *modelPath, outPath, storeBenchOptions{
+			sessions: *storeBench, records: *storeRecords, revisits: *storeRevisits,
+			hot: *hotSessions, wal: *wal, spillDir: *spillDir,
+			queue: *queue, workers: *workers,
+			stream: *stream, lambda: *lambda, seed: *seed, maxRetries: *maxRetries,
+		})
+		return
+	}
 
 	if *fleetN > 0 || *fleetSweep != "" || *fleetAutoscale != "" {
 		if *modelPath == "" || *addr != "" {
@@ -107,6 +141,9 @@ func main() {
 			serviceDelay:  *fleetServiceDelay,
 			verify:        *fleetVerify,
 			flightDir:     *flightDir,
+			spillDir:      *spillDir,
+			hotSessions:   *hotSessions,
+			wal:           *wal,
 		}
 		if fo.autoscale != "" {
 			// The autoscaler owns capacity: start from the lower bound and
@@ -148,7 +185,13 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		srv := serve.New(m, serve.Options{QueueDepth: *queue, Workers: *workers, MicroBatch: *microBatch})
+		srv, err := serve.NewTiered(m, serve.Options{
+			QueueDepth: *queue, Workers: *workers, MicroBatch: *microBatch,
+			Tier: serve.TierOptions{SpillDir: *spillDir, HotSessions: *hotSessions, WAL: *wal},
+		})
+		if err != nil {
+			fail(err)
+		}
 		ctx, cancel := context.WithCancel(context.Background())
 		served := make(chan error, 1)
 		go func() { served <- srv.Serve(ctx, l) }()

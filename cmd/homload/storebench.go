@@ -1,0 +1,284 @@
+package main
+
+// Store bench: how far past RAM can the session population grow? homload
+// boots a tiered in-process server whose hot set is a small fraction of
+// the session count, populates N concurrent sessions (each observes a
+// few labeled records so it carries real predictor state — most spill to
+// disk as the clock hand sweeps), then revisits the oldest slice, which
+// by then is guaranteed cold, so every revisit is a transparent
+// rehydration. Hydration latency comes from the server's own
+// hom_session_hydrate_seconds exposition histogram rather than client
+// timings, so it excludes HTTP overhead. The output is BENCH_store.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+
+	"highorder/internal/clock"
+	"highorder/internal/dataio"
+	"highorder/internal/rng"
+	"highorder/internal/serve"
+)
+
+// storeBenchOptions are the -store-bench* knobs (plus the shared tier
+// and workload flags).
+type storeBenchOptions struct {
+	sessions, records, revisits int
+	hot                         int
+	wal                         bool
+	spillDir                    string
+	queue, workers              int
+	stream                      string
+	lambda                      float64
+	seed                        int64
+	maxRetries                  int
+}
+
+// storeBenchSummary is the BENCH_store.json schema.
+type storeBenchSummary struct {
+	Config struct {
+		Sessions          int    `json:"sessions"`
+		RecordsPerSession int    `json:"records_per_session"`
+		HotSessions       int    `json:"hot_sessions"`
+		WAL               bool   `json:"wal"`
+		Stream            string `json:"stream"`
+		Seed              int64  `json:"seed"`
+		GoMaxProcs        int    `json:"gomaxprocs"`
+	} `json:"config"`
+	Requests struct {
+		Attempted  int `json:"attempted"`
+		Succeeded  int `json:"succeeded"`
+		Retried429 int `json:"retried_429"`
+		Failed     int `json:"failed"`
+	} `json:"requests"`
+	Populate struct {
+		ElapsedSeconds    float64 `json:"elapsed_seconds"`
+		SessionsPerSecond float64 `json:"sessions_per_second"`
+		RecordsPerSecond  float64 `json:"records_per_second"`
+	} `json:"populate"`
+	Revisit struct {
+		Sessions          int     `json:"sessions"`
+		ElapsedSeconds    float64 `json:"elapsed_seconds"`
+		SessionsPerSecond float64 `json:"sessions_per_second"`
+	} `json:"revisit"`
+	Store struct {
+		LiveSessionsEnd int `json:"live_sessions_end"`
+		HotEnd          int `json:"hot_end"`
+		ColdEnd         int `json:"cold_end"`
+		SpillTotal      int `json:"spill_total"`
+		HydrateTotal    int `json:"hydrate_total"`
+		WALReplayed     int `json:"wal_replayed_records"`
+	} `json:"store"`
+	// HydrateLatencyMS is estimated from the hom_session_hydrate_seconds
+	// exposition histogram by bucket interpolation (obs.BucketQuantile).
+	HydrateLatencyMS struct {
+		P50   float64 `json:"p50"`
+		P99   float64 `json:"p99"`
+		Count int     `json:"count"`
+	} `json:"hydrate_latency_ms"`
+}
+
+// runStoreBench is the -store-bench entry point. It exits the process
+// like main's single-server path does.
+func runStoreBench(clk clock.Clock, slp clock.Sleeper, modelPath, out string, o storeBenchOptions) {
+	m, err := dataio.LoadModel(modelPath)
+	if err != nil {
+		fail(err)
+	}
+	dir := o.spillDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "homload-store-")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	if o.records < 1 {
+		o.records = 1
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	srv, err := serve.NewTiered(m, serve.Options{
+		QueueDepth: o.queue, Workers: o.workers,
+		// The whole point is holding more sessions than the default cap.
+		MaxSessions: o.sessions + 16,
+		Tier:        serve.TierOptions{SpillDir: dir, HotSessions: o.hot, WAL: o.wal},
+	})
+	if err != nil {
+		fail(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, l) }()
+	base := "http://" + l.Addr().String()
+
+	// Session stream seeds derive from the root seed in session order, as
+	// in the other modes, so the workload is a pure function of -seed.
+	root := rng.New(o.seed)
+	seeds := make([]int64, o.sessions)
+	for i := range seeds {
+		seeds[i] = root.Int63()
+	}
+
+	conc := min(64, o.sessions)
+	results := make([]*sessionResult, conc)
+	ids := make([]string, o.sessions)
+	probe := make([][]float64, o.sessions) // one valid vector per session for revisits
+	eachSession := func(f func(r *sessionResult, c *serve.Client, i int)) float64 {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		start := clk()
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c := serve.NewClient(base, nil)
+				for i := range work {
+					f(results[w], c, i)
+				}
+			}(w)
+		}
+		for i := 0; i < o.sessions; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		return clk().Sub(start).Seconds()
+	}
+
+	for w := range results {
+		results[w] = &sessionResult{}
+	}
+	popElapsed := eachSession(func(r *sessionResult, c *serve.Client, i int) {
+		g, err := newStream(o.stream, o.lambda, seeds[i])
+		if err != nil {
+			r.err = err
+			r.failed++
+			r.attempted++
+			return
+		}
+		vectors := make([][]float64, o.records)
+		classes := make([]int, o.records)
+		for j := range vectors {
+			rec := g.Next().Record
+			vectors[j] = rec.Values
+			classes[j] = rec.Class
+		}
+		var created serve.CreateSessionResponse
+		if !r.call(clk, slp, o.maxRetries, func() error {
+			var err error
+			created, err = c.CreateSession(serve.CreateSessionRequest{})
+			return err
+		}) {
+			return
+		}
+		ids[i] = created.ID
+		probe[i] = vectors[0]
+		r.call(clk, slp, o.maxRetries, func() error {
+			_, err := c.Observe(created.ID, vectors, classes)
+			return err
+		})
+	})
+
+	// Revisit the oldest sessions: created first, they have been clock-
+	// evicted longest ago, so each classify is a cold-tier hydration.
+	revisits := o.revisits
+	if revisits <= 0 {
+		revisits = max(1, min(o.sessions/10, 10000))
+	}
+	revisits = min(revisits, o.sessions)
+	revElapsed := eachSession(func(r *sessionResult, c *serve.Client, i int) {
+		if i >= revisits || ids[i] == "" {
+			return
+		}
+		r.call(clk, slp, o.maxRetries, func() error {
+			_, err := c.Classify(ids[i], [][]float64{probe[i]}, false)
+			return err
+		})
+	})
+
+	text, err := serve.NewClient(base, nil).Metrics()
+	if err != nil {
+		fail(err)
+	}
+	cancel()
+	if err := <-served; err != nil {
+		fail(fmt.Errorf("draining in-process server: %w", err))
+	}
+
+	s := &storeBenchSummary{}
+	s.Config.Sessions = o.sessions
+	s.Config.RecordsPerSession = o.records
+	s.Config.HotSessions = o.hot
+	s.Config.WAL = o.wal
+	s.Config.Stream = o.stream
+	s.Config.Seed = o.seed
+	s.Config.GoMaxProcs = runtime.GOMAXPROCS(0)
+	for _, r := range results {
+		s.Requests.Attempted += r.attempted
+		s.Requests.Succeeded += r.succeeded
+		s.Requests.Retried429 += r.retried
+		s.Requests.Failed += r.failed
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "homload: store bench session error: %v\n", r.err)
+		}
+	}
+	s.Populate.ElapsedSeconds = popElapsed
+	if popElapsed > 0 {
+		s.Populate.SessionsPerSecond = float64(o.sessions) / popElapsed
+		s.Populate.RecordsPerSecond = float64(o.sessions*o.records) / popElapsed
+	}
+	s.Revisit.Sessions = revisits
+	s.Revisit.ElapsedSeconds = revElapsed
+	if revElapsed > 0 {
+		s.Revisit.SessionsPerSecond = float64(revisits) / revElapsed
+	}
+	mv := func(name string) int {
+		v, _ := serve.MetricValue(text, name)
+		return int(v)
+	}
+	s.Store.LiveSessionsEnd = mv("homserve_sessions_live")
+	s.Store.HotEnd = mv("hom_sessions_hot")
+	s.Store.ColdEnd = mv("hom_sessions_cold")
+	s.Store.SpillTotal = mv("hom_spill_total")
+	s.Store.HydrateTotal = mv("hom_hydrate_total")
+	s.Store.WALReplayed = mv("hom_wal_replayed_records_total")
+	if qs, ok := serve.HistogramQuantiles(text, "hom_session_hydrate_seconds", nil, 0.50, 0.99); ok {
+		s.HydrateLatencyMS.P50 = qs[0] * 1000
+		s.HydrateLatencyMS.P99 = qs[1] * 1000
+	}
+	s.HydrateLatencyMS.Count = mv("hom_session_hydrate_seconds_count")
+
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("homload: store bench %d sessions (hot %d): %d spills, %d hydrations, hydrate p50 %.3fms p99 %.3fms -> %s\n",
+		o.sessions, s.Config.HotSessions, s.Store.SpillTotal, s.Store.HydrateTotal,
+		s.HydrateLatencyMS.P50, s.HydrateLatencyMS.P99, out)
+
+	switch {
+	case s.Requests.Failed > 0 ||
+		s.Requests.Attempted != s.Requests.Succeeded+s.Requests.Retried429+s.Requests.Failed:
+		fmt.Fprintf(os.Stderr, "homload: store bench request accounting: %+v\n", s.Requests)
+		os.Exit(1)
+	case s.Store.LiveSessionsEnd != o.sessions:
+		fmt.Fprintf(os.Stderr, "homload: store bench ended with %d live sessions, want %d\n",
+			s.Store.LiveSessionsEnd, o.sessions)
+		os.Exit(1)
+	case s.Store.HydrateTotal == 0:
+		fmt.Fprintln(os.Stderr, "homload: store bench measured no hydrations; raise -store-bench or lower -hot-sessions")
+		os.Exit(1)
+	}
+}

@@ -12,6 +12,15 @@
 //	         [-request-timeout 10s] [-shed-depth 0]
 //	         [-debug-addr 127.0.0.1:6060]
 //	         [-flight-sample N] [-flight-slots 4096] [-flight-dir dumps/]
+//	         [-spill-dir sessions/ -hot-sessions 1024 -wal]
+//
+// -spill-dir enables the tiered session store: a bounded in-memory hot
+// set over on-disk snapshot segments. Sessions evicted by pressure or TTL
+// spill to disk and rehydrate transparently on their next request, so the
+// session population is bounded by disk, not RAM. With -wal every
+// acknowledged observe batch is fsync'd to a write-ahead label log before
+// the response, and replayed on restart — acknowledged labels survive
+// kill -9.
 //
 // -flight-sample enables the always-on flight recorder: spans for ~1 in N
 // traces land in a fixed-size in-memory ring, dumpable on demand via
@@ -72,6 +81,9 @@ func main() {
 	flightSlots := flag.Int("flight-slots", 0, "flight recorder ring capacity in spans (0 = default 4096)")
 	flightDir := flag.String("flight-dir", "", "write fault-triggered flight dumps into this directory (with -flight-sample)")
 	flightProc := flag.String("flight-proc", "homserve", "process name stamped on flight dumps")
+	spillDir := flag.String("spill-dir", "", "tiered session store: directory for disk spill segments (empty = tiering off, sessions die with the process)")
+	hotSessions := flag.Int("hot-sessions", 0, "tiered session store: in-memory hot-set bound (0 = default 1024; needs -spill-dir)")
+	wal := flag.Bool("wal", false, "tiered session store: fsync a write-ahead label log so acknowledged observes survive a crash (needs -spill-dir)")
 	flag.Parse()
 
 	m, err := dataio.LoadModel(*modelPath)
@@ -94,7 +106,7 @@ func main() {
 		}
 		fmt.Printf("homserve: flight recorder on (1 in %d, %s)\n", *flightSample, *flightProc)
 	}
-	s := serve.New(m, serve.Options{
+	s, err := serve.NewTiered(m, serve.Options{
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		MicroBatch:     *microBatch,
@@ -103,7 +115,18 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		ShedDepth:      *shedDepth,
 		Recorder:       rec,
+		Tier: serve.TierOptions{
+			SpillDir:    *spillDir,
+			HotSessions: *hotSessions,
+			WAL:         *wal,
+		},
 	})
+	if err != nil {
+		fail(err)
+	}
+	if *spillDir != "" {
+		fmt.Printf("homserve: tiered sessions on (spill %s, hot %d, wal %v)\n", *spillDir, *hotSessions, *wal)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -64,6 +64,22 @@ const (
 	// target, forcing the migrator's recovery path (restore back to the
 	// source) so the session still ends whole on exactly one replica.
 	MigrationInterrupt
+	// WALTear crashes the tiered session store (internal/store) mid-append:
+	// only a prefix of the write-ahead-log frame reaches the disk, and the
+	// torn bytes survive the crash (the page made it out before the
+	// process died). Recovery must stop cleanly at the tear.
+	WALTear
+	// SpillCorrupt silently flips one byte inside a snapshot frame as it is
+	// spilled to the segment tier. Nothing fails at write time — the
+	// corruption is only discoverable later, when the CRC check at hydrate
+	// or recovery time must reject the frame and fall back down the replay
+	// ladder instead of serving a wrong predictor.
+	SpillCorrupt
+	// CrashBeforeFsync crashes the tiered session store after a frame is
+	// handed to the kernel but before fsync: the un-synced tail is lost
+	// with the crash, so recovery sees only the last durably acknowledged
+	// prefix.
+	CrashBeforeFsync
 
 	// NumPoints is the number of defined fault points.
 	NumPoints
@@ -74,6 +90,7 @@ var pointNames = [NumPoints]string{
 	"request_drop", "response_delay", "queue_overflow",
 	"label_loss", "label_delay", "model_corrupt", "clock_skew",
 	"replica_crash", "migration_interrupt",
+	"wal_tear", "spill_corrupt", "crash_before_fsync",
 }
 
 // String returns the point's snake_case name (used as a metric label).

@@ -66,7 +66,13 @@ func (f *Fleet) ScaleUp() (string, string, error) {
 	if f.ReplicaOptions != nil {
 		opts = f.ReplicaOptions(id, opts)
 	}
-	srv := serve.New(f.model, opts)
+	srv, err := serve.NewTiered(f.model, opts)
+	if err != nil {
+		// A replica that cannot open its spill directory must not join the
+		// ring half-alive.
+		_ = ln.Close()
+		return "", "", fmt.Errorf("gate: start replica %s: %w", id, err)
+	}
 	srv.Start()
 	m := &fleetMember{
 		id:   id,

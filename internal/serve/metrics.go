@@ -30,6 +30,9 @@ type samplers struct {
 	// faultFired emits the per-point firing counts of the installed fault
 	// injector; nil (or a nil injector) emits nothing.
 	faultFired func(emit func(point string, fired int64))
+	// tier samples the tiered session store's counters; nil (tiering
+	// disabled) leaves the tier families unregistered entirely.
+	tier func() (hot, cold, spills, hydrates, walReplayed int64)
 }
 
 // metrics is the server's instrument set over a shared obs.Registry. The
@@ -64,6 +67,18 @@ type metrics struct {
 	// answered 503 because their deadline lapsed before execution.
 	shedTotal            *obs.Counter
 	deadlineExpiredTotal *obs.Counter
+
+	// hydrateSeconds times cold-tier rehydrations; nil without tiering.
+	hydrateSeconds *obs.Histogram
+}
+
+// hydrateBuckets span the tiered store's rehydration latencies: a warm
+// page-cache read and JSON decode lands around tens of microseconds, a
+// cold disk read with recovery-ladder fallback can reach tens of
+// milliseconds.
+var hydrateBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 }
 
 func newMetrics(numClasses, numConcepts int, smp samplers) *metrics {
@@ -130,7 +145,35 @@ func newMetrics(numClasses, numConcepts int, smp samplers) *metrics {
 				})
 			})
 	}
+	// Tier families render only when tiering is enabled, appended after
+	// every other family so the untiered exposition stays byte-identical.
+	if ts := smp.tier; ts != nil {
+		reg.NewGaugeFunc("hom_sessions_hot",
+			"Sessions resident in the in-memory hot tier.",
+			func() int64 { h, _, _, _, _ := ts(); return h })
+		reg.NewGaugeFunc("hom_sessions_cold",
+			"Sessions demoted to the on-disk cold tier.",
+			func() int64 { _, c, _, _, _ := ts(); return c })
+		reg.NewCounterFunc("hom_spill_total",
+			"Hot sessions snapshotted to disk since start (clock eviction or TTL demotion).",
+			func() int64 { _, _, sp, _, _ := ts(); return sp })
+		reg.NewCounterFunc("hom_hydrate_total",
+			"Cold sessions rebuilt into the hot tier since start.",
+			func() int64 { _, _, _, hy, _ := ts(); return hy })
+		reg.NewCounterFunc("hom_wal_replayed_records_total",
+			"Observe records replayed from the write-ahead label log during recovery.",
+			func() int64 { _, _, _, _, wr := ts(); return wr })
+		m.hydrateSeconds = reg.NewHistogram("hom_session_hydrate_seconds",
+			"Latency of rebuilding a session from its cold-tier snapshot.", hydrateBuckets)
+	}
 	return m
+}
+
+// hydrateObserved records one rehydration's latency; no-op without tiering.
+func (m *metrics) hydrateObserved(sec float64) {
+	if m.hydrateSeconds != nil {
+		m.hydrateSeconds.Observe(sec)
+	}
 }
 
 func (m *metrics) request(endpoint string, code int, d time.Duration) {

@@ -18,6 +18,7 @@ import (
 	"highorder/internal/data"
 	"highorder/internal/fault"
 	"highorder/internal/obs"
+	"highorder/internal/store"
 )
 
 // Options configure a Server. The zero value selects sane defaults.
@@ -72,6 +73,11 @@ type Options struct {
 	// Sleep performs injected delays; nil selects the real time.Sleep.
 	// Tests inject a clock.Fake.Sleeper so delay faults are instant.
 	Sleep clock.Sleeper
+	// Tier configures the tiered session store (bounded hot set, disk
+	// spill, write-ahead label log). The zero value disables tiering;
+	// setting SpillDir enables it. Servers with tiering must be built with
+	// NewTiered so the spill-directory open error can be handled.
+	Tier TierOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +159,10 @@ type taskResult struct {
 	// expired marks a task whose deadline passed while it sat in the
 	// queue; the predictor was not touched.
 	expired bool
+	// err reports a retryable execution failure: the bound session was
+	// spilled out from under the task, or an applied observe could not be
+	// durably logged. Answered 503 + Retry-After.
+	err error
 }
 
 // Server serves one immutable model to many concurrent sessions.
@@ -162,6 +172,8 @@ type Server struct {
 	clk     clock.Clock
 	table   *sessionTable
 	metrics *metrics
+	// store is the tiered session store; nil when Options.Tier is zero.
+	store *store.Store[*Session]
 
 	queue chan *task
 	// qmu guards qclosed against concurrent enqueues; Close takes the
@@ -185,7 +197,21 @@ type Server struct {
 
 // New builds a server over m. Call Start to launch the worker pool, then
 // expose Handler via an http.Server (or use Serve, which does both).
+// With tiering enabled (Options.Tier.SpillDir set) opening the spill
+// directory can fail; New panics where NewTiered reports the error, so
+// callers that enable tiering should prefer NewTiered.
 func New(m *core.Model, opts Options) *Server {
+	s, err := NewTiered(m, opts)
+	if err != nil {
+		panic(fmt.Sprintf("serve.New: %v", err))
+	}
+	return s
+}
+
+// NewTiered is New with the tiered-store open error surfaced: a
+// corrupted-beyond-salvage or unwritable spill directory refuses to serve
+// rather than silently starting empty.
+func NewTiered(m *core.Model, opts Options) (*Server, error) {
 	o := opts.withDefaults()
 	clk := o.Clock.OrWall()
 	s := &Server{
@@ -222,6 +248,7 @@ func New(m *core.Model, opts Options) *Server {
 				emit(p.String(), fired)
 			})
 		},
+		tier: tierSampler(s, o),
 	})
 	// Per-session series die with the session, whether closed or evicted.
 	s.table.onRemove = s.metrics.sessionClosed
@@ -247,7 +274,28 @@ func New(m *core.Model, opts Options) *Server {
 		rec := o.Recorder
 		o.Fault.SetObserver(func(p fault.Point) { rec.Trigger(faultReasons[p]) })
 	}
-	return s
+	if o.Tier.enabled() {
+		if err := s.openTier(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// tierSampler builds the metrics sampler over the server's store, which
+// is opened after the metric families are registered — the closure
+// indirection (plus the nil guard) breaks the ordering cycle.
+func tierSampler(s *Server, o Options) func() (int64, int64, int64, int64, int64) {
+	if !o.Tier.enabled() {
+		return nil
+	}
+	return func() (int64, int64, int64, int64, int64) {
+		if s.store == nil {
+			return 0, 0, 0, 0, 0
+		}
+		st := s.store.Stats()
+		return st.Hot, st.Cold, st.Spills, st.Hydrates, st.WALReplayed
+	}
 }
 
 // sessionSink composes the per-session switch counter with a
@@ -306,6 +354,12 @@ func (s *Server) Close() {
 		s.qmu.Unlock()
 		close(s.janitorEnd)
 		s.wg.Wait()
+		if s.store != nil {
+			// Checkpoint after the last worker: every hot session is
+			// snapshotted to its segment and the WAL truncated, so the next
+			// start recovers from compact snapshots with an empty log.
+			_ = s.store.Close()
+		}
 	})
 }
 
@@ -400,7 +454,33 @@ func (s *Server) runBatch(batch []*task) {
 // touched, so a deadline 503 never leaves ambiguous state.
 func (s *Server) runTasks(sess *Session, tasks []*task) {
 	m, tr, rec := s.metrics, s.opts.Trace, s.opts.Recorder
-	sess.mu.Lock()
+	// With tiering, the session pointer bound at enqueue time may have
+	// been spilled (its state moved to disk) while the tasks queued.
+	// Mutating a spilled value would be silently lost on the next
+	// hydration, so re-resolve through the table — which rehydrates —
+	// until the value we hold the lock on is the live one. Bounded: under
+	// pathological eviction pressure the tasks are refused retryably
+	// rather than applied to a dead object.
+	for attempt := 0; ; attempt++ {
+		sess.mu.Lock()
+		if !sess.spilled {
+			break
+		}
+		sess.mu.Unlock()
+		var fresh *Session
+		var found bool
+		if attempt < 8 {
+			fresh, found = s.table.get(sess.id)
+		}
+		if !found {
+			err := fmt.Errorf("session %q spilled mid-request (closed or under heavy eviction); retry", sess.id)
+			for _, t := range tasks {
+				t.done <- taskResult{err: err}
+			}
+			return
+		}
+		sess = fresh
+	}
 	defer sess.mu.Unlock()
 	for _, t := range tasks {
 		var res taskResult
@@ -439,6 +519,15 @@ func (s *Server) runTasks(sess *Session, tasks []*task) {
 			fsp.SetArg(int64(len(t.recs)))
 			fsp.End()
 			m.observed(res.observe.Applied)
+			if s.store != nil && res.observe.Applied > 0 {
+				// WAL-before-ack: the applied records are fsync'd to the
+				// label log before the response is released. A crash after
+				// this line loses nothing acknowledged; a crash before it
+				// means the batch was never acked and the client retries.
+				if err := s.logObserve(sess, t.recs, &res.observe); err != nil {
+					res.err = err
+				}
+			}
 		}
 		sess.curTC = obs.TraceContext{}
 		t.done <- res
@@ -496,6 +585,9 @@ func (s *Server) submit(t *task) (taskResult, int, error) {
 	if res.expired {
 		return taskResult{}, http.StatusServiceUnavailable,
 			fmt.Errorf("deadline exceeded: task waited longer than %v in queue (not executed)", s.opts.RequestTimeout)
+	}
+	if res.err != nil {
+		return taskResult{}, http.StatusServiceUnavailable, res.err
 	}
 	return res, http.StatusOK, nil
 }
@@ -822,6 +914,16 @@ func (s *Server) handleAdminRestore(w http.ResponseWriter, r *http.Request) {
 		s.table.remove(sess.ID())
 		s.writeError(w, http.StatusBadRequest, "restore: %v", err)
 		return
+	}
+	if s.store != nil {
+		// The WAL create logged at table.create carries only the options —
+		// the restored predictor state needs a durable snapshot, or a crash
+		// after the 200 would resurrect the session empty.
+		if err := s.store.Persist(sess.ID()); err != nil {
+			s.table.remove(sess.ID())
+			s.writeError(w, http.StatusInternalServerError, "persist restored session: %v", err)
+			return
+		}
 	}
 	sess.setSink(s.sessionSink(sess))
 	s.metrics.sessionCreated()

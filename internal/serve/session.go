@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"highorder/internal/data"
 	"highorder/internal/fault"
 	"highorder/internal/obs"
+	"highorder/internal/store"
 )
 
 // ErrSessionLimit is returned by the session table when creating a session
@@ -44,6 +46,12 @@ type Session struct {
 	// observeLocked attach to the request's trace. Written and read only
 	// under mu.
 	curTC obs.TraceContext
+	// spilled marks a value that has left the tiered store's hot set: its
+	// state lives on disk now, and mutating this object would be silently
+	// lost on the next hydration. Holders of a stale pointer must check it
+	// under mu and re-resolve through the table (see Server.runTasks).
+	// Always false without tiering.
+	spilled bool
 
 	// lastUsed is the unix-nano timestamp of the last table access, read
 	// by TTL eviction without taking mu.
@@ -194,10 +202,24 @@ func (s *Session) activeProbs() []float64 {
 // touch records an access at time t for TTL accounting.
 func (s *Session) touch(t time.Time) { s.lastUsed.Store(t.UnixNano()) }
 
+// markSpilled flags the value as demoted from the hot tier. Called from
+// the store's OnSpill callback, with store locks held — taking s.mu here
+// follows the store.mu -> session.mu lock order used everywhere else.
+func (s *Session) markSpilled() {
+	s.mu.Lock()
+	s.spilled = true
+	s.mu.Unlock()
+}
+
 // sessionTable maps session ids to live sessions, enforcing the session
 // limit and TTL eviction. Ids are sequential ("s1", "s2", ...): the table
 // is process-local state over a deterministic model, and predictable ids
 // keep tests and traces readable.
+//
+// With tiering enabled (str non-nil) the sessions map is unused: the
+// tiered store owns the id space across both tiers, lookups hydrate cold
+// sessions transparently, and TTL eviction demotes to disk instead of
+// destroying predictor state.
 type sessionTable struct {
 	clk clock.Clock
 	ttl time.Duration
@@ -212,6 +234,12 @@ type sessionTable struct {
 	// leaves the table (explicit close or TTL eviction), so per-session
 	// metric series can be dropped with it. Set before the table is shared.
 	onRemove func(id string)
+
+	// str, when non-nil, is the tiered session store; onHydrate runs on
+	// every session rebuilt from the cold tier (sink reattachment). Both
+	// are set before the table is shared.
+	str       *store.Store[*Session]
+	onHydrate func(*Session)
 }
 
 func newSessionTable(clk clock.Clock, ttl time.Duration, max int) *sessionTable {
@@ -229,6 +257,9 @@ func newSessionTable(clk clock.Clock, ttl time.Duration, max int) *sessionTable 
 // an empty id selects the next sequential server-local one. Creating an id
 // that is already live fails with ErrSessionExists.
 func (t *sessionTable) create(m *core.Model, opts core.PredictorOptions, id string) (*Session, error) {
+	if t.str != nil {
+		return t.createTiered(m, opts, id)
+	}
 	now := t.clk()
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -255,8 +286,60 @@ func (t *sessionTable) create(m *core.Model, opts core.PredictorOptions, id stri
 	return s, nil
 }
 
-// get looks up a session and refreshes its TTL.
+// createTiered registers a session in the tiered store. The create blob
+// (the session's options) is WAL-logged before the caller sees the id, so
+// an acknowledged create can be rebuilt after a crash even if the session
+// never spilled. Sequential ids skip over ids recovered from disk.
+func (t *sessionTable) createTiered(m *core.Model, opts core.PredictorOptions, id string) (*Session, error) {
+	now := t.clk()
+	blob, err := json.Marshal(SessionOptions{MAPOnly: opts.MAPOnly, DisablePruning: opts.DisablePruning})
+	if err != nil {
+		return nil, err
+	}
+	p := m.NewPredictorWithOptions(opts)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.max > 0 && t.str.Count() >= t.max {
+		return nil, fmt.Errorf("%w (%d live)", ErrSessionLimit, t.str.Count())
+	}
+	requested := id != ""
+	for {
+		if !requested {
+			t.nextID++
+			id = fmt.Sprintf("s%d", t.nextID)
+		}
+		s := &Session{id: id, opts: opts, p: p}
+		s.touch(now)
+		switch err := t.str.Put(id, blob, s); {
+		case err == nil:
+			return s, nil
+		case errors.Is(err, store.ErrExists):
+			if requested {
+				return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+			}
+			// A recovered cold session holds this sequential id; try the next.
+		default:
+			return nil, err
+		}
+	}
+}
+
+// get looks up a session and refreshes its TTL. With tiering, a cold id
+// hydrates transparently and an idle-expired session is simply refreshed —
+// demotion to disk is the janitor's job, and revisiting a demoted session
+// must never lose its predictor state.
 func (t *sessionTable) get(id string) (*Session, bool) {
+	if t.str != nil {
+		sess, ok, hydrated, err := t.str.Get(id)
+		if err != nil || !ok {
+			return nil, false
+		}
+		if hydrated && t.onHydrate != nil {
+			t.onHydrate(sess)
+		}
+		sess.touch(t.clk())
+		return sess, true
+	}
 	now := t.clk()
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -273,8 +356,17 @@ func (t *sessionTable) get(id string) (*Session, bool) {
 	return s, true
 }
 
-// remove closes a session explicitly.
+// remove closes a session explicitly. The tiered path deletes across both
+// tiers with a durable tombstone, so a closed (or migrated-away) session
+// cannot resurrect from disk after a restart.
 func (t *sessionTable) remove(id string) bool {
+	if t.str != nil {
+		existed, _ := t.str.Remove(id)
+		if existed && t.onRemove != nil {
+			t.onRemove(id)
+		}
+		return existed
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.sessions[id]; !ok {
@@ -293,11 +385,45 @@ func (t *sessionTable) dropLocked(id string) {
 }
 
 // sweep evicts every expired session and returns how many it removed.
+// The tiered variant demotes instead of destroying: an idle session's
+// state is snapshotted to the cold tier and rehydrates on its next
+// request, so TTL eviction never discards predictor state.
 func (t *sessionTable) sweep() int {
+	if t.str != nil {
+		return t.sweepTiered()
+	}
 	now := t.clk()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.sweepLocked(now)
+}
+
+func (t *sessionTable) sweepTiered() int {
+	if t.ttl <= 0 {
+		return 0
+	}
+	now := t.clk()
+	var idle []string
+	t.str.EachHot(func(id string, s *Session) bool {
+		if t.expired(s, now) {
+			idle = append(idle, id)
+		}
+		return true
+	})
+	n := 0
+	for _, id := range idle {
+		// ErrNotFound just means the session moved (request traffic or the
+		// clock hand beat us to it) — nothing to demote.
+		if err := t.str.Spill(id); err == nil {
+			n++
+		}
+	}
+	if n > 0 {
+		t.mu.Lock()
+		t.evicted += int64(n)
+		t.mu.Unlock()
+	}
+	return n
 }
 
 func (t *sessionTable) sweepLocked(now time.Time) int {
@@ -319,8 +445,12 @@ func (t *sessionTable) expired(s *Session, now time.Time) bool {
 	return t.ttl > 0 && now.UnixNano()-s.lastUsed.Load() > int64(t.ttl)
 }
 
-// live returns the live session count.
+// live returns the live session count — with tiering, the population
+// across both tiers.
 func (t *sessionTable) live() int {
+	if t.str != nil {
+		return t.str.Count()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.sessions)
@@ -333,14 +463,25 @@ func (t *sessionTable) evictedCount() int64 {
 	return t.evicted
 }
 
-// list returns the live sessions sorted by id.
+// list returns the live sessions sorted by id. The tiered variant lists
+// hot residents only: cold sessions exist as bytes on disk and cannot be
+// introspected without hydrating them, which a read-only listing must not
+// force.
 func (t *sessionTable) list() []*Session {
-	t.mu.Lock()
-	out := make([]*Session, 0, len(t.sessions))
-	for _, s := range t.sessions {
-		out = append(out, s)
+	var out []*Session
+	if t.str != nil {
+		t.str.EachHot(func(id string, s *Session) bool {
+			out = append(out, s)
+			return true
+		})
+	} else {
+		t.mu.Lock()
+		out = make([]*Session, 0, len(t.sessions))
+		for _, s := range t.sessions {
+			out = append(out, s)
+		}
+		t.mu.Unlock()
 	}
-	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return sessionLess(out[i].id, out[j].id) })
 	return out
 }

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"math"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"highorder/internal/clock"
+	"highorder/internal/core"
+	"highorder/internal/data"
+)
+
+// tierWire builds n deterministic labeled records in the HTTP wire form
+// (attribute value indexes over the testModel schema, alternating class).
+func tierWire(n int) (records [][]float64, classes []int) {
+	for i := 0; i < n; i++ {
+		records = append(records, []float64{float64(i % 3), float64((i + 1) % 3), float64((i + 2) % 3)})
+		classes = append(classes, i%2)
+	}
+	return records, classes
+}
+
+// twinState replays the same wire records into a fresh predictor and
+// returns its state — the uninterrupted twin a tiered session must match
+// bit for bit after any number of spill/hydrate/recovery crossings.
+func twinState(t *testing.T, m *core.Model, records [][]float64, classes []int) core.PredictorState {
+	t.Helper()
+	recs, err := decodeRecords(m.Schema, records, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPredictor()
+	for _, r := range recs {
+		p.Observe(r)
+	}
+	return p.Snapshot()
+}
+
+func requireBitIdentical(t *testing.T, got, want core.PredictorState) {
+	t.Helper()
+	if got.Observed != want.Observed {
+		t.Fatalf("Observed = %d, want %d", got.Observed, want.Observed)
+	}
+	if len(got.Active) != len(want.Active) {
+		t.Fatalf("len(Active) = %d, want %d", len(got.Active), len(want.Active))
+	}
+	for i := range got.Active {
+		if math.Float64bits(got.Active[i]) != math.Float64bits(want.Active[i]) {
+			t.Fatalf("Active[%d] = %x, want %x (not bit-identical)",
+				i, math.Float64bits(got.Active[i]), math.Float64bits(want.Active[i]))
+		}
+	}
+}
+
+// TestEvictedSessionRehydrates is the TTL regression: a session observed,
+// demoted by the idle sweep, and then revisited must classify from
+// exactly the state it had — bit-identical to a twin that was never
+// evicted. Before tiering, TTL eviction destroyed the predictor and a
+// revisit got a 404.
+func TestEvictedSessionRehydrates(t *testing.T) {
+	fake := clock.NewFake(time.Unix(1000, 0))
+	s, err := NewTiered(testModel(), Options{
+		Tier:       TierOptions{SpillDir: t.TempDir(), HotSessions: 4, WAL: true},
+		SessionTTL: time.Minute,
+		Clock:      fake.Clock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	created, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, classes := tierWire(12)
+	if _, err := c.Observe(created.ID, records, classes); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle past the TTL; the sweep demotes to disk instead of destroying.
+	fake.Advance(2 * time.Minute)
+	if n := s.table.sweep(); n != 1 {
+		t.Fatalf("sweep demoted %d sessions, want 1", n)
+	}
+	st := s.store.Stats()
+	if st.Hot != 0 || st.Cold != 1 || st.Spills < 1 {
+		t.Fatalf("after sweep: stats = %+v, want the session cold", st)
+	}
+
+	// Revisit: the session must answer, from bit-identical state.
+	if _, err := c.Classify(created.ID, records[:1], false); err != nil {
+		t.Fatalf("classify after TTL demotion: %v", err)
+	}
+	sess, ok := s.table.get(created.ID)
+	if !ok {
+		t.Fatal("session lost after demotion")
+	}
+	requireBitIdentical(t, sess.State(), twinState(t, s.model, records, classes))
+	if s.store.Stats().Hydrates < 1 {
+		t.Fatal("revisit did not count a hydration")
+	}
+
+	// The whole cycle is visible on /metrics, including hydrate latency.
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"hom_sessions_hot 1", "hom_sessions_cold 0",
+		"hom_spill_total 1", "hom_hydrate_total 1",
+		"hom_session_hydrate_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestServeCrashRecoveryWAL crashes a serving process (simulated kill -9
+// preserving only fsync'd bytes) after several acknowledged observe
+// batches, restarts over the same spill directory, and requires every
+// acknowledged label back — bit-identical to the uninterrupted twin, with
+// the replay visible in hom_wal_replayed_records_total.
+func TestServeCrashRecoveryWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Tier: TierOptions{SpillDir: dir, HotSessions: 4, WAL: true, Shards: 2}}
+	s, err := NewTiered(testModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	c := NewClient(ts.URL, nil)
+
+	created, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, classes := tierWire(15)
+	for i := 0; i < len(records); i += 5 {
+		if _, err := c.Observe(created.ID, records[i:i+5], classes[i:i+5]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill: only fsync'd bytes survive. The session never spilled, so the
+	// WAL (create + three acked batches) is all the disk knows.
+	if err := s.store.CrashForTest(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	s.Close()
+
+	s2, err := NewTiered(testModel(), opts)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	s2.Start()
+	defer s2.Close()
+	sess, ok := s2.table.get(created.ID)
+	if !ok {
+		t.Fatal("acknowledged session lost across the crash")
+	}
+	requireBitIdentical(t, sess.State(), twinState(t, s2.model, records, classes))
+	if got := s2.store.Stats().WALReplayed; got != int64(len(records)) {
+		t.Fatalf("WALReplayed = %d, want %d", got, len(records))
+	}
+
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	text, err := NewClient(ts2.URL, nil).Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "hom_wal_replayed_records_total 15") {
+		t.Fatal("metrics exposition missing the WAL replay count")
+	}
+}
+
+// TestAdminSnapshotConsultsColdTier spills a session out of the hot set,
+// then migrates it away via snapshot?remove=true: the snapshot must carry
+// the cold session's full state, and the removal must reach the cold tier
+// durably — after a crash the migrated-away id must not resurrect.
+func TestAdminSnapshotConsultsColdTier(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Tier: TierOptions{SpillDir: dir, HotSessions: 1, WAL: true}}
+	s, err := NewTiered(testModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	c := NewClient(ts.URL, nil)
+
+	created, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, classes := tierWire(9)
+	if _, err := c.Observe(created.ID, records, classes); err != nil {
+		t.Fatal(err)
+	}
+	// A second session evicts the first from the single hot slot.
+	if _, err := c.CreateSession(CreateSessionRequest{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.store.Stats(); st.Spills < 1 {
+		t.Fatalf("stats = %+v, want the first session spilled", st)
+	}
+
+	snap, err := c.Snapshot(created.ID, true)
+	if err != nil {
+		t.Fatalf("snapshot of a cold session: %v", err)
+	}
+	requireBitIdentical(t, snap.State, twinState(t, s.model, records, classes))
+
+	// The removal must be crash-durable: restart and make sure the
+	// migrated-away session stays gone.
+	if err := s.store.CrashForTest(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	s.Close()
+	s2, err := NewTiered(testModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.table.get(created.ID); ok {
+		t.Fatal("migrated-away session resurrected after crash")
+	}
+}
+
+// TestAdminRestorePersists restores a migration snapshot and then
+// crashes: the restored state was persisted before the 200, so the
+// session must survive with its full state even though it never saw an
+// observe on the receiving replica.
+func TestAdminRestorePersists(t *testing.T) {
+	m := testModel()
+	records, classes := tierWire(10)
+	recs, err := decodeRecords(m.Schema, records, classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewPredictor()
+	for _, r := range recs {
+		p.Observe(r)
+	}
+	snap := SessionSnapshot{ID: "mig-1", State: p.Snapshot()}
+
+	dir := t.TempDir()
+	opts := Options{Tier: TierOptions{SpillDir: dir, HotSessions: 4, WAL: true}}
+	s, err := NewTiered(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	if err := NewClient(ts.URL, nil).RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.CrashForTest(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	s.Close()
+
+	s2, err := NewTiered(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sess, ok := s2.table.get("mig-1")
+	if !ok {
+		t.Fatal("restored session lost across the crash")
+	}
+	requireBitIdentical(t, sess.State(), snap.State)
+}
+
+// TestTieredSequentialIDsSkipRecovered restarts over a populated spill
+// directory and checks fresh sequential ids do not collide with recovered
+// ones.
+func TestTieredSequentialIDsSkipRecovered(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Tier: TierOptions{SpillDir: dir, HotSessions: 4, WAL: true}}
+	s, err := NewTiered(testModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.table.create(s.model, core.PredictorOptions{}, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	s2, err := NewTiered(testModel(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	sess, err := s2.table.create(s2.model, core.PredictorOptions{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID() != "s4" {
+		t.Fatalf("fresh id = %q, want s4 (s1..s3 recovered from disk)", sess.ID())
+	}
+	if s2.table.live() != 4 {
+		t.Fatalf("live = %d, want 4", s2.table.live())
+	}
+}
+
+func TestAppliedRecords(t *testing.T) {
+	recs := []data.Record{{Class: 0}, {Class: 1}, {Class: 2}, {Class: 3}}
+	got := appliedRecords(recs, []int{1, 3})
+	want := []data.Record{{Class: 0}, {Class: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("appliedRecords = %v, want %v", got, want)
+	}
+	if &appliedRecords(recs, nil)[0] != &recs[0] {
+		t.Fatal("no-drop case should return the input slice unchanged")
+	}
+}

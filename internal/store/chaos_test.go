@@ -1,0 +1,364 @@
+// The store's crash-recovery chaos suite: real predictor sessions drive
+// the tiered store under seeded crash points (fault.WALTear,
+// fault.CrashBeforeFsync) and silent corruption (fault.SpillCorrupt),
+// the store is killed mid-flight exactly as the simulated fsync
+// bookkeeping dictates, and a fresh Open over the surviving bytes must
+// prove the durability contract:
+//
+//	(a) every acknowledged observe batch survives — a label the caller
+//	    acked after LogObserve returned nil is in the recovered state;
+//	(b) nothing is invented — recovered predictor state is bit-identical
+//	    to an offline twin that replays exactly the acked records through
+//	    a fresh predictor (the PR 4 / PR 7 bit-identity pattern);
+//	(c) with a single writer the whole run, crash included, is
+//	    deterministic per seed.
+//
+// Sessions are guarded the way internal/serve guards them: a per-value
+// mutex taken by the workload and by the store's callbacks, with the
+// spilled flag re-fetch protocol that closes the evict-during-use window
+// (lock order store.mu -> value.mu -> shard.mu).
+package store_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"highorder/internal/core"
+	"highorder/internal/data"
+	"highorder/internal/fault"
+	"highorder/internal/rng"
+	"highorder/internal/store"
+	"highorder/internal/synth"
+)
+
+var (
+	storeChaosModelOnce sync.Once
+	storeChaosModelVal  *core.Model
+	storeChaosModelErr  error
+)
+
+// storeChaosModel builds one real Stagger high-order model shared across
+// the chaos subtests; the offline build is the expensive part and the
+// model is immutable by the serving contract.
+func storeChaosModel(t *testing.T) *core.Model {
+	t.Helper()
+	storeChaosModelOnce.Do(func() {
+		g := synth.NewStagger(synth.StaggerConfig{Seed: 1})
+		hist := synth.TakeDataset(g, 3000)
+		opts := core.DefaultOptions()
+		opts.Seed = 1
+		storeChaosModelVal, storeChaosModelErr = core.Build(hist, opts)
+	})
+	if storeChaosModelErr != nil {
+		t.Fatal(storeChaosModelErr)
+	}
+	return storeChaosModelVal
+}
+
+// predVal is one predictor session as the chaos workload holds it.
+type predVal struct {
+	mu      sync.Mutex
+	p       *core.Predictor
+	spilled bool
+}
+
+// chaosCallbacks bridges predictor sessions into the store with the
+// deterministic IEEE-754-bits state encoding the prop tests established.
+func chaosCallbacks(m *core.Model) store.Callbacks[*predVal] {
+	return store.Callbacks[*predVal]{
+		Snapshot: func(id string, v *predVal) ([]byte, uint64, error) {
+			v.mu.Lock()
+			defer v.mu.Unlock()
+			st := v.p.Snapshot()
+			return encodeState(st), uint64(st.Observed), nil
+		},
+		Hydrate: func(id string, b []byte) (*predVal, error) {
+			st, err := decodeState(b)
+			if err != nil {
+				return nil, err
+			}
+			p := m.NewPredictor()
+			if err := p.Restore(st); err != nil {
+				return nil, err
+			}
+			return &predVal{p: p}, nil
+		},
+		Create: func(id string, b []byte) (*predVal, error) {
+			return &predVal{p: m.NewPredictor()}, nil
+		},
+		Replay: func(id string, v *predVal, b []byte) (int, error) {
+			recs, err := decodeRecBatch(b)
+			if err != nil {
+				return 0, err
+			}
+			v.mu.Lock()
+			defer v.mu.Unlock()
+			for _, r := range recs {
+				v.p.Observe(r)
+			}
+			return len(recs), nil
+		},
+		OnSpill: func(id string, v *predVal) {
+			v.mu.Lock()
+			v.spilled = true
+			v.mu.Unlock()
+		},
+	}
+}
+
+// encodeRecBatch / decodeRecBatch carry an observe batch through the WAL
+// with float64s as raw bits, so replay is bit-exact.
+func encodeRecBatch(recs []data.Record) []byte {
+	b := appendUvarint(nil, uint64(len(recs)))
+	for _, r := range recs {
+		b = appendUvarint(b, uint64(len(r.Values)))
+		for _, f := range r.Values {
+			b = appendUint64(b, math.Float64bits(f))
+		}
+		b = appendUvarint(b, uint64(r.Class))
+	}
+	return b
+}
+
+func decodeRecBatch(b []byte) ([]data.Record, error) {
+	cnt, sz, err := readUvarint(b)
+	if err != nil {
+		return nil, err
+	}
+	b = b[sz:]
+	recs := make([]data.Record, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		nv, sz, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = b[sz:]
+		vals := make([]float64, nv)
+		for j := range vals {
+			if len(b) < 8 {
+				return nil, fmt.Errorf("short record values")
+			}
+			vals[j] = math.Float64frombits(readUint64(b))
+			b = b[8:]
+		}
+		cls, sz, err := readUvarint(b)
+		if err != nil {
+			return nil, err
+		}
+		b = b[sz:]
+		recs = append(recs, data.Record{Values: vals, Class: int(cls)})
+	}
+	return recs, nil
+}
+
+// chaosOutcome fingerprints one chaos run for the determinism assertion.
+type chaosOutcome struct {
+	fired     int64
+	crashed   bool
+	finals    map[string][]uint64 // id -> recovered Active vector, raw bits
+	observeds map[string]int
+}
+
+// runStoreChaos drives the workload for one (point, seed, workers)
+// triple, crashes if a crash point fires, recovers, and verifies
+// invariants (a) and (b). It returns the run's fingerprint.
+func runStoreChaos(t *testing.T, point fault.Point, seed int64, workers int) chaosOutcome {
+	t.Helper()
+	m := storeChaosModel(t)
+	dir := t.TempDir()
+
+	prob := 0.05
+	if point == fault.SpillCorrupt {
+		prob = 0.25
+	}
+	inj := fault.New(seed, fault.Plan{point: {Prob: prob}})
+	cfg := store.Config{Dir: dir, HotLimit: 4, Shards: 4, WAL: true, Fault: inj}
+	s, err := store.Open(cfg, chaosCallbacks(m))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	const perWorker = 4
+	const opsPerWorker = 120
+	type workerState struct {
+		created map[string]bool
+		acked   map[string][]data.Record
+	}
+	states := make([]workerState, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		states[w] = workerState{created: map[string]bool{}, acked: map[string][]data.Record{}}
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := &states[w]
+			src := rng.New(seed*1000 + int64(w))
+			g := synth.NewStagger(synth.StaggerConfig{Seed: seed*1000 + int64(w) + 7})
+			stream := synth.TakeDataset(g, opsPerWorker*3+8).Records
+			next := 0
+			for op := 0; op < opsPerWorker; op++ {
+				id := fmt.Sprintf("c%d-%d", w, src.Intn(perWorker))
+				v, ok, _, err := s.Get(id)
+				if err != nil {
+					if !errors.Is(err, store.ErrInjectedCrash) {
+						t.Errorf("worker %d: Get(%s): %v", w, id, err)
+					}
+					return // poisoned: the process just died
+				}
+				if !ok {
+					if err := s.Put(id, nil, &predVal{p: m.NewPredictor()}); err != nil {
+						if !errors.Is(err, store.ErrInjectedCrash) {
+							t.Errorf("worker %d: Put(%s): %v", w, id, err)
+						}
+						return
+					}
+					ws.created[id] = true
+					continue
+				}
+				v.mu.Lock()
+				if v.spilled {
+					// The evict-during-use window: this copy went cold
+					// between Get and lock; retry against a fresh hydrate.
+					v.mu.Unlock()
+					op--
+					continue
+				}
+				n := 1 + src.Intn(3)
+				batch := stream[next : next+n]
+				next += n
+				base := uint64(v.p.Observed())
+				for _, r := range batch {
+					v.p.Observe(r)
+				}
+				err = s.LogObserve(id, base, encodeRecBatch(batch))
+				v.mu.Unlock()
+				if err != nil {
+					if !errors.Is(err, store.ErrInjectedCrash) {
+						t.Errorf("worker %d: LogObserve(%s): %v", w, id, err)
+					}
+					return // batch never acknowledged
+				}
+				ws.acked[id] = append(ws.acked[id], batch...)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out := chaosOutcome{
+		fired:     inj.Fired(point),
+		finals:    map[string][]uint64{},
+		observeds: map[string]int{},
+	}
+
+	// Crash (simulated kill -9: files truncated to their surviving
+	// prefixes) and recover with faults off. A run where no crash point
+	// fired — every SpillCorrupt run — crashes here instead, which also
+	// proves the WAL carries sessions whose only snapshots are corrupt.
+	out.crashed = true
+	if err := s.CrashForTest(); err != nil {
+		t.Fatalf("CrashForTest: %v", err)
+	}
+	recovered, err := store.Open(store.Config{Dir: dir, HotLimit: 4, Shards: 4, WAL: true}, chaosCallbacks(m))
+	if err != nil {
+		t.Fatalf("recovery Open: %v", err)
+	}
+	defer recovered.Close()
+
+	for w := 0; w < workers; w++ {
+		for id := range states[w].created {
+			acked := states[w].acked[id]
+			v, ok, _, err := recovered.Get(id)
+			if err != nil {
+				t.Fatalf("Get(%s) on recovered store: %v", id, err)
+			}
+			if !ok {
+				t.Fatalf("session %s was acknowledged (create + %d observes) but did not survive the crash", id, len(acked))
+			}
+			// Offline twin: a fresh predictor fed exactly the acked
+			// records must match the recovered state bit for bit.
+			twin := m.NewPredictor()
+			for _, r := range acked {
+				twin.Observe(r)
+			}
+			v.mu.Lock()
+			gotObs, wantObs := v.p.Observed(), twin.Observed()
+			got, want := v.p.ActiveProbabilities(), twin.ActiveProbabilities()
+			v.mu.Unlock()
+			if gotObs != wantObs {
+				t.Fatalf("session %s recovered %d observed records, acknowledged %d", id, gotObs, wantObs)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("session %s recovered %d active probabilities, want %d", id, len(got), len(want))
+			}
+			bits := make([]uint64, len(got))
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("session %s active[%d] = %x, twin %x: recovered state not bit-identical",
+						id, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+				bits[i] = math.Float64bits(got[i])
+			}
+			out.finals[id] = bits
+			out.observeds[id] = gotObs
+		}
+	}
+	return out
+}
+
+// TestStoreChaosCrashRecovery is the headline gate: at every seeded
+// crash/corruption point, across seeds, under -race with concurrent
+// workers, recovery preserves exactly the acknowledged labels.
+func TestStoreChaosCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite needs a real model build")
+	}
+	points := []fault.Point{fault.WALTear, fault.CrashBeforeFsync, fault.SpillCorrupt}
+	for _, point := range points {
+		point := point
+		t.Run(point.String(), func(t *testing.T) {
+			anyFired := false
+			for seed := int64(1); seed <= 3; seed++ {
+				out := runStoreChaos(t, point, seed, 2)
+				if out.fired > 0 {
+					anyFired = true
+				}
+			}
+			if !anyFired {
+				t.Fatalf("%v never fired across 3 seeds; the suite proved nothing", point)
+			}
+		})
+	}
+}
+
+// TestStoreChaosDeterministic replays the single-writer workload twice
+// per (point, seed) and requires identical outcomes — fired counts,
+// surviving sessions, and every recovered probability bit.
+func TestStoreChaosDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite needs a real model build")
+	}
+	for _, point := range []fault.Point{fault.WALTear, fault.CrashBeforeFsync, fault.SpillCorrupt} {
+		for seed := int64(1); seed <= 2; seed++ {
+			a := runStoreChaos(t, point, seed, 1)
+			b := runStoreChaos(t, point, seed, 1)
+			if a.fired != b.fired || a.crashed != b.crashed || len(a.finals) != len(b.finals) {
+				t.Fatalf("%v seed %d: runs diverge: fired %d/%d crashed %v/%v sessions %d/%d",
+					point, seed, a.fired, b.fired, a.crashed, b.crashed, len(a.finals), len(b.finals))
+			}
+			for id, bits := range a.finals {
+				other, ok := b.finals[id]
+				if !ok || a.observeds[id] != b.observeds[id] {
+					t.Fatalf("%v seed %d: session %s differs across runs", point, seed, id)
+				}
+				for i := range bits {
+					if bits[i] != other[i] {
+						t.Fatalf("%v seed %d: session %s active[%d] differs across identical runs", point, seed, id, i)
+					}
+				}
+			}
+		}
+	}
+}

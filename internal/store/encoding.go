@@ -1,0 +1,106 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Record kinds carried inside frames. Segment files hold snapshots and
+// tombstones; WAL files hold creates, observes, and removes. Recovery
+// merges both streams per id by LSN, so the kinds share one namespace.
+const (
+	recSnapshot  byte = 1
+	recTombstone byte = 2
+	recCreate    byte = 3
+	recObserve   byte = 4
+	recRemove    byte = 5
+)
+
+// record is one decoded frame payload. seq is the caller's observe
+// sequence: for a snapshot, the number of observe batches folded into it;
+// for an observe, the value's sequence before the batch applied. data is
+// the caller's opaque blob (snapshot bytes, create bytes, or an encoded
+// observe batch).
+type record struct {
+	kind byte
+	id   string
+	seq  uint64
+	data []byte
+}
+
+// RecordError reports a frame payload that is not a well-formed record.
+type RecordError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("store: bad record: %s", e.Reason)
+}
+
+// hasSeq reports whether the kind carries a sequence field.
+func hasSeq(kind byte) bool { return kind == recSnapshot || kind == recObserve }
+
+// hasData reports whether the kind carries an opaque data blob.
+func hasData(kind byte) bool {
+	return kind == recSnapshot || kind == recCreate || kind == recObserve
+}
+
+// encodeRecord appends the record's payload encoding to dst:
+//
+//	kind | uvarint len(id) | id | [uvarint seq] | [uvarint len(data) | data]
+func encodeRecord(dst []byte, rec record) []byte {
+	dst = append(dst, rec.kind)
+	dst = binary.AppendUvarint(dst, uint64(len(rec.id)))
+	dst = append(dst, rec.id...)
+	if hasSeq(rec.kind) {
+		dst = binary.AppendUvarint(dst, rec.seq)
+	}
+	if hasData(rec.kind) {
+		dst = binary.AppendUvarint(dst, uint64(len(rec.data)))
+		dst = append(dst, rec.data...)
+	}
+	return dst
+}
+
+// decodeRecord parses one frame payload. The returned record's data
+// aliases p; the id is copied.
+func decodeRecord(p []byte) (record, error) {
+	var rec record
+	if len(p) == 0 {
+		return rec, &RecordError{Reason: "empty payload"}
+	}
+	rec.kind = p[0]
+	if rec.kind < recSnapshot || rec.kind > recRemove {
+		return rec, &RecordError{Reason: fmt.Sprintf("unknown kind %d", rec.kind)}
+	}
+	p = p[1:]
+	idLen, n := binary.Uvarint(p)
+	if n <= 0 || idLen > uint64(len(p)-n) {
+		return rec, &RecordError{Reason: "bad id length"}
+	}
+	p = p[n:]
+	rec.id = string(p[:idLen])
+	p = p[idLen:]
+	if hasSeq(rec.kind) {
+		seq, n := binary.Uvarint(p)
+		if n <= 0 {
+			return rec, &RecordError{Reason: "bad seq"}
+		}
+		rec.seq = seq
+		p = p[n:]
+	}
+	if hasData(rec.kind) {
+		dataLen, n := binary.Uvarint(p)
+		if n <= 0 || dataLen > uint64(len(p)-n) {
+			return rec, &RecordError{Reason: "bad data length"}
+		}
+		p = p[n:]
+		rec.data = p[:dataLen]
+		p = p[dataLen:]
+	}
+	if len(p) != 0 {
+		return rec, &RecordError{Reason: "trailing bytes"}
+	}
+	return rec, nil
+}

@@ -1,0 +1,159 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk layout shared by both tier files. An 8-byte header names the
+// file ("homgob" magic, a kind byte, a format version); after it the file
+// is a run of CRC-framed records. The CRC covers the length and LSN
+// fields as well as the payload, so a flipped bit anywhere in a frame is
+// caught before its bytes are trusted.
+const (
+	fileMagic      = "homgob"
+	segmentKind    = byte('S')
+	walKind        = byte('W')
+	formatVersion  = 1
+	fileHeaderSize = 8
+	// frameHeaderSize is len(4) + lsn(8) + crc(4), all little-endian.
+	frameHeaderSize = 16
+	// maxFramePayload bounds a single frame; a length field beyond it is
+	// treated as a tear (frame boundaries can no longer be trusted).
+	maxFramePayload = 16 << 20
+)
+
+// castagnoli is the CRC-32C polynomial table (hardware-accelerated on
+// amd64/arm64), the same choice modern log-structured stores make.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// HeaderError reports a tier file whose 8-byte header is not a valid
+// homgob tier header of the expected kind.
+type HeaderError struct {
+	Path   string
+	Reason string
+}
+
+// Error implements error.
+func (e *HeaderError) Error() string {
+	return fmt.Sprintf("store: %s: bad file header: %s", e.Path, e.Reason)
+}
+
+// CorruptFrameError reports a frame whose CRC or structure check failed.
+// Scanning treats it as recoverable (skip or stop at the tear); decoding
+// a single frame surfaces it to the caller.
+type CorruptFrameError struct {
+	Off    int64
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptFrameError) Error() string {
+	return fmt.Sprintf("store: corrupt frame at offset %d: %s", e.Off, e.Reason)
+}
+
+// fileHeader builds the 8-byte header for a tier file of the given kind.
+func fileHeader(kind byte) []byte {
+	h := make([]byte, fileHeaderSize)
+	copy(h, fileMagic)
+	h[6] = kind
+	h[7] = formatVersion
+	return h
+}
+
+// checkFileHeader validates an on-disk header against the expected kind.
+func checkFileHeader(path string, b []byte, kind byte) error {
+	if len(b) < fileHeaderSize {
+		return &HeaderError{Path: path, Reason: "short header"}
+	}
+	if string(b[:6]) != fileMagic {
+		return &HeaderError{Path: path, Reason: "bad magic"}
+	}
+	if b[6] != kind {
+		return &HeaderError{Path: path, Reason: fmt.Sprintf("kind %q, want %q", b[6], kind)}
+	}
+	if b[7] != formatVersion {
+		return &HeaderError{Path: path, Reason: fmt.Sprintf("version %d, want %d", b[7], formatVersion)}
+	}
+	return nil
+}
+
+// appendFrame appends one framed record (header + payload) to dst.
+func appendFrame(dst []byte, lsn uint64, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], lsn)
+	crc := crc32.Update(0, castagnoli, hdr[0:12])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readFrameAt parses the single frame starting at data[off:] and returns
+// its LSN, payload, and total frame length. The payload aliases data.
+func readFrameAt(data []byte, off int64) (lsn uint64, payload []byte, flen int, err error) {
+	b := data[off:]
+	if len(b) < frameHeaderSize {
+		return 0, nil, 0, &CorruptFrameError{Off: off, Reason: "short frame header"}
+	}
+	plen := binary.LittleEndian.Uint32(b[0:4])
+	if plen > maxFramePayload {
+		return 0, nil, 0, &CorruptFrameError{Off: off, Reason: "implausible frame length"}
+	}
+	flen = frameHeaderSize + int(plen)
+	if len(b) < flen {
+		return 0, nil, 0, &CorruptFrameError{Off: off, Reason: "truncated frame"}
+	}
+	lsn = binary.LittleEndian.Uint64(b[4:12])
+	want := binary.LittleEndian.Uint32(b[12:16])
+	crc := crc32.Update(0, castagnoli, b[0:12])
+	crc = crc32.Update(crc, castagnoli, b[frameHeaderSize:flen])
+	if crc != want {
+		return 0, nil, 0, &CorruptFrameError{Off: off, Reason: "crc mismatch"}
+	}
+	return lsn, b[frameHeaderSize:flen], flen, nil
+}
+
+// scanFrames walks every readable frame in a tier file image, calling fn
+// with each frame's file offset, LSN, and payload (aliasing data).
+//
+// Damage handling is salvage-oriented, matching the crash model: a frame
+// whose CRC fails but whose length field still yields an in-bounds
+// boundary is skipped (one flipped bit should cost one frame, not the
+// file); a frame that runs past the end of the data — a torn or truncated
+// tail — ends the scan. Both are counted in damaged. The returned error
+// is non-nil only for a bad file header; an empty file scans clean.
+func scanFrames(path string, data []byte, kind byte, fn func(off int64, lsn uint64, payload []byte)) (damaged int, err error) {
+	if len(data) == 0 {
+		return 0, nil
+	}
+	if err := checkFileHeader(path, data, kind); err != nil {
+		return 0, err
+	}
+	off := int64(fileHeaderSize)
+	for off < int64(len(data)) {
+		lsn, payload, flen, ferr := readFrameAt(data, off)
+		if ferr == nil {
+			fn(off, lsn, payload)
+			off += int64(flen)
+			continue
+		}
+		damaged++
+		// If the length field points inside the file, the boundary may
+		// still be honest (payload-only corruption): resync past it. The
+		// next frame's CRC guards against a misparse.
+		b := data[off:]
+		if len(b) >= frameHeaderSize {
+			plen := binary.LittleEndian.Uint32(b[0:4])
+			if plen <= maxFramePayload && int64(len(b)) >= frameHeaderSize+int64(plen) {
+				off += frameHeaderSize + int64(plen)
+				continue
+			}
+		}
+		// Torn tail: no trustworthy boundary remains.
+		break
+	}
+	return damaged, nil
+}

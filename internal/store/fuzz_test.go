@@ -1,0 +1,195 @@
+package store_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"highorder/internal/store"
+)
+
+// fuzzOps interprets fuzz bytes as a deterministic op script over a small
+// id space: each byte either creates a session or observes one record on
+// it. Returns the per-id record history the script produces.
+func fuzzOps(data []byte) map[string][]uint64 {
+	want := map[string][]uint64{}
+	for i, b := range data {
+		id := fmt.Sprintf("s%d", b%4)
+		if _, ok := want[id]; !ok {
+			want[id] = []uint64{}
+			continue
+		}
+		want[id] = append(want[id], uint64(i))
+	}
+	return want
+}
+
+// runFuzzOps drives the script against a real store. Observes are
+// applied to the in-memory value and logged exactly as serve does.
+func runFuzzOps(t *testing.T, s *store.Store[*testVal], data []byte) {
+	t.Helper()
+	for i, b := range data {
+		id := fmt.Sprintf("s%d", b%4)
+		v, ok, _, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("op %d Get(%s): %v", i, id, err)
+		}
+		if !ok {
+			if err := s.Put(id, []byte(id), &testVal{opts: id}); err != nil {
+				t.Fatalf("op %d Put(%s): %v", i, id, err)
+			}
+			continue
+		}
+		base := uint64(len(v.recs))
+		v.recs = append(v.recs, uint64(i))
+		if err := s.LogObserve(id, base, encodeBatch([]uint64{uint64(i)})); err != nil {
+			t.Fatalf("op %d LogObserve(%s): %v", i, id, err)
+		}
+	}
+}
+
+// corrupt applies one fuzz-chosen mutation to a file: mode 0 truncates at
+// pos, mode 1 flips a byte at pos, mode 2 flips a low bit at pos.
+func corrupt(t *testing.T, path string, mode uint8, pos uint32) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		return
+	}
+	p := int(pos) % len(raw)
+	switch mode % 3 {
+	case 0:
+		raw = raw[:p]
+	case 1:
+		raw[p] ^= 0xff
+	case 2:
+		raw[p] ^= 0x01
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkPrefixConsistent opens a store over a (possibly damaged) directory
+// and verifies the differential contract: Open either fails with a typed
+// error or yields, for every id it recovers, a strict prefix of that id's
+// true record history — never a panic, never a divergent value.
+func checkPrefixConsistent(t *testing.T, cfg store.Config, want map[string][]uint64) map[string][]uint64 {
+	t.Helper()
+	s, err := store.Open(cfg, testCallbacks(nil))
+	if err != nil {
+		var he *store.HeaderError
+		var ce *store.CorruptFrameError
+		if !errors.As(err, &he) && !errors.As(err, &ce) {
+			t.Fatalf("Open after damage: untyped error %T: %v", err, err)
+		}
+		return nil
+	}
+	defer s.CrashForTest() // discard without checkpointing recovered state
+	got := map[string][]uint64{}
+	for id, full := range want {
+		v, ok, _, err := s.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) on recovered store: %v", id, err)
+		}
+		if !ok {
+			continue // id lost whole — consistent with a damaged create
+		}
+		if len(v.recs) > len(full) {
+			t.Fatalf("recovered %s has %d records, more than the %d ever applied", id, len(v.recs), len(full))
+		}
+		for i, r := range v.recs {
+			if r != full[i] {
+				t.Fatalf("recovered %s diverges at record %d: got %d want %d (not a prefix)", id, i, r, full[i])
+			}
+		}
+		got[id] = v.recs
+	}
+	return got
+}
+
+// FuzzWALReplay is the WAL differential target: a real op script runs
+// against a store whose durability root is the WAL (fsync'd per op, no
+// clean shutdown), the crash image is then damaged at a fuzz-chosen
+// point, and recovery must yield per-id record prefixes — a torn, bit-
+// flipped, or truncated log may cost the tail, never invent state.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 1, 2, 3, 1}, uint32(20), uint8(0))
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2}, uint32(40), uint8(1))
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 5, 5}, uint32(9), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, pos uint32, mode uint8) {
+		if len(data) == 0 || len(data) > 256 {
+			t.Skip()
+		}
+		dir := t.TempDir()
+		cfg := store.Config{Dir: dir, HotLimit: 64, Shards: 1, WAL: true}
+		s, err := store.Open(cfg, testCallbacks(nil))
+		if err != nil {
+			t.Fatalf("fresh Open: %v", err)
+		}
+		runFuzzOps(t, s, data)
+		if err := s.CrashForTest(); err != nil {
+			t.Fatalf("CrashForTest: %v", err)
+		}
+		want := fuzzOps(data)
+		corrupt(t, filepath.Join(dir, "wal-00.hom"), mode, pos)
+		got := checkPrefixConsistent(t, cfg, want)
+		// The first Open checkpointed whatever it salvaged (compacted
+		// segment, truncated WAL); a second Open must see exactly the
+		// same state — checkpoint round-trip fidelity.
+		again := checkPrefixConsistent(t, cfg, want)
+		if (got == nil) != (again == nil) || len(got) != len(again) {
+			t.Fatalf("recovery not deterministic: %v vs %v", got, again)
+		}
+		for id, recs := range got {
+			if !sameRecs(recs, again[id]) {
+				t.Fatalf("recovery not deterministic for %s: %v vs %v", id, recs, again[id])
+			}
+		}
+	})
+}
+
+// FuzzSegmentRead is the segment-tier differential target: sessions are
+// spilled through a tiny hot set and checkpointed by a clean Close, the
+// segment file is damaged at a fuzz-chosen point, and recovery must
+// again yield only per-id prefixes. Raw fuzz bytes written directly as
+// the segment file must produce a typed error or an empty store, never a
+// panic.
+func FuzzSegmentRead(f *testing.F) {
+	f.Add([]byte{1, 1, 2, 1, 2, 3, 1, 3, 3}, uint32(30), uint8(1), false)
+	f.Add([]byte{9, 9, 9, 9, 8, 8, 8, 8}, uint32(12), uint8(0), false)
+	f.Add([]byte("homgobS\x01garbage after a real header"), uint32(3), uint8(2), true)
+	f.Add([]byte("complete garbage, no header at all"), uint32(0), uint8(1), true)
+	f.Fuzz(func(t *testing.T, data []byte, pos uint32, mode uint8, raw bool) {
+		if len(data) == 0 || len(data) > 256 {
+			t.Skip()
+		}
+		dir := t.TempDir()
+		cfg := store.Config{Dir: dir, HotLimit: 2, Shards: 1, WAL: false}
+		segFile := filepath.Join(dir, "seg-00.hom")
+		if raw {
+			// The fuzz bytes ARE the file: pure parser hardening.
+			if err := os.WriteFile(segFile, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			checkPrefixConsistent(t, cfg, nil)
+			return
+		}
+		s, err := store.Open(cfg, testCallbacks(nil))
+		if err != nil {
+			t.Fatalf("fresh Open: %v", err)
+		}
+		runFuzzOps(t, s, data)
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		want := fuzzOps(data)
+		corrupt(t, segFile, mode, pos)
+		checkPrefixConsistent(t, cfg, want)
+	})
+}

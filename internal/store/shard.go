@@ -1,0 +1,215 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"highorder/internal/fault"
+)
+
+// tierFile is one append-only tier file (segment or WAL) with the
+// bookkeeping the crash simulation needs: size is the logical end of all
+// appended bytes, synced the prefix guaranteed on disk by the last fsync,
+// and crashLen the prefix that would survive a kill at this instant.
+// crashLen normally trails at synced (un-synced pages are assumed lost —
+// the conservative model), but a torn append advances it over the torn
+// prefix: the page made it out before the process died.
+type tierFile struct {
+	path     string
+	f        *os.File
+	size     int64
+	synced   int64
+	crashLen int64
+}
+
+// openTierFile opens (creating if needed) a tier file and validates or
+// writes its header. A zero-length file gets a fresh header; a non-empty
+// file must carry the right magic, kind, and version.
+func openTierFile(path string, kind byte) (*tierFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	tf := &tierFile{path: path, f: f, size: st.Size()}
+	if tf.size == 0 {
+		if _, err := f.WriteAt(fileHeader(kind), 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		tf.size = fileHeaderSize
+	} else {
+		var hdr [fileHeaderSize]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := checkFileHeader(path, hdr[:], kind); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	tf.synced = tf.size
+	tf.crashLen = tf.size
+	return tf, nil
+}
+
+// write appends b at the logical end of the file.
+func (tf *tierFile) write(b []byte) error {
+	if _, err := tf.f.WriteAt(b, tf.size); err != nil {
+		return err
+	}
+	tf.size += int64(len(b))
+	return nil
+}
+
+// sync fsyncs the file and advances the durable and crash-surviving
+// prefixes to its full size.
+func (tf *tierFile) sync() error {
+	if err := tf.f.Sync(); err != nil {
+		return err
+	}
+	tf.synced = tf.size
+	tf.crashLen = tf.size
+	return nil
+}
+
+// crash truncates the file to its crash-surviving prefix and closes it —
+// the simulated kill -9.
+func (tf *tierFile) crash() error {
+	err := tf.f.Truncate(tf.crashLen)
+	if cerr := tf.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// shard owns one segment file, one optional WAL file, and the LSN
+// counter both share; shard.mu serializes appends. It sits at the bottom
+// of the lock order (store.mu -> session locks -> shard.mu), so
+// LogObserve can run under a caller's per-session lock.
+type shard struct {
+	mu      sync.Mutex
+	seg     *tierFile
+	wal     *tierFile // nil when the WAL is disabled
+	lsn     uint64
+	scratch []byte
+}
+
+// segPath and walPath name a shard's tier files inside dir.
+func segPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%02d.hom", i))
+}
+
+func walPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%02d.hom", i))
+}
+
+// nextLSN claims the shard's next log sequence number (callers hold
+// shard.mu).
+func (sh *shard) nextLSN() uint64 {
+	sh.lsn++
+	return sh.lsn
+}
+
+// frameRecord encodes rec into a frame against the shard's scratch
+// buffer, claiming the next LSN. Callers hold shard.mu.
+func (sh *shard) frameRecord(rec record) []byte {
+	sh.scratch = sh.scratch[:0]
+	payload := encodeRecord(sh.scratch, rec)
+	sh.scratch = payload
+	return appendFrame(nil, sh.nextLSN(), payload)
+}
+
+// appendSeg appends rec to the segment file, returning the frame's file
+// offset and length so the caller can index it. When corrupt is
+// non-nil and fault.SpillCorrupt fires, one payload byte is silently
+// flipped after the CRC is computed — the write succeeds, the damage is
+// only discoverable by a later CRC check. Segment appends do not fsync;
+// the WAL is the durability root. Callers hold shard.mu.
+func (sh *shard) appendSeg(rec record, inj *fault.Injector) (off int64, flen int, err error) {
+	frame := sh.frameRecord(rec)
+	if rec.kind == recSnapshot && inj.Fire(fault.SpillCorrupt) && len(frame) > frameHeaderSize {
+		pos := frameHeaderSize + (len(frame)-frameHeaderSize)/2
+		frame[pos] ^= 0x40
+	}
+	off = sh.seg.size
+	if err := sh.seg.write(frame); err != nil {
+		return 0, 0, err
+	}
+	return off, len(frame), nil
+}
+
+// appendWAL appends rec to the WAL and, when sync is set, fsyncs it —
+// the durability point an acknowledgement rests on. Two crash points
+// live here: fault.WALTear writes only a prefix of the frame (which
+// survives the crash — the page made it out) and kills the store;
+// fault.CrashBeforeFsync completes the write but kills the store before
+// the fsync, losing the un-synced tail. Both return ErrInjectedCrash,
+// which the caller must treat as the process dying. Callers hold
+// shard.mu; a disabled WAL makes this a no-op.
+func (sh *shard) appendWAL(rec record, sync bool, inj *fault.Injector, crashed func()) error {
+	if sh.wal == nil {
+		return nil
+	}
+	frame := sh.frameRecord(rec)
+	if inj.Fire(fault.WALTear) {
+		torn := frame[:len(frame)/2]
+		if err := sh.wal.write(torn); err != nil {
+			return err
+		}
+		sh.wal.crashLen = sh.wal.size
+		crashed()
+		return ErrInjectedCrash
+	}
+	if err := sh.wal.write(frame); err != nil {
+		return err
+	}
+	if !sync {
+		return nil
+	}
+	if inj.Fire(fault.CrashBeforeFsync) {
+		crashed()
+		return ErrInjectedCrash
+	}
+	return sh.wal.sync()
+}
+
+// crash simulates a kill for both tier files. Callers hold shard.mu or
+// have otherwise quiesced the shard.
+func (sh *shard) crash() error {
+	err := sh.seg.crash()
+	if sh.wal != nil {
+		if werr := sh.wal.crash(); err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
+// close flushes and closes both tier files cleanly.
+func (sh *shard) close() error {
+	err := sh.seg.sync()
+	if cerr := sh.seg.f.Close(); err == nil {
+		err = cerr
+	}
+	if sh.wal != nil {
+		if serr := sh.wal.sync(); err == nil {
+			err = serr
+		}
+		if cerr := sh.wal.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -42,9 +42,10 @@ go test -race ./...
 # ceilings (similarityEdge, zero-copy view iteration, and the flight
 # recorder's disabled/unsampled 0-alloc paths) and the benchmark smoke
 # run without it.
-step "alloc ceilings (internal/cluster, internal/data, internal/obs)"
+step "alloc ceilings (internal/cluster, internal/data, internal/obs, internal/store)"
 go test ./internal/cluster ./internal/data -run Allocs -count=1
 go test ./internal/obs -run Allocs -count=1
+go test ./internal/store -run Allocs -count=1
 
 step "bench smoke (-benchtime 1x)"
 go test ./internal/cluster ./internal/data -run '^$' -bench . -benchtime 1x >/dev/null
@@ -59,12 +60,26 @@ go test ./internal/serve -run='^$' -fuzz='^FuzzClassifyRequest$' -fuzztime="$FUZ
 step "fuzz homlint directive grammar (${FUZZTIME})"
 go test ./internal/analysis -run='^$' -fuzz='^FuzzParseDirective$' -fuzztime="$FUZZTIME"
 
+step "fuzz store WAL replay + segment reader (${FUZZTIME} each)"
+go test ./internal/store -run='^$' -fuzz='^FuzzWALReplay$' -fuzztime="$FUZZTIME"
+go test ./internal/store -run='^$' -fuzz='^FuzzSegmentRead$' -fuzztime="$FUZZTIME"
+
+# Crash-recovery chaos: every seeded fault point (torn WAL tail, corrupt
+# spill frame, crash before fsync) across 3 seeds, with concurrent
+# writers under the race detector; recovered state must be bit-identical
+# to an offline twin fed the same acknowledged labels, and runs must be
+# deterministic per seed. Also part of the full -race pass above, but a
+# chaos regression should name itself in the verify log.
+step "store chaos suite (3 fault points x 3 seeds, -race)"
+go test -race ./internal/store -run 'TestStoreChaos' -count=1
+
 # Coverage floor: the packages that own failure handling — the serving
-# stack, the gateway, and the fault-injection layer — must keep at least
-# 75% statement coverage, so degraded paths (shed, deadline, drop,
-# corruption, interrupted migration) stay exercised as they evolve.
-step "coverage floor (internal/serve, internal/gate, internal/fault >= 75%)"
-cov=$(go test -cover ./internal/serve ./internal/gate ./internal/fault | tee /dev/stderr)
+# stack, the gateway, the fault-injection layer, and the tiered session
+# store — must keep at least 75% statement coverage, so degraded paths
+# (shed, deadline, drop, corruption, interrupted migration, torn-WAL
+# recovery) stay exercised as they evolve.
+step "coverage floor (internal/serve, internal/gate, internal/fault, internal/store >= 75%)"
+cov=$(go test -cover ./internal/serve ./internal/gate ./internal/fault ./internal/store | tee /dev/stderr)
 echo "$cov" | awk '
 	/^ok/ {
 		for (i = 1; i <= NF; i++) {
@@ -109,6 +124,18 @@ done
 go run ./cmd/homload -model "$smoketmp/model.gob" -sessions 1 -records 200 \
 	-batch 16 -out "$smoketmp/BENCH_serve.json"
 
+# Tiered store smoke: many more sessions than the hot set holds, through
+# the real HTTP path with the WAL on. homload itself exits nonzero on any
+# failed request, on lost sessions, and when the run measured zero
+# hydrations (which would make the latency profile vacuous).
+step "tiered store smoke (1500 sessions, hot set 64, WAL)"
+go run ./cmd/homload -model "$smoketmp/model.gob" -store-bench 1500 \
+	-hot-sessions 64 -wal -out "$smoketmp/BENCH_store.json"
+if [ ! -s "$smoketmp/BENCH_store.json" ]; then
+	echo "store smoke produced empty BENCH_store.json" >&2
+	exit 1
+fi
+
 # Gateway fleet smoke: three replicas behind an in-process gate.Gateway,
 # with a forced mid-run rebalance (a fourth replica joins at 1/3, one
 # retires gracefully at 2/3). homload exits nonzero on any failed or
@@ -121,6 +148,21 @@ go run ./cmd/homload -model "$smoketmp/model.gob" -fleet 3 -fleet-churn \
 migrations=$(sed -n 's/.*"migrations_total": \([0-9]*\).*/\1/p' "$smoketmp/BENCH_gate.json")
 if [ -z "$migrations" ] || [ "$migrations" -eq 0 ]; then
 	echo "fleet smoke: hom_gate_migrations_total is ${migrations:-missing}, want > 0" >&2
+	exit 1
+fi
+
+# Tiered fleet smoke: every replica runs the tiered store with a hot set
+# of 4, so sessions spill and rehydrate constantly while the offline-twin
+# check still demands bit-identical served state. The hydration counter
+# proves the cold tier was actually crossed, not idly configured.
+step "tiered fleet smoke (2 replicas, hot set 4, WAL, bit-identity)"
+go run ./cmd/homload -model "$smoketmp/model.gob" -fleet 2 \
+	-sessions 12 -records 100 -batch 10 \
+	-spill-dir "$smoketmp/fleet-spill" -hot-sessions 4 -wal \
+	-out "$smoketmp/BENCH_gate_tiered.json"
+hydrations=$(sed -n 's/.*"hydrate_total": \([0-9]*\).*/\1/p' "$smoketmp/BENCH_gate_tiered.json")
+if [ -z "$hydrations" ] || [ "$hydrations" -eq 0 ]; then
+	echo "tiered fleet smoke: hom_hydrate_total is ${hydrations:-missing}, want > 0" >&2
 	exit 1
 fi
 
