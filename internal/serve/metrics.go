@@ -70,6 +70,15 @@ type metrics struct {
 
 	// hydrateSeconds times cold-tier rehydrations; nil without tiering.
 	hydrateSeconds *obs.Histogram
+	// spillRetryExhaustedTotal counts batches refused 503 because their
+	// session kept spilling out from under them (runTasks re-resolve cap)
+	// — the signature of a hot set sized below the concurrently active
+	// set. nil without tiering.
+	spillRetryExhaustedTotal *obs.Counter
+	// sessionQuarantinedTotal counts sessions quarantined and removed
+	// because an applied observe batch could not be durably WAL-logged.
+	// nil without tiering.
+	sessionQuarantinedTotal *obs.Counter
 }
 
 // hydrateBuckets span the tiered store's rehydration latencies: a warm
@@ -165,6 +174,10 @@ func newMetrics(numClasses, numConcepts int, smp samplers) *metrics {
 			func() int64 { _, _, _, _, wr := ts(); return wr })
 		m.hydrateSeconds = reg.NewHistogram("hom_session_hydrate_seconds",
 			"Latency of rebuilding a session from its cold-tier snapshot.", hydrateBuckets)
+		m.spillRetryExhaustedTotal = reg.NewCounter("hom_spill_retry_exhausted_total",
+			"Batches refused 503 after their session repeatedly spilled out from under them (hot set sized below the concurrently active set).")
+		m.sessionQuarantinedTotal = reg.NewCounter("hom_session_quarantined_total",
+			"Sessions quarantined and removed because an applied observe batch could not be durably WAL-logged.")
 	}
 	return m
 }
@@ -186,6 +199,22 @@ func (m *metrics) reject() { m.rejected.Inc() }
 func (m *metrics) shed() { m.shedTotal.Inc() }
 
 func (m *metrics) deadlineExpired() { m.deadlineExpiredTotal.Inc() }
+
+// spillRetryExhausted counts one re-resolve-cap refusal; no-op without
+// tiering (the cap is only reachable with a store installed).
+func (m *metrics) spillRetryExhausted() {
+	if m.spillRetryExhaustedTotal != nil {
+		m.spillRetryExhaustedTotal.Inc()
+	}
+}
+
+// sessionQuarantined counts one WAL-divergence quarantine; no-op without
+// tiering.
+func (m *metrics) sessionQuarantined() {
+	if m.sessionQuarantinedTotal != nil {
+		m.sessionQuarantinedTotal.Inc()
+	}
+}
 
 func (m *metrics) observeQueueDepth(depth int) { m.queueMax.SetMax(int64(depth)) }
 

@@ -159,11 +159,26 @@ type taskResult struct {
 	// expired marks a task whose deadline passed while it sat in the
 	// queue; the predictor was not touched.
 	expired bool
-	// err reports a retryable execution failure: the bound session was
-	// spilled out from under the task, or an applied observe could not be
-	// durably logged. Answered 503 + Retry-After.
+	// err reports an execution failure. A session spilled out from under
+	// the task is retryable (503 + Retry-After: the predictor was not
+	// touched). An applied observe that could not be durably logged is
+	// NOT — the batch is live in memory and a retry would double-apply
+	// it — so errQuarantined is answered 500 without a retry hint.
 	err error
 }
+
+// errQuarantined marks a session whose in-memory predictor absorbed an
+// observe batch the write-ahead log failed to record durably (a real WAL
+// I/O error, not an injected crash). The state the client has been
+// acknowledged against has diverged from what a restart would recover;
+// retrying the batch would double-apply it. The session is refused
+// non-retryably and removed, so clients recreate it from durable state.
+var errQuarantined = errors.New("observe applied in memory but not durably logged; session quarantined and removed — recreate it")
+
+// maxSpillResolves bounds how often runTasks chases a session that keeps
+// spilling out from under its queued tasks before refusing them 503;
+// exhaustions are counted in hom_spill_retry_exhausted_total.
+const maxSpillResolves = 8
 
 // Server serves one immutable model to many concurrent sessions.
 type Server struct {
@@ -460,17 +475,28 @@ func (s *Server) runTasks(sess *Session, tasks []*task) {
 	// hydration, so re-resolve through the table — which rehydrates —
 	// until the value we hold the lock on is the live one. Bounded: under
 	// pathological eviction pressure the tasks are refused retryably
-	// rather than applied to a dead object.
+	// rather than applied to a dead object, with the exhaustion counted
+	// in hom_spill_retry_exhausted_total so hot-set thrash is visible to
+	// operators rather than blending into other 503s.
 	for attempt := 0; ; attempt++ {
 		sess.mu.Lock()
+		if sess.quarantined.Load() {
+			sess.mu.Unlock()
+			for _, t := range tasks {
+				t.done <- taskResult{err: fmt.Errorf("session %q: %w", sess.id, errQuarantined)}
+			}
+			return
+		}
 		if !sess.spilled {
 			break
 		}
 		sess.mu.Unlock()
 		var fresh *Session
 		var found bool
-		if attempt < 8 {
+		if attempt < maxSpillResolves {
 			fresh, found = s.table.get(sess.id)
+		} else {
+			m.spillRetryExhausted()
 		}
 		if !found {
 			err := fmt.Errorf("session %q spilled mid-request (closed or under heavy eviction); retry", sess.id)
@@ -481,9 +507,16 @@ func (s *Server) runTasks(sess *Session, tasks []*task) {
 		}
 		sess = fresh
 	}
-	defer sess.mu.Unlock()
+	quarantined := false
 	for _, t := range tasks {
 		var res taskResult
+		if quarantined {
+			// An earlier task in this batch diverged the session; nothing
+			// further may trust or extend it.
+			res.err = fmt.Errorf("session %q: %w", sess.id, errQuarantined)
+			t.done <- res
+			continue
+		}
 		if !t.deadline.IsZero() && s.clk().After(t.deadline) {
 			res.expired = true
 			m.deadlineExpired()
@@ -525,12 +558,36 @@ func (s *Server) runTasks(sess *Session, tasks []*task) {
 				// this line loses nothing acknowledged; a crash before it
 				// means the batch was never acked and the client retries.
 				if err := s.logObserve(sess, t.recs, &res.observe); err != nil {
-					res.err = err
+					if errors.Is(err, store.ErrInjectedCrash) {
+						// The simulated process died mid-append: the batch
+						// was never acknowledged, and the poisoned store
+						// refuses every retry until restart — safe to
+						// answer retryably.
+						res.err = err
+					} else {
+						// Real WAL I/O failure: the batch is live in this
+						// predictor but not durable. Inviting a retry
+						// would double-apply it, so quarantine the session
+						// — refuse it non-retryably and drop it (below,
+						// after the lock is released).
+						sess.quarantined.Store(true)
+						quarantined = true
+						m.sessionQuarantined()
+						res.err = fmt.Errorf("session %q: %w (%v)", sess.id, errQuarantined, err)
+					}
 				}
 			}
 		}
 		sess.curTC = obs.TraceContext{}
 		t.done <- res
+	}
+	sess.mu.Unlock()
+	if quarantined {
+		// Drop the diverged session from both tiers (best-effort durable
+		// tombstone): its memory absorbed a batch the log did not, so no
+		// later request — or post-restart recovery — may serve it as if
+		// the acknowledged and durable histories still agreed.
+		s.table.remove(sess.id)
 	}
 }
 
@@ -587,6 +644,12 @@ func (s *Server) submit(t *task) (taskResult, int, error) {
 			fmt.Errorf("deadline exceeded: task waited longer than %v in queue (not executed)", s.opts.RequestTimeout)
 	}
 	if res.err != nil {
+		if errors.Is(res.err, errQuarantined) {
+			// Not a transient refusal: the batch was applied but not
+			// durably logged, so a retry would double-apply it. 500
+			// carries no Retry-After and the client treats it as final.
+			return taskResult{}, http.StatusInternalServerError, res.err
+		}
 		return taskResult{}, http.StatusServiceUnavailable, res.err
 	}
 	return res, http.StatusOK, nil
@@ -683,12 +746,20 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 	return true
 }
 
-// session resolves the {id} path value, answering 404 when absent/expired.
+// session resolves the {id} path value, answering 404 when
+// absent/expired and 500 for a quarantined session still awaiting
+// removal (its live state diverged from the durable log; serving it
+// would extend state a restart cannot reproduce).
 func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
 	id := r.PathValue("id")
 	sess, ok := s.table.get(id)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, "no session %q (closed, expired, or never created)", id)
+		return nil, false
+	}
+	if sess.quarantined.Load() {
+		s.writeError(w, http.StatusInternalServerError,
+			"session %q quarantined: state diverged from the durable log; recreate it", id)
 		return nil, false
 	}
 	return sess, true

@@ -63,6 +63,14 @@ type Session struct {
 	// client's view of the stream. A fully applied observe batch clears
 	// it. Read lock-free by the hom_degraded_sessions collector.
 	degraded atomic.Bool
+
+	// quarantined marks a session whose in-memory predictor absorbed an
+	// observe batch the write-ahead log could not durably record (a real
+	// WAL I/O failure, not an injected crash): its live state has
+	// diverged from what a restart would recover, and a retry of the
+	// failed batch would double-apply it. Quarantined sessions are
+	// refused non-retryably and removed (see Server.runTasks).
+	quarantined atomic.Bool
 }
 
 // NewLocalSession wraps a predictor for in-process use — cmd/hompredict's
@@ -203,11 +211,24 @@ func (s *Session) activeProbs() []float64 {
 func (s *Session) touch(t time.Time) { s.lastUsed.Store(t.UnixNano()) }
 
 // markSpilled flags the value as demoted from the hot tier. Called from
-// the store's OnSpill callback, with store locks held — taking s.mu here
-// follows the store.mu -> session.mu lock order used everywhere else.
+// the store's Seal callback — under store locks, strictly before the
+// spill snapshot is taken, so an observe batch racing the spill either
+// completes first (markSpilled blocks on s.mu until it does, and the
+// snapshot then captures it) or finds the flag set and re-resolves
+// through the table. Taking s.mu here follows the store.mu -> session.mu
+// lock order used everywhere else.
 func (s *Session) markSpilled() {
 	s.mu.Lock()
 	s.spilled = true
+	s.mu.Unlock()
+}
+
+// clearSpilled reverses markSpilled when a spill aborts after sealing
+// (the store's Unseal callback): the session stays hot and must accept
+// observes again.
+func (s *Session) clearSpilled() {
+	s.mu.Lock()
+	s.spilled = false
 	s.mu.Unlock()
 }
 

@@ -101,12 +101,20 @@ func (s *Server) tierCallbacks() store.Callbacks[*Session] {
 			sess.mu.Unlock()
 			return len(recs), nil
 		},
-		OnSpill: func(id string, sess *Session) {
-			// The in-memory value is now stale: anyone still holding the
-			// pointer must re-resolve through the table (runTasks does).
-			// Per-session metric series die with the hot residency and are
-			// recreated at zero on rehydration.
+		Seal: func(id string, sess *Session) {
+			// Runs before the spill snapshot is taken: an observe batch
+			// racing the spill either completes first (and the snapshot
+			// captures it) or sees the mark and re-resolves through the
+			// table (Server.runTasks). Marking after the snapshot instead
+			// would let an acknowledged batch land in the stale value and
+			// vanish on the next hydration.
 			sess.markSpilled()
+		},
+		Unseal: func(id string, sess *Session) { sess.clearSpilled() },
+		OnSpill: func(id string, sess *Session) {
+			// The value has left the hot tier. Per-session metric series
+			// die with the hot residency and are recreated at zero on
+			// rehydration.
 			s.metrics.sessionClosed(id)
 		},
 	}

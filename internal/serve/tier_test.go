@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"errors"
 	"math"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
@@ -315,6 +317,77 @@ func TestTieredSequentialIDsSkipRecovered(t *testing.T) {
 	}
 	if s2.table.live() != 4 {
 		t.Fatalf("live = %d, want 4", s2.table.live())
+	}
+}
+
+// TestWALFailureQuarantinesSession pins the non-crash WAL failure
+// contract: when an applied observe batch cannot be durably logged
+// because the WAL itself fails (full disk — not an injected crash that
+// poisons the store), the refusal must NOT invite a retry, because the
+// batch is already live in the predictor and a retry would double-apply
+// it. The session is quarantined: answered 500 without Retry-After,
+// removed from both tiers, and counted in hom_session_quarantined_total.
+func TestWALFailureQuarantinesSession(t *testing.T) {
+	s, err := NewTiered(testModel(), Options{
+		Tier: TierOptions{SpillDir: t.TempDir(), HotSessions: 4, WAL: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+
+	created, err := c.CreateSession(CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, classes := tierWire(6)
+	if _, err := c.Observe(created.ID, records[:3], classes[:3]); err != nil {
+		t.Fatal(err)
+	}
+
+	s.store.FailWALForTest(errors.New("write wal-00.hom: no space left on device"))
+	_, err = c.Observe(created.ID, records[3:], classes[3:])
+	var he *HTTPError
+	if !errors.As(err, &he) {
+		t.Fatalf("observe with a failing WAL: err = %v, want *HTTPError", err)
+	}
+	if he.Status != http.StatusInternalServerError {
+		t.Fatalf("observe with a failing WAL: status %d, want 500 (non-retryable)", he.Status)
+	}
+	if he.Retryable() {
+		t.Fatal("WAL-failure refusal reported retryable; a retry would double-apply the batch")
+	}
+
+	// The diverged session is gone — from memory and, durably, from disk —
+	// so the client recreates rather than retrying into divergence.
+	_, err = c.Classify(created.ID, records[:1], false)
+	if !errors.As(err, &he) || he.Status != http.StatusNotFound {
+		t.Fatalf("classify after quarantine: err = %v, want 404", err)
+	}
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "hom_session_quarantined_total 1") {
+		t.Fatalf("metrics exposition missing the quarantine count:\n%s", text)
+	}
+
+	// The WAL recovering (or the disk being replaced) must not resurrect
+	// the diverged state: a fresh session under the same id starts clean.
+	s.store.FailWALForTest(nil)
+	if _, err := c.CreateSession(CreateSessionRequest{ID: created.ID}); err != nil {
+		t.Fatalf("recreate after quarantine: %v", err)
+	}
+	info, err := c.Info(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Observed != 0 {
+		t.Fatalf("recreated session carries %d observed records, want 0", info.Observed)
 	}
 }
 

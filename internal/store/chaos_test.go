@@ -101,9 +101,17 @@ func chaosCallbacks(m *core.Model) store.Callbacks[*predVal] {
 			}
 			return len(recs), nil
 		},
-		OnSpill: func(id string, v *predVal) {
+		Seal: func(id string, v *predVal) {
+			// Before the snapshot: a workload batch racing the spill
+			// either finishes first (and the snapshot captures it) or
+			// sees the flag and retries against a fresh hydrate.
 			v.mu.Lock()
 			v.spilled = true
+			v.mu.Unlock()
+		},
+		Unseal: func(id string, v *predVal) {
+			v.mu.Lock()
+			v.spilled = false
 			v.mu.Unlock()
 		},
 	}

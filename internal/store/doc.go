@@ -9,7 +9,10 @@
 // ring slot with a reference bit; Get sets the bit, and when Put finds the
 // tier full the clock hand sweeps the ring giving each referenced entry a
 // second chance (clearing its bit) until it finds an unreferenced victim,
-// which is spilled: its snapshot is appended to the segment tier and the
+// which is spilled: the value is sealed through the caller's Seal
+// callback (so a mutation racing the eviction either completes before
+// the snapshot and lands inside it, or sees the seal and re-resolves
+// through Get), its snapshot is appended to the segment tier, and the
 // in-memory value released. The next Get for a spilled id rehydrates it
 // transparently from disk (latency lands in the hydrate histogram the
 // caller provides).
@@ -67,6 +70,17 @@
 // file mutex. Lock order is store.mu -> (caller's session lock) ->
 // shard.mu: LogObserve takes only shard.mu, so serve can call it while
 // holding its per-session lock without ordering violations.
+//
+// Spill follows seal-before-snapshot: Seal must take the value's own
+// lock and mark it stale before Snapshot runs, so no mutation can land
+// between the snapshot being captured and the cold index pointing at it.
+// Put places the entry in the hot tier before logging the WAL create and
+// rolls the placement back if the append fails, so no failure path
+// leaves a durable create for an id that was never stored. After a
+// simulated crash poisons the store, every append path re-checks the
+// poison flag under shard.mu before writing, so a writer that was
+// already blocked on the file lock cannot fsync frames past the crash
+// point.
 //
 // # Crash simulation
 //

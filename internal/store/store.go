@@ -61,8 +61,22 @@ type Callbacks[V any] struct {
 	// Replay applies one logged observe batch to v and reports how many
 	// records it held (the hom_wal_replayed_records_total increment).
 	Replay func(id string, v V, data []byte) (int, error)
-	// OnSpill, when set, is notified as v leaves the hot tier (metrics
-	// teardown, spill marking). Called with store locks held.
+	// Seal, when set, is invoked immediately before Snapshot as v is about
+	// to leave the hot tier. It must acquire v's own mutation lock and
+	// mark v stale, so a mutation batch racing the spill either completes
+	// first — and is captured by the snapshot — or observes the mark and
+	// re-resolves through Get, which blocks until the spill finishes and
+	// then hydrates the fresh copy. Without it, a mutation applied (and
+	// WAL-acknowledged) between the snapshot and the caller learning of
+	// the spill would silently vanish on the next hydration. Called with
+	// store locks held.
+	Seal func(id string, v V)
+	// Unseal reverses Seal when a spill aborts after sealing (snapshot or
+	// segment-append error): v stays hot and must accept mutations again.
+	// Called with store locks held.
+	Unseal func(id string, v V)
+	// OnSpill, when set, is notified after v has left the hot tier
+	// (metrics teardown). Called with store locks held.
 	OnSpill func(id string, v V)
 }
 
@@ -105,6 +119,11 @@ type Store[V any] struct {
 
 	shards  []*shard
 	crashed atomic.Bool
+	// walErrForTest, when holding a non-nil error, fails LogObserve
+	// without poisoning the store — a real WAL I/O failure (full disk,
+	// dying device), as opposed to the injected crash points that kill
+	// the simulated process. Set via FailWALForTest.
+	walErrForTest atomic.Value // walErrBox
 
 	spills      atomic.Int64
 	hydrates    atomic.Int64
@@ -171,9 +190,13 @@ func (s *Store[V]) Stats() Stats {
 	}
 }
 
-// Put registers a new session in the hot tier. The create blob is logged
-// to the WAL (fsync'd) before the entry is placed, so a create the
-// caller acknowledges can be rebuilt even if the process dies before the
+// Put registers a new session in the hot tier. The entry is placed
+// first and the create blob WAL-logged (fsync'd) after, so a Put the
+// caller saw fail leaves nothing durable behind — logging the create
+// first would let a later place failure strand a durable create record
+// that resurrects the id on the next restart and blocks it with
+// ErrExists. A create the caller acknowledges is on disk before Put
+// returns, so it can be rebuilt even if the process dies before the
 // first spill. Returns ErrExists if the id is live in either tier.
 func (s *Store[V]) Put(id string, createData []byte, v V) error {
 	s.mu.Lock()
@@ -187,16 +210,27 @@ func (s *Store[V]) Put(id string, createData []byte, v V) error {
 	if _, ok := s.cold[id]; ok {
 		return ErrExists
 	}
-	sh, _ := s.shardFor(id)
-	sh.mu.Lock()
-	err := sh.appendWAL(record{kind: recCreate, id: id, data: createData}, true, s.cfg.Fault, s.markCrashed)
-	sh.mu.Unlock()
-	if err != nil {
-		return err
-	}
 	e := &hotEntry[V]{id: id, v: v}
 	e.ref.Store(true)
 	if err := s.place(e); err != nil {
+		return err
+	}
+	sh, _ := s.shardFor(id)
+	sh.mu.Lock()
+	err := ErrInjectedCrash
+	// Re-check under the shard lock: a concurrent LogObserve (which does
+	// not hold store.mu) may have fired a crash point while we waited,
+	// and fsyncing after the simulated death would make its unsynced,
+	// never-acknowledged tail frame durable.
+	if !s.crashed.Load() {
+		err = sh.appendWAL(record{kind: recCreate, id: id, data: createData}, true, s.cfg.Fault, s.markCrashed)
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		// The create never became durable; release the claimed ring slot
+		// so the failed id does not occupy hot capacity. A victim spilled
+		// by place stays validly cold.
+		s.ring[e.slot] = nil
 		return err
 	}
 	s.hot[id] = e
@@ -233,13 +267,22 @@ func (s *Store[V]) place(e *hotEntry[V]) error {
 	}
 }
 
-// spillLocked moves e's value to the segment tier: snapshot, append
-// (unsynced — the WAL is the durability root), index, release. The ring
-// slot is left for the caller to reuse or clear. Callers hold the write
-// lock.
+// spillLocked moves e's value to the segment tier: seal, snapshot,
+// append (unsynced — the WAL is the durability root), index, release.
+// Sealing comes strictly first: Seal takes the value's own lock, so a
+// mutation batch racing this spill either finishes before the snapshot
+// below (and lands inside it) or sees the seal and re-resolves through
+// Get — snapshotting first would open a window where an acknowledged
+// mutation lands in the live value after its bytes were captured and is
+// silently lost on the next hydration. The ring slot is left for the
+// caller to reuse or clear. Callers hold the write lock.
 func (s *Store[V]) spillLocked(e *hotEntry[V]) error {
+	if s.cb.Seal != nil {
+		s.cb.Seal(e.id, e.v)
+	}
 	data, seq, err := s.cb.Snapshot(e.id, e.v)
 	if err != nil {
+		s.unseal(e)
 		return fmt.Errorf("store: snapshot %q: %w", e.id, err)
 	}
 	sh, shi := s.shardFor(e.id)
@@ -247,6 +290,7 @@ func (s *Store[V]) spillLocked(e *hotEntry[V]) error {
 	off, flen, err := sh.appendSeg(record{kind: recSnapshot, id: e.id, seq: seq, data: data}, s.cfg.Fault)
 	sh.mu.Unlock()
 	if err != nil {
+		s.unseal(e)
 		return err
 	}
 	s.cold[e.id] = coldRef{shard: shi, off: off, flen: flen, seq: seq}
@@ -256,6 +300,13 @@ func (s *Store[V]) spillLocked(e *hotEntry[V]) error {
 		s.cb.OnSpill(e.id, e.v)
 	}
 	return nil
+}
+
+// unseal reopens a sealed value after an aborted spill.
+func (s *Store[V]) unseal(e *hotEntry[V]) {
+	if s.cb.Unseal != nil {
+		s.cb.Unseal(e.id, e.v)
+	}
 }
 
 // Get returns the value for id, hydrating it from the cold tier if
@@ -367,6 +418,10 @@ func (s *Store[V]) Remove(id string) (existed bool, err error) {
 	sh, _ := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if s.crashed.Load() {
+		// See LogObserve: no append or fsync after the simulated death.
+		return true, ErrInjectedCrash
+	}
 	if _, _, err := sh.appendSeg(record{kind: recTombstone, id: id}, s.cfg.Fault); err != nil {
 		return true, err
 	}
@@ -433,9 +488,19 @@ func (s *Store[V]) LogObserve(id string, baseSeq uint64, data []byte) error {
 	if s.crashed.Load() {
 		return ErrInjectedCrash
 	}
+	if box, _ := s.walErrForTest.Load().(walErrBox); box.err != nil {
+		return box.err
+	}
 	sh, _ := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if s.crashed.Load() {
+		// A crash point fired while we waited for the shard. The simulated
+		// process is dead — and appending (and fsyncing) now would make the
+		// dead append's unsynced, never-acknowledged tail frame durable,
+		// resurrecting records nobody acked.
+		return ErrInjectedCrash
+	}
 	return sh.appendWAL(record{kind: recObserve, id: id, seq: baseSeq, data: data}, true, s.cfg.Fault, s.markCrashed)
 }
 
@@ -529,6 +594,16 @@ func truncateWAL(tf *tierFile) error {
 	}
 	return nil
 }
+
+// walErrBox wraps the forced LogObserve error so clearing it (nil) can
+// still be stored in the atomic.Value.
+type walErrBox struct{ err error }
+
+// FailWALForTest makes every subsequent LogObserve fail with err without
+// poisoning the store, simulating a real (non-crash) WAL I/O error such
+// as a full disk. Pass nil to restore normal operation. Test-only, like
+// CrashForTest.
+func (s *Store[V]) FailWALForTest(err error) { s.walErrForTest.Store(walErrBox{err: err}) }
 
 // CrashForTest simulates kill -9: every tier file is truncated to the
 // prefix a real crash would have preserved (synced bytes, plus any torn

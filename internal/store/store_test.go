@@ -5,18 +5,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"highorder/internal/store"
 )
 
 // testVal is the store tests' stand-in for a predictor session: an
-// opaque create blob plus the ordered list of observed record values.
+// opaque create blob plus the ordered list of observed record values,
+// guarded the way serve guards a Session — a per-value mutex and a
+// sealed flag set by the store's Seal callback before a spill snapshot.
 // Its snapshot encoding is deterministic, so round-trip identity is
 // byte-comparable.
 type testVal struct {
-	opts string
-	recs []uint64
+	mu     sync.Mutex
+	sealed bool
+	opts   string
+	recs   []uint64
 }
 
 // encodeVal encodes a testVal snapshot: uvarint len(opts) | opts |
@@ -91,7 +97,19 @@ func decodeBatch(data []byte) ([]uint64, error) {
 func testCallbacks(spilled *[]string) store.Callbacks[*testVal] {
 	cb := store.Callbacks[*testVal]{
 		Snapshot: func(id string, v *testVal) ([]byte, uint64, error) {
+			v.mu.Lock()
+			defer v.mu.Unlock()
 			return encodeVal(v), uint64(len(v.recs)), nil
+		},
+		Seal: func(id string, v *testVal) {
+			v.mu.Lock()
+			v.sealed = true
+			v.mu.Unlock()
+		},
+		Unseal: func(id string, v *testVal) {
+			v.mu.Lock()
+			v.sealed = false
+			v.mu.Unlock()
 		},
 		Hydrate: func(id string, data []byte) (*testVal, error) {
 			return decodeVal(data)
@@ -394,6 +412,91 @@ func TestOpenRejectsForeignFile(t *testing.T) {
 	}
 	if _, err := store.Open(cfg, testCallbacks(nil)); err == nil {
 		t.Fatalf("Open accepted a non-homgob segment file")
+	}
+}
+
+// TestSpillSealsBeforeSnapshot pins the spill/observe ordering: by the
+// time a spill's snapshot has been taken, the value must already be
+// sealed, so a mutator holding a pre-spill pointer cannot apply (and
+// WAL-acknowledge) a batch the snapshot missed. The test freezes the
+// spill right after its Snapshot callback returns and probes the stale
+// pointer from a second goroutine: it must find the value sealed, let
+// the spill finish, and land its batch on the rehydrated copy instead —
+// where a final Get can still see it. Before sealing existed the probe
+// found the value mutable, the batch went to the dead object, and the
+// next hydration served the pre-batch snapshot: an acknowledged label
+// silently lost without any crash.
+func TestSpillSealsBeforeSnapshot(t *testing.T) {
+	var (
+		armed         atomic.Bool
+		snapshotTaken = make(chan struct{})
+		mutatorDone   = make(chan struct{})
+	)
+	cb := testCallbacks(nil)
+	baseSnap := cb.Snapshot
+	cb.Snapshot = func(id string, v *testVal) ([]byte, uint64, error) {
+		data, seq, err := baseSnap(id, v)
+		if armed.CompareAndSwap(true, false) {
+			close(snapshotTaken)
+			<-mutatorDone // hold the spill open while the mutator probes
+		}
+		return data, seq, err
+	}
+	s := mustOpen(t, testConfig(t, 2), cb)
+	defer s.Close()
+	v := &testVal{opts: "a"}
+	if err := s.Put("a", []byte("a"), v); err != nil {
+		t.Fatal(err)
+	}
+
+	probed := make(chan error, 1)
+	go func() {
+		probed <- func() error {
+			<-snapshotTaken
+			// The spill holds store.mu and has captured its snapshot, but
+			// has not yet indexed it. The pre-spill pointer must already
+			// be sealed; LogObserve takes only the shard lock, so nothing
+			// would stop the buggy interleaving here.
+			v.mu.Lock()
+			sealed := v.sealed
+			if !sealed {
+				v.recs = append(v.recs, 42)
+				if err := s.LogObserve("a", 0, encodeBatch([]uint64{42})); err != nil {
+					v.mu.Unlock()
+					return err
+				}
+			}
+			v.mu.Unlock()
+			close(mutatorDone)
+			if !sealed {
+				return fmt.Errorf("value mutable after the spill snapshot was taken")
+			}
+			// The correct path: re-resolve through Get (blocks until the
+			// spill finishes) and apply the batch to the live copy.
+			fresh, ok, _, err := s.Get("a")
+			if err != nil || !ok {
+				return fmt.Errorf("re-resolve Get: ok=%v err=%v", ok, err)
+			}
+			fresh.mu.Lock()
+			defer fresh.mu.Unlock()
+			if fresh.sealed {
+				return fmt.Errorf("rehydrated copy is sealed")
+			}
+			fresh.recs = append(fresh.recs, 42)
+			return s.LogObserve("a", 0, encodeBatch([]uint64{42}))
+		}()
+	}()
+
+	armed.Store(true)
+	if err := s.Spill("a"); err != nil {
+		t.Fatalf("Spill: %v", err)
+	}
+	if err := <-probed; err != nil {
+		t.Fatal(err)
+	}
+	got, _ := mustGet(t, s, "a")
+	if !sameRecs(got.recs, []uint64{42}) {
+		t.Fatalf("batch acknowledged during the spill was lost: recs = %v, want [42]", got.recs)
 	}
 }
 
