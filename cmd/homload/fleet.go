@@ -62,6 +62,8 @@ type fleetWorkload struct {
 	lambda                               float64
 	seed                                 int64
 	queue, workers                       int
+	codec                                serve.Codec
+	compiled                             bool
 }
 
 // parseSweep parses "1,2,4" into replica counts.
@@ -130,7 +132,7 @@ func runFleetSession(clk clock.Clock, slp clock.Sleeper, base string, w fleetWor
 		r.attempted++
 		return r
 	}
-	c := serve.NewClient(base, nil)
+	c := serve.NewClient(base, nil).WithCodec(w.codec)
 	if rec != nil {
 		c = c.WithRecorder(rec)
 	}
@@ -293,7 +295,7 @@ type fleetStoreTotals struct {
 // requested churn/kill/autoscale choreography, and tears everything down.
 func runFleetOnce(clk clock.Clock, slp clock.Sleeper, m *core.Model, replicas int,
 	w fleetWorkload, fo fleetOptions) (*fleetRun, error) {
-	opts := serve.Options{QueueDepth: w.queue, Workers: w.workers}
+	opts := serve.Options{QueueDepth: w.queue, Workers: w.workers, Interpreted: !w.compiled}
 	if fo.serviceDelay > 0 {
 		// Every observe batch stalls by the configured service delay, so a
 		// replica's throughput is latency-bound: honest near-linear scaling

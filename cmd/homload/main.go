@@ -91,7 +91,21 @@ func main() {
 	storeBench := flag.Int("store-bench", 0, "store bench: populate N concurrent sessions through a tiered in-process server, revisit cold ones, and write a hydration profile (needs -model; 0 = off)")
 	storeRecords := flag.Int("store-records", 3, "store bench: labeled records observed per session")
 	storeRevisits := flag.Int("store-revisits", 0, "store bench: cold sessions revisited to measure hydration (0 = sessions/10, capped at 10000)")
+	codecName := flag.String("codec", "json", `classify/observe wire codec: "json" or "binary"`)
+	compiled := flag.Bool("compiled", true, "in-process server: serve sessions on the compiled classify hot path (false forces the interpreted predictor, for A/B runs)")
+	classifyBench := flag.Int("classify-bench", 0, "after the load run, classify N records through a fresh warmed session per codec and record per-codec throughput in the summary (0 = off)")
 	flag.Parse()
+
+	var codec serve.Codec
+	switch *codecName {
+	case "json":
+		codec = serve.CodecJSON
+	case "binary":
+		codec = serve.CodecBinary
+	default:
+		fmt.Fprintf(os.Stderr, "homload: -codec must be json or binary, got %q\n", *codecName)
+		os.Exit(2)
+	}
 
 	if *maxprocs > 0 {
 		runtime.GOMAXPROCS(*maxprocs)
@@ -165,6 +179,7 @@ func main() {
 			sessions: *sessions, records: *records, batch: *batch, maxRetries: *maxRetries,
 			stream: *stream, lambda: *lambda, seed: *seed,
 			queue: *queue, workers: *workers,
+			codec: codec, compiled: *compiled,
 		}
 		runFleet(clk, slp, *modelPath, outPath, w, fo)
 		return
@@ -176,6 +191,7 @@ func main() {
 	}
 	base := *addr
 	var shutdown func() error
+	servedCompiled := false
 	if *modelPath != "" {
 		m, err := dataio.LoadModel(*modelPath)
 		if err != nil {
@@ -187,11 +203,13 @@ func main() {
 		}
 		srv, err := serve.NewTiered(m, serve.Options{
 			QueueDepth: *queue, Workers: *workers, MicroBatch: *microBatch,
-			Tier: serve.TierOptions{SpillDir: *spillDir, HotSessions: *hotSessions, WAL: *wal},
+			Interpreted: !*compiled,
+			Tier:        serve.TierOptions{SpillDir: *spillDir, HotSessions: *hotSessions, WAL: *wal},
 		})
 		if err != nil {
 			fail(err)
 		}
+		servedCompiled = srv.Compiled()
 		ctx, cancel := context.WithCancel(context.Background())
 		served := make(chan error, 1)
 		go func() { served <- srv.Serve(ctx, l) }()
@@ -218,13 +236,23 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = runSession(clk, slp, base, *stream, *lambda, seeds[i], *records, *batch, *maxRetries)
+			results[i] = runSession(clk, slp, base, *stream, *lambda, seeds[i], *records, *batch, *maxRetries, codec)
 		}(i)
 	}
 	wg.Wait()
 	elapsed := clk().Sub(start).Seconds()
 
 	sum := summarize(results, *sessions, *records, *batch, *stream, *seed, elapsed)
+	sum.Config.Codec = *codecName
+	sum.Config.Compiled = servedCompiled
+
+	if *classifyBench > 0 {
+		cb, err := runClassifyBench(clk, base, *classifyBench, servedCompiled)
+		if err != nil {
+			fail(fmt.Errorf("classify bench: %w", err))
+		}
+		sum.ClassifyBench = cb
+	}
 
 	// The server's own view: high-water queue depth and rejection count.
 	if text, err := serve.NewClient(base, nil).Metrics(); err == nil {
@@ -321,7 +349,7 @@ func (r *sessionResult) call(clk clock.Clock, slp clock.Sleeper, maxRetries int,
 	}
 }
 
-func runSession(clk clock.Clock, slp clock.Sleeper, base, stream string, lambda float64, seed int64, records, batch, maxRetries int) *sessionResult {
+func runSession(clk clock.Clock, slp clock.Sleeper, base, stream string, lambda float64, seed int64, records, batch, maxRetries int, codec serve.Codec) *sessionResult {
 	r := &sessionResult{}
 	g, err := newStream(stream, lambda, seed)
 	if err != nil {
@@ -330,7 +358,7 @@ func runSession(clk clock.Clock, slp clock.Sleeper, base, stream string, lambda 
 		r.attempted++
 		return r
 	}
-	c := serve.NewClient(base, nil)
+	c := serve.NewClient(base, nil).WithCodec(codec)
 
 	var created serve.CreateSessionResponse
 	if !r.call(clk, slp, maxRetries, func() error {
@@ -386,6 +414,8 @@ type summary struct {
 		Stream            string `json:"stream"`
 		Seed              int64  `json:"seed"`
 		GoMaxProcs        int    `json:"gomaxprocs"`
+		Codec             string `json:"codec"`
+		Compiled          bool   `json:"compiled"`
 	} `json:"config"`
 	Requests struct {
 		Attempted  int `json:"attempted"`
@@ -422,6 +452,86 @@ type summary struct {
 		ObserveP95  float64 `json:"observe_p95"`
 		ObserveP99  float64 `json:"observe_p99"`
 	} `json:"server_latency_ms"`
+	// ClassifyBench, when -classify-bench is set, is a pure classify-path
+	// throughput probe run after the mixed workload: one fresh session per
+	// codec, warmed with 128 labeled records, then N records classified in
+	// large batches with no observe traffic interleaved. It isolates the
+	// serve classify hot path (and the wire codec around it) from
+	// test-then-train protocol overhead.
+	ClassifyBench *classifyBench `json:"classify_bench,omitempty"`
+}
+
+// classifyBench is the per-codec classify-only throughput section.
+type classifyBench struct {
+	Records  int                        `json:"records"`
+	Batch    int                        `json:"batch"`
+	Compiled bool                       `json:"compiled"`
+	Codecs   map[string]codecBenchStats `json:"codecs"`
+}
+
+type codecBenchStats struct {
+	ElapsedSeconds   float64 `json:"elapsed_seconds"`
+	RecordsPerSecond float64 `json:"records_per_second"`
+}
+
+// classifyBenchBatch keeps one request comfortably under the server's
+// request-size cap for both codecs while amortizing per-request cost.
+const classifyBenchBatch = 2048
+
+// runClassifyBench measures classify-only throughput per wire codec
+// against the already-running server at base.
+func runClassifyBench(clk clock.Clock, base string, records int, compiled bool) (*classifyBench, error) {
+	cb := &classifyBench{
+		Records:  records,
+		Batch:    classifyBenchBatch,
+		Compiled: compiled,
+		Codecs:   map[string]codecBenchStats{},
+	}
+	for _, cc := range []struct {
+		name  string
+		codec serve.Codec
+	}{{"json", serve.CodecJSON}, {"binary", serve.CodecBinary}} {
+		c := serve.NewClient(base, nil).WithCodec(cc.codec)
+		created, err := c.CreateSession(serve.CreateSessionRequest{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: create session: %w", cc.name, err)
+		}
+		// Warm the session with labeled records so the served predictor has a
+		// concentrated prior — the steady state the hot path is built for.
+		g := synth.NewStagger(synth.StaggerConfig{Seed: 42, Lambda: 0.02})
+		warmVec := make([][]float64, 128)
+		warmCls := make([]int, len(warmVec))
+		for i := range warmVec {
+			rec := g.Next().Record
+			warmVec[i] = rec.Values
+			warmCls[i] = rec.Class
+		}
+		if _, err := c.Observe(created.ID, warmVec, warmCls); err != nil {
+			return nil, fmt.Errorf("%s: warmup observe: %w", cc.name, err)
+		}
+		vectors := make([][]float64, classifyBenchBatch)
+		for i := range vectors {
+			vectors[i] = g.Next().Record.Values
+		}
+		start := clk()
+		for done := 0; done < records; {
+			n := min(classifyBenchBatch, records-done)
+			if _, err := c.Classify(created.ID, vectors[:n], false); err != nil {
+				return nil, fmt.Errorf("%s: classify: %w", cc.name, err)
+			}
+			done += n
+		}
+		elapsed := clk().Sub(start).Seconds()
+		stats := codecBenchStats{ElapsedSeconds: elapsed}
+		if elapsed > 0 {
+			stats.RecordsPerSecond = float64(records) / elapsed
+		}
+		cb.Codecs[cc.name] = stats
+		if err := c.CloseSession(created.ID); err != nil {
+			return nil, fmt.Errorf("%s: close session: %w", cc.name, err)
+		}
+	}
+	return cb, nil
 }
 
 func summarize(results []*sessionResult, sessions, records, batch int, stream string, seed int64, elapsed float64) *summary {

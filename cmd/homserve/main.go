@@ -84,6 +84,7 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "tiered session store: directory for disk spill segments (empty = tiering off, sessions die with the process)")
 	hotSessions := flag.Int("hot-sessions", 0, "tiered session store: in-memory hot-set bound (0 = default 1024; needs -spill-dir)")
 	wal := flag.Bool("wal", false, "tiered session store: fsync a write-ahead label log so acknowledged observes survive a crash (needs -spill-dir)")
+	compiled := flag.Bool("compiled", true, "serve sessions on the compiled classify hot path when the model compiles (false forces the interpreted predictor, for A/B comparison)")
 	flag.Parse()
 
 	m, err := dataio.LoadModel(*modelPath)
@@ -115,6 +116,7 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		ShedDepth:      *shedDepth,
 		Recorder:       rec,
+		Interpreted:    !*compiled,
 		Tier: serve.TierOptions{
 			SpillDir:    *spillDir,
 			HotSessions: *hotSessions,
@@ -144,7 +146,11 @@ func main() {
 		fmt.Printf("homserve: debug endpoints (pprof, expvar) on %s\n", dl.Addr())
 	}
 
-	fmt.Printf("homserve: serving %d-concept model from %s on %s\n", m.NumConcepts(), *modelPath, l.Addr())
+	path := "interpreted"
+	if s.Compiled() {
+		path = "compiled"
+	}
+	fmt.Printf("homserve: serving %d-concept model from %s on %s (%s classify path)\n", m.NumConcepts(), *modelPath, l.Addr(), path)
 	if err := s.Serve(ctx, l); err != nil {
 		fail(err)
 	}

@@ -160,6 +160,16 @@ func (m *Model) GobDecode(b []byte) error {
 	return nil
 }
 
+// Params exposes the trained parameters for ahead-of-time compilation
+// (internal/compiled): the schema, per-class log-priors, nominal
+// log-frequency tables (nominal[a][c][v], nil for numeric a), and numeric
+// Gaussian parameters (mean[a][c]/stddev[a][c], nil for nominal a). The
+// returned slices are the model's own — callers must treat them as
+// read-only.
+func (m *Model) Params() (schema *data.Schema, logPrio []float64, nominal [][][]float64, mean, stddev [][]float64) {
+	return m.schema, m.logPrio, m.nominal, m.mean, m.stddev
+}
+
 // Predict returns the maximum-posterior class for r. It computes the
 // posterior into a local buffer rather than the model's shared scratch
 // slice, so — unlike PredictProba — it is safe for concurrent use on a
@@ -191,10 +201,17 @@ func (m *Model) posteriorInto(logp []float64, r data.Record) []float64 {
 	copy(logp, m.logPrio)
 	for a, attr := range m.schema.Attributes {
 		if attr.Kind == data.Nominal {
-			v := int(r.Values[a])
-			if v < 0 || v >= attr.Cardinality() {
+			// Nominal fallback rule (shared verbatim by the compiled
+			// evaluator in internal/compiled, mirroring tree.leafFor): the
+			// range check happens in float space before the int conversion,
+			// so NaN and values outside int range deterministically skip the
+			// factor instead of hitting Go's unspecified float-to-int
+			// conversion.
+			fv := r.Values[a]
+			if !(fv >= 0 && fv < float64(attr.Cardinality())) {
 				continue // unseen value: skip the factor
 			}
+			v := int(fv)
 			for c := 0; c < k; c++ {
 				logp[c] += m.nominal[a][c][v]
 			}

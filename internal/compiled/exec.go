@@ -1,0 +1,192 @@
+package compiled
+
+import (
+	"math"
+
+	"highorder/internal/classifier"
+	"highorder/internal/tree"
+)
+
+// halfLog2Pi is the Gaussian normalization constant, produced at init by
+// the same expression bayes.posteriorInto evaluates inline, so the
+// compiled subtraction chain sees a bit-identical operand.
+var halfLog2Pi = 0.5 * math.Log(2*math.Pi)
+
+// treeWalk walks values to the deepest reachable node of p's tree and
+// returns its flat index. It mirrors tree.(*Tree).leafFor exactly,
+// including the documented nominal fallback rule: a nominal value selects
+// branch int(v) only when v >= 0 && v < float64(nchild) (checked in float
+// space); anything else — including a branch the grower never built
+// (childIdx -1) — stops the walk at the current node.
+//
+//homlint:hotpath -- per-record compiled tree walk
+func (m *Model) treeWalk(p *program, values []float64) int32 {
+	nodes := m.nodes
+	childIdx := m.childIdx
+	idx := p.root
+	for {
+		nd := &nodes[idx]
+		if nd.nchild == 0 {
+			return idx
+		}
+		next := int32(-1)
+		if nd.numeric {
+			if values[nd.attr] <= nd.thr {
+				next = childIdx[nd.child]
+			} else {
+				next = childIdx[nd.child+1]
+			}
+		} else {
+			v := values[nd.attr]
+			if v >= 0 && v < float64(nd.nchild) {
+				next = childIdx[nd.child+int32(v)]
+			}
+		}
+		if next < 0 {
+			return idx
+		}
+		idx = next
+	}
+}
+
+// bayesPosteriorInto writes the normalized class posteriors into logp
+// (length k) and returns it. It mirrors bayes.(*Model).posteriorInto
+// operation for operation: same per-attribute loop, same left-associative
+// log-density expression (with log σ read from the arena instead of
+// recomputed), same log-sum-exp normalization and non-finite fallback.
+//
+//homlint:hotpath -- per-record compiled bayes evaluation
+func (m *Model) bayesPosteriorInto(p *program, values []float64, logp []float64) []float64 {
+	k := m.k
+	arena := m.arena
+	copy(logp, arena[p.logPrio:int(p.logPrio)+k])
+	for bi := p.battrOff; bi < p.battrOff+p.battrN; bi++ {
+		ba := &m.battrs[bi]
+		if ba.nominal {
+			// Shared nominal fallback rule: range-check in float space.
+			fv := values[ba.attr]
+			if !(fv >= 0 && fv < float64(ba.card)) {
+				continue
+			}
+			base := ba.off + int32(fv)
+			card := ba.card
+			for c := 0; c < k; c++ {
+				logp[c] += arena[base+int32(c)*card]
+			}
+			continue
+		}
+		x := values[ba.attr]
+		mean := arena[ba.off : int(ba.off)+k]
+		sd := arena[int(ba.off)+k : int(ba.off)+2*k]
+		logSD := arena[int(ba.off)+2*k : int(ba.off)+3*k]
+		for c := 0; c < k; c++ {
+			z := (x - mean[c]) / sd[c]
+			logp[c] += -0.5*z*z - logSD[c] - halfLog2Pi
+		}
+	}
+	maxLog := logp[0]
+	for _, v := range logp[1:] {
+		if v > maxLog {
+			maxLog = v
+		}
+	}
+	if math.IsInf(maxLog, -1) || math.IsNaN(maxLog) {
+		for c := 0; c < k; c++ {
+			logp[c] = 1 / float64(k)
+		}
+		return logp
+	}
+	sum := 0.0
+	for c := 0; c < k; c++ {
+		logp[c] = math.Exp(logp[c] - maxLog)
+		sum += logp[c]
+	}
+	for c := 0; c < k; c++ {
+		logp[c] /= sum
+	}
+	return logp
+}
+
+// ruleMatches mirrors tree.Condition.Matches over the flattened
+// condition block.
+//
+//homlint:hotpath -- per-record compiled rule evaluation
+func (m *Model) ruleMatches(rm *ruleMeta, values []float64) bool {
+	for ci := rm.condOff; ci < rm.condOff+rm.condN; ci++ {
+		c := &m.conds[ci]
+		v := values[c.attr]
+		switch tree.CondOp(c.op) {
+		case tree.OpEq:
+			if v != c.val { //homlint:allow floatcmp -- mirrors tree.Condition.Matches: OpEq tests integer-coded nominal values exactly
+				return false
+			}
+		case tree.OpLE:
+			if !(v <= c.val) {
+				return false
+			}
+		default:
+			if !(v > c.val) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// rulesPredict mirrors tree.(*RuleSet).Predict: first matching rule wins.
+func (m *Model) rulesPredict(p *program, values []float64) int {
+	for ri := p.ruleOff; ri < p.ruleOff+p.ruleN; ri++ {
+		if m.ruleMatches(&m.rules[ri], values) {
+			return int(m.rules[ri].class)
+		}
+	}
+	return int(p.defClass)
+}
+
+// rulesDist mirrors tree.(*RuleSet).PredictProba, answering the
+// precomputed arena distribution of the first matching rule (or the
+// default training distribution). The returned slice aliases the arena
+// and must be treated as read-only.
+func (m *Model) rulesDist(p *program, values []float64) []float64 {
+	for ri := p.ruleOff; ri < p.ruleOff+p.ruleN; ri++ {
+		if m.ruleMatches(&m.rules[ri], values) {
+			d := m.rules[ri].dist
+			return m.arena[d : int(d)+m.k]
+		}
+	}
+	return m.arena[p.defDist : int(p.defDist)+m.k]
+}
+
+// conceptPredict returns concept c's predicted class for values; scratch
+// must have length k (the bayes posterior buffer).
+//
+//homlint:hotpath -- per-record compiled concept dispatch
+func (m *Model) conceptPredict(c int, values []float64, scratch []float64) int {
+	p := &m.progs[c]
+	switch p.kind {
+	case progTree:
+		return int(m.nodes[m.treeWalk(p, values)].class)
+	case progBayes:
+		return classifier.ArgMax(m.bayesPosteriorInto(p, values, scratch))
+	default:
+		return m.rulesPredict(p, values)
+	}
+}
+
+// conceptDist returns concept c's class distribution for values; scratch
+// must have length k and may be the returned slice (bayes). Tree and rule
+// answers alias the arena and must be treated as read-only.
+//
+//homlint:hotpath -- per-record compiled concept dispatch
+func (m *Model) conceptDist(c int, values []float64, scratch []float64) []float64 {
+	p := &m.progs[c]
+	switch p.kind {
+	case progTree:
+		nd := &m.nodes[m.treeWalk(p, values)]
+		return m.arena[nd.dist : int(nd.dist)+m.k]
+	case progBayes:
+		return m.bayesPosteriorInto(p, values, scratch)
+	default:
+		return m.rulesDist(p, values)
+	}
+}

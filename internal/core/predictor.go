@@ -8,6 +8,44 @@ import (
 	"highorder/internal/obs"
 )
 
+// OnlinePredictor is the per-session online surface shared by the
+// interpreted *Predictor and its ahead-of-time compiled twin
+// (internal/compiled.Predictor). The serving layer holds sessions through
+// this interface, so an interpreted and a compiled session are
+// interchangeable — the compiled twin is proven bit-identical on every
+// method by internal/compiled's golden-equivalence suite. Implementations
+// inherit the Predictor's single-goroutine contract: callers must
+// serialize all access.
+type OnlinePredictor interface {
+	// Predict returns arg max_l Highorder(l|x) (Eq. 11).
+	Predict(x data.Record) int
+	// PredictProba returns Σ_c P_t⁻(c)·M_c(l|x) (Eq. 10); the returned
+	// slice is reused across calls.
+	PredictProba(x data.Record) []float64
+	// Observe folds one labeled record into the active probabilities
+	// (Eqs. 7–9).
+	Observe(y data.Record)
+	// Observed returns the number of labeled records consumed.
+	Observed() int
+	// CurrentConcept returns the posterior-MAP concept and its probability.
+	CurrentConcept() (concept int, probability float64)
+	// RecentExplainedRate mirrors Predictor.RecentExplainedRate.
+	RecentExplainedRate() (rate float64, full bool)
+	// ActiveProbabilities returns a copy of the posterior P_t(c).
+	ActiveProbabilities() []float64
+	// PriorProbabilities returns a copy of the prior P_t⁻(c).
+	PriorProbabilities() []float64
+	// MarkDrift records that the true stream concept changed now.
+	MarkDrift()
+	// AdvanceTime advances the prior without labels (§III-B).
+	AdvanceTime(steps int)
+	// Snapshot captures the portable online state; Restore overwrites it.
+	Snapshot() PredictorState
+	Restore(st PredictorState) error
+	// SetSink installs (or removes, with nil) the introspection sink.
+	SetSink(s obs.PredictorSink)
+}
+
 // PredictorOptions configure online prediction.
 type PredictorOptions struct {
 	// DisablePruning turns off the active-probability pruning of §III-C,
@@ -75,6 +113,13 @@ type Predictor struct {
 
 // explainWindow is the ring size behind RecentExplainedRate.
 const explainWindow = 50
+
+// ExplainWindow exposes the RecentExplainedRate ring size, which also
+// bounds PredictorState.Explained — compiled twins and serving layers need
+// it to validate snapshots identically.
+const ExplainWindow = explainWindow
+
+var _ OnlinePredictor = (*Predictor)(nil)
 
 // NewPredictor returns a predictor with every concept equally probable
 // (P_1(c) = 1/N, §III-B).

@@ -391,3 +391,57 @@ func TestGatewayAdminHTTP(t *testing.T) {
 		t.Fatalf("health after leave = %+v, want 1 replica, 1 session", health)
 	}
 }
+
+// TestBinaryCodecThroughGateway proves the opt-in binary classify/observe
+// codec survives the gateway's forwarding path end to end: the proxy
+// relays the request body and Content-Type opaquely, and the replica's
+// binary response — headers included — streams back unmodified. A JSON
+// client against the same fleet must see identical predictions and
+// observe bookkeeping.
+func TestBinaryCodecThroughGateway(t *testing.T) {
+	_, _, jsonC := testFleet(t, 2, Config{})
+	g2, _, _ := testFleet(t, 2, Config{})
+	binC := serveClientFor(t, g2).WithCodec(serve.CodecBinary)
+
+	js, err := jsonC.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := binC.CreateSession(serve.CreateSessionRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors, classes := staggerWire(31, 60)
+	for start := 0; start < len(vectors); start += 10 {
+		v := vectors[start : start+10]
+		c := classes[start : start+10]
+		jc, err := jsonC.Classify(js.ID, v, false)
+		if err != nil {
+			t.Fatalf("json classify via gateway: %v", err)
+		}
+		bc, err := binC.Classify(bs.ID, v, false)
+		if err != nil {
+			t.Fatalf("binary classify via gateway: %v", err)
+		}
+		if len(jc.Predictions) != len(bc.Predictions) {
+			t.Fatalf("prediction counts diverge: %d vs %d", len(jc.Predictions), len(bc.Predictions))
+		}
+		for i := range jc.Predictions {
+			if jc.Predictions[i] != bc.Predictions[i] {
+				t.Fatalf("batch %d record %d: json predicted %d, binary %d", start, i, jc.Predictions[i], bc.Predictions[i])
+			}
+		}
+		jo, err := jsonC.Observe(js.ID, v, c)
+		if err != nil {
+			t.Fatalf("json observe via gateway: %v", err)
+		}
+		bo, err := binC.Observe(bs.ID, v, c)
+		if err != nil {
+			t.Fatalf("binary observe via gateway: %v", err)
+		}
+		if jo.Observed != bo.Observed || jo.Applied != bo.Applied ||
+			math.Float64bits(jo.ExplainedRate) != math.Float64bits(bo.ExplainedRate) {
+			t.Fatalf("batch %d: observe responses diverge through the gateway: %+v vs %+v", start, jo, bo)
+		}
+	}
+}

@@ -104,6 +104,22 @@ type RetryPolicy struct {
 	Rng *rng.Source
 }
 
+// Codec selects the wire encoding the client uses on the classify and
+// observe endpoints. Everything else (session lifecycle, admin, metrics)
+// is always JSON.
+type Codec int
+
+const (
+	// CodecJSON is the default JSON wire format.
+	CodecJSON Codec = iota
+	// CodecBinary is the length-prefixed binary codec
+	// (Content-Type: application/x-hom-records): raw little-endian
+	// float64 bits instead of number text, carrying the identical
+	// logical payload. Works against serve.Server directly and through
+	// the gateway, which proxies bodies opaquely.
+	CodecBinary
+)
+
 // Client is a thin client for the homserve HTTP API, shared by
 // cmd/homload and the end-to-end tests.
 type Client struct {
@@ -111,6 +127,7 @@ type Client struct {
 	hc    *http.Client
 	retry *RetryPolicy
 	rec   *obs.Recorder
+	codec Codec
 }
 
 // NewClient returns a client for the server at base (e.g.
@@ -127,6 +144,12 @@ func NewClient(base string, httpClient *http.Client) *Client {
 // when the budget runs out.
 func (c *Client) WithRetry(p RetryPolicy) *Client {
 	c.retry = &p
+	return c
+}
+
+// WithCodec selects the classify/observe wire codec (default CodecJSON).
+func (c *Client) WithCodec(codec Codec) *Client {
+	c.codec = codec
 	return c
 }
 
@@ -154,9 +177,16 @@ func (c *Client) do(method, path string, in, out any) error {
 		}
 		body = b
 	}
+	return c.doBytes(method, path, body, "application/json", out)
+}
+
+// doBytes runs one round trip with a pre-encoded body, retrying under
+// the installed policy. The response decode dispatches on the response
+// Content-Type, so a JSON error body on a binary request still decodes.
+func (c *Client) doBytes(method, path string, body []byte, contentType string, out any) error {
 	tc := c.rec.StartTrace()
 	if c.retry == nil {
-		return c.doOnce(method, path, body, out, tc)
+		return c.doOnce(method, path, body, contentType, out, tc)
 	}
 	p := c.retry
 	maxRetries := p.MaxRetries
@@ -173,7 +203,7 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	var elapsed time.Duration
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(method, path, body, out, tc)
+		err := c.doOnce(method, path, body, contentType, out, tc)
 		if err == nil {
 			return nil
 		}
@@ -213,9 +243,9 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 }
 
-// doOnce runs one JSON round trip. body nil sends no body; out nil
-// discards the response body.
-func (c *Client) doOnce(method, path string, body []byte, out any, tc obs.TraceContext) error {
+// doOnce runs one round trip. body nil sends no body; out nil discards
+// the response body.
+func (c *Client) doOnce(method, path string, body []byte, contentType string, out any, tc obs.TraceContext) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -225,7 +255,7 @@ func (c *Client) doOnce(method, path string, body []byte, out any, tc obs.TraceC
 		return err
 	}
 	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	if tc.Sampled {
 		req.Header.Set(obs.TraceHeader, tc.HeaderValue())
@@ -254,6 +284,21 @@ func (c *Client) doOnce(method, path string, body []byte, out any, tc obs.TraceC
 		_, err := io.Copy(io.Discard, resp.Body)
 		return err
 	}
+	if ct := resp.Header.Get("Content-Type"); ct == BinaryContentType || strings.HasPrefix(ct, BinaryContentType+";") {
+		frame, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		switch v := out.(type) {
+		case *ClassifyResponse:
+			*v, err = DecodeBinaryClassifyResponse(frame)
+		case *ObserveResponse:
+			*v, err = DecodeBinaryObserveResponse(frame)
+		default:
+			err = fmt.Errorf("serve: unexpected binary response for %T", out)
+		}
+		return err
+	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
@@ -269,17 +314,37 @@ func (c *Client) CloseSession(id string) error {
 	return c.do(http.MethodDelete, "/v1/sessions/"+id, nil, nil)
 }
 
-// Classify classifies a batch of attribute vectors.
+// Classify classifies a batch of attribute vectors, using the client's
+// configured codec.
 func (c *Client) Classify(id string, records [][]float64, proba bool) (ClassifyResponse, error) {
 	var resp ClassifyResponse
-	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/classify", ClassifyRequest{Records: records, Proba: proba}, &resp)
+	req := ClassifyRequest{Records: records, Proba: proba}
+	if c.codec == CodecBinary {
+		frame, err := EncodeBinaryClassifyRequest(req)
+		if err != nil {
+			return resp, err
+		}
+		err = c.doBytes(http.MethodPost, "/v1/sessions/"+id+"/classify", frame, BinaryContentType, &resp)
+		return resp, err
+	}
+	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/classify", req, &resp)
 	return resp, err
 }
 
-// Observe feeds labeled records into the session's cue stream.
+// Observe feeds labeled records into the session's cue stream, using the
+// client's configured codec.
 func (c *Client) Observe(id string, records [][]float64, classes []int) (ObserveResponse, error) {
 	var resp ObserveResponse
-	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/observe", ObserveRequest{Records: records, Classes: classes}, &resp)
+	req := ObserveRequest{Records: records, Classes: classes}
+	if c.codec == CodecBinary {
+		frame, err := EncodeBinaryObserveRequest(req)
+		if err != nil {
+			return resp, err
+		}
+		err = c.doBytes(http.MethodPost, "/v1/sessions/"+id+"/observe", frame, BinaryContentType, &resp)
+		return resp, err
+	}
+	err := c.do(http.MethodPost, "/v1/sessions/"+id+"/observe", req, &resp)
 	return resp, err
 }
 

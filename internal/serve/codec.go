@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The opt-in binary wire codec for the classify/observe hot path:
+// length-prefixed frames of raw little-endian float64 bits instead of
+// JSON number text. Negotiated per request by Content-Type — JSON
+// clients keep working untouched — and proxied opaquely by the gateway
+// (internal/gate), which never inspects bodies. The codec carries the
+// identical logical payload as the JSON wire types: every frame decodes
+// into the same ClassifyRequest / ObserveRequest the JSON path produces,
+// and then flows through the same decodeRecords validation, so the two
+// codecs accept and reject exactly the same record batches
+// (FuzzBinaryRecords enforces this). Errors are always answered as JSON
+// ErrorResponse bodies, whatever the request codec.
+//
+// Frame layout (all integers little-endian):
+//
+//	offset size  field
+//	0      4     magic "HOMB"
+//	4      1     version (1)
+//	5      1     kind (frame type below)
+//	6      1     flags (per-kind bits)
+//	7      1     reserved (0)
+//	8      4     payload length (bytes after the 12-byte header)
+//
+// Payloads:
+//
+//	classify request (kind 1, flags bit0 = return probabilities):
+//	  nrec uint32, nattr uint32, nrec*nattr float64 bits
+//	observe request (kind 2):
+//	  nrec uint32, nattr uint32, nrec*nattr float64 bits, nrec int32 classes
+//	classify response (kind 3, flags bit0 = probabilities present):
+//	  mapConcept int32, nrec uint32, nrec int32 predictions,
+//	  [k uint32, nrec*k float64 bits]
+//	observe response (kind 4, flags bit0 = explained window full,
+//	                  bit1 = degraded):
+//	  observed int64, explainedRate float64, applied uint32,
+//	  ndropped uint32, ndropped int32 dropped indices
+
+// BinaryContentType is the Content-Type that selects the binary codec on
+// the classify and observe endpoints; it is also the response
+// Content-Type of binary answers.
+const BinaryContentType = "application/x-hom-records"
+
+const (
+	binaryMagic   = "HOMB"
+	binaryVersion = 1
+
+	binHeaderLen = 12
+
+	binKindClassifyReq  = 1
+	binKindObserveReq   = 2
+	binKindClassifyResp = 3
+	binKindObserveResp  = 4
+
+	binFlagProba         = 1 << 0 // classify request & response
+	binFlagExplainedFull = 1 << 0 // observe response
+	binFlagDegraded      = 1 << 1 // observe response
+)
+
+// binHeader renders the 12-byte frame header onto dst.
+func binHeader(dst []byte, kind, flags byte, payloadLen int) []byte {
+	dst = append(dst, binaryMagic...)
+	dst = append(dst, binaryVersion, kind, flags, 0)
+	return binary.LittleEndian.AppendUint32(dst, uint32(payloadLen))
+}
+
+// parseBinHeader validates the header and returns the kind, flags, and
+// payload. The declared payload length must match the bytes present
+// exactly — a truncated or padded frame is an error, never a partial
+// decode.
+func parseBinHeader(b []byte, wantKind byte) (flags byte, payload []byte, err error) {
+	if len(b) < binHeaderLen {
+		return 0, nil, fmt.Errorf("binary frame: %d bytes, need at least the %d-byte header", len(b), binHeaderLen)
+	}
+	if string(b[:4]) != binaryMagic {
+		return 0, nil, fmt.Errorf("binary frame: bad magic %q", b[:4])
+	}
+	if b[4] != binaryVersion {
+		return 0, nil, fmt.Errorf("binary frame: unsupported version %d", b[4])
+	}
+	if b[5] != wantKind {
+		return 0, nil, fmt.Errorf("binary frame: kind %d, want %d", b[5], wantKind)
+	}
+	if b[7] != 0 {
+		return 0, nil, fmt.Errorf("binary frame: reserved byte is %d, want 0", b[7])
+	}
+	n := binary.LittleEndian.Uint32(b[8:12])
+	if uint64(n) != uint64(len(b)-binHeaderLen) {
+		return 0, nil, fmt.Errorf("binary frame: declares %d payload bytes, %d present", n, len(b)-binHeaderLen)
+	}
+	return b[6], b[binHeaderLen:], nil
+}
+
+// appendRecords renders the shared record block: nrec, nattr, then raw
+// float64 bits row-major.
+func appendRecords(dst []byte, records [][]float64) ([]byte, error) {
+	nattr := 0
+	if len(records) > 0 {
+		nattr = len(records[0])
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(records)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(nattr))
+	for i, rec := range records {
+		if len(rec) != nattr {
+			return nil, fmt.Errorf("record %d has %d attributes, record 0 has %d (binary batches are rectangular)", i, len(rec), nattr)
+		}
+		for _, v := range rec {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst, nil
+}
+
+// parseRecords decodes the shared record block and returns the remaining
+// payload bytes. Counts are validated against the bytes actually present
+// before any allocation, so a frame declaring astronomic counts fails
+// cheaply instead of allocating.
+func parseRecords(payload []byte, trailerPerRecord int) (records [][]float64, rest []byte, err error) {
+	if len(payload) < 8 {
+		return nil, nil, fmt.Errorf("binary records: %d payload bytes, need the 8-byte count prefix", len(payload))
+	}
+	nrec := uint64(binary.LittleEndian.Uint32(payload[0:4]))
+	nattr := uint64(binary.LittleEndian.Uint32(payload[4:8]))
+	// Bound the counts by the bytes present before multiplying: a crafted
+	// frame whose nrec*nattr*8 wraps uint64 must not pass the length
+	// equation below and reach the allocation.
+	if nrec > uint64(len(payload)) || nattr > uint64(len(payload)) {
+		return nil, nil, fmt.Errorf("binary records: declared %d records x %d attributes exceeds the %d payload bytes", nrec, nattr, len(payload))
+	}
+	need := 8 + nrec*nattr*8 + nrec*uint64(trailerPerRecord)
+	if uint64(len(payload)) != need {
+		return nil, nil, fmt.Errorf("binary records: %d records x %d attributes needs %d payload bytes, %d present", nrec, nattr, need, len(payload))
+	}
+	records = make([][]float64, nrec)
+	off := 8
+	// One backing array for the whole batch: the decode is a straight
+	// bit copy, no number parsing.
+	flat := make([]float64, nrec*nattr)
+	for i := range flat {
+		flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+		off += 8
+	}
+	for i := range records {
+		records[i] = flat[uint64(i)*nattr : (uint64(i)+1)*nattr : (uint64(i)+1)*nattr]
+	}
+	return records, payload[off:], nil
+}
+
+// EncodeBinaryClassifyRequest renders req as one binary frame.
+func EncodeBinaryClassifyRequest(req ClassifyRequest) ([]byte, error) {
+	var flags byte
+	if req.Proba {
+		flags |= binFlagProba
+	}
+	body, err := appendRecords(nil, req.Records)
+	if err != nil {
+		return nil, err
+	}
+	return append(binHeader(make([]byte, 0, binHeaderLen+len(body)), binKindClassifyReq, flags, len(body)), body...), nil
+}
+
+// DecodeBinaryClassifyRequest parses one binary classify frame.
+func DecodeBinaryClassifyRequest(b []byte) (ClassifyRequest, error) {
+	flags, payload, err := parseBinHeader(b, binKindClassifyReq)
+	if err != nil {
+		return ClassifyRequest{}, err
+	}
+	records, rest, err := parseRecords(payload, 0)
+	if err != nil {
+		return ClassifyRequest{}, err
+	}
+	if len(rest) != 0 {
+		return ClassifyRequest{}, fmt.Errorf("binary classify request: %d trailing bytes", len(rest))
+	}
+	return ClassifyRequest{Records: records, Proba: flags&binFlagProba != 0}, nil
+}
+
+// EncodeBinaryObserveRequest renders req as one binary frame.
+func EncodeBinaryObserveRequest(req ObserveRequest) ([]byte, error) {
+	if len(req.Classes) != len(req.Records) {
+		return nil, fmt.Errorf("%d records but %d classes", len(req.Records), len(req.Classes))
+	}
+	body, err := appendRecords(nil, req.Records)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range req.Classes {
+		if int64(int32(c)) != int64(c) {
+			return nil, fmt.Errorf("class %d overflows the int32 wire field", c)
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(int32(c)))
+	}
+	return append(binHeader(make([]byte, 0, binHeaderLen+len(body)), binKindObserveReq, 0, len(body)), body...), nil
+}
+
+// DecodeBinaryObserveRequest parses one binary observe frame.
+func DecodeBinaryObserveRequest(b []byte) (ObserveRequest, error) {
+	_, payload, err := parseBinHeader(b, binKindObserveReq)
+	if err != nil {
+		return ObserveRequest{}, err
+	}
+	records, rest, err := parseRecords(payload, 4)
+	if err != nil {
+		return ObserveRequest{}, err
+	}
+	classes := make([]int, len(records))
+	for i := range classes {
+		classes[i] = int(int32(binary.LittleEndian.Uint32(rest[i*4:])))
+	}
+	return ObserveRequest{Records: records, Classes: classes}, nil
+}
+
+// EncodeBinaryClassifyResponse renders resp as one binary frame.
+func EncodeBinaryClassifyResponse(resp ClassifyResponse) ([]byte, error) {
+	var flags byte
+	if resp.Probabilities != nil {
+		flags |= binFlagProba
+	}
+	var body []byte
+	body = binary.LittleEndian.AppendUint32(body, uint32(int32(resp.MAPConcept)))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(resp.Predictions)))
+	for _, p := range resp.Predictions {
+		if int64(int32(p)) != int64(p) {
+			return nil, fmt.Errorf("prediction %d overflows the int32 wire field", p)
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(int32(p)))
+	}
+	if resp.Probabilities != nil {
+		if len(resp.Probabilities) != len(resp.Predictions) {
+			return nil, fmt.Errorf("%d predictions but %d probability rows", len(resp.Predictions), len(resp.Probabilities))
+		}
+		k := 0
+		if len(resp.Probabilities) > 0 {
+			k = len(resp.Probabilities[0])
+		}
+		body = binary.LittleEndian.AppendUint32(body, uint32(k))
+		for i, row := range resp.Probabilities {
+			if len(row) != k {
+				return nil, fmt.Errorf("probability row %d has %d classes, row 0 has %d", i, len(row), k)
+			}
+			for _, v := range row {
+				body = binary.LittleEndian.AppendUint64(body, math.Float64bits(v))
+			}
+		}
+	}
+	return append(binHeader(make([]byte, 0, binHeaderLen+len(body)), binKindClassifyResp, flags, len(body)), body...), nil
+}
+
+// DecodeBinaryClassifyResponse parses one binary classify response.
+func DecodeBinaryClassifyResponse(b []byte) (ClassifyResponse, error) {
+	flags, payload, err := parseBinHeader(b, binKindClassifyResp)
+	if err != nil {
+		return ClassifyResponse{}, err
+	}
+	if len(payload) < 8 {
+		return ClassifyResponse{}, fmt.Errorf("binary classify response: %d payload bytes, need the 8-byte prefix", len(payload))
+	}
+	resp := ClassifyResponse{MAPConcept: int(int32(binary.LittleEndian.Uint32(payload[0:4])))}
+	nrec := uint64(binary.LittleEndian.Uint32(payload[4:8]))
+	if nrec > uint64(len(payload)) {
+		return ClassifyResponse{}, fmt.Errorf("binary classify response: declared %d records exceeds the %d payload bytes", nrec, len(payload))
+	}
+	need := 8 + nrec*4
+	withProba := flags&binFlagProba != 0
+	var k uint64
+	if withProba {
+		if uint64(len(payload)) < need+4 {
+			return ClassifyResponse{}, fmt.Errorf("binary classify response: truncated probability block")
+		}
+		k = uint64(binary.LittleEndian.Uint32(payload[need:]))
+		if k > uint64(len(payload)) {
+			return ClassifyResponse{}, fmt.Errorf("binary classify response: declared %d classes exceeds the %d payload bytes", k, len(payload))
+		}
+		need += 4 + nrec*k*8
+	}
+	if uint64(len(payload)) != need {
+		return ClassifyResponse{}, fmt.Errorf("binary classify response: %d records needs %d payload bytes, %d present", nrec, need, len(payload))
+	}
+	resp.Predictions = make([]int, nrec)
+	off := 8
+	for i := range resp.Predictions {
+		resp.Predictions[i] = int(int32(binary.LittleEndian.Uint32(payload[off:])))
+		off += 4
+	}
+	if withProba {
+		off += 4
+		resp.Probabilities = make([][]float64, nrec)
+		flat := make([]float64, nrec*k)
+		for i := range flat {
+			flat[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[off:]))
+			off += 8
+		}
+		for i := range resp.Probabilities {
+			resp.Probabilities[i] = flat[uint64(i)*k : (uint64(i)+1)*k : (uint64(i)+1)*k]
+		}
+	}
+	return resp, nil
+}
+
+// EncodeBinaryObserveResponse renders resp as one binary frame.
+func EncodeBinaryObserveResponse(resp ObserveResponse) []byte {
+	var flags byte
+	if resp.ExplainedFull {
+		flags |= binFlagExplainedFull
+	}
+	if resp.Degraded {
+		flags |= binFlagDegraded
+	}
+	var body []byte
+	body = binary.LittleEndian.AppendUint64(body, uint64(int64(resp.Observed)))
+	body = binary.LittleEndian.AppendUint64(body, math.Float64bits(resp.ExplainedRate))
+	body = binary.LittleEndian.AppendUint32(body, uint32(resp.Applied))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(resp.Dropped)))
+	for _, d := range resp.Dropped {
+		body = binary.LittleEndian.AppendUint32(body, uint32(int32(d)))
+	}
+	return append(binHeader(make([]byte, 0, binHeaderLen+len(body)), binKindObserveResp, flags, len(body)), body...)
+}
+
+// DecodeBinaryObserveResponse parses one binary observe response.
+func DecodeBinaryObserveResponse(b []byte) (ObserveResponse, error) {
+	flags, payload, err := parseBinHeader(b, binKindObserveResp)
+	if err != nil {
+		return ObserveResponse{}, err
+	}
+	if len(payload) < 24 {
+		return ObserveResponse{}, fmt.Errorf("binary observe response: %d payload bytes, need the 24-byte prefix", len(payload))
+	}
+	ndropped := uint64(binary.LittleEndian.Uint32(payload[20:24]))
+	if uint64(len(payload)) != 24+ndropped*4 {
+		return ObserveResponse{}, fmt.Errorf("binary observe response: %d dropped indices needs %d payload bytes, %d present", ndropped, 24+ndropped*4, len(payload))
+	}
+	resp := ObserveResponse{
+		Observed:      int(int64(binary.LittleEndian.Uint64(payload[0:8]))),
+		ExplainedRate: math.Float64frombits(binary.LittleEndian.Uint64(payload[8:16])),
+		Applied:       int(int32(binary.LittleEndian.Uint32(payload[16:20]))),
+		ExplainedFull: flags&binFlagExplainedFull != 0,
+		Degraded:      flags&binFlagDegraded != 0,
+	}
+	if ndropped > 0 {
+		resp.Dropped = make([]int, ndropped)
+		for i := range resp.Dropped {
+			resp.Dropped[i] = int(int32(binary.LittleEndian.Uint32(payload[24+i*4:])))
+		}
+	}
+	return resp, nil
+}

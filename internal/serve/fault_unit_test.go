@@ -66,7 +66,7 @@ func TestDeadlineExpiry(t *testing.T) {
 	clk := clock.Clock(func() time.Time { return epoch.Add(time.Duration(offset.Load())) })
 	s := New(testModel(), Options{Workers: 1, RequestTimeout: 50 * time.Millisecond, Clock: clk})
 	// Not started yet: the task must sit in the queue while the clock moves.
-	sess, err := s.table.create(s.model, core.PredictorOptions{}, "")
+	sess, err := s.table.create(core.PredictorOptions{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}

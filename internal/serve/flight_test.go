@@ -29,7 +29,7 @@ func TestFlightDeadlineExpiryDump(t *testing.T) {
 	clk := clock.Clock(func() time.Time { return epoch.Add(time.Duration(offset.Load())) })
 	rec := obs.NewRecorder(obs.FlightConfig{Proc: "r1", Seed: 4, Slots: 64, Clock: clk})
 	s := New(testModel(), Options{Workers: 1, RequestTimeout: 50 * time.Millisecond, Clock: clk, Recorder: rec})
-	sess, err := s.table.create(s.model, core.PredictorOptions{}, "")
+	sess, err := s.table.create(core.PredictorOptions{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestFlightFaultTriggersDump(t *testing.T) {
 	rec := obs.NewRecorder(obs.FlightConfig{Proc: "r1", Seed: 2, Slots: 64})
 	inj := fault.New(1, fault.Plan{fault.QueueOverflow: {Prob: 1}})
 	s := New(testModel(), Options{Workers: 1, Recorder: rec, Fault: inj})
-	sess, err := s.table.create(s.model, core.PredictorOptions{}, "")
+	sess, err := s.table.create(core.PredictorOptions{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}

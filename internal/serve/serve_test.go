@@ -34,12 +34,17 @@ func testModel() *core.Model {
 	}
 }
 
+// interpretedFactory builds session predictors straight from the model —
+// the table-unit tests don't exercise the compiled path.
+func interpretedFactory(m *core.Model) func(core.PredictorOptions) core.OnlinePredictor {
+	return func(o core.PredictorOptions) core.OnlinePredictor { return m.NewPredictorWithOptions(o) }
+}
+
 func TestSessionTableTTLEviction(t *testing.T) {
 	fake := clock.NewFake(time.Unix(1000, 0))
-	tab := newSessionTable(fake.Clock(), time.Minute, 10)
-	m := testModel()
+	tab := newSessionTable(fake.Clock(), time.Minute, 10, interpretedFactory(testModel()))
 
-	s1, err := tab.create(m, core.PredictorOptions{}, "")
+	s1, err := tab.create(core.PredictorOptions{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,29 +72,27 @@ func TestSessionTableTTLEviction(t *testing.T) {
 
 func TestSessionTableSweepFreesCapacity(t *testing.T) {
 	fake := clock.NewFake(time.Unix(1000, 0))
-	tab := newSessionTable(fake.Clock(), time.Minute, 2)
-	m := testModel()
+	tab := newSessionTable(fake.Clock(), time.Minute, 2, interpretedFactory(testModel()))
 	for i := 0; i < 2; i++ {
-		if _, err := tab.create(m, core.PredictorOptions{}, ""); err != nil {
+		if _, err := tab.create(core.PredictorOptions{}, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := tab.create(m, core.PredictorOptions{}, ""); err == nil {
+	if _, err := tab.create(core.PredictorOptions{}, ""); err == nil {
 		t.Fatal("create above the session limit succeeded")
 	}
 	// Once the old sessions expire, create must succeed again without an
 	// explicit sweep call.
 	fake.Advance(2 * time.Minute)
-	if _, err := tab.create(m, core.PredictorOptions{}, ""); err != nil {
+	if _, err := tab.create(core.PredictorOptions{}, ""); err != nil {
 		t.Fatalf("create after TTL expiry: %v", err)
 	}
 }
 
 func TestSessionIDsAreSequential(t *testing.T) {
-	tab := newSessionTable(nil, time.Hour, 10)
-	m := testModel()
-	a, _ := tab.create(m, core.PredictorOptions{}, "")
-	b, _ := tab.create(m, core.PredictorOptions{}, "")
+	tab := newSessionTable(nil, time.Hour, 10, interpretedFactory(testModel()))
+	a, _ := tab.create(core.PredictorOptions{}, "")
+	b, _ := tab.create(core.PredictorOptions{}, "")
 	if a.ID() != "s1" || b.ID() != "s2" {
 		t.Fatalf("ids = %q, %q; want s1, s2", a.ID(), b.ID())
 	}
@@ -142,8 +145,8 @@ func TestBackpressure(t *testing.T) {
 func TestMicroBatchGroupsBySession(t *testing.T) {
 	m := testModel()
 	s := New(m, Options{})
-	a, _ := s.table.create(m, core.PredictorOptions{}, "")
-	b, _ := s.table.create(m, core.PredictorOptions{}, "")
+	a, _ := s.table.create(core.PredictorOptions{}, "")
+	b, _ := s.table.create(core.PredictorOptions{}, "")
 
 	rec := data.Record{Values: []float64{0, 0, 0}, Class: 1}
 	var batch []*task

@@ -5,15 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"highorder/internal/clock"
+	"highorder/internal/compiled"
 	"highorder/internal/core"
 	"highorder/internal/data"
 	"highorder/internal/fault"
@@ -78,6 +81,13 @@ type Options struct {
 	// setting SpillDir enables it. Servers with tiering must be built with
 	// NewTiered so the spill-directory open error can be handled.
 	Tier TierOptions
+	// Interpreted forces every session onto the interpreted
+	// core.Predictor, skipping ahead-of-time compilation of the model
+	// (internal/compiled). The default compiles when the model's
+	// classifiers support it and falls back to interpreted when they
+	// don't — the two are bit-identical, so this switch only exists for
+	// A/B benchmarking and for isolating a suspected compiler bug.
+	Interpreted bool
 }
 
 func (o Options) withDefaults() Options {
@@ -182,11 +192,16 @@ const maxSpillResolves = 8
 
 // Server serves one immutable model to many concurrent sessions.
 type Server struct {
-	model   *core.Model
-	opts    Options
-	clk     clock.Clock
-	table   *sessionTable
-	metrics *metrics
+	model *core.Model
+	// compiled is the model's ahead-of-time compiled form; nil when
+	// Options.Interpreted is set or a concept's classifier type is not
+	// compilable (the server then serves interpreted — slower, never
+	// different).
+	compiled *compiled.Model
+	opts     Options
+	clk      clock.Clock
+	table    *sessionTable
+	metrics  *metrics
 	// store is the tiered session store; nil when Options.Tier is zero.
 	store *store.Store[*Session]
 
@@ -233,10 +248,22 @@ func NewTiered(m *core.Model, opts Options) (*Server, error) {
 		model:      m,
 		opts:       o,
 		clk:        clk,
-		table:      newSessionTable(clk, o.SessionTTL, o.MaxSessions),
+		table:      newSessionTable(clk, o.SessionTTL, o.MaxSessions, nil),
 		queue:      make(chan *task, o.QueueDepth),
 		janitorEnd: make(chan struct{}),
 	}
+	if !o.Interpreted {
+		// Best-effort compilation: an unsupported classifier type means
+		// the model serves interpreted, which is bit-identical (see
+		// internal/compiled's equivalence contract) — degraded in speed,
+		// never in behavior.
+		if cm, err := compiled.Compile(m); err == nil {
+			s.compiled = cm
+		}
+	}
+	// The predictor factory must be installed before openTier below:
+	// recovery runs Create/Hydrate callbacks while the tier opens.
+	s.table.newPredictor = s.newPredictor
 	s.metrics = newMetrics(m.Schema.NumClasses(), m.NumConcepts(), samplers{
 		queueDepth: func() int64 { return int64(len(s.queue)) },
 		live:       func() int64 { return int64(s.table.live()) },
@@ -296,6 +323,22 @@ func NewTiered(m *core.Model, opts Options) (*Server, error) {
 	}
 	return s, nil
 }
+
+// newPredictor builds one session predictor: the compiled twin when the
+// model compiled, the interpreted core.Predictor otherwise. Every
+// predictor construction site — session create, tier hydrate, crash
+// recovery — funnels through here, so a server is uniformly compiled or
+// uniformly interpreted.
+func (s *Server) newPredictor(opts core.PredictorOptions) core.OnlinePredictor {
+	if s.compiled != nil {
+		return s.compiled.NewPredictor(opts)
+	}
+	return s.model.NewPredictorWithOptions(opts)
+}
+
+// Compiled reports whether sessions run on the ahead-of-time compiled
+// model rather than the interpreted predictor.
+func (s *Server) Compiled() bool { return s.compiled != nil }
 
 // tierSampler builds the metrics sampler over the server's store, which
 // is opened after the metric families are registered — the closure
@@ -735,6 +778,45 @@ func (s *Server) writeError(w http.ResponseWriter, code int, format string, args
 	s.writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// isBinaryRequest reports whether the request body uses the binary codec
+// (Content-Type: application/x-hom-records).
+func isBinaryRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == BinaryContentType || strings.HasPrefix(ct, BinaryContentType+";")
+}
+
+// acceptsBinary reports whether the client asked for a binary response on
+// a JSON request (Accept: application/x-hom-records). A binary request
+// always gets a binary response regardless of Accept.
+func acceptsBinary(r *http.Request) bool {
+	for _, v := range r.Header.Values("Accept") {
+		if v == BinaryContentType || strings.HasPrefix(v, BinaryContentType+";") {
+			return true
+		}
+	}
+	return false
+}
+
+// readBinaryBody slurps a binary-codec request body under the same size
+// cap as the JSON decoder. Errors are answered as JSON ErrorResponse —
+// the error surface does not switch codecs.
+func (s *Server) readBinaryBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	b, err := io.ReadAll(r.Body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return nil, false
+	}
+	return b, true
+}
+
+// writeBinary answers one pre-encoded binary frame.
+func (s *Server) writeBinary(w http.ResponseWriter, frame []byte) {
+	w.Header().Set("Content-Type", BinaryContentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(frame) // the client hanging up mid-response is not a server error
+}
+
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
@@ -797,7 +879,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "invalid session id %q", req.ID)
 		return
 	}
-	sess, err := s.table.create(s.model, core.PredictorOptions{
+	sess, err := s.table.create(core.PredictorOptions{
 		MAPOnly:        req.MAPOnly,
 		DisablePruning: req.DisablePruning,
 	}, req.ID)
@@ -862,7 +944,19 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ClassifyRequest
-	if !s.decodeBody(w, r, &req) {
+	binaryResp := acceptsBinary(r)
+	if isBinaryRequest(r) {
+		body, ok := s.readBinaryBody(w, r)
+		if !ok {
+			return
+		}
+		var derr error
+		if req, derr = DecodeBinaryClassifyRequest(body); derr != nil {
+			s.writeError(w, http.StatusBadRequest, "invalid request body: %v", derr)
+			return
+		}
+		binaryResp = true
+	} else if !s.decodeBody(w, r, &req) {
 		return
 	}
 	recs, err := decodeRecords(s.model.Schema, req.Records, nil)
@@ -876,6 +970,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, code, "%v", err)
 		return
 	}
+	if binaryResp {
+		frame, eerr := EncodeBinaryClassifyResponse(res.classify)
+		if eerr != nil {
+			s.writeError(w, http.StatusInternalServerError, "encode response: %v", eerr)
+			return
+		}
+		s.writeBinary(w, frame)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, res.classify)
 }
 
@@ -885,7 +988,19 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ObserveRequest
-	if !s.decodeBody(w, r, &req) {
+	binaryResp := acceptsBinary(r)
+	if isBinaryRequest(r) {
+		body, ok := s.readBinaryBody(w, r)
+		if !ok {
+			return
+		}
+		var derr error
+		if req, derr = DecodeBinaryObserveRequest(body); derr != nil {
+			s.writeError(w, http.StatusBadRequest, "invalid request body: %v", derr)
+			return
+		}
+		binaryResp = true
+	} else if !s.decodeBody(w, r, &req) {
 		return
 	}
 	recs, err := decodeRecords(s.model.Schema, req.Records, req.Classes)
@@ -897,6 +1012,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	res, code, err := s.submit(&task{kind: taskObserve, sess: sess, recs: recs, tc: tc})
 	if err != nil {
 		s.writeError(w, code, "%v", err)
+		return
+	}
+	if binaryResp {
+		s.writeBinary(w, EncodeBinaryObserveResponse(res.observe))
 		return
 	}
 	s.writeJSON(w, http.StatusOK, res.observe)
@@ -964,7 +1083,7 @@ func (s *Server) handleAdminRestore(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "invalid session id %q", snap.ID)
 		return
 	}
-	sess, err := s.table.create(s.model, core.PredictorOptions{
+	sess, err := s.table.create(core.PredictorOptions{
 		MAPOnly:        snap.Options.MAPOnly,
 		DisablePruning: snap.Options.DisablePruning,
 	}, snap.ID)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"highorder/internal/clock"
+	"highorder/internal/compiled"
 	"highorder/internal/core"
 	"highorder/internal/data"
 	"highorder/internal/fault"
@@ -40,7 +41,10 @@ type Session struct {
 	opts core.PredictorOptions
 
 	mu sync.Mutex
-	p  *core.Predictor
+	// p is either the interpreted *core.Predictor or its compiled twin
+	// (*compiled.Predictor) — bit-identical by internal/compiled's golden
+	// suite, so everything above this field is implementation-blind.
+	p core.OnlinePredictor
 	// curTC is the trace context of the task currently executing under
 	// mu, so predictor sink events (concept switches) fired inside
 	// observeLocked attach to the request's trace. Written and read only
@@ -102,6 +106,15 @@ func (s *Session) Classify(recs []data.Record, withProba bool) ClassifyResponse 
 func (s *Session) classifyLocked(recs []data.Record, withProba bool) ClassifyResponse {
 	out := ClassifyResponse{Predictions: make([]int, len(recs))}
 	out.MAPConcept, _ = s.p.CurrentConcept()
+	if !withProba {
+		// Compiled fast path: one zero-allocation pass over the whole
+		// batch. ClassifyBatch ignores record labels, matching the
+		// Values-only copy the interpreted loop below makes.
+		if cp, ok := s.p.(*compiled.Predictor); ok {
+			cp.ClassifyBatch(recs, out.Predictions)
+			return out
+		}
+	}
 	if withProba {
 		out.Probabilities = make([][]float64, len(recs))
 	}
@@ -245,6 +258,10 @@ type sessionTable struct {
 	clk clock.Clock
 	ttl time.Duration
 	max int
+	// newPredictor builds a fresh predictor for a new session — the
+	// compiled twin when the server's model compiled, the interpreted
+	// core.Predictor otherwise. Set before the table is shared.
+	newPredictor func(core.PredictorOptions) core.OnlinePredictor
 
 	mu       sync.Mutex
 	nextID   int64
@@ -263,12 +280,13 @@ type sessionTable struct {
 	onHydrate func(*Session)
 }
 
-func newSessionTable(clk clock.Clock, ttl time.Duration, max int) *sessionTable {
+func newSessionTable(clk clock.Clock, ttl time.Duration, max int, newPredictor func(core.PredictorOptions) core.OnlinePredictor) *sessionTable {
 	return &sessionTable{
-		clk:      clk.OrWall(),
-		ttl:      ttl,
-		max:      max,
-		sessions: make(map[string]*Session),
+		clk:          clk.OrWall(),
+		ttl:          ttl,
+		max:          max,
+		newPredictor: newPredictor,
+		sessions:     make(map[string]*Session),
 	}
 }
 
@@ -277,9 +295,9 @@ func newSessionTable(clk clock.Clock, ttl time.Duration, max int) *sessionTable 
 // requests that exact session id (the gateway's cross-replica namespace);
 // an empty id selects the next sequential server-local one. Creating an id
 // that is already live fails with ErrSessionExists.
-func (t *sessionTable) create(m *core.Model, opts core.PredictorOptions, id string) (*Session, error) {
+func (t *sessionTable) create(opts core.PredictorOptions, id string) (*Session, error) {
 	if t.str != nil {
-		return t.createTiered(m, opts, id)
+		return t.createTiered(opts, id)
 	}
 	now := t.clk()
 	t.mu.Lock()
@@ -300,7 +318,7 @@ func (t *sessionTable) create(m *core.Model, opts core.PredictorOptions, id stri
 	s := &Session{
 		id:   id,
 		opts: opts,
-		p:    m.NewPredictorWithOptions(opts),
+		p:    t.newPredictor(opts),
 	}
 	s.touch(now)
 	t.sessions[s.id] = s
@@ -311,13 +329,13 @@ func (t *sessionTable) create(m *core.Model, opts core.PredictorOptions, id stri
 // (the session's options) is WAL-logged before the caller sees the id, so
 // an acknowledged create can be rebuilt after a crash even if the session
 // never spilled. Sequential ids skip over ids recovered from disk.
-func (t *sessionTable) createTiered(m *core.Model, opts core.PredictorOptions, id string) (*Session, error) {
+func (t *sessionTable) createTiered(opts core.PredictorOptions, id string) (*Session, error) {
 	now := t.clk()
 	blob, err := json.Marshal(SessionOptions{MAPOnly: opts.MAPOnly, DisablePruning: opts.DisablePruning})
 	if err != nil {
 		return nil, err
 	}
-	p := m.NewPredictorWithOptions(opts)
+	p := t.newPredictor(opts)
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.max > 0 && t.str.Count() >= t.max {

@@ -70,7 +70,7 @@ func (s *Server) tierCallbacks() store.Callbacks[*Session] {
 				return nil, fmt.Errorf("serve: hydrate %q: %w", id, err)
 			}
 			opts := core.PredictorOptions{MAPOnly: snap.Options.MAPOnly, DisablePruning: snap.Options.DisablePruning}
-			sess := &Session{id: id, opts: opts, p: s.model.NewPredictorWithOptions(opts)}
+			sess := &Session{id: id, opts: opts, p: s.newPredictor(opts)}
 			if err := sess.p.Restore(snap.State); err != nil {
 				return nil, fmt.Errorf("serve: hydrate %q: %w", id, err)
 			}
@@ -85,7 +85,7 @@ func (s *Server) tierCallbacks() store.Callbacks[*Session] {
 				}
 			}
 			opts := core.PredictorOptions{MAPOnly: o.MAPOnly, DisablePruning: o.DisablePruning}
-			sess := &Session{id: id, opts: opts, p: s.model.NewPredictorWithOptions(opts)}
+			sess := &Session{id: id, opts: opts, p: s.newPredictor(opts)}
 			sess.touch(s.clk())
 			return sess, nil
 		},

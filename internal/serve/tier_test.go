@@ -297,7 +297,7 @@ func TestTieredSequentialIDsSkipRecovered(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := s.table.create(s.model, core.PredictorOptions{}, ""); err != nil {
+		if _, err := s.table.create(core.PredictorOptions{}, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -308,7 +308,7 @@ func TestTieredSequentialIDsSkipRecovered(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s2.Close()
-	sess, err := s2.table.create(s2.model, core.PredictorOptions{}, "")
+	sess, err := s2.table.create(core.PredictorOptions{}, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -244,6 +244,12 @@ func (rs *RuleSet) PredictProba(r data.Record) []float64 {
 	return rs.buf
 }
 
+// DefaultDist exposes the training class distribution PredictProba answers
+// when no rule fires, for ahead-of-time compilation (internal/compiled).
+// The returned slice is the rule set's own — callers must treat it as
+// read-only.
+func (rs *RuleSet) DefaultDist() []float64 { return rs.defaultDist }
+
 // Len returns the number of rules.
 func (rs *RuleSet) Len() int { return len(rs.Rules) }
 

@@ -110,6 +110,20 @@ func (t *Tree) PredictProba(r data.Record) []float64 {
 	return t.leafFor(r).Dist
 }
 
+// leafFor walks r to the deepest reachable node.
+//
+// Nominal fallback rule (shared verbatim by the compiled walker in
+// internal/compiled): a nominal value selects branch int(v) only when
+// v >= 0 && v < float64(len(Children)) — the range check happens in float
+// space, before the int conversion. Any other value (negative, fractional
+// beyond the branch count, NaN, or astronomically large) selects no
+// branch, and the walk stops at the current node, answering its majority
+// class and training distribution. Checking after converting (the old
+// `int(v)` guard) made the answer for NaN and out-of-range-of-int values
+// implementation-defined, because Go leaves float-to-int conversion
+// unspecified when the value does not fit.
+//
+//homlint:hotpath -- per-record tree walk under the serve classify loop
 func (t *Tree) leafFor(r data.Record) *Node {
 	n := t.Root
 	for !n.IsLeaf() {
@@ -122,9 +136,9 @@ func (t *Tree) leafFor(r data.Record) *Node {
 				next = n.Children[1]
 			}
 		} else {
-			v := int(r.Values[n.Attr])
-			if v >= 0 && v < len(n.Children) {
-				next = n.Children[v]
+			v := r.Values[n.Attr]
+			if v >= 0 && v < float64(len(n.Children)) {
+				next = n.Children[int(v)]
 			}
 		}
 		if next == nil {

@@ -357,3 +357,61 @@ func TestCrossValidatedError(t *testing.T) {
 		}
 	}
 }
+
+// TestNominalFallbackRule pins the documented out-of-range rule at an
+// internal node: a nominal value selects branch int(v) only when
+// v >= 0 && v < float64(len(Children)) (checked in float space); every
+// other value — an unseen branch code, a negative, NaN, ±Inf, a value
+// too large for int, a fraction beyond the branch count — stops the walk
+// and answers the internal node's own majority class and distribution.
+func TestNominalFallbackRule(t *testing.T) {
+	// A hand-built stump over "color": branch 0 and 1 exist, branch 2
+	// (red) was never materialized, like a grower that saw no red rows.
+	root := &Node{
+		Attr:  0,
+		Class: 1,
+		Dist:  []float64{0.4, 0.6},
+		Children: []*Node{
+			{Class: 0, Dist: []float64{1, 0}},
+			{Class: 1, Dist: []float64{0, 1}},
+			nil,
+		},
+	}
+	tr := &Tree{Schema: staggerSchema(), Root: root}
+
+	rec := func(v float64) data.Record {
+		return data.Record{Values: []float64{v, 0, 0}}
+	}
+	cases := []struct {
+		name  string
+		v     float64
+		class int
+		dist  []float64
+	}{
+		{"in-range 0", 0, 0, root.Children[0].Dist},
+		{"in-range 1", 1, 1, root.Children[1].Dist},
+		{"fractional in range", 1.7, 1, root.Children[1].Dist}, // int(1.7) = 1
+		{"nil branch", 2, 1, root.Dist},
+		{"unseen code", 3, 1, root.Dist},
+		{"negative", -1, 1, root.Dist},
+		{"negative fraction", -0.5, 1, root.Dist},
+		{"NaN", math.NaN(), 1, root.Dist},
+		{"+Inf", math.Inf(1), 1, root.Dist},
+		{"-Inf", math.Inf(-1), 1, root.Dist},
+		{"beyond int64 range", 1e300, 1, root.Dist},
+		{"just below branch count", math.Nextafter(3, 0), 1, root.Dist},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tr.Predict(rec(tc.v)); got != tc.class {
+				t.Fatalf("Predict(%v) = %d, want %d", tc.v, got, tc.class)
+			}
+			got := tr.PredictProba(rec(tc.v))
+			for i := range got {
+				if got[i] != tc.dist[i] { //homlint:allow floatcmp -- the fallback must answer the node's own stored distribution, exactly
+					t.Fatalf("PredictProba(%v) = %v, want %v", tc.v, got, tc.dist)
+				}
+			}
+		})
+	}
+}

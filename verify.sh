@@ -47,6 +47,18 @@ go test ./internal/cluster ./internal/data -run Allocs -count=1
 go test ./internal/obs -run Allocs -count=1
 go test ./internal/store -run Allocs -count=1
 
+# The compiled classify hot path contract: ClassifyBatch allocates
+# nothing per call for any compiled base learner, the interpreted
+# Predict/PredictProba twins stay 0-alloc too, and the compiled kernel
+# sustains at least 1M records/s pinned to one core (HOM_COMPILED_MIN_RPS
+# overrides the floor). The -race pass above already proves the compiled
+# and interpreted predictors bit-identical (TestGoldenEquivalence plus
+# the differential fuzz corpus); these ceilings run without the race
+# detector because its instrumentation skews both allocations and time.
+step "compiled hot path: alloc ceilings + records/s floor (GOMAXPROCS=1)"
+go test ./internal/core -run Allocs -count=1
+GOMAXPROCS=1 go test ./internal/compiled -run 'Allocs|Throughput' -count=1
+
 step "bench smoke (-benchtime 1x)"
 go test ./internal/cluster ./internal/data -run '^$' -bench . -benchtime 1x >/dev/null
 
@@ -56,6 +68,17 @@ go test ./internal/dataio -run='^$' -fuzz='^FuzzReadStream$' -fuzztime="$FUZZTIM
 
 step "fuzz serve classify decoder (${FUZZTIME})"
 go test ./internal/serve -run='^$' -fuzz='^FuzzClassifyRequest$' -fuzztime="$FUZZTIME"
+
+# The binary wire codec and the compiled predictor each carry a
+# differential fuzzer: binary frames must round-trip losslessly and
+# reach the same accept/reject verdict as the JSON decoder, and the
+# compiled predictor must stay bit-identical to the interpreted one
+# under arbitrary interleavings of observe/advance/classify.
+step "fuzz binary records codec (${FUZZTIME})"
+go test ./internal/serve -run='^$' -fuzz='^FuzzBinaryRecords$' -fuzztime="$FUZZTIME"
+
+step "fuzz compiled-vs-interpreted differential (${FUZZTIME})"
+go test ./internal/compiled -run='^$' -fuzz='^FuzzCompiledVsInterpreted$' -fuzztime="$FUZZTIME"
 
 step "fuzz homlint directive grammar (${FUZZTIME})"
 go test ./internal/analysis -run='^$' -fuzz='^FuzzParseDirective$' -fuzztime="$FUZZTIME"
@@ -123,6 +146,31 @@ for f in trace.json BENCH_pipeline.json; do
 done
 go run ./cmd/homload -model "$smoketmp/model.gob" -sessions 1 -records 200 \
 	-batch 16 -out "$smoketmp/BENCH_serve.json"
+
+# Compiled serving smoke: the same model over the binary wire codec,
+# then a classify-only bench through the live HTTP stack pinned to one
+# core. The committed headline claim — >= 1M records/s per core on the
+# compiled + binary path — is re-proven here on every run, end to end
+# (HTTP server, session table, codec), not just at the kernel level.
+step "compiled serve smoke: binary codec classify bench (>= 1M records/s, 1 core)"
+go run ./cmd/homload -model "$smoketmp/model.gob" -sessions 1 -records 200 \
+	-batch 16 -codec binary -classify-bench 200000 -gomaxprocs 1 \
+	-out "$smoketmp/BENCH_compiled.json"
+awk '
+	/"classify_bench"/ { incb = 1 }
+	incb && /"binary"/ { inbin = 1 }
+	inbin && /"records_per_second"/ {
+		v = $2
+		sub(/,$/, "", v)
+		if (v + 0 < 1000000) {
+			printf "binary classify bench: %.0f records/s (< 1e6 floor)\n", v + 0
+			exit 1
+		}
+		printf "binary classify bench: %.0f records/s\n", v + 0
+		exit 0
+	}
+	END { if (!inbin) { print "classify_bench section missing"; exit 1 } }
+' "$smoketmp/BENCH_compiled.json"
 
 # Tiered store smoke: many more sessions than the hot set holds, through
 # the real HTTP path with the WAL on. homload itself exits nonzero on any
